@@ -1,0 +1,39 @@
+"""Design-choice ablation benches (DESIGN.md Section 5).
+
+Not paper figures, but quantifications of the paper's qualitative
+arguments: MISB's dependence on its metadata cache (Section VIII) and
+DROPLET's dependence on address-generation latency (Section VII-A.1).
+"""
+
+import pytest
+
+from repro.experiments import ablations
+
+
+@pytest.mark.figure
+def test_misb_metadata_cache_sweep(benchmark, runner, report_sink):
+    data = benchmark.pedantic(
+        ablations.misb_metadata_sweep, args=(runner,), rounds=1, iterations=1
+    )
+    assert set(data) == set(ablations.MISB_CACHE_LINES)
+
+
+@pytest.mark.figure
+def test_droplet_generation_latency_sweep(benchmark, runner, report_sink):
+    data = benchmark.pedantic(
+        ablations.droplet_latency_sweep, args=(runner,), rounds=1, iterations=1
+    )
+    assert set(data) == set(ablations.DROPLET_LATENCIES)
+    report_sink["ablations"] = ablations.report(runner)
+
+
+@pytest.mark.figure
+def test_bandwidth_sweep(benchmark, runner, report_sink):
+    data = benchmark.pedantic(
+        ablations.bandwidth_sweep, args=(runner,), rounds=1, iterations=1
+    )
+    assert set(data) == set(ablations.CHANNEL_COUNTS)
+    if runner.scale == "bench":
+        # With 4x bandwidth the replay speedup must move toward the
+        # paper's magnitudes (the EXPERIMENTS.md compression argument).
+        assert data[4][1] > data[1][1]

@@ -1,0 +1,18 @@
+"""Extension bench: RnR on belief propagation, community detection, and
+repeated SpMV (the Section II algorithms the paper motivates but does not
+evaluate)."""
+
+import pytest
+
+from repro.experiments import extra_workloads
+
+
+@pytest.mark.figure
+def test_extra_workloads(benchmark, runner, report_sink):
+    data = benchmark.pedantic(
+        extra_workloads.compute, args=(runner,), rounds=1, iterations=1
+    )
+    assert set(data) == set(extra_workloads.CELLS)
+    for row in data.values():
+        assert row["speedup"] > 0
+    report_sink["extra_workloads"] = extra_workloads.report(runner)

@@ -1,0 +1,17 @@
+"""Benchmark regenerating Fig 1: coverage vs accuracy scatter (PageRank/amazon).
+
+Runs the figure's full simulation sweep (cells already simulated by an
+earlier figure in the same session are reused from the shared cache) and
+prints the paper-style table.
+"""
+
+import pytest
+
+from repro.experiments import fig01_scatter
+
+
+@pytest.mark.figure
+def test_fig01_scatter(benchmark, runner, report_sink):
+    data = benchmark.pedantic(fig01_scatter.compute, args=(runner,), rounds=1, iterations=1)
+    assert data
+    report_sink["fig01_scatter"] = fig01_scatter.report(runner)

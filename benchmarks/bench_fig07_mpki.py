@@ -1,0 +1,22 @@
+"""Benchmark regenerating Fig 7: L2 MPKI.
+
+Runs the figure's full simulation sweep (cells already simulated by an
+earlier figure in the same session are reused from the shared cache) and
+prints the paper-style table.
+"""
+
+import pytest
+
+from repro.experiments import fig07_mpki
+
+
+@pytest.mark.figure
+def test_fig07_mpki(benchmark, runner, report_sink):
+    data = benchmark.pedantic(fig07_mpki.compute, args=(runner,), rounds=1, iterations=1)
+    assert data
+    if runner.scale == "bench":
+        # Paper: 97.3 % / 94.6 % / 98.9 % demand-miss reduction.
+        summary = fig07_mpki.mpki_reduction_summary(runner)
+        for app, reduction in summary.items():
+            assert reduction > 0.85, f"{app}: miss reduction collapsed to {reduction:.2f}"
+    report_sink["fig07_mpki"] = fig07_mpki.report(runner)

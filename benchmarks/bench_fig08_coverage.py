@@ -1,0 +1,17 @@
+"""Benchmark regenerating Fig 8: miss coverage.
+
+Runs the figure's full simulation sweep (cells already simulated by an
+earlier figure in the same session are reused from the shared cache) and
+prints the paper-style table.
+"""
+
+import pytest
+
+from repro.experiments import fig08_coverage
+
+
+@pytest.mark.figure
+def test_fig08_coverage(benchmark, runner, report_sink):
+    data = benchmark.pedantic(fig08_coverage.compute, args=(runner,), rounds=1, iterations=1)
+    assert data
+    report_sink["fig08_coverage"] = fig08_coverage.report(runner)

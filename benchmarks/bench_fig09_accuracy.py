@@ -1,0 +1,20 @@
+"""Benchmark regenerating Fig 9: prefetching accuracy.
+
+Runs the figure's full simulation sweep (cells already simulated by an
+earlier figure in the same session are reused from the shared cache) and
+prints the paper-style table.
+"""
+
+import pytest
+
+from repro.experiments import fig09_accuracy
+
+
+@pytest.mark.figure
+def test_fig09_accuracy(benchmark, runner, report_sink):
+    data = benchmark.pedantic(fig09_accuracy.compute, args=(runner,), rounds=1, iterations=1)
+    assert data
+    if runner.scale == "bench":
+        # Paper: RnR averages 97.18 % prefetching accuracy.
+        assert fig09_accuracy.rnr_average_accuracy(runner) > 0.9
+    report_sink["fig09_accuracy"] = fig09_accuracy.report(runner)

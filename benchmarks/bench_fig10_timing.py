@@ -1,0 +1,17 @@
+"""Benchmark regenerating Fig 10: replay timing control.
+
+Runs the figure's full simulation sweep (cells already simulated by an
+earlier figure in the same session are reused from the shared cache) and
+prints the paper-style table.
+"""
+
+import pytest
+
+from repro.experiments import fig10_timing_control
+
+
+@pytest.mark.figure
+def test_fig10_timing_control(benchmark, runner, report_sink):
+    data = benchmark.pedantic(fig10_timing_control.compute, args=(runner,), rounds=1, iterations=1)
+    assert data
+    report_sink["fig10_timing_control"] = fig10_timing_control.report(runner)

@@ -1,0 +1,22 @@
+"""Benchmark regenerating Fig 11: timeliness breakdown.
+
+Runs the figure's full simulation sweep (cells already simulated by an
+earlier figure in the same session are reused from the shared cache) and
+prints the paper-style table.
+"""
+
+import pytest
+
+from repro.experiments import fig11_timeliness
+
+
+@pytest.mark.figure
+def test_fig11_timeliness(benchmark, runner, report_sink):
+    data = benchmark.pedantic(fig11_timeliness.compute, args=(runner,), rounds=1, iterations=1)
+    assert data
+    if runner.scale == "bench":
+        # Paper: ~100 % on-time under window(+pace) control; 'none' far worse.
+        for cell, per_mode in data.items():
+            assert per_mode["window+pace"]["on_time"] > 0.9, cell
+            assert per_mode["none"]["on_time"] < per_mode["window+pace"]["on_time"]
+    report_sink["fig11_timeliness"] = fig11_timeliness.report(runner)

@@ -1,0 +1,17 @@
+"""Benchmark regenerating Fig 12: additional off-chip traffic.
+
+Runs the figure's full simulation sweep (cells already simulated by an
+earlier figure in the same session are reused from the shared cache) and
+prints the paper-style table.
+"""
+
+import pytest
+
+from repro.experiments import fig12_traffic
+
+
+@pytest.mark.figure
+def test_fig12_traffic(benchmark, runner, report_sink):
+    data = benchmark.pedantic(fig12_traffic.compute, args=(runner,), rounds=1, iterations=1)
+    assert data
+    report_sink["fig12_traffic"] = fig12_traffic.report(runner)

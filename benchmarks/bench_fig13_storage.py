@@ -1,0 +1,17 @@
+"""Benchmark regenerating Fig 13: metadata storage overhead.
+
+Runs the figure's full simulation sweep (cells already simulated by an
+earlier figure in the same session are reused from the shared cache) and
+prints the paper-style table.
+"""
+
+import pytest
+
+from repro.experiments import fig13_storage
+
+
+@pytest.mark.figure
+def test_fig13_storage(benchmark, runner, report_sink):
+    data = benchmark.pedantic(fig13_storage.compute, args=(runner,), rounds=1, iterations=1)
+    assert data
+    report_sink["fig13_storage"] = fig13_storage.report(runner)

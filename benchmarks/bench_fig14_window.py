@@ -1,0 +1,17 @@
+"""Benchmark regenerating Fig 14: window size sweep.
+
+Runs the figure's full simulation sweep (cells already simulated by an
+earlier figure in the same session are reused from the shared cache) and
+prints the paper-style table.
+"""
+
+import pytest
+
+from repro.experiments import fig14_window_sweep
+
+
+@pytest.mark.figure
+def test_fig14_window_sweep(benchmark, runner, report_sink):
+    data = benchmark.pedantic(fig14_window_sweep.compute, args=(runner,), rounds=1, iterations=1)
+    assert data
+    report_sink["fig14_window_sweep"] = fig14_window_sweep.report(runner)

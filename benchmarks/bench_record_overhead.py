@@ -1,0 +1,15 @@
+"""Benchmark regenerating the Section VII-A.6 record-iteration overhead
+numbers (paper: worst 1.75 %, average 1.02 %)."""
+
+import pytest
+
+from repro.experiments import record_overhead
+
+
+@pytest.mark.figure
+def test_record_overhead(benchmark, runner, report_sink):
+    data = benchmark.pedantic(
+        record_overhead.compute, args=(runner,), rounds=1, iterations=1
+    )
+    assert len(data) == 12
+    report_sink["record_overhead"] = record_overhead.report(runner)

@@ -1,0 +1,72 @@
+"""Simulator-throughput microbenchmarks (not a paper figure).
+
+These keep an eye on the trace-driven engine's own performance — records
+per second for the demand path and the RnR record/replay paths — so
+regressions in the hot loop show up in CI.
+"""
+
+import random
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.prefetchers import make_prefetcher
+from repro.rnr.api import RnRInterface
+from repro.sim.engine import SimulationEngine
+from repro.trace import AddressSpace, TraceBuilder
+
+
+def gather_trace(accesses=20_000, rnr=False, window=16):
+    rng = random.Random(1)
+    space = AddressSpace()
+    array = space.alloc("x", 32_768, 8)
+    indices = [rng.randrange(32_768) for _ in range(accesses // 2)]
+    builder = TraceBuilder()
+    interface = RnRInterface(builder, space, default_window=window)
+    if rnr:
+        interface.init()
+        interface.addr_base.set(array)
+        interface.addr_base.enable(array)
+    for iteration in range(2):
+        if rnr:
+            if iteration == 0:
+                interface.prefetch_state.start()
+            else:
+                interface.prefetch_state.replay()
+        builder.iter_begin(iteration)
+        for index in indices:
+            builder.work(5)
+            builder.load(array.addr(index), pc=0x100)
+        builder.iter_end(iteration)
+    if rnr:
+        interface.prefetch_state.end()
+        interface.end()
+    return builder.build()
+
+
+@pytest.fixture(scope="module")
+def demand_trace():
+    return gather_trace(rnr=False)
+
+
+@pytest.fixture(scope="module")
+def rnr_trace():
+    return gather_trace(rnr=True)
+
+
+def test_engine_demand_throughput(benchmark, demand_trace):
+    config = SystemConfig.experiment()
+    stats = benchmark.pedantic(
+        lambda: SimulationEngine(config).run(demand_trace), rounds=3, iterations=1
+    )
+    assert stats.instructions == demand_trace.instructions
+
+
+def test_engine_rnr_throughput(benchmark, rnr_trace):
+    config = SystemConfig.experiment()
+
+    def run():
+        return SimulationEngine(config, make_prefetcher("rnr")).run(rnr_trace)
+
+    stats = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert stats.prefetch.issued > 0

@@ -1,0 +1,55 @@
+"""Shared fixtures for the benchmark harness.
+
+All figure benches share one :class:`ExperimentRunner`, so each
+(application, input, prefetcher) cell is simulated exactly once per
+session no matter how many figures use it.  Set ``REPRO_BENCH_SCALE=test``
+for a fast smoke pass of the whole harness.
+
+The rendered paper-figure tables are printed in the terminal summary and
+written to ``paper_figures_report.txt`` in the working directory.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.runner import ExperimentRunner
+
+_REPORTS = {}
+REPORT_PATH = Path("paper_figures_report.txt")
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "figure: paper figure reproduction bench")
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    scale = os.environ.get("REPRO_BENCH_SCALE", "bench")
+    return ExperimentRunner(scale=scale)
+
+
+@pytest.fixture(scope="session")
+def report_sink():
+    """Collects rendered figure tables for the terminal summary."""
+    return _REPORTS
+
+
+def _render_reports() -> str:
+    lines = ["=" * 72, "PAPER FIGURE REPRODUCTIONS", "=" * 72]
+    for name in sorted(_REPORTS):
+        lines.append("")
+        lines.append(_REPORTS[name])
+    return "\n".join(lines)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    text = _render_reports()
+    REPORT_PATH.write_text(text + "\n")
+    terminalreporter.write_line("")
+    for line in text.splitlines():
+        terminalreporter.write_line(line)
+    terminalreporter.write_line(f"\n(report saved to {REPORT_PATH.resolve()})")

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""OS support: RnR across a context switch (paper Section IV-C).
+
+The paper's argument: conventional hardware prefetchers lose their
+training on a context switch, but RnR only needs its 86.5 B of register
+state saved/restored — the recorded sequence lives in ordinary memory.
+This example deschedules the process mid-replay with full cache
+pollution, and compares RnR (which resumes replaying) against a GHB
+temporal prefetcher (whose history is what it is — but whose *cache* was
+also wiped, forcing it to find its place again).
+
+Run:  python examples/context_switch.py
+"""
+
+import random
+
+from repro import SimulationEngine, SystemConfig, make_prefetcher
+from repro.rnr.api import RnRInterface
+from repro.sim import metrics
+from repro.sim.os_model import emit_context_switch
+from repro.trace import AddressSpace, TraceBuilder
+
+
+def build_trace(with_rnr: bool, with_switch: bool):
+    rng = random.Random(13)
+    space = AddressSpace()
+    data = space.alloc("data", 16384, 8)
+    indices = [rng.randrange(16384) for _ in range(2500)]
+    builder = TraceBuilder()
+    rnr = RnRInterface(builder, space, default_window=16)
+    if with_rnr:
+        rnr.init()
+        rnr.addr_base.set(data)
+        rnr.addr_base.enable(data)
+    for iteration in range(3):
+        if with_rnr:
+            if iteration == 0:
+                rnr.prefetch_state.start()
+            else:
+                rnr.prefetch_state.replay()
+        builder.iter_begin(iteration)
+        for position, index in enumerate(indices):
+            builder.work(5)
+            builder.load(data.addr(index), pc=0x100)
+            if with_switch and iteration == 1 and position == len(indices) // 2:
+                # Descheduled mid-replay: full cache pollution, 100k cycles.
+                emit_context_switch(
+                    builder, rnr if with_rnr else None,
+                    away_cycles=100_000, pollution=1.0,
+                )
+        builder.iter_end(iteration)
+    if with_rnr:
+        rnr.prefetch_state.end()
+        rnr.end()
+    return builder.build()
+
+
+def main():
+    config = SystemConfig.experiment()
+    print("RnR vs GHB across a mid-replay context switch (full pollution)\n")
+    for name in ("rnr", "ghb"):
+        with_rnr = name == "rnr"
+        clean = SimulationEngine(config, make_prefetcher(name)).run(
+            build_trace(with_rnr, with_switch=False)
+        )
+        switched = SimulationEngine(config, make_prefetcher(name)).run(
+            build_trace(with_rnr, with_switch=True)
+        )
+        penalty = switched.cycles - clean.cycles - 100_000  # beyond time away
+        print(f"{name}:")
+        print(f"  accuracy (no switch / switch): "
+              f"{metrics.accuracy(clean):.1%} / {metrics.accuracy(switched):.1%}")
+        print(f"  warm-up penalty beyond time away: {max(0, penalty)} cycles")
+    print("\nRnR resumes the replay from its saved 86.5 B of state; the only "
+          "cost is re-warming the caches — the paper's Section IV-C claim.")
+
+
+if __name__ == "__main__":
+    main()

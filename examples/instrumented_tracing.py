@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Tracing *your own* algorithm with instrumented arrays.
+
+The built-in workloads hand-emit their traces; for new algorithms the
+Tracer does it automatically: wrap arrays, index them normally, and every
+element access becomes a trace record.  Here a tiny sparse
+triangular-solve-like sweep (an algorithm the paper never evaluated) gets
+RnR annotations in four lines.
+
+Run:  python examples/instrumented_tracing.py
+"""
+
+import numpy as np
+
+from repro import SimulationEngine, SystemConfig, make_prefetcher
+from repro.sim import metrics
+from repro.trace.instrument import Tracer
+
+N = 3000
+NNZ_PER_ROW = 6
+
+
+def build(with_rnr: bool):
+    rng = np.random.default_rng(7)
+    # Lower-triangular dependency pattern: row i reads NNZ earlier xs.
+    deps = [rng.integers(0, max(1, i), size=min(i, NNZ_PER_ROW)) for i in range(N)]
+
+    tracer = Tracer(rnr_window=16)
+    x = tracer.array("x", N, pc=0x10)
+    b = tracer.array("b", N, pc=0x14, fill=1.0)
+    if with_rnr:
+        tracer.rnr.init()
+        tracer.rnr.addr_base.set(x.region)
+        tracer.rnr.addr_base.enable(x.region)
+    for iteration in range(3):  # e.g. iterative refinement sweeps
+        with tracer.iteration(iteration):
+            for i in range(N):
+                tracer.work(2)
+                acc = b[i]
+                for j in deps[i]:
+                    tracer.work(2)
+                    acc -= 0.1 * x[int(j)]  # irregular dependency gather
+                x[i] = acc
+    if with_rnr:
+        tracer.rnr.prefetch_state.end()
+        tracer.rnr.end()
+    return tracer.build()
+
+
+def main():
+    config = SystemConfig.experiment()
+    baseline = SimulationEngine(config).run(build(False))
+    rnr = SimulationEngine(config, make_prefetcher("rnr")).run(build(True))
+    print("Instrumented triangular sweep (a workload the paper never ran):")
+    print(f"  trace length:        {baseline.instructions} instructions")
+    print(f"  baseline IPC:        {baseline.ipc:.3f}")
+    print(f"  RnR replay speedup:  {metrics.replay_speedup(baseline, rnr):.2f}x")
+    print(f"  RnR accuracy:        {metrics.accuracy(rnr):.1%}")
+    print("\nAny repeating-irregular algorithm gets the same treatment: wrap "
+          "arrays in tracer.array(), mark the gathered one, record + replay.")
+
+
+if __name__ == "__main__":
+    main()

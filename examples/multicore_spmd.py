@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""4-core SPMD PageRank (paper Sections V-E and VI).
+
+Partitions a graph four ways (the METIS-substitute partitioner), builds
+one annotated trace per worker, and runs them on the lockstep multicore
+engine — private L1/L2 and per-core RnR state, shared LLC and memory
+controller — reporting per-core and aggregate results.
+
+Run:  python examples/multicore_spmd.py
+"""
+
+from repro import MulticoreEngine, SystemConfig, make_prefetcher
+from repro.graphs import datasets
+from repro.graphs.partition import edge_cut, partition_bfs
+from repro.workloads.spmd import build_spmd_traces
+
+CORES = 4
+
+
+def main():
+    graph = datasets.make_graph("amazon", "test")
+    assignment = partition_bfs(graph, CORES)
+    cut = edge_cut(graph, assignment)
+    print(f"amazon graph: {graph.num_vertices} vertices, {graph.num_edges} edges")
+    print(f"4-way partition edge cut: {cut} ({cut / graph.num_edges:.1%})")
+
+    config = SystemConfig.experiment(cores=CORES)
+
+    baseline_engine = MulticoreEngine(config)
+    baseline_engine.run(
+        build_spmd_traces(graph, CORES, iterations=3, window_size=16,
+                          rnr=False, assignment=assignment)
+    )
+    baseline = baseline_engine.aggregate()
+
+    rnr_engine = MulticoreEngine(
+        config, prefetchers=[make_prefetcher("rnr-combined") for _ in range(CORES)]
+    )
+    rnr_engine.run(
+        build_spmd_traces(graph, CORES, iterations=3, window_size=16,
+                          rnr=True, assignment=assignment)
+    )
+    rnr = rnr_engine.aggregate()
+
+    print("\nper-core cycles (baseline -> rnr-combined):")
+    for core in range(CORES):
+        before = baseline_engine.engines[core].stats.cycles
+        after = rnr_engine.engines[core].stats.cycles
+        print(f"  core {core}: {before:>10d} -> {after:>10d}")
+    print(f"\naggregate speedup: {baseline.cycles / rnr.cycles:.2f}x "
+          f"(accuracy {rnr.prefetch.accuracy:.1%})")
+    print("note: at this scaled-down cache/bandwidth ratio the single DDR4 "
+          "channel saturates with 4 cores — see EXPERIMENTS.md.")
+
+
+if __name__ == "__main__":
+    main()

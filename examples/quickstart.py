@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Quickstart: annotate a repeating irregular loop with the RnR API.
+
+This is the library's "hello world": a program gathers through an index
+array in the same irregular order every iteration.  We mark the gathered
+array as an RnR spatial region, record the miss sequence on iteration 0,
+and replay it as prefetches on iterations 1+, then compare against the
+no-prefetcher baseline.
+
+Run:  python examples/quickstart.py
+"""
+
+import random
+
+from repro import SimulationEngine, SystemConfig, make_prefetcher
+from repro.rnr.api import RnRInterface
+from repro.sim import metrics
+from repro.trace import AddressSpace, TraceBuilder
+
+ITERATIONS = 3
+ARRAY_ELEMS = 40_960  # 320 KB of 8-byte elements: far beyond the LLC
+ACCESSES_PER_ITER = 6_000
+
+
+def build_trace(with_rnr: bool):
+    """Emit the program's memory trace, optionally with RnR annotations."""
+    rng = random.Random(42)
+    space = AddressSpace()
+    data = space.alloc("data", ARRAY_ELEMS, 8)
+    indices = [rng.randrange(ARRAY_ELEMS) for _ in range(ACCESSES_PER_ITER)]
+
+    builder = TraceBuilder()
+    rnr = RnRInterface(builder, space, default_window=16)
+    if with_rnr:
+        rnr.init()                     # allocate the metadata tables
+        rnr.addr_base.set(data)        # declare the irregular structure
+        rnr.addr_base.enable(data)
+
+    for iteration in range(ITERATIONS):
+        if with_rnr:
+            if iteration == 0:
+                rnr.prefetch_state.start()    # record the first pass
+            else:
+                rnr.prefetch_state.replay()   # replay on every repeat
+        builder.iter_begin(iteration)
+        for index in indices:                 # the repeating gather
+            builder.work(6)
+            builder.load(data.addr(index), pc=0x100)
+        builder.iter_end(iteration)
+
+    if with_rnr:
+        rnr.prefetch_state.end()
+        rnr.end()
+    return builder.build()
+
+
+def main():
+    config = SystemConfig.experiment()
+
+    baseline = SimulationEngine(config).run(build_trace(with_rnr=False))
+    rnr_stats = SimulationEngine(config, make_prefetcher("rnr")).run(
+        build_trace(with_rnr=True)
+    )
+
+    timeliness = metrics.timeliness_breakdown(rnr_stats)
+    print("RnR quickstart — repeating irregular gather")
+    print(f"  baseline IPC:          {baseline.ipc:.3f}")
+    print(f"  RnR IPC:               {rnr_stats.ipc:.3f}")
+    print(f"  replay-phase speedup:  {metrics.replay_speedup(baseline, rnr_stats):.2f}x")
+    print(f"  100-iter amortized:    {metrics.amortized_speedup(baseline, rnr_stats):.2f}x")
+    print(f"  prefetch accuracy:     {metrics.accuracy(rnr_stats):.1%}")
+    print(f"  miss coverage:         {metrics.coverage(baseline, rnr_stats):.1%}")
+    print(f"  on-time prefetches:    {timeliness['on_time']:.1%}")
+    print(f"  metadata stored:       {rnr_stats.rnr.storage_bytes()} bytes")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""spCG: a real conjugate-gradient solve, traced and prefetched.
+
+The workload genuinely solves A x = b (residual history printed); the
+memory trace of the same computation runs through the simulator with and
+without RnR, showing how a fixed sparsity pattern lets RnR record the
+``p[col[j]]`` gather sequence once and replay it every iteration.
+
+Run:  python examples/spcg_solver.py [matrix]
+      matrix in {atmosmodj, bbmat, nlpkkt80, pdb1HYS}; default nlpkkt80
+"""
+
+import sys
+
+import numpy as np
+
+from repro import SimulationEngine, SystemConfig, make_prefetcher
+from repro.sim import metrics
+from repro.sparse import datasets
+from repro.workloads import SpCGWorkload
+
+
+def main():
+    matrix_name = sys.argv[1] if len(sys.argv) > 1 else "nlpkkt80"
+    matrix = datasets.make_matrix(matrix_name, "test")
+    print(f"spCG on {matrix_name}: {matrix.num_rows} rows, {matrix.nnz} non-zeros")
+
+    config = SystemConfig.experiment()
+    workload = SpCGWorkload(matrix, iterations=4, window_size=16)
+
+    baseline = SimulationEngine(config).run(workload.build_trace(rnr=False))
+    rnr_stats = SimulationEngine(config, make_prefetcher("rnr-combined")).run(
+        workload.build_trace(rnr=True)
+    )
+
+    print("\nCG residuals (the solver really runs):")
+    for i, residual in enumerate(workload.residual_history):
+        print(f"  iter {i}: {residual:.3e}")
+    check = np.linalg.norm(matrix.spmv(workload.solution) - workload.rhs)
+    print(f"  ||A x - b|| after 4 iterations: {check:.3e}")
+
+    print("\nMemory-system results:")
+    print(f"  baseline IPC:         {baseline.ipc:.3f}")
+    print(f"  RnR-Combined IPC:     {rnr_stats.ipc:.3f}")
+    print(f"  replay speedup:       {metrics.replay_speedup(baseline, rnr_stats):.2f}x")
+    print(f"  accuracy:             {metrics.accuracy(rnr_stats):.1%}")
+    print(f"  metadata storage:     "
+          f"{metrics.storage_overhead(rnr_stats.rnr.storage_bytes(), workload.input_bytes):.1%} of input")
+
+
+if __name__ == "__main__":
+    main()

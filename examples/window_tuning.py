@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Window-size tuning (a miniature of the paper's Fig 14).
+
+Sweeps the RnR window size on Hyper-ANF and prints the speedup / accuracy
+/ storage trade-off: small windows limit how far ahead replay can run;
+windows near half the L2 thrash it with unused prefetches.
+
+Run:  python examples/window_tuning.py
+"""
+
+from repro import SimulationEngine, SystemConfig, make_prefetcher
+from repro.experiments.tables import format_table
+from repro.graphs import datasets
+from repro.sim import metrics
+from repro.workloads import HyperAnfWorkload
+
+WINDOWS = (4, 8, 16, 32, 64, 128)
+
+
+def main():
+    graph = datasets.make_graph("urand", "test")
+    config = SystemConfig.experiment()
+    l2_lines = config.l2.num_lines
+    print(f"Hyper-ANF window sweep (L2 = {l2_lines} lines; "
+          f"the paper caps windows at half the L2)")
+
+    baseline = None
+    rows = []
+    for window in WINDOWS:
+        workload = HyperAnfWorkload(graph, iterations=3, window_size=window)
+        if baseline is None:
+            baseline = SimulationEngine(config).run(workload.build_trace(rnr=False))
+        stats = SimulationEngine(config, make_prefetcher("rnr")).run(
+            workload.build_trace(rnr=True)
+        )
+        timeliness = metrics.timeliness_breakdown(stats)
+        rows.append(
+            (
+                window,
+                metrics.amortized_speedup(baseline, stats),
+                100 * metrics.accuracy(stats),
+                100 * timeliness["early"],
+                100
+                * metrics.storage_overhead(
+                    stats.rnr.storage_bytes(), workload.input_bytes
+                ),
+            )
+        )
+    print()
+    print(
+        format_table(
+            ("window", "speedup", "accuracy %", "early %", "storage %"),
+            rows,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

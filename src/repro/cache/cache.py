@@ -1,0 +1,108 @@
+"""Set-associative cache structure."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.cache.line import CacheLine
+from repro.cache.mshr import MSHRFile
+from repro.cache.replacement import LRUPolicy, ReplacementPolicy
+from repro.config import CacheConfig
+
+EvictionCallback = Callable[[int, CacheLine], None]
+
+
+class Cache:
+    """One cache level, addressed by *line address* (byte address // 64).
+
+    Sets are dicts keyed by tag, so lookup is O(1) and victim selection is
+    O(ways).  Eviction of a valid line is reported through an optional
+    callback so the hierarchy can propagate dirty data and account for
+    unused prefetches.
+    """
+
+    def __init__(
+        self,
+        config: CacheConfig,
+        policy: Optional[ReplacementPolicy] = None,
+    ):
+        self.config = config
+        self._num_sets = config.num_sets
+        self._ways = config.ways
+        self._sets: list[Dict[int, CacheLine]] = [dict() for _ in range(self._num_sets)]
+        self._policy = policy if policy is not None else LRUPolicy()
+        self.mshr = MSHRFile(config.mshr_entries)
+
+    # ------------------------------------------------------------------
+    def _index(self, line_addr: int) -> Tuple[int, int]:
+        return line_addr % self._num_sets, line_addr // self._num_sets
+
+    def lookup(self, line_addr: int) -> Optional[CacheLine]:
+        """Return the resident line and promote it in LRU, or None."""
+        num_sets = self._num_sets
+        line = self._sets[line_addr % num_sets].get(line_addr // num_sets)
+        if line is not None:
+            self._policy.touch(line)
+        return line
+
+    def probe(self, line_addr: int) -> Optional[CacheLine]:
+        """Return the resident line without disturbing replacement state."""
+        num_sets = self._num_sets
+        return self._sets[line_addr % num_sets].get(line_addr // num_sets)
+
+    def fill(
+        self,
+        line_addr: int,
+        arrive: int = 0,
+        dirty: bool = False,
+        prefetched: bool = False,
+        pf_window: int = -1,
+        on_evict: Optional[EvictionCallback] = None,
+    ) -> CacheLine:
+        """Insert a line, evicting a victim if the set is full.
+
+        Returns the inserted line. If the line is already resident, its
+        metadata is refreshed instead (an MSHR-merge fill).
+        """
+        set_idx, tag = self._index(line_addr)
+        lines = self._sets[set_idx]
+        line = lines.get(tag)
+        if line is None:
+            if len(lines) >= self._ways:
+                victim_tag = self._policy.victim(lines)
+                victim = lines.pop(victim_tag)
+                if on_evict is not None:
+                    victim_addr = victim_tag * self._num_sets + set_idx
+                    on_evict(victim_addr, victim)
+            line = CacheLine(tag, arrive)
+            lines[tag] = line
+        else:
+            line.arrive = min(line.arrive, arrive)
+        line.dirty = line.dirty or dirty
+        line.prefetched = prefetched
+        line.pf_window = pf_window
+        self._policy.touch(line)
+        return line
+
+    def invalidate(self, line_addr: int) -> Optional[CacheLine]:
+        """Drop a line (no writeback); returns it if it was resident."""
+        set_idx, tag = self._index(line_addr)
+        return self._sets[set_idx].pop(tag, None)
+
+    def clear(self) -> None:
+        """Drop everything."""
+        for lines in self._sets:
+            lines.clear()
+        self.mshr.reset()
+
+    # ------------------------------------------------------------------
+    @property
+    def occupancy(self) -> int:
+        """Entries currently held."""
+        return sum(len(lines) for lines in self._sets)
+
+    def resident_lines(self):
+        """Yield (line_addr, CacheLine) for every resident line."""
+        for set_idx, lines in enumerate(self._sets):
+            for tag, line in lines.items():
+                yield tag * self._num_sets + set_idx, line

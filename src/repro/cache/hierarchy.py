@@ -1,0 +1,321 @@
+"""Three-level cache hierarchy (private L1-D, private L2, shared LLC).
+
+The hierarchy implements the paper's methodology:
+
+* demand loads/stores traverse L1 -> L2 -> LLC -> memory, write-allocate,
+  writeback, mostly-inclusive (fills populate every level; dirty evictions
+  propagate downward);
+* **all prefetchers fill into the private L2** (Section VII-A: "all of the
+  evaluated prefetchers are prefetching data into the private L2");
+* per-line prefetch bits feed usefulness accounting: a demand hit on a
+  prefetched line is a *useful* prefetch; if the fill is still in flight it
+  is additionally *late*; an eviction before any use reports the line to an
+  optional classifier (RnR uses it for the early / out-of-window breakdown
+  of Fig 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, Optional
+
+from repro.cache.cache import Cache
+from repro.cache.line import CacheLine
+from repro.config import LINE_SIZE, SystemConfig
+from repro.mem.controller import MemoryController, RequestKind
+from repro.stats import SimStats
+
+
+class L2Event(Enum):
+    """What a demand access did at the L2 (prefetcher training input)."""
+
+    NONE = "none"  # L1 hit; the L2 never saw the access
+    HIT = "hit"
+    PREFETCH_HIT = "prefetch_hit"  # hit on a not-yet-used prefetched line
+    MISS = "miss"
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one demand access."""
+
+    completion: int
+    latency: int
+    l2_event: L2Event
+    line_addr: int
+
+
+# Classifier for prefetched lines evicted before use: (line_addr, pf_window)
+UnusedPrefetchClassifier = Callable[[int, int], None]
+
+
+class CacheHierarchy:
+    """One core's private L1/L2 plus a (possibly shared) LLC and memory."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        controller: MemoryController,
+        stats: SimStats,
+        llc: Optional[Cache] = None,
+        prefetch_fill_level: str = "l2",
+        dtlb: Optional["Tlb"] = None,
+        page_walk_cycles: int = 50,
+    ):
+        if prefetch_fill_level not in ("l2", "llc"):
+            raise ValueError(
+                f"prefetch_fill_level must be 'l2' or 'llc', got {prefetch_fill_level!r}"
+            )
+        self.config = config
+        self.controller = controller
+        self.stats = stats
+        self.l1 = Cache(config.l1d)
+        self.l2 = Cache(config.l2)
+        self.llc = llc if llc is not None else Cache(config.llc)
+        self.unused_prefetch_classifier: Optional[UnusedPrefetchClassifier] = None
+        self.prefetch_fill_level = prefetch_fill_level
+        # Optional data-side TLB (off by default: the calibrated timing
+        # model folds common-case translation into the L1 latency, as
+        # trace-driven ChampSim configurations typically do).
+        self.dtlb = dtlb
+        self.page_walk_cycles = page_walk_cycles
+        self._l1_latency = config.l1d.latency
+        self._l2_latency = config.l2.latency
+        self._llc_latency = config.llc.latency
+
+    # ------------------------------------------------------------------
+    # Eviction handlers (dirty propagation + prefetch-bit accounting)
+    # ------------------------------------------------------------------
+    def _evict_from_l1(self, line_addr: int, victim: CacheLine) -> None:
+        if not victim.dirty:
+            return
+        resident = self.l2.probe(line_addr)
+        if resident is not None:
+            resident.dirty = True
+        else:
+            self.l2.fill(line_addr, arrive=0, dirty=True, on_evict=self._evict_from_l2)
+
+    def _evict_from_l2(self, line_addr: int, victim: CacheLine) -> None:
+        if victim.prefetched:
+            self.stats.l2.prefetch_evicted_unused += 1
+            if self.unused_prefetch_classifier is not None:
+                self.unused_prefetch_classifier(line_addr, victim.pf_window)
+        if not victim.dirty:
+            return
+        resident = self.llc.probe(line_addr)
+        if resident is not None:
+            resident.dirty = True
+        else:
+            self.llc.fill(line_addr, arrive=0, dirty=True, on_evict=self._evict_from_llc)
+
+    def _evict_from_llc(self, line_addr: int, victim: CacheLine) -> None:
+        if victim.prefetched:
+            self.stats.l2.prefetch_evicted_unused += 1
+            if self.unused_prefetch_classifier is not None:
+                self.unused_prefetch_classifier(line_addr, victim.pf_window)
+        if victim.dirty:
+            self.stats.llc.writebacks += 1
+            self.stats.traffic.writeback_lines += 1
+            self.controller.write(line_addr * LINE_SIZE, 0, RequestKind.WRITEBACK)
+
+    # ------------------------------------------------------------------
+    # Demand path
+    # ------------------------------------------------------------------
+    def load(self, address: int, cycle: int) -> AccessResult:
+        """Emit one load record."""
+        return self._demand(address, cycle, is_store=False)
+
+    def store(self, address: int, cycle: int) -> AccessResult:
+        """Emit one store record."""
+        return self._demand(address, cycle, is_store=True)
+
+    def _demand(self, address: int, cycle: int, is_store: bool) -> AccessResult:
+        line_addr = address // LINE_SIZE
+        stats = self.stats
+
+        if self.dtlb is not None and not self.dtlb.access(address):
+            cycle += self.page_walk_cycles  # page-table walk before access
+
+        # L1 --------------------------------------------------------------
+        stats.l1d.demand_accesses += 1
+        l1_line = self.l1.lookup(line_addr)
+        at_l1 = cycle + self._l1_latency
+        if l1_line is not None:
+            stats.l1d.demand_hits += 1
+            completion = max(at_l1, l1_line.arrive)
+            if is_store:
+                l1_line.dirty = True
+            return AccessResult(completion, completion - cycle, L2Event.NONE, line_addr)
+        stats.l1d.demand_misses += 1
+        l1_issue = self.l1.mshr.acquire(at_l1)
+
+        # L2 --------------------------------------------------------------
+        stats.l2.demand_accesses += 1
+        l2_line = self.l2.lookup(line_addr)
+        at_l2 = l1_issue + self._l2_latency
+        if l2_line is not None:
+            event = L2Event.HIT
+            completion = max(at_l2, l2_line.arrive)
+            if l2_line.prefetched:
+                # First demand touch of a prefetched line.  If the fill is
+                # still in flight the demand merges with it (partial latency
+                # hiding); the prefetch was still issued before the demand,
+                # so it counts as useful/on-time per the paper's definition.
+                stats.prefetch.useful += 1
+                stats.l2.prefetch_hits += 1
+                event = L2Event.PREFETCH_HIT
+                if l2_line.arrive > at_l2:
+                    stats.l2.late_prefetch_hits += 1
+                l2_line.prefetched = False
+                l2_line.pf_window = -1
+            stats.l2.demand_hits += 1
+            self.l1.mshr.register(completion)
+            self.l1.fill(
+                line_addr, arrive=completion, dirty=is_store, on_evict=self._evict_from_l1
+            )
+            return AccessResult(completion, completion - cycle, event, line_addr)
+        stats.l2.demand_misses += 1
+
+        # LLC ---------------------------------------------------------------
+        issue = self.l2.mshr.acquire(at_l2)
+        stats.llc.demand_accesses += 1
+        llc_line = self.llc.lookup(line_addr)
+        at_llc = issue + self._llc_latency
+        if llc_line is not None:
+            stats.llc.demand_hits += 1
+            completion = max(at_llc, llc_line.arrive)
+            if llc_line.prefetched:
+                # LLC-destination prefetching (the Section III ablation):
+                # first demand touch of an LLC-resident prefetched line.
+                stats.prefetch.useful += 1
+                llc_line.prefetched = False
+                llc_line.pf_window = -1
+        else:
+            stats.llc.demand_misses += 1
+            mem_issue = self.llc.mshr.acquire(at_llc)
+            completion = self.controller.read(
+                address, mem_issue, RequestKind.DEMAND
+            )
+            stats.traffic.demand_lines += 1
+            self.llc.mshr.register(completion)
+            self.llc.fill(line_addr, arrive=completion, on_evict=self._evict_from_llc)
+        self.l1.mshr.register(completion)
+        self.l2.mshr.register(completion)
+        self.l2.fill(
+            line_addr, arrive=completion, dirty=False, on_evict=self._evict_from_l2
+        )
+        self.l1.fill(
+            line_addr, arrive=completion, dirty=is_store, on_evict=self._evict_from_l1
+        )
+        return AccessResult(completion, completion - cycle, L2Event.MISS, line_addr)
+
+    # ------------------------------------------------------------------
+    # Prefetch path (fills into private L2, paper Section III)
+    # ------------------------------------------------------------------
+    def prefetch_l2(
+        self,
+        line_addr: int,
+        cycle: int,
+        pf_window: int = -1,
+        kind: RequestKind = RequestKind.PREFETCH,
+    ) -> bool:
+        """Issue one prefetch for ``line_addr`` into the configured fill
+        level (private L2 by default, Section III; LLC for the ablation).
+
+        Returns True if the prefetch went out (i.e. the line was not already
+        resident in or in flight to the destination).
+        """
+        if self.prefetch_fill_level == "llc":
+            return self._prefetch_llc(line_addr, cycle, pf_window, kind)
+        stats = self.stats
+        resident = self.l2.probe(line_addr)
+        if resident is not None:
+            if resident.arrive > cycle and not resident.prefetched:
+                # A demand miss to this line is already outstanding: the
+                # prefetch was issued *later than the access arrived at
+                # the L2* — the paper's "late prefetch" category.
+                stats.prefetch.issued += 1
+                stats.prefetch.late += 1
+            else:
+                stats.prefetch.dropped += 1
+            return False
+        stats.prefetch.issued += 1
+        llc_line = self.llc.lookup(line_addr)
+        at_llc = cycle + self._llc_latency
+        if llc_line is not None:
+            completion = max(at_llc, llc_line.arrive)
+        else:
+            mem_issue = self.llc.mshr.acquire(at_llc)
+            completion = self.controller.read(line_addr * LINE_SIZE, mem_issue, kind)
+            stats.traffic.prefetch_lines += 1
+            self.llc.mshr.register(completion)
+            self.llc.fill(line_addr, arrive=completion, on_evict=self._evict_from_llc)
+        self.l2.fill(
+            line_addr,
+            arrive=completion,
+            prefetched=True,
+            pf_window=pf_window,
+            on_evict=self._evict_from_l2,
+        )
+        self.stats.l2.prefetch_fills += 1
+        return True
+
+    def _prefetch_llc(
+        self, line_addr: int, cycle: int, pf_window: int, kind: RequestKind
+    ) -> bool:
+        """Ablation fill destination: prefetch into the shared LLC only.
+
+        Demand still misses the L2 but hits the (warmed) LLC — the paper's
+        Section III alternative, rejected there because the extra 42-cycle
+        hop squanders most of the latency hiding."""
+        stats = self.stats
+        if self.l2.probe(line_addr) is not None:
+            stats.prefetch.dropped += 1
+            return False
+        resident = self.llc.probe(line_addr)
+        if resident is not None:
+            if resident.arrive > cycle and not resident.prefetched:
+                stats.prefetch.issued += 1
+                stats.prefetch.late += 1
+            else:
+                stats.prefetch.dropped += 1
+            return False
+        stats.prefetch.issued += 1
+        at_llc = cycle + self._llc_latency
+        mem_issue = self.llc.mshr.acquire(at_llc)
+        completion = self.controller.read(line_addr * LINE_SIZE, mem_issue, kind)
+        stats.traffic.prefetch_lines += 1
+        self.llc.mshr.register(completion)
+        self.llc.fill(
+            line_addr,
+            arrive=completion,
+            prefetched=True,
+            pf_window=pf_window,
+            on_evict=self._evict_from_llc,
+        )
+        return True
+
+    # ------------------------------------------------------------------
+    def metadata_read(self, address: int, cycle: int) -> int:
+        """Stream in one line of prefetcher metadata (bypasses the caches,
+        Section VII-A.7: 'the metadata are not stored in cache')."""
+        completion = self.controller.read(address, cycle, RequestKind.METADATA_READ)
+        self.stats.traffic.metadata_read_lines += 1
+        return completion
+
+    def metadata_write(self, address: int, cycle: int) -> None:
+        """Stream out one line of prefetcher metadata (posted write)."""
+        self.controller.write(address, cycle, RequestKind.METADATA_WRITE)
+        self.stats.traffic.metadata_write_lines += 1
+
+    def drain(self, cycle: int) -> None:
+        """End-of-run cleanup: flush posted writes, count resident unused
+        prefetches as never-used."""
+        self.controller.flush_writes(cycle)
+        for cache in (self.l2, self.llc):
+            for line_addr, line in cache.resident_lines():
+                if line.prefetched:
+                    self.stats.l2.prefetch_evicted_unused += 1
+                    if self.unused_prefetch_classifier is not None:
+                        self.unused_prefetch_classifier(line_addr, line.pf_window)

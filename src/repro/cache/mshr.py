@@ -1,0 +1,54 @@
+"""Miss-status holding registers.
+
+A bounded set of outstanding misses.  In the trace-driven engine an MSHR
+file is a heap of completion times: a new miss whose level has all MSHRs
+busy must wait for the earliest outstanding fill to retire before it can
+even be issued (this throttles memory-level parallelism exactly the way a
+real MSHR file does).
+"""
+
+from __future__ import annotations
+
+import heapq
+
+
+class MSHRFile:
+    """Bounded outstanding-miss tracker for one cache level."""
+
+    def __init__(self, entries: int):
+        if entries < 1:
+            raise ValueError(f"MSHR file needs >= 1 entry, got {entries}")
+        self._entries = entries
+        self._completions: list[int] = []
+        self.stalls = 0
+
+    @property
+    def entries(self) -> int:
+        """Current register-file contents."""
+        return self._entries
+
+    @property
+    def occupancy(self) -> int:
+        """Entries currently held."""
+        return len(self._completions)
+
+    def acquire(self, cycle: int) -> int:
+        """Admit a new miss at ``cycle``; returns the (possibly delayed)
+        cycle at which the miss can actually issue."""
+        heap = self._completions
+        while heap and heap[0] <= cycle:
+            heapq.heappop(heap)
+        if len(heap) >= self._entries:
+            delayed = heapq.heappop(heap)
+            self.stalls += 1
+            return max(cycle, delayed)
+        return cycle
+
+    def register(self, completion: int) -> None:
+        """Record the fill time of an admitted miss."""
+        heapq.heappush(self._completions, completion)
+
+    def reset(self) -> None:
+        """Clear all state."""
+        self._completions.clear()
+        self.stalls = 0

@@ -1,0 +1,60 @@
+"""Replacement policies.
+
+The paper's ChampSim baseline uses LRU everywhere; a random policy is kept
+for ablations and as the simplest correct reference in tests.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Protocol
+
+from repro.cache.line import CacheLine
+
+
+class ReplacementPolicy(Protocol):
+    """Chooses a victim tag from a full set."""
+
+    def touch(self, line: CacheLine) -> None:
+        """Note a use of ``line`` (hit or fill)."""
+
+    def victim(self, lines: Dict[int, CacheLine]) -> int:
+        """Return the tag of the line to evict from a full set."""
+
+
+class LRUPolicy:
+    """Least-recently-used via a global monotone tick."""
+
+    def __init__(self) -> None:
+        self._tick = 0
+
+    def touch(self, line: CacheLine) -> None:
+        """Note a use of the line."""
+        self._tick += 1
+        line.lru = self._tick
+
+    def victim(self, lines: Dict[int, CacheLine]) -> int:
+        # Hot path: a manual scan beats min(key=...) for <=16 ways.
+        """Pick the eviction victim's tag."""
+        best_tag = -1
+        best_lru = None
+        for tag, line in lines.items():
+            if best_lru is None or line.lru < best_lru:
+                best_lru = line.lru
+                best_tag = tag
+        return best_tag
+
+
+class RandomPolicy:
+    """Uniform-random victim selection (seeded, for determinism)."""
+
+    def __init__(self, seed: int = 0):
+        self._rng = random.Random(seed)
+
+    def touch(self, line: CacheLine) -> None:
+        """Note a use of the line."""
+        pass
+
+    def victim(self, lines: Dict[int, CacheLine]) -> int:
+        """Pick the eviction victim's tag."""
+        return self._rng.choice(list(lines))

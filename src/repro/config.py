@@ -1,0 +1,211 @@
+"""Baseline system configuration (paper Table II) and scaling helpers.
+
+The paper models an Intel i7-6700-like 4-core system in ChampSim:
+
+==========  ==============================================================
+Processors  4 cores, 4 GHz, 4-wide OoO, 256-entry ROB, 64-entry LSQ
+L1-D/I      private, 64 KB, 8-way, 8-entry MSHR, 4-cycle latency
+L2          private, 256 KB, 8-way, 16-entry MSHR, 12-cycle latency
+LLC         shared, 8 MB, 16-way, 128-entry MSHR, 42-cycle latency
+Controller  FCFS, read queue 64, write queue 32, drain hi/lo = 75 %/25 %
+Memory      DDR4-2400, 1 channel, 1 rank, 16 banks, tCL=tRCD=tRP=17
+==========  ==============================================================
+
+Python cannot simulate 500M-instruction traces, so experiments run on
+*scaled* systems: :func:`SystemConfig.scaled` shrinks every capacity
+(cache sizes, queue sizes) by a factor while keeping latencies,
+associativities, and timing ratios intact.  Workload inputs are shrunk by
+the same factor so the working-set : LLC ratio matches the paper's regime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+LINE_SIZE = 64
+"""Cache line size in bytes (fixed, as in ChampSim)."""
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Out-of-order core parameters (trace-driven approximation)."""
+
+    freq_ghz: float = 4.0
+    width: int = 4
+    rob_entries: int = 256
+    lsq_entries: int = 64
+    issue_queue: int = 16
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """One cache level."""
+
+    name: str
+    size_bytes: int
+    ways: int
+    mshr_entries: int
+    latency: int  # access latency in core cycles
+    line_size: int = LINE_SIZE
+
+    @property
+    def num_sets(self) -> int:
+        """Number of cache sets."""
+        return max(1, self.size_bytes // (self.ways * self.line_size))
+
+    @property
+    def num_lines(self) -> int:
+        """Total line capacity."""
+        return self.size_bytes // self.line_size
+
+    def scaled(self, factor: int) -> "CacheConfig":
+        """Shrink capacity by ``factor``, keeping ways/latency fixed."""
+        size = max(self.ways * self.line_size, self.size_bytes // factor)
+        mshr = max(4, self.mshr_entries)
+        return replace(self, size_bytes=size, mshr_entries=mshr)
+
+
+@dataclass(frozen=True)
+class DramTimingConfig:
+    """DDR4 timing (in memory-bus cycles, from Micron MT40A2G4-2400)."""
+
+    freq_mhz: int = 1200  # bus clock; DDR4-2400 data rate
+    tCL: int = 17
+    tRCD: int = 17
+    tRP: int = 17
+    tBURST: int = 4  # BL8 on a DDR bus
+    tRTW: int = 8  # read-to-write bus turnaround
+    tWTR: int = 12  # write-to-read bus turnaround
+    row_bytes: int = 8192
+
+    def core_cycles(self, mem_cycles: float, core_freq_ghz: float) -> int:
+        """Convert memory-bus cycles to core cycles."""
+        return int(round(mem_cycles * (core_freq_ghz * 1000.0) / self.freq_mhz))
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """Memory controller + DRAM organisation."""
+
+    channels: int = 1
+    ranks: int = 1
+    banks: int = 16
+    read_queue: int = 64
+    write_queue: int = 32
+    drain_high: float = 0.75
+    drain_low: float = 0.25
+    size_bytes: int = 4 << 30
+    timing: DramTimingConfig = DramTimingConfig()
+
+    def scaled(self, factor: int) -> "MemoryConfig":
+        rq = max(8, self.read_queue)
+        wq = max(4, self.write_queue)
+        return replace(self, read_queue=rq, write_queue=wq)
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Full Table II system."""
+
+    cores: int = 4
+    core: CoreConfig = CoreConfig()
+    l1d: CacheConfig = CacheConfig("L1D", 64 << 10, 8, 8, 4)
+    l2: CacheConfig = CacheConfig("L2", 256 << 10, 8, 16, 12)
+    llc: CacheConfig = CacheConfig("LLC", 8 << 20, 16, 128, 42)
+    memory: MemoryConfig = MemoryConfig()
+
+    @classmethod
+    def baseline(cls) -> "SystemConfig":
+        """The unscaled Table II configuration."""
+        return cls()
+
+    @classmethod
+    def scaled(cls, factor: int = 64, cores: int = 1) -> "SystemConfig":
+        """A laptop-scale system: capacities / ``factor``, same ratios.
+
+        The default factor of 64 turns 64 KB/256 KB/8 MB caches into
+        1 KB/4 KB/128 KB so that graphs of a few thousand vertices exercise
+        the same miss regimes as millions of vertices did on the paper's
+        full-size hierarchy.
+        """
+        if factor < 1:
+            raise ValueError(f"scale factor must be >= 1, got {factor}")
+        base = cls()
+        return cls(
+            cores=cores,
+            core=base.core,
+            l1d=base.l1d.scaled(factor),
+            l2=base.l2.scaled(factor),
+            llc=base.llc.scaled(factor),
+            memory=base.memory.scaled(factor),
+        )
+
+    @classmethod
+    def experiment(cls, cores: int = 1) -> "SystemConfig":
+        """The preset the benchmark harness uses.
+
+        Capacities are scaled non-uniformly: DRAM latency does not scale
+        down with the caches, so the L2 (which bounds how far ahead RnR may
+        run) is kept larger relative to the L1/LLC than a uniform shrink
+        would give — L1 2 KB, L2 8 KB (128 lines), LLC 64 KB.  Workload
+        inputs in :mod:`repro.graphs.datasets` / :mod:`repro.sparse.datasets`
+        are sized so their working sets exceed this LLC by the same margin
+        the paper's inputs exceeded 8 MB.
+        """
+        base = cls()
+        return cls(
+            cores=cores,
+            core=base.core,
+            l1d=CacheConfig("L1D", 2 << 10, 8, 8, 4),
+            l2=CacheConfig("L2", 16 << 10, 8, 16, 12),
+            llc=CacheConfig("LLC", 64 << 10, 16, 32, 42),
+            memory=base.memory.scaled(64),
+        )
+
+    @classmethod
+    def tiny(cls, cores: int = 1) -> "SystemConfig":
+        """A very small system for fast unit tests."""
+        base = cls()
+        return cls(
+            cores=cores,
+            core=base.core,
+            l1d=CacheConfig("L1D", 512, 8, 4, 4),
+            l2=CacheConfig("L2", 2 << 10, 8, 8, 12),
+            llc=CacheConfig("LLC", 8 << 10, 16, 16, 42),
+            memory=base.memory.scaled(64),
+        )
+
+    def describe(self) -> str:
+        """Render the configuration as a Table II-style text block."""
+        mem = self.memory
+        timing = mem.timing
+        rows = [
+            ("Processors",
+             f"{self.cores} cores, {self.core.freq_ghz:g} GHz, "
+             f"{self.core.width}-wide OoO, {self.core.rob_entries}-entry ROB, "
+             f"{self.core.lsq_entries}-entry LSQ"),
+            ("L1-D",
+             f"private, {self.l1d.size_bytes // 1024} KB, {self.l1d.ways}-way, "
+             f"{self.l1d.mshr_entries}-entry MSHR, delay = {self.l1d.latency} cycles"),
+            ("L2",
+             f"private, {self.l2.size_bytes // 1024} KB, {self.l2.ways}-way, "
+             f"{self.l2.mshr_entries}-entry MSHR, delay = {self.l2.latency} cycles"),
+            ("LLC",
+             f"shared, {self.llc.size_bytes // 1024} KB, {self.llc.ways}-way, "
+             f"{self.llc.mshr_entries}-entry MSHR, delay = {self.llc.latency} cycles"),
+            ("Controller",
+             f"FCFS, read queue = {mem.read_queue}, write queue = {mem.write_queue}, "
+             f"drain high/low = {mem.drain_high:.0%}/{mem.drain_low:.0%}"),
+            ("Memory",
+             f"{mem.channels} channel, {mem.ranks} rank, {mem.banks} banks, "
+             f"DDR @ {2 * timing.freq_mhz} MT/s, "
+             f"tCL = tRCD = tRP = {timing.tCL} cycles"),
+        ]
+        width = max(len(name) for name, _ in rows)
+        return "\n".join(f"{name.ljust(width)}  {value}" for name, value in rows)
+
+    @property
+    def memory_latency_core_cycles(self) -> int:
+        """Idle-system row-hit DRAM latency seen from the LLC, in core cycles."""
+        t = self.memory.timing
+        return t.core_cycles(t.tCL + t.tBURST, self.core.freq_ghz)

@@ -1,0 +1,6 @@
+"""Trace-driven out-of-order core timing model (4-wide, ROB/LSQ-bounded
+miss overlap), standing in for ChampSim's pipeline model."""
+
+from repro.cpu.core import Core
+
+__all__ = ["Core"]

@@ -1,0 +1,106 @@
+"""Out-of-order core approximation.
+
+The model captures the three effects that matter for prefetcher studies:
+
+* non-memory instructions retire at ``width`` per cycle;
+* loads overlap (memory-level parallelism) until either the ROB fills
+  (in-order retirement cannot run more than ``rob_entries`` instructions
+  past the oldest incomplete load) or the LSQ fills;
+* a long-latency miss eventually stalls retirement, so reducing misses
+  (what prefetching does) directly raises IPC.
+
+The MSHR files in the cache hierarchy bound how many of those overlapped
+loads can actually be outstanding misses, which is what bounds achievable
+MLP in ChampSim too.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Tuple
+
+from repro.config import CoreConfig
+
+
+class Core:
+    """Cycle accounting for one hardware thread."""
+
+    def __init__(self, config: CoreConfig):
+        self.config = config
+        self.cycle = 0
+        self.instructions = 0
+        self._width = config.width
+        self._rob = config.rob_entries
+        self._lsq = config.lsq_entries
+        # (instruction number, completion cycle) of incomplete loads.
+        self._pending: Deque[Tuple[int, int]] = deque()
+        self._gap_remainder = 0
+
+    # ------------------------------------------------------------------
+    def advance(self, gap_instructions: int) -> None:
+        """Retire ``gap_instructions`` non-memory instructions."""
+        if gap_instructions <= 0:
+            return
+        self.instructions += gap_instructions
+        total = gap_instructions + self._gap_remainder
+        self.cycle += total // self._width
+        self._gap_remainder = total % self._width
+        self._drain_completed()
+
+    def _drain_completed(self) -> None:
+        pending = self._pending
+        cycle = self.cycle
+        while pending and pending[0][1] <= cycle:
+            pending.popleft()
+
+    def _stall_for_structures(self) -> None:
+        """Block until ROB and LSQ have room for one more load."""
+        pending = self._pending
+        while pending:
+            oldest_instr, oldest_done = pending[0]
+            rob_full = self.instructions - oldest_instr >= self._rob
+            lsq_full = len(pending) >= self._lsq
+            if not rob_full and not lsq_full:
+                break
+            if oldest_done > self.cycle:
+                self.cycle = oldest_done
+            pending.popleft()
+
+    # ------------------------------------------------------------------
+    def issue_cycle(self) -> int:
+        """The cycle at which the next memory reference can issue."""
+        self._drain_completed()
+        self._stall_for_structures()
+        return self.cycle
+
+    def retire_load(self, completion: int) -> None:
+        """Account one load instruction completing at ``completion``."""
+        self.instructions += 1
+        self._bump_retire_slot()
+        if completion > self.cycle:
+            self._pending.append((self.instructions, completion))
+
+    def retire_store(self, completion: int) -> None:
+        """Stores commit without blocking retirement (posted via the
+        store buffer), but still consume a retire slot."""
+        self.instructions += 1
+        self._bump_retire_slot()
+
+    def _bump_retire_slot(self) -> None:
+        total = 1 + self._gap_remainder
+        self.cycle += total // self._width
+        self._gap_remainder = total % self._width
+
+    def finish(self) -> int:
+        """Drain all outstanding loads; returns the final cycle."""
+        if self._pending:
+            last = max(done for _, done in self._pending)
+            if last > self.cycle:
+                self.cycle = last
+            self._pending.clear()
+        return self.cycle
+
+    @property
+    def outstanding_loads(self) -> int:
+        """Loads issued but not yet completed."""
+        return len(self._pending)

@@ -1,0 +1,14 @@
+"""Experiment harness: one module per paper table/figure, all sharing one
+cached run matrix so a full reproduction sweep simulates each (application,
+input, prefetcher) cell exactly once."""
+
+from repro.experiments.runner import ExperimentRunner, GRAPH_APPS, MATRIX_APPS
+from repro.experiments.tables import format_table, format_percent
+
+__all__ = [
+    "ExperimentRunner",
+    "GRAPH_APPS",
+    "MATRIX_APPS",
+    "format_percent",
+    "format_table",
+]

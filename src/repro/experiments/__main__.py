@@ -1,0 +1,84 @@
+"""Command-line reproduction driver.
+
+Usage::
+
+    python -m repro.experiments                # every figure, bench scale
+    python -m repro.experiments fig06 fig09    # selected figures
+    python -m repro.experiments --scale test   # fast smoke pass
+
+Figure names: fig01, fig06 ... fig14, record, hw.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    fig01_scatter,
+    fig06_speedup,
+    fig07_mpki,
+    fig08_coverage,
+    fig09_accuracy,
+    fig10_timing_control,
+    fig11_timeliness,
+    fig12_traffic,
+    fig13_storage,
+    fig14_window_sweep,
+    hw_overhead,
+    record_overhead,
+)
+from repro.experiments.runner import ExperimentRunner
+
+FIGURES = {
+    "fig01": fig01_scatter,
+    "fig06": fig06_speedup,
+    "fig07": fig07_mpki,
+    "fig08": fig08_coverage,
+    "fig09": fig09_accuracy,
+    "fig10": fig10_timing_control,
+    "fig11": fig11_timeliness,
+    "fig12": fig12_traffic,
+    "fig13": fig13_storage,
+    "fig14": fig14_window_sweep,
+    "record": record_overhead,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's evaluation figures.",
+    )
+    parser.add_argument(
+        "figures",
+        nargs="*",
+        metavar="FIG",
+        help=f"figures to run (default: all). Known: {', '.join(FIGURES)}, hw",
+    )
+    parser.add_argument("--scale", default="bench", choices=("bench", "test"))
+    parser.add_argument("--window", type=int, default=16, help="RnR window size")
+    args = parser.parse_args(argv)
+
+    names = args.figures or list(FIGURES) + ["hw"]
+    unknown = [n for n in names if n not in FIGURES and n != "hw"]
+    if unknown:
+        parser.error(f"unknown figures: {', '.join(unknown)}")
+
+    runner = ExperimentRunner(scale=args.scale, window_size=args.window)
+    start = time.time()
+    for name in names:
+        began = time.time()
+        if name == "hw":
+            print(hw_overhead.report())
+        else:
+            print(FIGURES[name].report(runner))
+        print(f"[{name}: {time.time() - began:.0f}s]")
+        print()
+    print(f"total: {time.time() - start:.0f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,166 @@
+"""Design-choice ablations beyond the paper's own figures.
+
+These quantify the arguments the paper makes qualitatively:
+
+* ``misb_metadata_sweep`` — Section VIII: MISB's effectiveness hinges on
+  its on-chip metadata cache (49 KB in the paper); shrinking it drops
+  predictions on the floor.
+* ``droplet_latency_sweep`` — Section VII-A.1: DROPLET's dependent vertex
+  prefetch is gated by edge-data arrival + address-generation latency;
+  growing that latency starves timeliness on low-locality graphs.
+* ``fill_level_sweep`` — Section III's "where to put the prefetched
+  data" choice: RnR picks the private L2 (citing DROPLET's cache-pollution
+  observation); this ablation measures the rejected LLC alternative.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.tables import format_table
+from repro.prefetchers.droplet import DropletPrefetcher
+from repro.prefetchers.misb import MISBPrefetcher
+from repro.sim import metrics
+from repro.sim.engine import SimulationEngine
+
+MISB_CACHE_LINES = (16, 64, 256, 1024)
+DROPLET_LATENCIES = (0, 24, 96, 384)
+
+
+def misb_metadata_sweep(
+    runner: ExperimentRunner, app: str = "pagerank", input_name: str = "urand"
+) -> Dict[int, Tuple[float, float]]:
+    """{metadata cache lines: (accuracy, extra metadata traffic ratio)}."""
+    base = runner.baseline(app, input_name)
+    trace = runner.trace(app, input_name, rnr=False)
+    out = {}
+    for lines in MISB_CACHE_LINES:
+        prefetcher = MISBPrefetcher(metadata_cache_lines=lines)
+        stats = SimulationEngine(runner.config, prefetcher).run(trace)
+        meta_ratio = stats.traffic.metadata_read_lines / max(
+            1, base.stats.traffic.demand_lines
+        )
+        out[lines] = (metrics.accuracy(stats), meta_ratio)
+    return out
+
+
+def droplet_latency_sweep(
+    runner: ExperimentRunner, app: str = "pagerank", input_name: str = "urand"
+) -> Dict[int, Tuple[float, float]]:
+    """{generation latency: (coverage, speedup)} — the 'too late' effect."""
+    base = runner.baseline(app, input_name)
+    trace = runner.trace(app, input_name, rnr=False)
+    workload = runner.workload(app, input_name)
+    out = {}
+    for latency in DROPLET_LATENCIES:
+        prefetcher = DropletPrefetcher(
+            resolver=workload.edge_line_values, generation_latency=latency
+        )
+        stats = SimulationEngine(runner.config, prefetcher).run(trace)
+        out[latency] = (
+            metrics.coverage(base.stats, stats),
+            metrics.speedup(base.stats, stats),
+        )
+    return out
+
+
+def fill_level_sweep(
+    runner: ExperimentRunner, app: str = "pagerank", input_name: str = "urand"
+) -> Dict[str, Tuple[float, float]]:
+    """{fill level: (amortized speedup, accuracy)} for the RnR prefetcher."""
+    from repro.prefetchers import make_prefetcher
+
+    base = runner.baseline(app, input_name)
+    trace = runner.trace(app, input_name, rnr=True)
+    out = {}
+    for level in ("l2", "llc"):
+        stats = SimulationEngine(
+            runner.config, make_prefetcher("rnr"), prefetch_fill_level=level
+        ).run(trace)
+        out[level] = (
+            metrics.amortized_speedup(base.stats, stats),
+            metrics.accuracy(stats),
+        )
+    return out
+
+
+CHANNEL_COUNTS = (1, 2, 4)
+
+
+def bandwidth_sweep(
+    runner: ExperimentRunner, app: str = "pagerank", input_name: str = "urand"
+) -> Dict[int, Tuple[float, float]]:
+    """{channels: (baseline IPC, RnR-Combined amortized speedup)}.
+
+    Table II has one DDR4 channel; DRAM bandwidth does not shrink with
+    the scaled caches, so replay becomes bandwidth-bound at our scale
+    (EXPERIMENTS.md reading guide).  Adding channels relieves the bus and
+    recovers speedup toward the paper's magnitudes — evidence that the
+    compression is a scaling artefact, not a modelling error.
+    """
+    import dataclasses
+
+    from repro.config import SystemConfig
+    from repro.prefetchers import make_prefetcher
+
+    base_trace = runner.trace(app, input_name, rnr=False)
+    rnr_trace = runner.trace(app, input_name, rnr=True)
+    out = {}
+    for channels in CHANNEL_COUNTS:
+        config = dataclasses.replace(
+            runner.config,
+            memory=dataclasses.replace(runner.config.memory, channels=channels),
+        )
+        baseline = SimulationEngine(config).run(base_trace)
+        combined = SimulationEngine(config, make_prefetcher("rnr-combined")).run(
+            rnr_trace
+        )
+        out[channels] = (
+            baseline.ipc,
+            metrics.amortized_speedup(baseline, combined),
+        )
+    return out
+
+
+def report(runner: ExperimentRunner) -> str:
+    misb = misb_metadata_sweep(runner)
+    droplet = droplet_latency_sweep(runner)
+    misb_table = format_table(
+        ("metadata cache (lines)", "accuracy %", "metadata traffic %"),
+        [
+            (lines, 100 * acc, 100 * traffic)
+            for lines, (acc, traffic) in misb.items()
+        ],
+        title="Ablation — MISB on-chip metadata cache (pagerank/urand)",
+    )
+    droplet_table = format_table(
+        ("generation latency (cycles)", "coverage %", "speedup"),
+        [
+            (latency, 100 * cov, speedup)
+            for latency, (cov, speedup) in droplet.items()
+        ],
+        title="Ablation — DROPLET address-generation latency (pagerank/urand)",
+    )
+    fill = fill_level_sweep(runner)
+    fill_table = format_table(
+        ("prefetch fill level", "speedup", "accuracy %"),
+        [
+            (level, speedup, 100 * acc)
+            for level, (speedup, acc) in fill.items()
+        ],
+        title="Ablation — Section III fill destination (pagerank/urand)",
+    )
+    bandwidth = bandwidth_sweep(runner)
+    bandwidth_table = format_table(
+        ("DDR4 channels", "baseline IPC", "rnr-combined speedup"),
+        [
+            (channels, ipc, speedup)
+            for channels, (ipc, speedup) in bandwidth.items()
+        ],
+        title=(
+            "Ablation — memory bandwidth (pagerank/urand): speedup "
+            "compression is bus-bound at the scaled cache sizes"
+        ),
+    )
+    return "\n\n".join((misb_table, droplet_table, fill_table, bandwidth_table))

@@ -1,0 +1,49 @@
+"""Fig 1: prefetcher coverage vs accuracy for PageRank on the amazon graph.
+
+The paper's motivating scatter plot: Next-line, Bingo, SteMS, MISB and
+DROPLET land at low/mid coverage and accuracy; RnR sits in the top-right
+corner (>95 % both).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.tables import format_table
+from repro.sim import metrics
+
+APP = "pagerank"
+INPUT = "amazon"
+PREFETCHERS = ("nextline", "bingo", "stems", "misb", "droplet", "rnr")
+
+
+def compute(runner: ExperimentRunner) -> Dict[str, Tuple[float, float]]:
+    """Returns {prefetcher: (coverage, accuracy)}."""
+    base = runner.baseline(APP, INPUT)
+    points = {}
+    for name in PREFETCHERS:
+        cell = runner.run(APP, INPUT, name)
+        points[name] = (
+            metrics.coverage(base.stats, cell.stats),
+            metrics.accuracy(cell.stats),
+        )
+    return points
+
+
+def report(runner: ExperimentRunner) -> str:
+    from repro.experiments.charts import scatter_plot
+
+    points = compute(runner)
+    rows = [
+        (name, 100.0 * cov, 100.0 * acc) for name, (cov, acc) in points.items()
+    ]
+    table = format_table(
+        ("prefetcher", "coverage %", "accuracy %"),
+        rows,
+        title=f"Fig 1 — miss coverage vs prefetching accuracy ({APP} / {INPUT})",
+    )
+    plot = scatter_plot(
+        points, x_label="coverage", y_label="accuracy", size=24
+    )
+    return table + "\n\n" + plot

@@ -1,0 +1,67 @@
+"""Fig 6: speedup over the no-prefetcher baseline.
+
+One row per (application, input), one column per prefetcher plus the
+infinite-LLC ideal; GEOMEAN rows per application, as in the paper.  The
+number reported is the paper's 100-iteration amortized speedup: RnR's
+record iteration (and the hardware prefetchers' training iteration) is
+charged once, steady-state iterations 99 times.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.experiments.runner import (
+    APPS,
+    ExperimentRunner,
+    inputs_for,
+    prefetchers_for,
+)
+from repro.experiments.tables import format_table, geomean
+from repro.sim import metrics
+
+COLUMNS = ("nextline", "bingo", "stems", "misb", "droplet", "rnr", "rnr-combined", "ideal")
+
+
+def compute(runner: ExperimentRunner) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """{app: {input: {prefetcher: speedup}}}."""
+    out: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for app in APPS:
+        out[app] = {}
+        names = prefetchers_for(app) + ("ideal",)
+        for input_name in inputs_for(app):
+            base = runner.baseline(app, input_name)
+            row = {}
+            for name in names:
+                cell = runner.run(app, input_name, name)
+                if name == "ideal":
+                    row[name] = metrics.speedup(base.stats, cell.stats)
+                else:
+                    row[name] = metrics.amortized_speedup(base.stats, cell.stats)
+            out[app][input_name] = row
+    return out
+
+
+def report(runner: ExperimentRunner) -> str:
+    data = compute(runner)
+    rows: List[list] = []
+    for app, per_input in data.items():
+        for input_name, row in per_input.items():
+            rows.append(
+                [f"{app}/{input_name}"]
+                + [row.get(c, float("nan")) if c in row else "-" for c in COLUMNS]
+            )
+        rows.append(
+            [f"{app}/GEOMEAN"]
+            + [
+                geomean([r[c] for r in per_input.values() if c in r])
+                if any(c in r for r in per_input.values())
+                else "-"
+                for c in COLUMNS
+            ]
+        )
+    return format_table(
+        ("workload",) + COLUMNS,
+        rows,
+        title="Fig 6 — speedup over no-prefetcher baseline (100-iteration amortized)",
+    )

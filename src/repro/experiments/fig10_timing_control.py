@@ -1,0 +1,52 @@
+"""Fig 10: effectiveness of replay timing control.
+
+Replay speedup of the RnR prefetcher under the three control modes:
+no control (one prefetch per demand structure access), window control,
+and window + pace control.  The paper shows "no control" giving no
+improvement and window control recovering most of the benefit (2.31x),
+with pace control adding traffic smoothing on top.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.tables import format_table
+from repro.rnr.replayer import ControlMode
+from repro.sim import metrics
+
+#: Representative cells (one per application, plus the hardest input).
+CELLS: Tuple[Tuple[str, str], ...] = (
+    ("pagerank", "urand"),
+    ("pagerank", "amazon"),
+    ("hyperanf", "urand"),
+    ("spcg", "bbmat"),
+)
+
+MODES = (ControlMode.NONE, ControlMode.WINDOW, ControlMode.WINDOW_PACE)
+
+
+def compute(runner: ExperimentRunner) -> Dict[Tuple[str, str], Dict[str, float]]:
+    out = {}
+    for app, input_name in CELLS:
+        base = runner.baseline(app, input_name)
+        row = {}
+        for mode in MODES:
+            cell = runner.run(app, input_name, "rnr", mode=mode)
+            row[mode.value] = metrics.amortized_speedup(base.stats, cell.stats)
+        out[(app, input_name)] = row
+    return out
+
+
+def report(runner: ExperimentRunner) -> str:
+    data = compute(runner)
+    rows = [
+        [f"{app}/{inp}"] + [row[m.value] for m in MODES]
+        for (app, inp), row in data.items()
+    ]
+    return format_table(
+        ("workload",) + tuple(m.value for m in MODES),
+        rows,
+        title="Fig 10 — replay timing control (speedup over baseline)",
+    )

@@ -1,0 +1,75 @@
+"""Fig 12: additional off-chip traffic.
+
+Extra lines moved over the memory bus (wasted prefetches + metadata)
+relative to the baseline's demand traffic.  Paper averages: Next-line
+45.2 %, Bingo 67.1 %, SteMS 58.4 %, MISB 19.7 %, DROPLET 12.2 %,
+RnR 12.0 %, RnR-Combined 27.6 % — RnR's extra traffic being almost
+entirely streamed metadata.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.experiments.runner import (
+    APPS,
+    ExperimentRunner,
+    inputs_for,
+    prefetchers_for,
+)
+from repro.experiments.tables import format_table
+from repro.sim import metrics
+
+PAPER_AVERAGES = {
+    "nextline": 0.452,
+    "bingo": 0.671,
+    "stems": 0.584,
+    "misb": 0.197,
+    "droplet": 0.122,
+    "rnr": 0.120,
+    "rnr-combined": 0.276,
+}
+
+
+def compute(runner: ExperimentRunner) -> Dict[str, Dict[str, Dict[str, float]]]:
+    out: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for app in APPS:
+        out[app] = {}
+        for input_name in inputs_for(app):
+            base = runner.baseline(app, input_name)
+            row = {}
+            for name in prefetchers_for(app):
+                cell = runner.run(app, input_name, name)
+                row[name] = metrics.additional_traffic_ratio(base.stats, cell.stats)
+            out[app][input_name] = row
+    return out
+
+
+def averages(runner: ExperimentRunner) -> Dict[str, float]:
+    data = compute(runner)
+    sums: Dict[str, list] = {}
+    for per_input in data.values():
+        for row in per_input.values():
+            for name, value in row.items():
+                sums.setdefault(name, []).append(value)
+    return {name: sum(vals) / len(vals) for name, vals in sums.items()}
+
+
+def report(runner: ExperimentRunner) -> str:
+    data = compute(runner)
+    rows = []
+    columns = tuple(PAPER_AVERAGES)
+    for app, per_input in data.items():
+        for input_name, row in per_input.items():
+            rows.append(
+                [f"{app}/{input_name}"]
+                + [100.0 * row[c] if c in row else "-" for c in columns]
+            )
+    avg = averages(runner)
+    rows.append(["AVERAGE"] + [100.0 * avg.get(c, 0.0) for c in columns])
+    rows.append(["paper avg"] + [100.0 * PAPER_AVERAGES[c] for c in columns])
+    return format_table(
+        ("workload",) + tuple(f"{c} %" for c in columns),
+        rows,
+        title="Fig 12 — additional off-chip traffic (% of baseline demand traffic)",
+    )

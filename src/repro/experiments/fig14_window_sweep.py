@@ -1,0 +1,56 @@
+"""Fig 14: average speedup and storage overhead vs window size.
+
+The paper sweeps the window from 16 to 4096 cache lines against a 4096-line
+L2 and finds a plateau between 64 and 2048, degradation below 64, and the
+hard ceiling at half the L2.  Our L2 is 256 lines, so the sweep spans the
+same *ratios*: 4 ... 128 lines (window = half L2 at the top).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.tables import format_table
+from repro.sim import metrics
+from repro.sim.metrics import storage_overhead
+
+#: Window sizes in cache lines (top = half of the scaled 256-line L2).
+WINDOW_SIZES = (4, 8, 16, 32, 64, 128)
+
+#: Cells averaged in the figure (one graph app + spCG, as a sweep over the
+#: full grid would dominate benchmark time without changing the shape).
+CELLS: Tuple[Tuple[str, str], ...] = (("pagerank", "urand"), ("spcg", "bbmat"))
+
+
+def compute(runner: ExperimentRunner) -> Dict[int, Tuple[float, float]]:
+    """{window: (avg amortized speedup, avg storage overhead)}."""
+    out = {}
+    for window in WINDOW_SIZES:
+        speedups = []
+        storages = []
+        for app, input_name in CELLS:
+            base = runner.baseline(app, input_name)
+            cell = runner.run(app, input_name, "rnr", window_size=window)
+            speedups.append(metrics.amortized_speedup(base.stats, cell.stats))
+            storages.append(
+                storage_overhead(cell.stats.rnr.storage_bytes(), cell.input_bytes)
+            )
+        out[window] = (
+            sum(speedups) / len(speedups),
+            sum(storages) / len(storages),
+        )
+    return out
+
+
+def report(runner: ExperimentRunner) -> str:
+    data = compute(runner)
+    rows = [
+        [window, speedup, 100.0 * storage]
+        for window, (speedup, storage) in data.items()
+    ]
+    return format_table(
+        ("window (lines)", "avg speedup", "storage % of input"),
+        rows,
+        title="Fig 14 — speedup and storage vs window size",
+    )

@@ -1,0 +1,181 @@
+"""Shared run matrix for all experiments.
+
+Every figure in the paper's evaluation draws from the same grid:
+
+* applications x inputs (Table III): PageRank and Hyper-ANF over the four
+  graphs, spCG over the four matrices;
+* prefetcher configurations: no-prefetch baseline, Next-line, Bingo,
+  SteMS, MISB, DROPLET (graph apps only), RnR, RnR-Combined, and the
+  infinite-LLC ideal.
+
+``ExperimentRunner`` memoizes workloads, traces, and simulation results so
+that figures 1 and 6-13 can all be produced from one sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.config import SystemConfig
+from repro.graphs import datasets as graph_datasets
+from repro.prefetchers import make_prefetcher
+from repro.prefetchers.droplet import DropletPrefetcher
+from repro.prefetchers.imp import IMPPrefetcher
+from repro.prefetchers.composite import CompositePrefetcher
+from repro.rnr.replayer import ControlMode
+from repro.sim.engine import SimulationEngine
+from repro.sim.ideal import run_ideal
+from repro.sparse import datasets as matrix_datasets
+from repro.stats import SimStats
+from repro.trace.trace import Trace
+from repro.workloads import HyperAnfWorkload, PageRankWorkload, SpCGWorkload
+from repro.workloads.base import Workload
+
+GRAPH_APPS = ("pagerank", "hyperanf")
+MATRIX_APPS = ("spcg",)
+APPS = GRAPH_APPS + MATRIX_APPS
+
+GRAPH_INPUTS = graph_datasets.GRAPH_NAMES
+MATRIX_INPUTS = matrix_datasets.MATRIX_NAMES
+
+#: Prefetchers compared in Figs 6-9 (DROPLET only applies to graph apps,
+#: exactly as in the paper: "the evaluation results do not include DROPLET
+#: when running spCG").
+COMPARED_PREFETCHERS = ("nextline", "bingo", "stems", "misb", "droplet", "rnr", "rnr-combined")
+
+
+def inputs_for(app: str) -> Tuple[str, ...]:
+    if app in GRAPH_APPS:
+        return GRAPH_INPUTS
+    if app in MATRIX_APPS:
+        return MATRIX_INPUTS
+    raise ValueError(f"unknown application {app!r}; known: {APPS}")
+
+
+def prefetchers_for(app: str) -> Tuple[str, ...]:
+    names = list(COMPARED_PREFETCHERS)
+    if app in MATRIX_APPS:
+        names.remove("droplet")
+    return tuple(names)
+
+
+@dataclass
+class CellResult:
+    """One simulated (app, input, prefetcher) cell."""
+
+    app: str
+    input_name: str
+    prefetcher: str
+    stats: SimStats
+    input_bytes: int
+
+
+class ExperimentRunner:
+    """Builds workloads/traces once and memoizes every simulation."""
+
+    def __init__(
+        self,
+        scale: str = "bench",
+        iterations: int = 3,
+        window_size: int = 16,
+        config: Optional[SystemConfig] = None,
+    ):
+        self.scale = scale
+        self.iterations = iterations
+        self.window_size = window_size
+        self.config = config if config is not None else SystemConfig.experiment()
+        self._workloads: Dict[Tuple, Workload] = {}
+        self._traces: Dict[Tuple, Trace] = {}
+        self._results: Dict[Tuple, CellResult] = {}
+
+    # ------------------------------------------------------------------
+    def workload(
+        self, app: str, input_name: str, window_size: Optional[int] = None
+    ) -> Workload:
+        window = window_size if window_size is not None else self.window_size
+        key = (app, input_name, window)
+        if key not in self._workloads:
+            if app == "pagerank":
+                graph = graph_datasets.make_graph(input_name, self.scale)
+                wl = PageRankWorkload(graph, self.iterations, window)
+            elif app == "hyperanf":
+                graph = graph_datasets.make_graph(input_name, self.scale)
+                wl = HyperAnfWorkload(graph, self.iterations, window)
+            elif app == "spcg":
+                matrix = matrix_datasets.make_matrix(input_name, self.scale)
+                wl = SpCGWorkload(matrix, self.iterations, window)
+            else:
+                raise ValueError(f"unknown application {app!r}")
+            self._workloads[key] = wl
+        return self._workloads[key]
+
+    def trace(
+        self,
+        app: str,
+        input_name: str,
+        rnr: bool,
+        window_size: Optional[int] = None,
+    ) -> Trace:
+        window = window_size if window_size is not None else self.window_size
+        key = (app, input_name, rnr, window)
+        if key not in self._traces:
+            self._traces[key] = self.workload(app, input_name, window).build_trace(rnr=rnr)
+        return self._traces[key]
+
+    # ------------------------------------------------------------------
+    def _make_prefetcher(self, name: str, app: str, input_name: str, mode, window):
+        if name == "baseline":
+            return None
+        kwargs = {}
+        if name in ("rnr", "rnr-combined") and mode is not None:
+            kwargs["mode"] = mode
+        prefetcher = make_prefetcher(name, **kwargs)
+        workload = self.workload(app, input_name, window)
+        children = (
+            prefetcher.children
+            if isinstance(prefetcher, CompositePrefetcher)
+            else [prefetcher]
+        )
+        for child in children:
+            if isinstance(child, DropletPrefetcher):
+                child.resolver = getattr(workload, "edge_line_values", None)
+            if isinstance(child, IMPPrefetcher):
+                child.value_reader = workload.read_int
+        return prefetcher
+
+    def run(
+        self,
+        app: str,
+        input_name: str,
+        prefetcher: str,
+        mode: Optional[ControlMode] = None,
+        window_size: Optional[int] = None,
+    ) -> CellResult:
+        """Simulate one cell (cached)."""
+        window = window_size if window_size is not None else self.window_size
+        key = (app, input_name, prefetcher, mode, window)
+        if key in self._results:
+            return self._results[key]
+        uses_rnr = prefetcher in ("rnr", "rnr-combined")
+        trace = self.trace(app, input_name, rnr=uses_rnr, window_size=window)
+        workload = self.workload(app, input_name, window)
+        if prefetcher == "ideal":
+            stats = run_ideal(self.config, trace)
+        else:
+            pf = self._make_prefetcher(prefetcher, app, input_name, mode, window)
+            stats = SimulationEngine(self.config, pf).run(trace)
+        result = CellResult(app, input_name, prefetcher, stats, workload.input_bytes)
+        self._results[key] = result
+        return result
+
+    def baseline(self, app: str, input_name: str) -> CellResult:
+        """The no-prefetcher cell (cached)."""
+        return self.run(app, input_name, "baseline")
+
+    # ------------------------------------------------------------------
+    def cells(self):
+        """All (app, input) pairs of the evaluation grid."""
+        for app in APPS:
+            for input_name in inputs_for(app):
+                yield app, input_name

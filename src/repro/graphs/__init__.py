@@ -1,0 +1,23 @@
+"""Graph substrate: CSR graphs, topology-class generators standing in for
+the paper's SNAP inputs (Table III), and a METIS-like partitioner."""
+
+from repro.graphs.csr import CSRGraph
+from repro.graphs.generators import (
+    community_graph,
+    preferential_attachment,
+    road_network,
+    uniform_random,
+)
+from repro.graphs.partition import edge_cut, partition_bfs
+from repro.graphs import datasets
+
+__all__ = [
+    "CSRGraph",
+    "community_graph",
+    "datasets",
+    "edge_cut",
+    "partition_bfs",
+    "preferential_attachment",
+    "road_network",
+    "uniform_random",
+]

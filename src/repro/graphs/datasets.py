@@ -1,0 +1,92 @@
+"""Named graph inputs (paper Table III), scaled.
+
+==========  ==========================  =========================  =========
+Name        Paper input                 Topology class             Paper size
+==========  ==========================  =========================  =========
+urand       synthetic uniform random    no locality                2^24 V
+amazon      SNAP com-amazon [32]        co-purchase communities    335 K / 926 K
+com-orkut   SNAP com-orkut              dense social communities   3.1 M / 117 M
+roadUSA     DIMACS road network         planar, near-diagonal      23.9 M / 58.3 M
+==========  ==========================  =========================  =========
+
+Scaled sizes keep the working set : LLC ratio of the paper's setup (inputs
+several times the LLC) against :meth:`repro.config.SystemConfig.experiment`.
+Two scales are provided: ``"bench"`` (default, used by the benchmark
+harness) and ``"test"`` (fast unit tests).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.graphs.csr import CSRGraph
+from repro.graphs.generators import community_graph, road_network, uniform_random
+
+_BENCH_V = 16384
+_TEST_V = 1536
+
+GRAPH_NAMES = ("urand", "amazon", "com-orkut", "roadUSA")
+
+
+def _make_urand(num_vertices: int) -> CSRGraph:
+    return uniform_random(num_vertices, avg_degree=4, seed=11)
+
+
+def _make_amazon(num_vertices: int) -> CSRGraph:
+    # Co-purchase graph: mostly-local edges, communities of ~1K vertices —
+    # large enough to overflow the (scaled) private caches but to hit in
+    # the LLC, the locality class of the real com-amazon.
+    return community_graph(
+        num_vertices,
+        num_communities=max(2, num_vertices // 1024),
+        avg_degree=6,
+        intra_fraction=0.85,
+        seed=12,
+    )
+
+
+def _make_orkut(num_vertices: int) -> CSRGraph:
+    # Social graph: smaller vertex set but much denser, larger communities
+    # and more global edges (com-orkut has ~38 edges/vertex at full size).
+    return community_graph(
+        max(2, num_vertices // 2),
+        num_communities=max(2, num_vertices // 4096),
+        avg_degree=12,
+        intra_fraction=0.6,
+        seed=13,
+    )
+
+
+def _make_road(num_vertices: int) -> CSRGraph:
+    side = max(2, int(num_vertices**0.5))
+    return road_network(side, side, extra_fraction=0.05, seed=14)
+
+
+_FACTORIES: Dict[str, Callable[[int], CSRGraph]] = {
+    "urand": _make_urand,
+    "amazon": _make_amazon,
+    "com-orkut": _make_orkut,
+    "roadUSA": _make_road,
+}
+
+_SCALES: Dict[str, int] = {"bench": _BENCH_V, "test": _TEST_V}
+
+_CACHE: Dict[Tuple[str, str], CSRGraph] = {}
+
+
+def make_graph(name: str, scale: str = "bench") -> CSRGraph:
+    """Build (and memoize) a named input graph."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown graph {name!r}; known: {', '.join(GRAPH_NAMES)}"
+        ) from None
+    try:
+        num_vertices = _SCALES[scale]
+    except KeyError:
+        raise ValueError(f"unknown scale {scale!r}; known: bench, test") from None
+    key = (name, scale)
+    if key not in _CACHE:
+        _CACHE[key] = factory(num_vertices)
+    return _CACHE[key]

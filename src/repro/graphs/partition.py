@@ -1,0 +1,109 @@
+"""Graph partitioning for the SPMD workload mode.
+
+The paper partitions inputs with METIS [29] into four parts, one per
+worker core.  METIS is a native library we cannot ship, so this module
+implements a multilevel-flavoured substitute with the same *goal* —
+balanced parts with low edge cut and good intra-part locality — which is
+all the memory system observes: BFS region growing from spread-out seeds,
+followed by a greedy boundary-refinement pass (a light Kernighan-Lin).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph
+
+
+def partition_bfs(graph: CSRGraph, parts: int, seed: int = 1, refine_passes: int = 1) -> np.ndarray:
+    """Assign every vertex to one of ``parts`` partitions.
+
+    Returns an int array of length ``num_vertices`` with values in
+    ``[0, parts)``.  Parts are balanced to within one BFS frontier.
+    """
+    if parts < 1:
+        raise ValueError(f"parts must be >= 1, got {parts}")
+    num_vertices = graph.num_vertices
+    if parts == 1:
+        return np.zeros(num_vertices, dtype=np.int32)
+    if parts > num_vertices:
+        raise ValueError(f"more parts ({parts}) than vertices ({num_vertices})")
+
+    undirected = graph.symmetrized()
+    assignment = np.full(num_vertices, -1, dtype=np.int32)
+    capacity = (num_vertices + parts - 1) // parts
+    sizes = np.zeros(parts, dtype=np.int64)
+
+    # Seeds spread across the id space (good for locality-ordered graphs).
+    seeds = [int(i * num_vertices / parts) for i in range(parts)]
+    queues = [deque([seed_vertex]) for seed_vertex in seeds]
+
+    remaining = num_vertices
+    unassigned_scan = 0
+    while remaining:
+        progressed = False
+        for part in range(parts):
+            if sizes[part] >= capacity:
+                continue
+            queue = queues[part]
+            while queue and sizes[part] < capacity:
+                vertex = queue.popleft()
+                if assignment[vertex] != -1:
+                    continue
+                assignment[vertex] = part
+                sizes[part] += 1
+                remaining -= 1
+                progressed = True
+                for neighbor in undirected.neighbors(vertex):
+                    if assignment[neighbor] == -1:
+                        queue.append(int(neighbor))
+                break  # round-robin one vertex per part for balance
+        if not progressed:
+            # Disconnected leftovers: hand them to the emptiest parts.
+            while unassigned_scan < num_vertices and assignment[unassigned_scan] != -1:
+                unassigned_scan += 1
+            if unassigned_scan >= num_vertices:
+                break
+            part = int(np.argmin(sizes))
+            queues[part].append(unassigned_scan)
+
+    for _ in range(refine_passes):
+        _refine(undirected, assignment, sizes, capacity)
+    return assignment
+
+
+def _refine(
+    graph: CSRGraph, assignment: np.ndarray, sizes: np.ndarray, capacity: int
+) -> None:
+    """One greedy pass: move boundary vertices to the neighbouring part
+    where most of their neighbours live, if balance allows."""
+    parts = sizes.size
+    for vertex in range(graph.num_vertices):
+        current = assignment[vertex]
+        neighbors = graph.neighbors(vertex)
+        if neighbors.size == 0:
+            continue
+        counts = np.bincount(assignment[neighbors], minlength=parts)
+        best = int(np.argmax(counts))
+        if (
+            best != current
+            and counts[best] > counts[current]
+            and sizes[best] < capacity
+            and sizes[current] > 1
+        ):
+            assignment[vertex] = best
+            sizes[best] += 1
+            sizes[current] -= 1
+
+
+def edge_cut(graph: CSRGraph, assignment: np.ndarray) -> int:
+    """Number of edges whose endpoints land in different parts."""
+    src = np.repeat(np.arange(graph.num_vertices), graph.degrees())
+    return int(np.sum(assignment[src] != assignment[graph.targets]))
+
+
+def partition_vertex_ranges(assignment: np.ndarray, parts: int) -> list:
+    """Vertex index lists per part (what each SPMD worker iterates over)."""
+    return [np.nonzero(assignment == part)[0] for part in range(parts)]

@@ -1,0 +1,15 @@
+"""Main-memory substrate: DRAM address mapping, bank/bus timing, and the
+FCFS memory controller with demand-over-prefetch priority and write-queue
+draining (paper Table II)."""
+
+from repro.mem.address import AddressMapping, DramLocation
+from repro.mem.dram import DramBankModel
+from repro.mem.controller import MemoryController, RequestKind
+
+__all__ = [
+    "AddressMapping",
+    "DramLocation",
+    "DramBankModel",
+    "MemoryController",
+    "RequestKind",
+]

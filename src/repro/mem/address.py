@@ -1,0 +1,65 @@
+"""Physical-address to DRAM-coordinate mapping.
+
+A simple row-interleaved mapping: consecutive cache lines walk through the
+columns of one row; rows are striped across banks so that streams hit
+multiple banks.  This matches ChampSim's default closely enough for the
+contention behaviour the paper relies on (streamed metadata enjoying row
+buffer hits; random vertex accesses thrashing rows, Section VII-A.7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import LINE_SIZE, MemoryConfig
+
+
+@dataclass(frozen=True)
+class DramLocation:
+    """DRAM coordinates of one cache-line-sized access."""
+
+    channel: int
+    rank: int
+    bank: int
+    row: int
+    column: int
+
+
+class AddressMapping:
+    """Maps physical line addresses to (channel, rank, bank, row, column)."""
+
+    def __init__(self, config: MemoryConfig):
+        self._config = config
+        self._lines_per_row = config.timing.row_bytes // LINE_SIZE
+        self._banks = config.banks
+        self._ranks = config.ranks
+        self._channels = config.channels
+
+    @property
+    def lines_per_row(self) -> int:
+        """Cache lines per DRAM row."""
+        return self._lines_per_row
+
+    def locate(self, address: int) -> DramLocation:
+        """Map a byte address to its DRAM location."""
+        line = address // LINE_SIZE
+        column = line % self._lines_per_row
+        frame = line // self._lines_per_row
+        bank = frame % self._banks
+        frame //= self._banks
+        rank = frame % self._ranks
+        frame //= self._ranks
+        channel = frame % self._channels
+        row = frame // self._channels
+        return DramLocation(channel, rank, bank, row, column)
+
+    def same_row(self, addr_a: int, addr_b: int) -> bool:
+        """Whether two addresses share a DRAM row."""
+        loc_a = self.locate(addr_a)
+        loc_b = self.locate(addr_b)
+        return (
+            loc_a.channel == loc_b.channel
+            and loc_a.rank == loc_b.rank
+            and loc_a.bank == loc_b.bank
+            and loc_a.row == loc_b.row
+        )

@@ -1,0 +1,107 @@
+"""DRAM bank and data-bus timing model.
+
+Models, per the paper's ChampSim methodology:
+
+* open-row policy per bank — a row-buffer hit costs ``tCL``; a conflict
+  costs ``tRP + tRCD + tCL`` (precharge, activate, then CAS);
+* data-bus occupancy of ``tBURST`` per transfer with read/write turnaround
+  penalties (``tRTW`` / ``tWTR``);
+* per-bank busy windows so concurrent requests to different banks overlap
+  while same-bank requests serialize (bank contention).
+
+All internal times are in memory-bus cycles; the controller converts to
+core cycles at the boundary.
+"""
+
+from __future__ import annotations
+
+from repro.config import MemoryConfig
+from repro.mem.address import AddressMapping, DramLocation
+
+
+class _BankState:
+    __slots__ = ("open_row", "ready_at")
+
+    def __init__(self) -> None:
+        self.open_row = -1
+        self.ready_at = 0
+
+
+class DramBankModel:
+    """Timing for the DRAM channels (banks + one data bus per channel).
+
+    Table II configures a single channel; multi-channel configurations
+    give each channel its own data bus and bank set, which the bandwidth
+    ablation uses to test how much of the reproduction's speedup
+    compression is bus-bandwidth-bound (see EXPERIMENTS.md).
+    """
+
+    def __init__(self, config: MemoryConfig):
+        self._timing = config.timing
+        self._mapping = AddressMapping(config)
+        self._banks_per_channel = config.banks * config.ranks
+        self._banks = [
+            _BankState()
+            for _ in range(self._banks_per_channel * config.channels)
+        ]
+        self._bus_free_at = [0] * config.channels
+        self._last_was_write = [False] * config.channels
+        self.row_hits = 0
+        self.row_conflicts = 0
+
+    @property
+    def mapping(self) -> AddressMapping:
+        """The address-mapping helper."""
+        return self._mapping
+
+    def reset(self) -> None:
+        """Clear all state."""
+        for bank in self._banks:
+            bank.open_row = -1
+            bank.ready_at = 0
+        self._bus_free_at = [0] * len(self._bus_free_at)
+        self._last_was_write = [False] * len(self._last_was_write)
+        self.row_hits = 0
+        self.row_conflicts = 0
+
+    def _bank_index(self, loc: DramLocation) -> int:
+        return (
+            loc.channel * self._banks_per_channel
+            + loc.rank * 0
+            + loc.bank
+        ) % len(self._banks)
+
+    def service(self, address: int, arrival: int, is_write: bool) -> int:
+        """Service one line transfer; returns the completion time.
+
+        ``arrival`` and the result are in memory-bus cycles.
+        """
+        timing = self._timing
+        loc = self._mapping.locate(address)
+        bank = self._banks[self._bank_index(loc)]
+        channel = loc.channel
+
+        start = max(arrival, bank.ready_at)
+        if bank.open_row == loc.row:
+            access_latency = timing.tCL
+            self.row_hits += 1
+        else:
+            if bank.open_row < 0:
+                access_latency = timing.tRCD + timing.tCL
+            else:
+                access_latency = timing.tRP + timing.tRCD + timing.tCL
+            self.row_conflicts += 1
+            bank.open_row = loc.row
+
+        data_ready = start + access_latency
+        bus_start = max(data_ready, self._bus_free_at[channel])
+        if self._last_was_write[channel] != is_write and self._bus_free_at[channel] > 0:
+            bus_start += timing.tWTR if self._last_was_write[channel] else timing.tRTW
+        completion = bus_start + timing.tBURST
+
+        # The bank is free to activate again once its CAS completes; the
+        # queued data waits in the bank's output path for its bus slot.
+        bank.ready_at = data_ready
+        self._bus_free_at[channel] = completion
+        self._last_was_write[channel] = is_write
+        return completion

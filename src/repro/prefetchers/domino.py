@@ -1,0 +1,53 @@
+"""Domino temporal data prefetcher (Bakhshalipour et al. [8], cited in the
+paper's related work).
+
+Domino improves on single-miss-indexed temporal prefetchers (GHB) by
+indexing the history with the *last two* misses: a pair (A, B) predicts
+the miss that followed B the last time B came right after A.  The longer
+key disambiguates exactly the ``9 -> {12, 20}`` confusion of the paper's
+Fig 2 (b) example — at the cost of predicting only after two in-sequence
+misses.
+"""
+
+from __future__ import annotations
+
+from repro.cache.hierarchy import L2Event
+from repro.prefetchers.base import Prefetcher
+
+
+class DominoPrefetcher(Prefetcher):
+    name = "domino"
+
+    def __init__(self, degree: int = 4, table_entries: int = 1 << 18):
+        super().__init__()
+        self.degree = degree
+        self.table_entries = table_entries
+        # (prev_miss, miss) -> successor chain head
+        self._pairs: dict[tuple, int] = {}
+        # single-miss fallback chain for extending predictions
+        self._next: dict[int, int] = {}
+        self._last: int | None = None
+        self._prev: int | None = None
+
+    def on_l2_event(self, line_addr, pc, cycle, event, flagged, completion=0):
+        """L2 outcome hook (training input)."""
+        if event != L2Event.MISS:
+            return
+        # Train: record the pair-indexed successor of the previous pair.
+        if self._prev is not None and self._last is not None:
+            if len(self._pairs) < self.table_entries:
+                self._pairs[(self._prev, self._last)] = line_addr
+        if self._last is not None and len(self._next) < self.table_entries:
+            self._next[self._last] = line_addr
+        self._prev = self._last
+        self._last = line_addr
+
+        # Predict: pair-indexed head, extended along the single-miss chain.
+        if self._prev is None:
+            return
+        successor = self._pairs.get((self._prev, line_addr))
+        issued = 0
+        while successor is not None and issued < self.degree:
+            self._issue(successor, cycle)
+            issued += 1
+            successor = self._next.get(successor)

@@ -1,0 +1,88 @@
+"""DROPLET — data-aware indirect prefetching for graph workloads
+(Basak et al. [10]).
+
+DROPLET has a lightweight software interface describing the edge array and
+the vertex-property arrays.  The hardware streams the edge array; when an
+edge cache line's data **arrives from DRAM**, the vertex IDs inside it are
+decoded and the corresponding vertex-property lines are prefetched.
+
+The decisive limitation the paper exploits (Section VII-A.1): vertex
+prefetches can only be generated *after* the edge data arrives plus an
+address-generation delay, so on low-locality graphs (urand) the dependent
+vertex prefetch is often too late.
+
+The model receives the software descriptors through trace directives
+(``droplet.edges`` / ``droplet.values``) and reads the simulated edge-array
+contents through a ``resolver`` callback installed by the workload — the
+stand-in for the hardware snooping the DRAM read-queue refill data.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.cache.hierarchy import L2Event
+from repro.config import LINE_SIZE
+from repro.prefetchers.base import Prefetcher
+
+# resolver(edge_line_addr) -> vertex indices stored in that 64-byte line
+EdgeLineResolver = Callable[[int], List[int]]
+
+
+class DropletPrefetcher(Prefetcher):
+    name = "droplet"
+
+    def __init__(
+        self,
+        resolver: Optional[EdgeLineResolver] = None,
+        edge_stream_degree: int = 2,
+        generation_latency: int = 24,
+    ):
+        super().__init__()
+        self.resolver = resolver
+        self.edge_stream_degree = edge_stream_degree
+        self.generation_latency = generation_latency
+        self._edge_region: Optional[Tuple[int, int]] = None  # (base, size)
+        self._value_regions: List[Tuple[int, int, int]] = []  # (base, size, elem)
+
+    # -- software interface -------------------------------------------------
+    def on_directive(self, op, args, cycle):
+        """Software-directive hook (Table I calls)."""
+        if op == "droplet.edges":
+            base, size = args[0], args[1]
+            self._edge_region = (base, size)
+        elif op == "droplet.values":
+            base, size, elem = args[0], args[1], args[2]
+            self._value_regions.append((base, size, elem))
+        elif op == "droplet.reset":
+            self._edge_region = None
+            self._value_regions.clear()
+
+    def _in_edge_region(self, line_addr: int) -> bool:
+        if self._edge_region is None:
+            return False
+        base, size = self._edge_region
+        address = line_addr * LINE_SIZE
+        return base <= address < base + size
+
+    # -- prefetching ------------------------------------------------------
+    def on_l2_event(self, line_addr, pc, cycle, event, flagged, completion=0):
+        """L2 outcome hook (training input)."""
+        if event == L2Event.HIT:
+            return
+        if not self._in_edge_region(line_addr):
+            return
+        # Stream ahead in the edge array.
+        for step in range(1, self.edge_stream_degree + 1):
+            nxt = line_addr + step
+            if self._in_edge_region(nxt):
+                self._issue(nxt, cycle)
+        # Dependent vertex prefetches, generated once the edge data arrives.
+        if self.resolver is None or not self._value_regions:
+            return
+        ready = max(completion, cycle) + self.generation_latency
+        for vertex in self.resolver(line_addr):
+            for base, size, elem in self._value_regions:
+                address = base + vertex * elem
+                if base <= address < base + size:
+                    self._issue(address // LINE_SIZE, ready)

@@ -1,0 +1,80 @@
+"""MISB — Managing Irregular Stream Buffer metadata (Wu et al. [59]).
+
+MISB is ISB with the structural mapping held **off-chip** and cached in a
+small on-chip metadata cache, prefetched ahead of use.  The paper's
+comparison points (Sections II and VIII):
+
+* PC localization still confuses *similar* temporal sequences (graph
+  clusters traversed in near-identical orders), capping accuracy;
+* maximum prefetch degree of 8, so it cannot run a full window ahead the
+  way RnR's window (up to 2048 lines) can;
+* off-chip metadata lookups add traffic; misses in the on-chip metadata
+  cache drop predictions (fetched for next time, not blocked on).
+
+The model shares ISB's mapping + re-linearization training and layers the
+metadata-residency gate on top: a prediction only issues if the mapping's
+metadata line is on chip; a metadata miss streams the line (plus the next
+one — MISB's metadata prefetch) from memory as metadata traffic.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.prefetchers.isb import ISBPrefetcher
+
+_MAPPINGS_PER_LINE = 8  # 8-byte mapping entries in a 64-byte metadata line
+
+
+class MISBPrefetcher(ISBPrefetcher):
+    name = "misb"
+
+    def __init__(
+        self,
+        degree: int = 8,
+        metadata_cache_lines: int = 384,  # ~the paper's 49KB : 256KB L2 ratio
+        metadata_base: int = 0x4000_0000,
+        max_mappings: int = 1 << 20,
+    ):
+        super().__init__(degree=degree, max_mappings=max_mappings)
+        self.metadata_cache_lines = metadata_cache_lines
+        self.metadata_base = metadata_base
+        # On-chip metadata cache: metadata line id -> True (LRU).
+        self._meta_cache: OrderedDict[int, bool] = OrderedDict()
+        self.metadata_hits = 0
+        self.metadata_misses = 0
+
+    # ------------------------------------------------------------------
+    def _meta_line_of(self, structural: int) -> int:
+        return structural // _MAPPINGS_PER_LINE
+
+    def _metadata_resident(self, structural: int, cycle: int) -> bool:
+        """Probe the metadata cache; on a miss, stream the line (and its
+        sequential successor) on chip for future use and report False."""
+        meta_line = self._meta_line_of(structural)
+        if meta_line in self._meta_cache:
+            self._meta_cache.move_to_end(meta_line)
+            self.metadata_hits += 1
+            return True
+        self.metadata_misses += 1
+        for fetch in (meta_line, meta_line + 1):
+            if fetch in self._meta_cache:
+                continue
+            if self.hierarchy is not None:
+                self.hierarchy.metadata_read(self.metadata_base + fetch * 64, cycle)
+            self._meta_cache[fetch] = True
+            if len(self._meta_cache) > self.metadata_cache_lines:
+                self._meta_cache.popitem(last=False)
+        return False
+
+    # ------------------------------------------------------------------
+    def _issue_successors(self, structural: int, cycle: int) -> None:
+        if not self._metadata_resident(structural, cycle):
+            return
+        for step in range(1, self.degree + 1):
+            if not self._metadata_resident(structural + step, cycle):
+                break
+            target = self._sp.get(structural + step)
+            if target is None:
+                break
+            self._issue(target, cycle)

@@ -1,0 +1,29 @@
+"""Next-line prefetcher (Smith & Hsu [50] in the paper).
+
+On every L2 demand access, prefetch the next ``degree`` sequential lines.
+The simplest regular-pattern prefetcher; great on streams, useless (and
+traffic-heavy) on irregular gathers — exactly its role in Figs 6-12.
+"""
+
+from __future__ import annotations
+
+from repro.cache.hierarchy import L2Event
+from repro.prefetchers.base import Prefetcher
+
+
+class NextLinePrefetcher(Prefetcher):
+    name = "nextline"
+
+    def __init__(self, degree: int = 1, on_miss_only: bool = False):
+        super().__init__()
+        if degree < 1:
+            raise ValueError(f"degree must be >= 1, got {degree}")
+        self.degree = degree
+        self.on_miss_only = on_miss_only
+
+    def on_l2_event(self, line_addr, pc, cycle, event, flagged, completion=0):
+        """L2 outcome hook (training input)."""
+        if self.on_miss_only and event != L2Event.MISS:
+            return
+        for step in range(1, self.degree + 1):
+            self._issue(line_addr + step, cycle)

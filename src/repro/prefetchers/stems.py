@@ -1,0 +1,125 @@
+"""SteMS — Spatio-Temporal Memory Streaming (Somogyi et al. [52]).
+
+SteMS couples spatial memory streaming (per-region footprints) with
+temporal streaming of the *region trigger* sequence: the order in which
+regions were entered is recorded, and on a trigger match the successor
+regions' footprints are replayed ahead of the program.
+
+The paper's critique (Section II): order is recorded *among* regions but
+not *within* a region, and the trigger sequence is pattern-matched
+globally, so long irregular sequences that repeat only across iterations
+(not across regions) are poorly captured.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.cache.hierarchy import L2Event
+from repro.prefetchers.base import Prefetcher
+
+
+class SteMSPrefetcher(Prefetcher):
+    name = "stems"
+
+    def __init__(
+        self,
+        region_lines: int = 32,
+        footprint_entries: int = 4096,
+        history_entries: int = 8192,
+        region_lookahead: int = 2,
+        active_regions: int = 64,
+    ):
+        super().__init__()
+        self.region_lines = region_lines
+        self.footprint_entries = footprint_entries
+        self.history_entries = history_entries
+        self.region_lookahead = region_lookahead
+        self.active_regions = active_regions
+        # Spatial half: last observed footprint per region trigger.
+        self._footprints: OrderedDict[tuple, int] = OrderedDict()
+        self._accumulating: dict[int, int] = {}
+        self._accumulation_order: list[int] = []
+        # Temporal half: GHB over region triggers.
+        self._trigger_history: list[tuple[int, int]] = []  # (region, pc)
+        self._trigger_index: dict[int, int] = {}  # region -> last position
+        self._head = 0
+
+    # ------------------------------------------------------------------
+    def _store_footprint(self, pc: int, region: int, footprint: int) -> None:
+        key = (pc, region)
+        self._footprints[key] = footprint
+        self._footprints.move_to_end(key)
+        if len(self._footprints) > self.footprint_entries:
+            self._footprints.popitem(last=False)
+
+    def _close_region(self, region: int) -> None:
+        footprint = self._accumulating.pop(region, None)
+        if footprint is None:
+            return
+        # Footprints are keyed by the trigger PC recorded in the history.
+        position = self._trigger_index.get(region)
+        pc = self._trigger_history[position % self.history_entries][1] if position is not None else 0
+        self._store_footprint(pc, region, footprint)
+
+    def _replay(self, region: int, cycle: int) -> None:
+        """Stream the footprints of the regions that followed last time."""
+        position = self._trigger_index.get(region)
+        if position is None or position < self._head - len(self._trigger_history):
+            return
+        for ahead in range(1, self.region_lookahead + 1):
+            successor_pos = position + ahead
+            if successor_pos >= self._head:
+                break
+            if successor_pos < self._head - len(self._trigger_history):
+                continue
+            successor, successor_pc = self._trigger_history[
+                successor_pos % self.history_entries
+            ]
+            footprint = self._footprints.get((successor_pc, successor), 0)
+            if not footprint:
+                footprint = 1  # at least the trigger line
+            base = successor * self.region_lines
+            index = 0
+            bits = footprint
+            while bits:
+                if bits & 1:
+                    self._issue(base + index, cycle)
+                bits >>= 1
+                index += 1
+
+    # ------------------------------------------------------------------
+    def on_l2_event(self, line_addr, pc, cycle, event, flagged, completion=0):
+        """L2 outcome hook (training input)."""
+        if event == L2Event.HIT:
+            return
+        region = line_addr // self.region_lines
+        offset = line_addr % self.region_lines
+        if region in self._accumulating:
+            self._accumulating[region] |= 1 << offset
+            return
+        # New region trigger: record in temporal history, replay successors.
+        if len(self._trigger_history) < self.history_entries:
+            self._trigger_history.append((region, pc))
+        else:
+            self._trigger_history[self._head % self.history_entries] = (region, pc)
+        previous = self._trigger_index.get(region)
+        self._trigger_index[region] = self._head
+        self._head += 1
+
+        if previous is not None:
+            saved = self._trigger_index[region]
+            self._trigger_index[region] = previous
+            self._replay(region, cycle)
+            self._trigger_index[region] = saved
+
+        self._accumulating[region] = 1 << offset
+        self._accumulation_order.append(region)
+        if len(self._accumulation_order) > self.active_regions:
+            self._close_region(self._accumulation_order.pop(0))
+
+    def finalize(self, cycle):
+        """End-of-trace hook."""
+        for region in list(self._accumulation_order):
+            self._close_region(region)
+        self._accumulation_order.clear()

@@ -1,0 +1,67 @@
+"""Stride/stream prefetcher (Intel-SMA-style [21], [30], [51]).
+
+A PC-indexed reference-prediction table detects constant strides with a
+confidence counter and, once trained, runs a prefetch stream ``degree``
+lines ahead.  This is the conventional prefetcher RnR-Combined pairs with
+for the regularly-accessed arrays (Section V-D), trained only on accesses
+*outside* the RnR address ranges (``flagged`` references are skipped).
+"""
+
+from __future__ import annotations
+
+from repro.prefetchers.base import Prefetcher
+
+
+class _StreamEntry:
+    __slots__ = ("last_line", "stride", "confidence")
+
+    def __init__(self, last_line: int):
+        self.last_line = last_line
+        self.stride = 0
+        self.confidence = 0
+
+
+class StreamPrefetcher(Prefetcher):
+    name = "stream"
+
+    def __init__(
+        self,
+        table_entries: int = 64,
+        degree: int = 4,
+        threshold: int = 2,
+        exclude_flagged: bool = True,
+    ):
+        super().__init__()
+        self.table_entries = table_entries
+        self.degree = degree
+        self.threshold = threshold
+        self.exclude_flagged = exclude_flagged
+        self._table: dict[int, _StreamEntry] = {}
+
+    def _entry_for(self, pc: int, line_addr: int) -> _StreamEntry:
+        entry = self._table.get(pc)
+        if entry is None:
+            if len(self._table) >= self.table_entries:
+                # FIFO-ish eviction of the oldest PC entry.
+                self._table.pop(next(iter(self._table)))
+            entry = _StreamEntry(line_addr)
+            self._table[pc] = entry
+        return entry
+
+    def on_l2_event(self, line_addr, pc, cycle, event, flagged, completion=0):
+        """L2 outcome hook (training input)."""
+        if flagged and self.exclude_flagged:
+            return
+        entry = self._entry_for(pc, line_addr)
+        stride = line_addr - entry.last_line
+        if stride != 0:
+            if stride == entry.stride:
+                entry.confidence = min(entry.confidence + 1, 7)
+            else:
+                entry.confidence = max(entry.confidence - 1, 0)
+                if entry.confidence == 0:
+                    entry.stride = stride
+            entry.last_line = line_addr
+        if entry.stride != 0 and entry.confidence >= self.threshold:
+            for step in range(1, self.degree + 1):
+                self._issue(line_addr + entry.stride * step, cycle)

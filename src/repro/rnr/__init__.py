@@ -1,0 +1,41 @@
+"""RnR: the software-assisted record-and-replay prefetcher (the paper's
+primary contribution).
+
+* :mod:`repro.rnr.state` — the Fig 3 prefetch-state machine.
+* :mod:`repro.rnr.registers` — architectural + internal register file
+  (the 86.5 B of per-core state saved on a context switch).
+* :mod:`repro.rnr.boundary` — spatial-region (address-range) registers.
+* :mod:`repro.rnr.tables` — in-memory sequence and window-division tables
+  with write-combining buffers and metadata traffic accounting.
+* :mod:`repro.rnr.recorder` / :mod:`repro.rnr.replayer` — the Record and
+  Replay halves of Fig 4, including the Section V-C timing control.
+* :mod:`repro.rnr.api` — the Table I programming interface.
+* :mod:`repro.rnr.prefetcher` — the simulator-facing prefetcher.
+* :mod:`repro.rnr.hw_cost` — Section VII-B hardware overhead model.
+"""
+
+from repro.rnr.state import PrefetchState, PrefetchStateMachine
+from repro.rnr.boundary import BoundaryEntry, BoundaryTable
+from repro.rnr.registers import RnRRegisters
+from repro.rnr.tables import DivisionTable, SequenceTable
+from repro.rnr.recorder import Recorder
+from repro.rnr.replayer import ControlMode, Replayer
+from repro.rnr.api import RnRInterface
+from repro.rnr.prefetcher import RnRPrefetcher
+from repro.rnr.hw_cost import HardwareCostModel
+
+__all__ = [
+    "BoundaryEntry",
+    "BoundaryTable",
+    "ControlMode",
+    "DivisionTable",
+    "HardwareCostModel",
+    "PrefetchState",
+    "PrefetchStateMachine",
+    "Recorder",
+    "Replayer",
+    "RnRInterface",
+    "RnRPrefetcher",
+    "RnRRegisters",
+    "SequenceTable",
+]

@@ -1,0 +1,74 @@
+"""The Record state (paper Fig 4 left, Section V-A).
+
+While the prefetch state register holds 'Record':
+
+1. every demand access bounds-checks against the boundary registers;
+2. reads within an enabled range increment ``Cur Struct Read`` and flag
+   the memory packet;
+3. a flagged access that **misses in the private L2** appends its
+   (slot, block-offset) to the sequence table;
+4. every ``window_size`` recorded misses, the current ``Cur Struct Read``
+   value is appended to the division table — the per-window timing
+   metadata that drives replay pacing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.rnr.registers import RnRRegisters
+from repro.rnr.tables import DivisionTable, SequenceTable
+from repro.stats import RnRStats
+
+
+class Recorder:
+    """Accumulates the miss sequence and window divisions."""
+
+    def __init__(
+        self,
+        registers: RnRRegisters,
+        sequence: SequenceTable,
+        division: DivisionTable,
+        stats: RnRStats,
+    ):
+        self.registers = registers
+        self.sequence = sequence
+        self.division = division
+        self.stats = stats
+
+    def record_miss(
+        self,
+        slot: int,
+        line_offset: int,
+        cycle: int,
+        hierarchy: Optional[CacheHierarchy],
+    ) -> None:
+        """Step 5/6 of Fig 4: write one sequence entry; close a window when
+        ``window_size`` misses have accumulated."""
+        registers = self.registers
+        self.sequence.append_miss(slot, line_offset, cycle, hierarchy, self.stats)
+        registers.seq_table_len += 1
+        self.stats.sequence_entries += 1
+        if registers.seq_table_len % registers.window_size == 0:
+            self._close_window(cycle, hierarchy)
+
+    def _close_window(self, cycle: int, hierarchy: Optional[CacheHierarchy]) -> None:
+        registers = self.registers
+        self.division.append(
+            registers.cur_struct_read, cycle, hierarchy, self.stats
+        )
+        registers.div_table_len += 1
+        self.stats.division_entries += 1
+        self.stats.windows_recorded += 1
+
+    def finish(self, cycle: int, hierarchy: Optional[CacheHierarchy]) -> None:
+        """Stop recording: close the trailing partial window and flush the
+        staging buffers to memory."""
+        registers = self.registers
+        if registers.seq_table_len % registers.window_size != 0 or (
+            registers.seq_table_len > 0 and registers.div_table_len == 0
+        ):
+            self._close_window(cycle, hierarchy)
+        self.sequence.flush(cycle, hierarchy)
+        self.division.flush(cycle, hierarchy)

@@ -1,0 +1,94 @@
+"""RnR register file: architectural states (Section IV-A) and internal
+states (Section V), with the context-switch save/restore inventory.
+
+The paper reports that pausing RnR around a context switch or migration
+saves/restores **86.5 B** of state (Section IV-C).  The inventory below is
+bit-accurate and sums to exactly 692 bits = 86.5 B; a regression test pins
+it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+#: (register name, bits, architectural?) — the save/restore set.
+STATE_INVENTORY: List[Tuple[str, int, bool]] = [
+    # Architectural states (software-visible, Section IV-A)
+    ("asid", 16, True),
+    ("boundary_base_0", 48, True),
+    ("boundary_size_0", 32, True),
+    ("boundary_enable_0", 1, True),
+    ("boundary_base_1", 48, True),
+    ("boundary_size_1", 32, True),
+    ("boundary_enable_1", 1, True),
+    ("seq_table_base", 48, True),
+    ("div_table_base", 48, True),
+    ("window_size", 16, True),
+    ("prefetch_state", 2, True),
+    # Internal states (Section V)
+    ("cur_struct_read", 32, False),
+    ("seq_table_len", 32, False),
+    ("div_table_len", 32, False),
+    ("cur_seq_page_addr", 36, False),
+    ("cur_div_page_addr", 36, False),
+    ("cur_seq_read_ptr", 32, False),
+    ("cur_div_read_ptr", 32, False),
+    ("cur_window", 24, False),
+    ("prefetch_pace", 16, False),
+    ("prefetch_count", 32, False),
+    ("pace_residue", 16, False),
+    ("replay_seq_ptr", 32, False),
+    ("window_struct_base", 32, False),
+    ("buffer_fill_levels", 16, False),
+]
+
+SAVE_RESTORE_BITS = sum(bits for _, bits, _ in STATE_INVENTORY)
+SAVE_RESTORE_BYTES = SAVE_RESTORE_BITS / 8.0
+
+#: SRAM buffers (not part of save/restore; drained/refetched instead).
+BUFFER_BYTES = 2 * 128  # sequence-table buffer + division-table buffer
+
+
+@dataclass
+class RnRRegisters:
+    """Live register values for one core's RnR unit.
+
+    The boundary registers live in :class:`repro.rnr.boundary.BoundaryTable`
+    and the 2-bit prefetch state in the state machine; this dataclass holds
+    the remaining scalar registers so that ``snapshot``/``restore`` can
+    model the context-switch copy.
+    """
+
+    asid: int = 0
+    window_size: int = 0
+    seq_table_base: int = 0
+    div_table_base: int = 0
+    cur_struct_read: int = 0
+    seq_table_len: int = 0
+    div_table_len: int = 0
+    cur_window: int = 0
+    prefetch_pace: int = 1
+    prefetch_count: int = 0
+    replay_seq_ptr: int = 0
+    window_struct_base: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        """Copy-out for a context switch (Section IV-C)."""
+        return dict(self.__dict__)
+
+    def restore(self, saved: Dict[str, int]) -> None:
+        """Copy-in when the process is rescheduled."""
+        for name, value in saved.items():
+            if not hasattr(self, name):
+                raise KeyError(f"unknown RnR register {name!r}")
+            setattr(self, name, value)
+
+    def reset_replay(self) -> None:
+        """Replay starts from the beginning of the stored sequence."""
+        self.cur_struct_read = 0
+        self.cur_window = 0
+        self.prefetch_count = 0
+        self.replay_seq_ptr = 0
+        self.window_struct_base = 0
+        self.prefetch_pace = 1

@@ -1,0 +1,176 @@
+"""The Replay state (paper Fig 4 right, Sections V-B and V-C).
+
+Replay walks the recorded sequence table and turns every recorded miss
+back into an L2 prefetch, *paced* against the program's progress through
+the target structure:
+
+* ``Cur Struct Read`` counts demand reads to the target structure, the
+  same progress metric the recorder stored in the division table;
+* demand is consuming window ``w`` while
+  ``Cur Struct Read < div[w]``; when the count reaches ``div[w]`` the
+  window counter advances and the *next* window's misses become eligible
+  for prefetching (double buffering: prefetch runs exactly one window
+  ahead, bounded by half the L2 as Section III prescribes);
+* within a window, pace control spreads the prefetches evenly:
+  ``N_pace = StructAccessesInCurrentWindow / WindowSize`` — one prefetch
+  per ``N_pace`` structure reads (Fig 5 (d)).
+
+Three control modes reproduce the Fig 10/11 ablation:
+
+* ``NONE`` — one prefetch per demand structure access, no window bound
+  (runs ahead of the program; prefetched data is evicted before use);
+* ``WINDOW`` — burst the whole next window at each window switch;
+* ``WINDOW_PACE`` — window bound plus even pacing (the full design).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Callable, Optional
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.rnr.boundary import BoundaryTable
+from repro.rnr.registers import RnRRegisters
+from repro.rnr.tables import DivisionTable, SequenceTable
+from repro.stats import RnRStats
+
+
+class ControlMode(Enum):
+    NONE = "none"
+    WINDOW = "window"
+    WINDOW_PACE = "window+pace"
+
+
+class Replayer:
+    """Issues replay prefetches with window/pace timing control."""
+
+    def __init__(
+        self,
+        registers: RnRRegisters,
+        boundary: BoundaryTable,
+        sequence: SequenceTable,
+        division: DivisionTable,
+        stats: RnRStats,
+        mode: ControlMode = ControlMode.WINDOW_PACE,
+        issue: Optional[Callable[[int, int, int], bool]] = None,
+    ):
+        self.registers = registers
+        self.boundary = boundary
+        self.sequence = sequence
+        self.division = division
+        self.stats = stats
+        self.mode = mode
+        # issue(line_addr, cycle, window) -> bool; bound by the prefetcher.
+        self._issue = issue if issue is not None else (lambda line, cycle, window: False)
+        self.hierarchy: Optional[CacheHierarchy] = None
+
+    # ------------------------------------------------------------------
+    def begin(self, cycle: int) -> None:
+        """Enter Replay: restart from the beginning of the sequence
+        (Table I ``PrefetchState.replay()``)."""
+        self.registers.reset_replay()
+        self.sequence.reset_read()
+        self.division.reset_read()
+        if self.mode is ControlMode.NONE:
+            return
+        # Prime the pipeline: fetch window 0 before demand starts.  Pace
+        # control then keeps the pointer one window ahead of consumption;
+        # pure window control bursts whole windows, so it primes both
+        # buffers at once.
+        prime_window = 0 if self.mode is ControlMode.WINDOW_PACE else 1
+        self._prefetch_through(self._window_end_entry(prime_window), cycle, burst=True)
+        self._update_pace()
+
+    # ------------------------------------------------------------------
+    # Window geometry
+    # ------------------------------------------------------------------
+    def _window_end_entry(self, window: int) -> int:
+        """Index one past the last sequence entry of ``window``."""
+        return min((window + 1) * self.registers.window_size, len(self.sequence))
+
+    def _window_of_entry(self, index: int) -> int:
+        return index // self.registers.window_size
+
+    def _struct_reads_in_window(self, window: int) -> int:
+        division = self.division
+        if window >= len(division):
+            return self.registers.window_size
+        end = division[window]
+        start = division[window - 1] if window > 0 else 0
+        return max(1, end - start)
+
+    def _update_pace(self) -> None:
+        """Fig 5 (d): N_pace = struct accesses in current window / W."""
+        registers = self.registers
+        accesses = self._struct_reads_in_window(registers.cur_window)
+        registers.prefetch_pace = max(1, accesses // registers.window_size)
+
+    # ------------------------------------------------------------------
+    # Prefetch issue
+    # ------------------------------------------------------------------
+    def _prefetch_one(self, cycle: int) -> bool:
+        """Issue the next sequence entry; returns False when exhausted."""
+        registers = self.registers
+        index = registers.replay_seq_ptr
+        if index >= len(self.sequence):
+            return False
+        ready = self.sequence.stream_to(index, cycle, self.hierarchy)
+        if index % max(1, self.registers.window_size) == 0:
+            window = self._window_of_entry(index)
+            if window < len(self.division):
+                ready = max(ready, self.division.stream_to(window, cycle, self.hierarchy))
+        slot, offset = self.sequence.miss_at(index)
+        registers.replay_seq_ptr = index + 1
+        line_addr = self.boundary.line_addr(slot, offset)
+        if line_addr is not None:
+            self._issue(line_addr, max(cycle, ready), self._window_of_entry(index))
+            registers.prefetch_count += 1
+        return True
+
+    def _prefetch_through(self, end_index: int, cycle: int, burst: bool) -> None:
+        while self.registers.replay_seq_ptr < end_index:
+            if not self._prefetch_one(cycle):
+                break
+
+    # ------------------------------------------------------------------
+    # Per-structure-read hook (Fig 4 Replay steps 6/7)
+    # ------------------------------------------------------------------
+    def on_struct_read(self, cycle: int) -> None:
+        """Called for every demand read inside an enabled boundary range
+        while in the Replay state (``Cur Struct Read`` already counted)."""
+        registers = self.registers
+        advanced = False
+        while (
+            registers.cur_window < len(self.division)
+            and registers.cur_struct_read
+            >= self.division[registers.cur_window]
+        ):
+            registers.window_struct_base = self.division[registers.cur_window]
+            registers.cur_window += 1
+            advanced = True
+        if self.mode is ControlMode.NONE:
+            # Uncontrolled: one prefetch per demand structure access (the
+            # window counter above is tracked for accounting only).
+            self._prefetch_one(cycle)
+            return
+
+        if advanced:
+            self._update_pace()
+            # Finish anything still pending for the window demand just
+            # entered — its data is needed now.
+            self._prefetch_through(
+                self._window_end_entry(registers.cur_window), cycle, burst=True
+            )
+            if self.mode is ControlMode.WINDOW:
+                self._prefetch_through(
+                    self._window_end_entry(registers.cur_window + 1),
+                    cycle,
+                    burst=True,
+                )
+
+        if self.mode is ControlMode.WINDOW_PACE:
+            reads_into_window = registers.cur_struct_read - registers.window_struct_base
+            if reads_into_window % registers.prefetch_pace == 0:
+                allowed = self._window_end_entry(registers.cur_window + 1)
+                if registers.replay_seq_ptr < allowed:
+                    self._prefetch_one(cycle)

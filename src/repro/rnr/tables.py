@@ -1,0 +1,197 @@
+"""RnR metadata tables: the miss Sequence Table and the window Division
+Table (Fig 4, Sections V-A/V-B).
+
+Both tables live in ordinary memory allocated by the programmer
+(``RnR.init``); the hardware holds only their base addresses plus one
+128 B staging buffer each.
+
+Record side: entries accumulate in the buffer and are written back one
+cache line (64 B) at a time with non-temporal stores (posted metadata
+writes).  Virtual-to-physical translation is one TLB lookup per 4 MB page
+(Section V-A step 6); the current physical page register makes the common
+case free.
+
+Replay side: metadata is *streamed* back in with double buffering — the
+128 B buffer holds two cache lines, and the next line is fetched while the
+current one is consumed, so metadata reads are sequential, row-buffer
+friendly, and off the critical path (Section V-B step 5).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.cache.tlb import Tlb
+from repro.config import LINE_SIZE
+from repro.stats import RnRStats
+
+METADATA_PAGE_BYTES = 4 << 20  # 4 MB pages for metadata (Section V-A)
+BUFFER_BYTES = 128  # per-table staging buffer (double-buffered lines)
+
+
+class MetadataTable:
+    """Common machinery for the two in-memory metadata tables."""
+
+    def __init__(self, name: str, base: int, capacity_bytes: int, entry_bytes: int):
+        if entry_bytes <= 0 or capacity_bytes < entry_bytes:
+            raise ValueError(
+                f"{name}: bad geometry (capacity={capacity_bytes}, entry={entry_bytes})"
+            )
+        self.name = name
+        self.base = base
+        self.capacity_bytes = capacity_bytes
+        self.entry_bytes = entry_bytes
+        self.entries: List[int] = []
+        self._entries_per_line = LINE_SIZE // entry_bytes
+        self._tlb = Tlb(entries=4, page_bytes=METADATA_PAGE_BYTES)
+        self._written_lines = 0
+        self._fetched_lines = 0
+
+    # -- geometry ----------------------------------------------------------
+    @property
+    def capacity_entries(self) -> int:
+        """Maximum entries the allocation can hold."""
+        return self.capacity_bytes // self.entry_bytes
+
+    @property
+    def size_bytes(self) -> int:
+        """Bytes currently used."""
+        return len(self.entries) * self.entry_bytes
+
+    def address_of_entry(self, index: int) -> int:
+        """Virtual address of entry ``index``."""
+        return self.base + index * self.entry_bytes
+
+    def line_of_entry(self, index: int) -> int:
+        """Metadata cache-line index of entry ``index``."""
+        return index // self._entries_per_line
+
+    # -- record side -------------------------------------------------------
+    def append(
+        self,
+        value: int,
+        cycle: int,
+        hierarchy: Optional[CacheHierarchy],
+        stats: Optional[RnRStats] = None,
+    ) -> None:
+        """Append one entry; emits a metadata write per completed line."""
+        if len(self.entries) >= self.capacity_entries:
+            raise OverflowError(
+                f"{self.name} overflow: programmer allocated "
+                f"{self.capacity_bytes} bytes ({self.capacity_entries} entries)"
+            )
+        index = len(self.entries)
+        self.entries.append(value)
+        address = self.address_of_entry(index)
+        if stats is not None and not self._tlb.access(address):
+            stats.tlb_lookups += 1
+        if (index + 1) % self._entries_per_line == 0 and hierarchy is not None:
+            line_base = self.base + self._written_lines * LINE_SIZE
+            hierarchy.metadata_write(line_base, cycle)
+            self._written_lines += 1
+
+    def flush(self, cycle: int, hierarchy: Optional[CacheHierarchy]) -> None:
+        """Write out the partially-filled last buffer line."""
+        full_lines = (len(self.entries) + self._entries_per_line - 1) // self._entries_per_line
+        while self._written_lines < full_lines:
+            if hierarchy is not None:
+                line_base = self.base + self._written_lines * LINE_SIZE
+                hierarchy.metadata_write(line_base, cycle)
+            self._written_lines += 1
+
+    # -- replay side ----------------------------------------------------------
+    def reset_read(self) -> None:
+        """Restart streaming from the table head."""
+        self._fetched_lines = 0
+
+    def stream_to(
+        self,
+        index: int,
+        cycle: int,
+        hierarchy: Optional[CacheHierarchy],
+        lookahead_lines: int = 2,
+    ) -> int:
+        """Ensure metadata through entry ``index`` (+lookahead) is on chip.
+
+        Returns the cycle at which entry ``index`` is available.  With
+        double buffering the fetch almost always completed long ago, so the
+        common return value is ``cycle``.
+        """
+        if index >= len(self.entries):
+            return cycle
+        need_line = self.line_of_entry(index)
+        target = min(
+            need_line + lookahead_lines,
+            self.line_of_entry(len(self.entries) - 1),
+        )
+        ready = cycle
+        while self._fetched_lines <= target:
+            line_base = self.base + self._fetched_lines * LINE_SIZE
+            completion = (
+                hierarchy.metadata_read(line_base, cycle)
+                if hierarchy is not None
+                else cycle
+            )
+            if self._fetched_lines == need_line:
+                ready = completion
+            self._fetched_lines += 1
+        return ready
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __getitem__(self, index: int) -> int:
+        return self.entries[index]
+
+
+class SequenceTable(MetadataTable):
+    """Records (slot, line-offset) pairs of flagged L2 misses.
+
+    The hardware entry is the block offset within the structure; the
+    boundary-register slot rides in the entry's top bits (the paper's two
+    boundary registers need one bit).
+    """
+
+    SLOT_SHIFT = 28
+
+    def __init__(self, base: int, capacity_bytes: int, entry_bytes: int = 4):
+        super().__init__("SequenceTable", base, capacity_bytes, entry_bytes)
+
+    def append_miss(
+        self,
+        slot: int,
+        line_offset: int,
+        cycle: int,
+        hierarchy: Optional[CacheHierarchy],
+        stats: Optional[RnRStats] = None,
+    ) -> None:
+        if line_offset >= (1 << self.SLOT_SHIFT):
+            raise OverflowError(
+                f"line offset {line_offset} exceeds sequence entry encoding"
+            )
+        self.append((slot << self.SLOT_SHIFT) | line_offset, cycle, hierarchy, stats)
+
+    def miss_at(self, index: int) -> Tuple[int, int]:
+        """Decode entry ``index`` into (slot, line_offset)."""
+        raw = self.entries[index]
+        return raw >> self.SLOT_SHIFT, raw & ((1 << self.SLOT_SHIFT) - 1)
+
+
+class DivisionTable(MetadataTable):
+    """Per-window progress counts: ``div[k]`` is the total number of
+    structure reads seen when the k-th window of misses completed
+    (Section V-A step 7).  Replay switches windows when ``Cur Struct Read``
+    reaches ``div[cur_window + 1]``."""
+
+    def __init__(self, base: int, capacity_bytes: int, entry_bytes: int = 8):
+        super().__init__("DivisionTable", base, capacity_bytes, entry_bytes)
+
+    def struct_reads_at_window_end(self, window: int) -> int:
+        """Cumulative struct reads when the window closed."""
+        return self.entries[window]
+
+    @property
+    def windows(self) -> int:
+        """Number of recorded windows."""
+        return len(self.entries)

@@ -1,0 +1,145 @@
+"""Single-core trace-driven simulation engine.
+
+Couples one :class:`~repro.cpu.core.Core` to a
+:class:`~repro.cache.hierarchy.CacheHierarchy` and an attached prefetcher,
+interprets embedded RnR directives, and tracks per-phase statistics at the
+``iter.begin`` / ``iter.end`` markers the workloads emit.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cache.cache import Cache
+from repro.cache.hierarchy import CacheHierarchy, L2Event
+from repro.config import SystemConfig
+from repro.cpu.core import Core
+from repro.mem.controller import MemoryController
+from repro.prefetchers.base import NullPrefetcher, Prefetcher
+from repro.stats import PhaseStats, SimStats
+from repro.trace.record import KIND_DIRECTIVE, KIND_LOAD
+from repro.trace.trace import Trace
+
+
+class SimulationEngine:
+    """Runs one trace on one core."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        prefetcher: Optional[Prefetcher] = None,
+        llc: Optional[Cache] = None,
+        controller: Optional[MemoryController] = None,
+        prefetch_fill_level: str = "l2",
+    ):
+        self.config = config
+        self.stats = SimStats()
+        self.controller = (
+            controller
+            if controller is not None
+            else MemoryController(config.memory, config.core)
+        )
+        self.hierarchy = CacheHierarchy(
+            config,
+            self.controller,
+            self.stats,
+            llc=llc,
+            prefetch_fill_level=prefetch_fill_level,
+        )
+        self.core = Core(config.core)
+        self.prefetcher = prefetcher if prefetcher is not None else NullPrefetcher()
+        self.prefetcher.attach(self.hierarchy, self.stats)
+        self._phase_stack: list = []
+
+    # ------------------------------------------------------------------
+    def _begin_phase(self, name: str) -> None:
+        traffic = self.stats.traffic
+        self._phase_stack.append(
+            (
+                name,
+                self.core.instructions,
+                self.core.cycle,
+                self.stats.l2.demand_misses,
+                traffic.demand_lines,
+                traffic.prefetch_lines,
+                traffic.metadata_read_lines + traffic.metadata_write_lines,
+            )
+        )
+
+    def _end_phase(self, name: str) -> None:
+        if not self._phase_stack:
+            raise ValueError(f"iter.end({name!r}) without matching iter.begin")
+        start_name, instrs, cycles, misses, demand, prefetch, metadata = (
+            self._phase_stack.pop()
+        )
+        if start_name != name:
+            raise ValueError(f"phase mismatch: began {start_name!r}, ended {name!r}")
+        traffic = self.stats.traffic
+        self.stats.phases.append(
+            PhaseStats(
+                name=name,
+                instructions=self.core.instructions - instrs,
+                cycles=self.core.cycle - cycles,
+                l2_demand_misses=self.stats.l2.demand_misses - misses,
+                demand_lines=traffic.demand_lines - demand,
+                prefetch_lines=traffic.prefetch_lines - prefetch,
+                metadata_lines=traffic.metadata_read_lines
+                + traffic.metadata_write_lines
+                - metadata,
+            )
+        )
+
+    def _handle_directive(self, op: str, args: tuple, cycle: int) -> None:
+        if op == "iter.begin":
+            self._begin_phase(f"iter{args[0]}")
+        elif op == "iter.end":
+            self._end_phase(f"iter{args[0]}")
+        elif op == "os.switch":
+            from repro.sim.os_model import apply_switch
+
+            away_cycles, pollution = args
+            self.core.cycle = apply_switch(
+                self.hierarchy, self.core.cycle, away_cycles, pollution
+            )
+        self.prefetcher.on_directive(op, args, cycle)
+
+    # ------------------------------------------------------------------
+    def run(self, trace: Trace) -> SimStats:
+        """Simulate the full trace; returns the accumulated statistics."""
+        core = self.core
+        hierarchy = self.hierarchy
+        prefetcher = self.prefetcher
+        on_access = prefetcher.on_access
+        on_l2_event = prefetcher.on_l2_event
+        none_event = L2Event.NONE
+
+        for entry in trace:
+            gap = entry.gap
+            if gap:
+                core.advance(gap)
+            kind = entry.kind
+            if kind == KIND_DIRECTIVE:
+                self._handle_directive(entry.op, entry.args, core.cycle)
+                continue
+            issue = core.issue_cycle()
+            address = entry.addr
+            pc = entry.pc
+            is_store = kind != KIND_LOAD
+            flagged = on_access(address, pc, issue, is_store)
+            if is_store:
+                result = hierarchy.store(address, issue)
+                core.retire_store(result.completion)
+            else:
+                result = hierarchy.load(address, issue)
+                core.retire_load(result.completion)
+            if result.l2_event is not none_event:
+                on_l2_event(
+                    result.line_addr, pc, issue, result.l2_event, flagged, result.completion
+                )
+
+        final_cycle = core.finish()
+        prefetcher.finalize(final_cycle)
+        hierarchy.drain(final_cycle)
+        self.stats.instructions = core.instructions
+        self.stats.cycles = final_cycle
+        return self.stats

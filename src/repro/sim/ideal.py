@@ -1,0 +1,24 @@
+"""Ideal bound: an infinite-sized LLC (paper Fig 6's "ideal" bars)."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.config import SystemConfig
+from repro.sim.engine import SimulationEngine
+from repro.stats import SimStats
+from repro.trace.trace import Trace
+
+_INFINITE_LLC_BYTES = 1 << 34  # effectively unbounded for our traces
+
+
+def ideal_config(config: SystemConfig) -> SystemConfig:
+    """The same system with an infinite LLC."""
+    llc = replace(config.llc, size_bytes=_INFINITE_LLC_BYTES)
+    return replace(config, llc=llc)
+
+
+def run_ideal(config: SystemConfig, trace: Trace) -> SimStats:
+    """Simulate ``trace`` with an infinite LLC and no prefetcher."""
+    engine = SimulationEngine(ideal_config(config))
+    return engine.run(trace)

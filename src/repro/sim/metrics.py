@@ -1,0 +1,143 @@
+"""Evaluation metrics exactly as the paper defines them (Section VII-A).
+
+* Speedup — over the no-prefetcher baseline on the same trace.
+* Coverage — Useful Prefetches / Total Baseline Misses.
+* Accuracy — Useful Prefetches / Total Prefetches.
+* L2 MPKI (Fig 7).
+* Timeliness breakdown — on-time / early / late / out-of-window fractions
+  of the issued prefetches (Fig 11).
+* Additional off-chip traffic — TotalPrefetch * (1 - Accuracy) +
+  MetadataTraffic, reported relative to baseline traffic (Fig 12).
+* Storage overhead — metadata bytes / input bytes (Fig 13).
+* Amortized speedup — 1 record iteration + (N-1) replays over N baseline
+  iterations (the paper uses N = 100).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.stats import PhaseStats, SimStats
+
+
+# ---------------------------------------------------------------------------
+# Speedup
+# ---------------------------------------------------------------------------
+def speedup(baseline: SimStats, candidate: SimStats) -> float:
+    """End-to-end speedup of ``candidate`` over ``baseline`` (same trace)."""
+    if candidate.cycles == 0:
+        return 0.0
+    return baseline.cycles / candidate.cycles
+
+
+def iteration_phases(stats: SimStats) -> List[PhaseStats]:
+    return [phase for phase in stats.phases if phase.name.startswith("iter")]
+
+
+def phase_cycles(stats: SimStats, name: str) -> int:
+    for phase in stats.phases:
+        if phase.name == name:
+            return phase.cycles
+    raise KeyError(f"no phase named {name!r}; have {[p.name for p in stats.phases]}")
+
+
+def replay_speedup(baseline: SimStats, candidate: SimStats, skip: int = 1) -> float:
+    """Speedup over the steady-state (replay) iterations only, skipping the
+    first ``skip`` iterations (the record iteration)."""
+    base_phases = iteration_phases(baseline)[skip:]
+    cand_phases = iteration_phases(candidate)[skip:]
+    base_cycles = sum(p.cycles for p in base_phases)
+    cand_cycles = sum(p.cycles for p in cand_phases)
+    if cand_cycles == 0:
+        return 0.0
+    return base_cycles / cand_cycles
+
+
+def amortized_speedup(
+    baseline: SimStats, candidate: SimStats, total_iterations: int = 100
+) -> float:
+    """Paper Section VII-A.1: 100-iteration speedup, with iteration 0 being
+    RnR's record iteration (slightly slower than baseline) and the rest
+    replays."""
+    base_phases = iteration_phases(baseline)
+    cand_phases = iteration_phases(candidate)
+    if not base_phases or not cand_phases:
+        return speedup(baseline, candidate)
+    base_iter = sum(p.cycles for p in base_phases) / len(base_phases)
+    record_iter = cand_phases[0].cycles
+    if len(cand_phases) > 1:
+        replay_iter = sum(p.cycles for p in cand_phases[1:]) / (len(cand_phases) - 1)
+    else:
+        replay_iter = record_iter
+    base_total = base_iter * total_iterations
+    cand_total = record_iter + replay_iter * (total_iterations - 1)
+    if cand_total == 0:
+        return 0.0
+    return base_total / cand_total
+
+
+# ---------------------------------------------------------------------------
+# Coverage / accuracy / MPKI
+# ---------------------------------------------------------------------------
+def coverage(baseline: SimStats, candidate: SimStats) -> float:
+    """Useful prefetches over the *baseline's* demand L2 misses."""
+    return candidate.prefetch.coverage(baseline.l2.demand_misses)
+
+
+def accuracy(candidate: SimStats) -> float:
+    return candidate.prefetch.accuracy
+
+
+def l2_mpki(stats: SimStats) -> float:
+    return stats.l2_mpki
+
+
+def mpki_reduction(baseline: SimStats, candidate: SimStats) -> float:
+    """Fractional reduction of demand L2 MPKI (Fig 7 commentary)."""
+    if baseline.l2_mpki == 0:
+        return 0.0
+    return 1.0 - candidate.l2_mpki / baseline.l2_mpki
+
+
+# ---------------------------------------------------------------------------
+# Timeliness (Fig 11)
+# ---------------------------------------------------------------------------
+def timeliness_breakdown(stats: SimStats) -> Dict[str, float]:
+    """Fractions of issued prefetches in the four paper categories."""
+    prefetch = stats.prefetch
+    issued = prefetch.issued
+    if issued == 0:
+        return {"on_time": 0.0, "early": 0.0, "late": 0.0, "out_of_window": 0.0}
+    return {
+        "on_time": prefetch.on_time / issued,
+        "early": prefetch.early / issued,
+        "late": prefetch.late / issued,
+        "out_of_window": prefetch.out_of_window / issued,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Off-chip traffic (Fig 12)
+# ---------------------------------------------------------------------------
+def baseline_traffic_lines(stats: SimStats) -> int:
+    return stats.traffic.demand_lines + stats.traffic.writeback_lines
+
+
+def additional_traffic_ratio(baseline: SimStats, candidate: SimStats) -> float:
+    """Extra off-chip lines (wasted prefetches + metadata) relative to the
+    baseline's demand traffic."""
+    base_lines = baseline_traffic_lines(baseline)
+    if base_lines == 0:
+        return 0.0
+    extra = candidate.traffic.total - base_lines
+    return max(0.0, extra / base_lines)
+
+
+# ---------------------------------------------------------------------------
+# Storage overhead (Fig 13)
+# ---------------------------------------------------------------------------
+def storage_overhead(metadata_bytes: int, input_bytes: int) -> float:
+    """RnR metadata size as a fraction of the workload's input size."""
+    if input_bytes <= 0:
+        raise ValueError(f"input size must be positive, got {input_bytes}")
+    return metadata_bytes / input_bytes

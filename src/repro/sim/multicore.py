@@ -1,0 +1,123 @@
+"""Lockstep multicore simulation (paper Section V-E / VI).
+
+The paper runs 4-core SPMD workloads: each worker owns a graph partition,
+has private L1/L2 and its own per-core RnR state, and shares the LLC and
+the memory controller.  This engine interleaves the per-core traces in
+global time order: at every step the core with the smallest local clock
+consumes its next trace entry, so shared-resource contention (LLC
+capacity, DRAM banks/bus, write drains) is modelled in rough cycle order.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.cache.cache import Cache
+from repro.cache.hierarchy import L2Event
+from repro.config import SystemConfig
+from repro.mem.controller import MemoryController
+from repro.prefetchers.base import NullPrefetcher, Prefetcher
+from repro.sim.engine import SimulationEngine
+from repro.stats import SimStats
+from repro.trace.record import KIND_DIRECTIVE, KIND_LOAD
+from repro.trace.trace import Trace
+
+
+class MulticoreEngine:
+    """Runs one trace per core against a shared LLC + memory controller."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        prefetchers: Optional[Sequence[Optional[Prefetcher]]] = None,
+    ):
+        self.config = config
+        self.controller = MemoryController(config.memory, config.core)
+        self.shared_llc = Cache(config.llc)
+        cores = config.cores
+        if prefetchers is None:
+            prefetchers = [None] * cores
+        if len(prefetchers) != cores:
+            raise ValueError(
+                f"need {cores} prefetchers (or None), got {len(prefetchers)}"
+            )
+        self.engines: List[SimulationEngine] = [
+            SimulationEngine(
+                config,
+                prefetcher=prefetchers[i] if prefetchers[i] is not None else NullPrefetcher(),
+                llc=self.shared_llc,
+                controller=self.controller,
+            )
+            for i in range(cores)
+        ]
+
+    # ------------------------------------------------------------------
+    def run(self, traces: Sequence[Trace]) -> List[SimStats]:
+        """Interleave per-core traces by local core time."""
+        if len(traces) != len(self.engines):
+            raise ValueError(
+                f"need {len(self.engines)} traces, got {len(traces)}"
+            )
+        iterators = [iter(trace) for trace in traces]
+        pending = []
+        for idx, iterator in enumerate(iterators):
+            entry = next(iterator, None)
+            if entry is not None:
+                pending.append([0, idx, entry])
+
+        none_event = L2Event.NONE
+        while pending:
+            # Pick the core with the smallest local clock.
+            slot = min(pending, key=lambda item: item[0])
+            _, core_idx, entry = slot
+            engine = self.engines[core_idx]
+            core = engine.core
+
+            gap = entry.gap
+            if gap:
+                core.advance(gap)
+            if entry.kind == KIND_DIRECTIVE:
+                engine._handle_directive(entry.op, entry.args, core.cycle)
+            else:
+                issue = core.issue_cycle()
+                is_store = entry.kind != KIND_LOAD
+                flagged = engine.prefetcher.on_access(
+                    entry.addr, entry.pc, issue, is_store
+                )
+                if is_store:
+                    result = engine.hierarchy.store(entry.addr, issue)
+                    core.retire_store(result.completion)
+                else:
+                    result = engine.hierarchy.load(entry.addr, issue)
+                    core.retire_load(result.completion)
+                if result.l2_event is not none_event:
+                    engine.prefetcher.on_l2_event(
+                        result.line_addr,
+                        entry.pc,
+                        issue,
+                        result.l2_event,
+                        flagged,
+                        result.completion,
+                    )
+
+            nxt = next(iterators[core_idx], None)
+            if nxt is None:
+                pending.remove(slot)
+                final = core.finish()
+                engine.prefetcher.finalize(final)
+                engine.hierarchy.drain(final)
+                engine.stats.instructions = core.instructions
+                engine.stats.cycles = final
+            else:
+                slot[0] = core.cycle
+                slot[2] = nxt
+
+        return [engine.stats for engine in self.engines]
+
+    def aggregate(self) -> SimStats:
+        """Merged statistics across cores (cycles = slowest core)."""
+        total = SimStats()
+        for engine in self.engines:
+            total.merge(engine.stats)
+            total.phases.extend(engine.stats.phases)
+        return total

@@ -1,0 +1,91 @@
+"""Operating-system effects (paper Section IV-C).
+
+The paper argues RnR survives context switches cheaply: the 86.5 B of
+architectural + internal state is saved/restored around the switch, the
+metadata lives in ordinary (per-process) heap memory, and the dominant
+cost — cache warm-up — is one the process pays anyway.
+
+This module gives the simulator a way to *exercise* that claim:
+
+* :func:`emit_context_switch` — workload-side helper emitting the
+  Table I pause, an ``os.switch`` directive, and the resume;
+* :func:`apply_switch` — engine-side interpretation: evict the private
+  caches' contents in proportion to how long the process was descheduled
+  (the other process's working set displacing ours) and advance the local
+  clock by the time away.
+
+Because the RnR metadata is in memory and the registers were saved,
+recording/replaying continues correctly afterwards — which the
+integration tests assert.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.rnr.api import RnRInterface
+from repro.trace.builder import TraceBuilder
+
+#: Directive op interpreted by the simulation engine.
+SWITCH_OP = "os.switch"
+
+#: Synthetic address region "owned" by the other process.
+_FOREIGN_BASE = 0x7000_0000
+
+
+def emit_context_switch(
+    builder: TraceBuilder,
+    rnr: RnRInterface | None,
+    away_cycles: int = 50_000,
+    pollution: float = 1.0,
+) -> None:
+    """Annotate a context switch into the trace.
+
+    ``pollution`` is the fraction of the private caches the other process
+    displaces while we are away (1.0 = complete warm-up loss, the paper's
+    worst case [26], [33]).
+    """
+    if not 0.0 <= pollution <= 1.0:
+        raise ValueError(f"pollution must be in [0, 1], got {pollution}")
+    if away_cycles < 0:
+        raise ValueError(f"away_cycles must be >= 0, got {away_cycles}")
+    if rnr is not None:
+        rnr.prefetch_state.pause()
+    builder.directive(SWITCH_OP, away_cycles, pollution)
+    if rnr is not None:
+        rnr.prefetch_state.resume()
+
+
+def apply_switch(
+    hierarchy: CacheHierarchy,
+    cycle: int,
+    away_cycles: int,
+    pollution: float,
+    seed: int = 0,
+) -> int:
+    """Engine-side model of the switch; returns the resume cycle.
+
+    The other process's execution is not simulated; its effect on us is
+    the displacement of ``pollution`` of each private cache (replaced by
+    foreign lines that we will never touch, i.e. effectively invalidated)
+    plus the wall-clock time away.
+    """
+    rng = random.Random(seed ^ cycle)
+    for cache in (hierarchy.l1, hierarchy.l2):
+        resident = [line_addr for line_addr, _ in cache.resident_lines()]
+        displaced = rng.sample(resident, int(len(resident) * pollution))
+        for index, line_addr in enumerate(displaced):
+            victim = cache.invalidate(line_addr)
+            if victim is None:
+                continue
+            if victim.prefetched:
+                hierarchy.stats.l2.prefetch_evicted_unused += 1
+                if hierarchy.unused_prefetch_classifier is not None:
+                    hierarchy.unused_prefetch_classifier(line_addr, victim.pf_window)
+            if victim.dirty:
+                hierarchy.stats.traffic.writeback_lines += 1
+                hierarchy.controller.write(line_addr * 64, cycle)
+            foreign = (_FOREIGN_BASE // 64) + cycle % 1024 + index
+            cache.fill(foreign, arrive=cycle)
+    return cycle + away_cycles

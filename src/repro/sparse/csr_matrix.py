@@ -1,0 +1,156 @@
+"""Compressed-sparse-row matrix (the storage format of the paper's SpMV
+kernel, Section II / Fig 2)."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+INDPTR_DTYPE = np.int64
+INDEX_DTYPE = np.int32
+VALUE_DTYPE = np.float64
+
+
+class CSRMatrix:
+    """A square-or-rectangular sparse matrix in CSR form."""
+
+    def __init__(
+        self,
+        shape: Tuple[int, int],
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray,
+    ):
+        rows, cols = shape
+        indptr = np.asarray(indptr, dtype=INDPTR_DTYPE)
+        indices = np.asarray(indices, dtype=INDEX_DTYPE)
+        data = np.asarray(data, dtype=VALUE_DTYPE)
+        if indptr.size != rows + 1:
+            raise ValueError(f"indptr must have {rows + 1} entries, got {indptr.size}")
+        if indptr[0] != 0 or indptr[-1] != indices.size or indices.size != data.size:
+            raise ValueError("inconsistent CSR arrays")
+        if np.any(np.diff(indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if indices.size and (indices.min() < 0 or indices.max() >= cols):
+            raise ValueError("column index out of range")
+        self.shape = (rows, cols)
+        self.indptr = indptr
+        self.indices = indices
+        self.data = data
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_coo(
+        cls,
+        shape: Tuple[int, int],
+        rows: np.ndarray,
+        cols: np.ndarray,
+        values: np.ndarray,
+        sum_duplicates: bool = True,
+    ) -> "CSRMatrix":
+        """Build from coordinate-format triplets."""
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        values = np.asarray(values, dtype=VALUE_DTYPE)
+        if not (rows.size == cols.size == values.size):
+            raise ValueError("rows, cols, values must have equal length")
+        n_rows, n_cols = shape
+        if rows.size:
+            if rows.min() < 0 or rows.max() >= n_rows:
+                raise ValueError("row index out of range")
+            if cols.min() < 0 or cols.max() >= n_cols:
+                raise ValueError("column index out of range")
+        keys = rows * n_cols + cols
+        order = np.argsort(keys, kind="stable")
+        keys, rows, cols, values = keys[order], rows[order], cols[order], values[order]
+        if sum_duplicates and keys.size:
+            unique_keys, first = np.unique(keys, return_index=True)
+            summed = np.add.reduceat(values, first)
+            rows = unique_keys // n_cols
+            cols = unique_keys % n_cols
+            values = summed
+        counts = np.bincount(rows, minlength=n_rows) if rows.size else np.zeros(n_rows, dtype=np.int64)
+        indptr = np.concatenate(([0], np.cumsum(counts)))
+        return cls(shape, indptr, cols, values)
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "CSRMatrix":
+        """Build from a dense array."""
+        dense = np.asarray(dense, dtype=VALUE_DTYPE)
+        rows, cols = np.nonzero(dense)
+        return cls.from_coo(dense.shape, rows, cols, dense[rows, cols])
+
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        """Number of stored non-zeros."""
+        return self.indices.size
+
+    @property
+    def num_rows(self) -> int:
+        """Number of rows."""
+        return self.shape[0]
+
+    @property
+    def num_cols(self) -> int:
+        """Number of columns."""
+        return self.shape[1]
+
+    def row(self, i: int) -> Tuple[np.ndarray, np.ndarray]:
+        """(column indices, values) of one row."""
+        lo, hi = self.indptr[i], self.indptr[i + 1]
+        return self.indices[lo:hi], self.data[lo:hi]
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        """y = A @ x (vectorised reference implementation)."""
+        x = np.asarray(x, dtype=VALUE_DTYPE)
+        if x.size != self.num_cols:
+            raise ValueError(f"x has {x.size} entries, need {self.num_cols}")
+        products = self.data * x[self.indices]
+        y = np.zeros(self.num_rows, dtype=VALUE_DTYPE)
+        np.add.at(y, np.repeat(np.arange(self.num_rows), np.diff(self.indptr)), products)
+        return y
+
+    def to_dense(self) -> np.ndarray:
+        """Expand to a dense array (small matrices only)."""
+        dense = np.zeros(self.shape, dtype=VALUE_DTYPE)
+        for i in range(self.num_rows):
+            cols, vals = self.row(i)
+            dense[i, cols] = vals
+        return dense
+
+    # ------------------------------------------------------------------
+    def is_symmetric(self, tol: float = 1e-12) -> bool:
+        """Whether the matrix equals its transpose."""
+        if self.num_rows != self.num_cols:
+            return False
+        transpose = self.transpose()
+        return (
+            np.array_equal(self.indptr, transpose.indptr)
+            and np.array_equal(self.indices, transpose.indices)
+            and np.allclose(self.data, transpose.data, atol=tol)
+        )
+
+    def transpose(self) -> "CSRMatrix":
+        """The transposed matrix/graph."""
+        rows = np.repeat(np.arange(self.num_rows), np.diff(self.indptr))
+        return CSRMatrix.from_coo(
+            (self.num_cols, self.num_rows),
+            self.indices.astype(np.int64),
+            rows,
+            self.data,
+            sum_duplicates=False,
+        )
+
+    @property
+    def input_bytes(self) -> int:
+        """Footprint of the CSR arrays (Fig 13 denominator)."""
+        return (
+            self.indptr.size * self.indptr.itemsize
+            + self.indices.size * self.indices.itemsize
+            + self.data.size * self.data.itemsize
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"CSRMatrix(shape={self.shape}, nnz={self.nnz})"

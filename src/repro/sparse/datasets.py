@@ -1,0 +1,71 @@
+"""Named sparse-matrix inputs (paper Table III), scaled.
+
+==========  ============================  =================================
+Name        Paper input (SuiteSparse)     Generator
+==========  ============================  =================================
+atmosmodj   1.27 M rows, 8.8 M nnz        3-D 7-point stencil
+bbmat       38.7 K rows, 1.77 M nnz       multi-band CFD-like
+nlpkkt80    1.06 M rows, 28.5 M nnz       KKT block system
+pdb1HYS     36.4 K rows, 4.3 M nnz        protein contact map
+==========  ============================  =================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.sparse.csr_matrix import CSRMatrix
+from repro.sparse.generators import banded_random, contact_map, kkt_system, stencil_3d
+
+MATRIX_NAMES = ("atmosmodj", "bbmat", "nlpkkt80", "pdb1HYS")
+
+_BENCH_N = 12288
+_TEST_N = 1024
+
+
+def _make_atmosmodj(n: int) -> CSRMatrix:
+    side = max(2, round(n ** (1 / 3)))
+    return stencil_3d(side, side, side)
+
+
+def _make_bbmat(n: int) -> CSRMatrix:
+    return banded_random(n, bands=(1, 4, 32, n // 48 or 8), fill=0.6, seed=21)
+
+
+def _make_nlpkkt(n: int) -> CSRMatrix:
+    n_primal = (n * 2) // 3
+    return kkt_system(n_primal, n - n_primal, nnz_per_row=6, seed=22)
+
+
+def _make_pdb(n: int) -> CSRMatrix:
+    return contact_map(n, cluster_size=48, contact_fraction=0.02, seed=23)
+
+
+_FACTORIES: Dict[str, Callable[[int], CSRMatrix]] = {
+    "atmosmodj": _make_atmosmodj,
+    "bbmat": _make_bbmat,
+    "nlpkkt80": _make_nlpkkt,
+    "pdb1HYS": _make_pdb,
+}
+
+_SCALES: Dict[str, int] = {"bench": _BENCH_N, "test": _TEST_N}
+
+_CACHE: Dict[Tuple[str, str], CSRMatrix] = {}
+
+
+def make_matrix(name: str, scale: str = "bench") -> CSRMatrix:
+    """Build (and memoize) a named input matrix."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown matrix {name!r}; known: {', '.join(MATRIX_NAMES)}"
+        ) from None
+    try:
+        n = _SCALES[scale]
+    except KeyError:
+        raise ValueError(f"unknown scale {scale!r}; known: bench, test") from None
+    key = (name, scale)
+    if key not in _CACHE:
+        _CACHE[key] = factory(n)
+    return _CACHE[key]

@@ -1,0 +1,92 @@
+"""Simulated virtual address space for workloads.
+
+Workloads allocate their arrays here; the allocator hands out page-aligned,
+non-overlapping regions so that the RnR boundary registers (base + size)
+have real, distinguishable ranges to check — and so that the stream
+prefetcher sees the same array layouts the paper's compiled binaries had.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class Region:
+    """One allocated array."""
+
+    name: str
+    base: int
+    size: int
+    element_size: int
+
+    @property
+    def end(self) -> int:
+        """One past the last byte of the region."""
+        return self.base + self.size
+
+    def addr(self, index: int) -> int:
+        """Byte address of element ``index``."""
+        offset = index * self.element_size
+        if offset < 0 or offset >= self.size:
+            raise IndexError(
+                f"{self.name}[{index}] out of range (size {self.size} bytes, "
+                f"element {self.element_size} bytes)"
+            )
+        return self.base + offset
+
+    def contains(self, address: int) -> bool:
+        """Whether the address/element falls inside."""
+        return self.base <= address < self.end
+
+
+class AddressSpace:
+    """Sequential bump allocator with page alignment and guard gaps."""
+
+    PAGE = 4096
+
+    def __init__(self, start: int = 0x10_0000):
+        self._next = start
+        self._regions: Dict[str, Region] = {}
+
+    def alloc(self, name: str, count: int, element_size: int) -> Region:
+        """Allocate an array of ``count`` elements of ``element_size`` bytes."""
+        if name in self._regions:
+            raise ValueError(f"region {name!r} already allocated")
+        if count < 0 or element_size <= 0:
+            raise ValueError(f"bad allocation {name!r}: count={count}, elem={element_size}")
+        size = max(1, count * element_size)
+        base = self._next
+        span = (size + self.PAGE - 1) // self.PAGE * self.PAGE
+        self._next = base + span + self.PAGE  # one guard page between arrays
+        region = Region(name, base, size, element_size)
+        self._regions[name] = region
+        return region
+
+    def free(self, name: str) -> None:
+        """Release a region (address space is not reused; this models
+        RnR.end() freeing the metadata arrays)."""
+        del self._regions[name]
+
+    def __getitem__(self, name: str) -> Region:
+        return self._regions[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._regions
+
+    def regions(self) -> Dict[str, Region]:
+        """Copy of the name -> Region mapping."""
+        return dict(self._regions)
+
+    def region_of(self, address: int) -> str:
+        """Name of the region containing ``address`` (for diagnostics)."""
+        for region in self._regions.values():
+            if region.contains(address):
+                return region.name
+        return "<unmapped>"
+
+    @property
+    def high_water(self) -> int:
+        """Highest address handed out so far."""
+        return self._next

@@ -1,0 +1,56 @@
+"""Incremental trace construction used by the workload implementations."""
+
+from __future__ import annotations
+
+from repro.trace.record import KIND_LOAD, KIND_STORE, Directive, TraceRecord
+from repro.trace.trace import Trace
+
+
+class TraceBuilder:
+    """Accumulates a trace while a workload algorithm runs.
+
+    ``work(n)`` charges ``n`` non-memory instructions (arithmetic, control
+    flow); the next emitted reference carries them as its gap, exactly the
+    way a PIN trace encodes inter-memory-op distance.
+    """
+
+    def __init__(self) -> None:
+        self.trace = Trace()
+        self._pending_gap = 0
+
+    def work(self, instructions: int = 1) -> None:
+        """Charge non-memory instructions since the last reference."""
+        if instructions < 0:
+            raise ValueError(f"negative work: {instructions}")
+        self._pending_gap += instructions
+
+    def load(self, address: int, pc: int = 0) -> None:
+        """Emit one load record."""
+        self.trace.append(TraceRecord(KIND_LOAD, address, pc, self._pending_gap))
+        self._pending_gap = 0
+
+    def store(self, address: int, pc: int = 0) -> None:
+        """Emit one store record."""
+        self.trace.append(TraceRecord(KIND_STORE, address, pc, self._pending_gap))
+        self._pending_gap = 0
+
+    def directive(self, op: str, *args) -> None:
+        """Emit one directive."""
+        self.trace.append(Directive(op, args, self._pending_gap))
+        self._pending_gap = 0
+
+    # Convenience markers --------------------------------------------------
+    def iter_begin(self, index: int) -> None:
+        """Mark the start of iteration ``index``."""
+        self.directive("iter.begin", index)
+
+    def iter_end(self, index: int) -> None:
+        """Mark the end of iteration ``index``."""
+        self.directive("iter.end", index)
+
+    def build(self) -> Trace:
+        """Finish and return the trace."""
+        if self._pending_gap:
+            # Preserve trailing non-memory work in the instruction count.
+            self.directive("trace.end")
+        return self.trace

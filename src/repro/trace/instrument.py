@@ -1,0 +1,146 @@
+"""Automatic trace instrumentation (the PIN substitute for user code).
+
+The built-in workloads hand-emit their loads/stores for precise control.
+For *user* algorithms, :class:`InstrumentedArray` makes tracing free:
+wrap your arrays, write plain Python indexing, and every element access
+is emitted into the trace with a per-array PC — the same way the paper's
+authors ran real binaries under PIN and kept only the data references.
+
+    tracer = Tracer()
+    x = tracer.array("x", 1024, elem_size=8, pc=0x100)
+    idx = tracer.array("idx", 256, elem_size=4, pc=0x104)
+    for i in range(256):
+        value = x[int(idx[i])]        # emits LOAD idx[i], LOAD x[...]
+        x[int(idx[i])] = value + 1.0  # emits LOAD idx[i], STORE x[...]
+    trace = tracer.build()
+
+Arrays hold real numpy data, so the algorithm's results are correct while
+its memory behaviour is captured.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.rnr.api import RnRInterface
+from repro.trace.address_space import AddressSpace, Region
+from repro.trace.builder import TraceBuilder
+
+
+class InstrumentedArray:
+    """A numpy-backed array that traces element reads and writes."""
+
+    def __init__(
+        self,
+        builder: TraceBuilder,
+        region: Region,
+        data: np.ndarray,
+        pc: int,
+        work_per_access: int = 2,
+    ):
+        self._builder = builder
+        self.region = region
+        self.data = data
+        self.pc = pc
+        self.work_per_access = work_per_access
+
+    def _check(self, index) -> int:
+        index = int(index)
+        if index < 0:
+            index += self.data.size
+        if not 0 <= index < self.data.size:
+            raise IndexError(
+                f"{self.region.name}[{index}] out of range (size {self.data.size})"
+            )
+        return index
+
+    def __getitem__(self, index):
+        index = self._check(index)
+        self._builder.work(self.work_per_access)
+        self._builder.load(self.region.addr(index), self.pc)
+        return self.data[index]
+
+    def __setitem__(self, index, value) -> None:
+        index = self._check(index)
+        self._builder.work(self.work_per_access)
+        self._builder.store(self.region.addr(index), self.pc)
+        self.data[index] = value
+
+    def __len__(self) -> int:
+        return self.data.size
+
+    def peek(self, index) -> np.generic:
+        """Read without emitting a trace record (for assertions)."""
+        return self.data[self._check(index)]
+
+
+class Tracer:
+    """Owns a trace builder, an address space, and the instrumented arrays."""
+
+    _NEXT_PC = 0x1000
+
+    def __init__(self, rnr_window: int = 16):
+        self.space = AddressSpace()
+        self.builder = TraceBuilder()
+        self.rnr = RnRInterface(self.builder, self.space, default_window=rnr_window)
+        self._arrays: Dict[str, InstrumentedArray] = {}
+
+    def array(
+        self,
+        name: str,
+        count: int,
+        elem_size: int = 8,
+        pc: Optional[int] = None,
+        dtype=np.float64,
+        fill: float = 0.0,
+    ) -> InstrumentedArray:
+        """Allocate and wrap a traced array."""
+        if pc is None:
+            pc = Tracer._NEXT_PC
+            Tracer._NEXT_PC += 4
+        region = self.space.alloc(name, count, elem_size)
+        data = np.full(count, fill, dtype=dtype)
+        array = InstrumentedArray(self.builder, region, data, pc)
+        self._arrays[name] = array
+        return array
+
+    def __getitem__(self, name: str) -> InstrumentedArray:
+        return self._arrays[name]
+
+    # -- phase / RnR conveniences -------------------------------------------
+    def iteration(self, index: int):
+        """Context manager marking one iteration (and RnR record/replay)."""
+        return _IterationScope(self, index)
+
+    def work(self, instructions: int) -> None:
+        """Charge non-memory instructions."""
+        self.builder.work(instructions)
+
+    def build(self):
+        """Finish and return the trace."""
+        return self.builder.build()
+
+
+class _IterationScope:
+    """``with tracer.iteration(i):`` emits iter markers and, when the
+    tracer's RnR interface is initialised, the start/replay calls."""
+
+    def __init__(self, tracer: Tracer, index: int):
+        self._tracer = tracer
+        self._index = index
+
+    def __enter__(self):
+        tracer = self._tracer
+        if tracer.rnr._initialized:
+            if self._index == 0:
+                tracer.rnr.prefetch_state.start()
+            else:
+                tracer.rnr.prefetch_state.replay()
+        tracer.builder.iter_begin(self._index)
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self._tracer.builder.iter_end(self._index)
+        return False

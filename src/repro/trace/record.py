@@ -1,0 +1,73 @@
+"""Trace record types.
+
+A trace is a sequence of memory references interleaved with *directives* —
+the software half of the RnR hardware/software interface (and generic
+phase markers used by the metrics code).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+KIND_LOAD = 0
+KIND_STORE = 1
+KIND_DIRECTIVE = 2
+
+_KIND_NAMES = {KIND_LOAD: "LOAD", KIND_STORE: "STORE", KIND_DIRECTIVE: "DIR"}
+
+
+class TraceRecord:
+    """One memory reference.
+
+    ``gap`` is the number of non-memory instructions executed since the
+    previous record (the core model turns this into pipeline cycles).
+    """
+
+    __slots__ = ("kind", "addr", "pc", "gap")
+
+    def __init__(self, kind: int, addr: int, pc: int, gap: int = 0):
+        self.kind = kind
+        self.addr = addr
+        self.pc = pc
+        self.gap = gap
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"TraceRecord({_KIND_NAMES[self.kind]}, addr={self.addr:#x}, "
+            f"pc={self.pc:#x}, gap={self.gap})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TraceRecord):
+            return NotImplemented
+        return (
+            self.kind == other.kind
+            and self.addr == other.addr
+            and self.pc == other.pc
+            and self.gap == other.gap
+        )
+
+
+class Directive:
+    """A software-to-hardware call embedded in the trace.
+
+    ``op`` names the Table I function (e.g. ``"addr_base.set"``,
+    ``"state.start"``) or a phase marker (``"iter.begin"``).
+    """
+
+    __slots__ = ("op", "args", "gap")
+
+    kind = KIND_DIRECTIVE
+
+    def __init__(self, op: str, args: Tuple = (), gap: int = 0):
+        self.op = op
+        self.args = tuple(args)
+        self.gap = gap
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Directive({self.op}, args={self.args})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Directive):
+            return NotImplemented
+        return self.op == other.op and self.args == other.args and self.gap == other.gap

@@ -1,0 +1,120 @@
+"""Trace container with summary statistics and file round-trip."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Iterator, List, Union
+
+from repro.trace.record import (
+    KIND_DIRECTIVE,
+    KIND_LOAD,
+    KIND_STORE,
+    Directive,
+    TraceRecord,
+)
+
+Entry = Union[TraceRecord, Directive]
+
+
+class Trace:
+    """An ordered sequence of memory references and directives."""
+
+    def __init__(self, entries: Iterable[Entry] = ()):
+        self._entries: List[Entry] = list(entries)
+
+    # -- sequence protocol -------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[Entry]:
+        return iter(self._entries)
+
+    def __getitem__(self, idx):
+        return self._entries[idx]
+
+    def append(self, entry: Entry) -> None:
+        """Append one entry."""
+        self._entries.append(entry)
+
+    def extend(self, entries: Iterable[Entry]) -> None:
+        """Append many entries."""
+        self._entries.extend(entries)
+
+    # -- summaries ----------------------------------------------------------
+    @property
+    def num_loads(self) -> int:
+        """Number of load records."""
+        return sum(1 for e in self._entries if e.kind == KIND_LOAD)
+
+    @property
+    def num_stores(self) -> int:
+        """Number of store records."""
+        return sum(1 for e in self._entries if e.kind == KIND_STORE)
+
+    @property
+    def num_directives(self) -> int:
+        """Number of embedded directives."""
+        return sum(1 for e in self._entries if e.kind == KIND_DIRECTIVE)
+
+    @property
+    def instructions(self) -> int:
+        """Total instruction count: every record is one instruction plus its
+        preceding gap of non-memory instructions (directives are free)."""
+        total = 0
+        for entry in self._entries:
+            total += entry.gap
+            if entry.kind != KIND_DIRECTIVE:
+                total += 1
+        return total
+
+    def memory_references(self) -> Iterator[TraceRecord]:
+        """Iterate loads and stores only."""
+        for entry in self._entries:
+            if entry.kind != KIND_DIRECTIVE:
+                yield entry  # type: ignore[misc]
+
+    def directives(self) -> Iterator[Directive]:
+        """Iterate directives only."""
+        for entry in self._entries:
+            if entry.kind == KIND_DIRECTIVE:
+                yield entry  # type: ignore[misc]
+
+    # -- persistence ----------------------------------------------------------
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the trace as JSON-lines (compact, diff-friendly)."""
+        path = Path(path)
+        with path.open("w") as fh:
+            for entry in self._entries:
+                if entry.kind == KIND_DIRECTIVE:
+                    fh.write(
+                        json.dumps(
+                            {"d": entry.op, "a": list(entry.args), "g": entry.gap}
+                        )
+                    )
+                else:
+                    fh.write(
+                        json.dumps(
+                            {
+                                "k": entry.kind,
+                                "x": entry.addr,
+                                "p": entry.pc,
+                                "g": entry.gap,
+                            }
+                        )
+                    )
+                fh.write("\n")
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Trace":
+        """Emit one load record."""
+        path = Path(path)
+        entries: List[Entry] = []
+        with path.open() as fh:
+            for line in fh:
+                obj = json.loads(line)
+                if "d" in obj:
+                    entries.append(Directive(obj["d"], tuple(obj["a"]), obj["g"]))
+                else:
+                    entries.append(TraceRecord(obj["k"], obj["x"], obj["p"], obj["g"]))
+        return cls(entries)

@@ -1,0 +1,27 @@
+"""Traced workload implementations (paper Section VI).
+
+Each workload runs its real algorithm against simulated memory and emits
+the resulting load/store trace with embedded RnR directives — the stand-in
+for the paper's PIN-extracted ChampSim traces of Ligra PageRank, X-Stream
+Hyper-ANF, and Adept spCG.
+"""
+
+from repro.workloads.base import Workload
+from repro.workloads.pagerank import PageRankWorkload
+from repro.workloads.hyperanf import HyperAnfWorkload
+from repro.workloads.spcg import SpCGWorkload
+from repro.workloads.spmv import SpMVWorkload
+from repro.workloads.belief_propagation import BeliefPropagationWorkload
+from repro.workloads.label_propagation import LabelPropagationWorkload
+from repro.workloads.spmd import build_spmd_traces
+
+__all__ = [
+    "BeliefPropagationWorkload",
+    "HyperAnfWorkload",
+    "LabelPropagationWorkload",
+    "PageRankWorkload",
+    "SpCGWorkload",
+    "SpMVWorkload",
+    "Workload",
+    "build_spmd_traces",
+]

@@ -1,0 +1,233 @@
+"""Workload base class: address-space layout, trace-emission helpers, and
+the record/replay iteration protocol shared by all three applications.
+
+Trace compression
+-----------------
+Pure streaming accesses (reading the edge array, the CSR value array, a
+dense vector in order) touch every element, but only the first touch of
+each cache line reaches the L2 — the rest are L1 hits that carry no
+information for any L2-trained prefetcher.  ``stream_read``/``stream_write``
+therefore emit **one reference per cache line** and account the elided
+per-element loads as gap instructions, which keeps instruction counts (and
+thus IPC/MPKI denominators) faithful while cutting trace length ~8-16x.
+Irregular gathers — the access patterns this paper is about — are always
+emitted per element.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.config import LINE_SIZE
+from repro.rnr.api import RnRInterface
+from repro.trace.address_space import AddressSpace, Region
+from repro.trace.builder import TraceBuilder
+from repro.trace.trace import Trace
+
+
+class StreamCursor:
+    """Line-compressed emission for a stream interleaved with other
+    accesses (e.g. the CSR targets array walked while gathers happen):
+    ``touch(i)`` emits one reference the first time each cache line is
+    entered and charges the remaining element touches as gap work."""
+
+    def __init__(
+        self,
+        builder: TraceBuilder,
+        region: Region,
+        pc: int,
+        work_per_elem: int = 1,
+        is_store: bool = False,
+    ):
+        self._builder = builder
+        self._region = region
+        self._pc = pc
+        self._work = work_per_elem
+        self._emit = builder.store if is_store else builder.load
+        self._last_line = -1
+
+    def touch(self, index: int) -> None:
+        """Note a use of the line."""
+        address = self._region.addr(index)
+        line = address // LINE_SIZE
+        if line != self._last_line:
+            self._builder.work(self._work)
+            self._emit(address, self._pc)
+            self._last_line = line
+        else:
+            self._builder.work(self._work + 1)
+
+
+class Workload(abc.ABC):
+    """One traced application."""
+
+    name = "workload"
+
+    def __init__(self, iterations: int = 3, window_size: int = 16):
+        if iterations < 2:
+            raise ValueError(
+                f"need >= 2 iterations (1 record + >=1 replay), got {iterations}"
+            )
+        self.iterations = iterations
+        self.window_size = window_size
+        self.space: Optional[AddressSpace] = None
+        self.builder: Optional[TraceBuilder] = None
+        self.rnr: Optional[RnRInterface] = None
+        self._arrays: Dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # Subclass contract
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _allocate(self) -> None:
+        """Allocate regions in ``self.space`` and initialise numpy state."""
+
+    @abc.abstractmethod
+    def _setup_rnr(self) -> None:
+        """Issue AddrBase.set/enable calls for the irregular structures."""
+
+    @abc.abstractmethod
+    def _run_iteration(self, iteration: int) -> None:
+        """Run one algorithm iteration, emitting its trace."""
+
+    def _after_iteration(self, iteration: int, rnr_enabled: bool) -> None:
+        """Hook for per-iteration RnR base swaps (default: nothing)."""
+
+    @property
+    @abc.abstractmethod
+    def input_bytes(self) -> int:
+        """Size of the input data (Fig 13 storage-overhead denominator)."""
+
+    # ------------------------------------------------------------------
+    # Trace construction protocol
+    # ------------------------------------------------------------------
+    def build_trace(self, rnr: bool = True) -> Trace:
+        """Build the full multi-iteration trace.
+
+        Iteration 0 is the RnR record iteration; iterations 1+ are
+        replays.  With ``rnr=False`` the same reference stream is emitted
+        without any RnR directives (for baselines and other prefetchers).
+        """
+        self.space = AddressSpace()
+        self.builder = TraceBuilder()
+        self._arrays.clear()
+        self._allocate()
+        self.emit_droplet_descriptors()
+        if rnr:
+            self.rnr = RnRInterface(
+                self.builder, self.space, default_window=self.window_size
+            )
+            self.rnr.init()
+            self._setup_rnr()
+        else:
+            self.rnr = None
+        self._emit_init_phase()
+        for iteration in range(self.iterations):
+            if rnr:
+                if iteration == 0:
+                    self.rnr.prefetch_state.start()
+                else:
+                    self.rnr.prefetch_state.replay()
+            self.builder.iter_begin(iteration)
+            self._run_iteration(iteration)
+            self.builder.iter_end(iteration)
+            self._after_iteration(iteration, rnr)
+        if rnr:
+            self.rnr.prefetch_state.end()
+            self.rnr.end()
+        return self.builder.build()
+
+    def _emit_init_phase(self) -> None:
+        """Default warm-up: stream-write every allocated region once (the
+        program initialising its arrays)."""
+        self.builder.directive("phase.init")
+
+    # ------------------------------------------------------------------
+    # Emission helpers
+    # ------------------------------------------------------------------
+    def load_elem(self, region: Region, index: int, pc: int, work: int = 0) -> None:
+        """Per-element load."""
+        if work:
+            self.builder.work(work)
+        self.builder.load(region.addr(index), pc)
+
+    def store_elem(self, region: Region, index: int, pc: int, work: int = 0) -> None:
+        """Per-element store."""
+        if work:
+            self.builder.work(work)
+        self.builder.store(region.addr(index), pc)
+
+    def stream_read(
+        self,
+        region: Region,
+        start: int,
+        count: int,
+        pc: int,
+        work_per_elem: int = 1,
+    ) -> None:
+        """Line-compressed sequential read of ``count`` elements."""
+        self._stream(region, start, count, pc, work_per_elem, is_store=False)
+
+    def stream_write(
+        self,
+        region: Region,
+        start: int,
+        count: int,
+        pc: int,
+        work_per_elem: int = 1,
+    ) -> None:
+        """Line-compressed sequential write of ``count`` elements."""
+        self._stream(region, start, count, pc, work_per_elem, is_store=True)
+
+    def _stream(
+        self,
+        region: Region,
+        start: int,
+        count: int,
+        pc: int,
+        work_per_elem: int,
+        is_store: bool,
+    ) -> None:
+        if count <= 0:
+            return
+        first = region.addr(start)
+        last = region.addr(start + count - 1)
+        builder = self.builder
+        emit = builder.store if is_store else builder.load
+        elems_per_line = max(1, LINE_SIZE // region.element_size)
+        line = first // LINE_SIZE
+        last_line = last // LINE_SIZE
+        remaining = count
+        while line <= last_line:
+            covered = min(remaining, elems_per_line)
+            # One real reference per line; the other element touches are
+            # L1 hits, charged as gap instructions.
+            builder.work(covered * work_per_elem + (covered - 1))
+            emit(line * LINE_SIZE, pc)
+            remaining -= covered
+            line += 1
+
+    # ------------------------------------------------------------------
+    # Prefetcher software descriptors / data callbacks
+    # ------------------------------------------------------------------
+    def emit_droplet_descriptors(self) -> None:
+        """Subclasses with an edge/vertex structure override this to emit
+        ``droplet.edges`` / ``droplet.values`` directives."""
+
+    def read_int(self, address: int, elem_size: int) -> Optional[int]:
+        """IMP's value reader: fetch the integer stored at a simulated
+        address, if it falls in a known integer array."""
+        return None
+
+    # ------------------------------------------------------------------
+    def region(self, name: str) -> Region:
+        """Look up an allocated region by name."""
+        assert self.space is not None, "build_trace() not started"
+        return self.space[name]
+
+    def array(self, name: str) -> np.ndarray:
+        """Look up a numpy state array by name."""
+        return self._arrays[name]

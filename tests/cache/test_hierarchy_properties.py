@@ -1,0 +1,96 @@
+"""Property-based invariants of the cache hierarchy under random access
+and prefetch interleavings."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config import LINE_SIZE, SystemConfig
+from tests.helpers import make_hierarchy
+
+OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["load", "store", "prefetch"]),
+        st.integers(min_value=0, max_value=255),  # line
+        st.integers(min_value=0, max_value=200),  # cycle delta
+    ),
+    min_size=1,
+    max_size=150,
+)
+
+
+def run_ops(ops):
+    hierarchy, stats = make_hierarchy(SystemConfig.tiny())
+    cycle = 0
+    for op, line, delta in ops:
+        cycle += delta
+        if op == "load":
+            hierarchy.load(line * LINE_SIZE, cycle)
+        elif op == "store":
+            hierarchy.store(line * LINE_SIZE, cycle)
+        else:
+            hierarchy.prefetch_l2(line, cycle)
+    hierarchy.drain(cycle + 10**7)
+    return hierarchy, stats
+
+
+class TestAccountingInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(OPS)
+    def test_hits_plus_misses_equals_accesses(self, ops):
+        _, stats = run_ops(ops)
+        for level in (stats.l1d, stats.l2, stats.llc):
+            assert level.demand_hits + level.demand_misses == level.demand_accesses
+
+    @settings(max_examples=40, deadline=None)
+    @given(OPS)
+    def test_l1_sees_every_demand(self, ops):
+        _, stats = run_ops(ops)
+        demands = sum(1 for op, _, _ in ops if op != "prefetch")
+        assert stats.l1d.demand_accesses == demands
+
+    @settings(max_examples=40, deadline=None)
+    @given(OPS)
+    def test_demand_traffic_bounded_by_llc_misses(self, ops):
+        _, stats = run_ops(ops)
+        assert stats.traffic.demand_lines == stats.llc.demand_misses
+
+    @settings(max_examples=40, deadline=None)
+    @given(OPS)
+    def test_prefetch_accounting_partitions(self, ops):
+        """Every prefetch call is either issued or dropped."""
+        _, stats = run_ops(ops)
+        calls = sum(1 for op, _, _ in ops if op == "prefetch")
+        assert stats.prefetch.issued + stats.prefetch.dropped == calls
+
+    @settings(max_examples=40, deadline=None)
+    @given(OPS)
+    def test_useful_plus_unused_bounded_by_fills(self, ops):
+        _, stats = run_ops(ops)
+        assert (
+            stats.prefetch.useful + stats.l2.prefetch_evicted_unused
+            <= stats.l2.prefetch_fills + stats.prefetch.late
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(OPS)
+    def test_occupancy_within_capacity(self, ops):
+        hierarchy, _ = run_ops(ops)
+        config = SystemConfig.tiny()
+        assert hierarchy.l1.occupancy <= config.l1d.num_lines
+        assert hierarchy.l2.occupancy <= config.l2.num_lines
+        assert hierarchy.llc.occupancy <= config.llc.num_lines
+
+    @settings(max_examples=30, deadline=None)
+    @given(OPS)
+    def test_completion_monotone_with_issue_time(self, ops):
+        """A later access to the same line never completes before an
+        earlier access's issue."""
+        hierarchy, _ = make_hierarchy(SystemConfig.tiny())
+        cycle = 0
+        for op, line, delta in ops:
+            cycle += delta
+            if op == "prefetch":
+                hierarchy.prefetch_l2(line, cycle)
+            else:
+                action = hierarchy.load if op == "load" else hierarchy.store
+                result = action(line * LINE_SIZE, cycle)
+                assert result.completion >= cycle

@@ -1,0 +1,27 @@
+"""Tests for the CacheLine bookkeeping structure."""
+
+import pytest
+
+from repro.cache.line import CacheLine
+
+
+class TestCacheLine:
+    def test_defaults(self):
+        line = CacheLine(7, arrive=42)
+        assert line.tag == 7
+        assert line.arrive == 42
+        assert not line.dirty
+        assert not line.prefetched
+        assert line.pf_window == -1
+
+    def test_slots_prevent_new_attributes(self):
+        line = CacheLine(1)
+        with pytest.raises(AttributeError):
+            line.bogus = 1
+
+    def test_repr_flags(self):
+        line = CacheLine(3)
+        line.dirty = True
+        line.prefetched = True
+        text = repr(line)
+        assert "D" in text and "P" in text

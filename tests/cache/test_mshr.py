@@ -1,0 +1,70 @@
+"""Tests for the MSHR file."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cache.mshr import MSHRFile
+
+
+class TestAcquire:
+    def test_free_mshr_no_delay(self):
+        mshr = MSHRFile(4)
+        assert mshr.acquire(100) == 100
+
+    def test_full_mshr_delays_to_earliest_completion(self):
+        mshr = MSHRFile(2)
+        mshr.acquire(0)
+        mshr.register(50)
+        mshr.acquire(0)
+        mshr.register(80)
+        assert mshr.acquire(10) == 50  # waits for the 50-cycle fill
+        assert mshr.stalls == 1
+
+    def test_completed_entries_freed(self):
+        mshr = MSHRFile(1)
+        mshr.acquire(0)
+        mshr.register(50)
+        assert mshr.acquire(60) == 60  # the earlier miss already completed
+        assert mshr.stalls == 0
+
+    def test_occupancy(self):
+        mshr = MSHRFile(4)
+        mshr.register(100)
+        mshr.register(200)
+        assert mshr.occupancy == 2
+
+    def test_reset(self):
+        mshr = MSHRFile(2)
+        mshr.register(100)
+        mshr.reset()
+        assert mshr.occupancy == 0
+        assert mshr.stalls == 0
+
+    def test_rejects_zero_entries(self):
+        with pytest.raises(ValueError):
+            MSHRFile(0)
+
+
+class TestProperties:
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.lists(st.integers(min_value=1, max_value=300), min_size=1, max_size=60),
+    )
+    def test_issue_time_never_before_request(self, entries, latencies):
+        mshr = MSHRFile(entries)
+        cycle = 0
+        for latency in latencies:
+            issue = mshr.acquire(cycle)
+            assert issue >= cycle
+            mshr.register(issue + latency)
+            cycle += 1
+
+    @given(st.lists(st.integers(min_value=1, max_value=100), min_size=1, max_size=50))
+    def test_outstanding_never_exceeds_entries(self, latencies):
+        mshr = MSHRFile(4)
+        cycle = 0
+        for latency in latencies:
+            issue = mshr.acquire(cycle)
+            mshr.register(issue + latency)
+            assert mshr.occupancy <= 4 + 1  # transient before next acquire
+            cycle += 2

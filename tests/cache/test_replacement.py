@@ -1,0 +1,45 @@
+"""Tests for replacement policies."""
+
+from repro.cache.line import CacheLine
+from repro.cache.replacement import LRUPolicy, RandomPolicy
+
+
+def make_lines(n):
+    return {tag: CacheLine(tag) for tag in range(n)}
+
+
+class TestLRU:
+    def test_victim_is_least_recently_touched(self):
+        policy = LRUPolicy()
+        lines = make_lines(4)
+        for tag in (0, 1, 2, 3):
+            policy.touch(lines[tag])
+        policy.touch(lines[0])  # 1 is now the oldest
+        assert policy.victim(lines) == 1
+
+    def test_ticks_strictly_increase(self):
+        policy = LRUPolicy()
+        line_a, line_b = CacheLine(0), CacheLine(1)
+        policy.touch(line_a)
+        policy.touch(line_b)
+        assert line_b.lru > line_a.lru
+
+    def test_single_line(self):
+        policy = LRUPolicy()
+        lines = make_lines(1)
+        policy.touch(lines[0])
+        assert policy.victim(lines) == 0
+
+
+class TestRandom:
+    def test_victim_is_member(self):
+        policy = RandomPolicy(seed=3)
+        lines = make_lines(8)
+        for _ in range(50):
+            assert policy.victim(lines) in lines
+
+    def test_deterministic_with_seed(self):
+        lines = make_lines(8)
+        seq_a = [RandomPolicy(seed=7).victim(lines) for _ in range(1)]
+        seq_b = [RandomPolicy(seed=7).victim(lines) for _ in range(1)]
+        assert seq_a == seq_b

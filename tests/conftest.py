@@ -1,0 +1,41 @@
+"""Shared fixtures for the test suite.
+
+All unit/integration tests run on the ``tiny`` system configuration and
+``test``-scale inputs so the whole suite stays fast; benchmark-scale runs
+live under ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.mem.controller import MemoryController
+from repro.cache.hierarchy import CacheHierarchy
+from repro.stats import SimStats
+
+
+@pytest.fixture
+def tiny_config() -> SystemConfig:
+    return SystemConfig.tiny()
+
+
+@pytest.fixture
+def experiment_config() -> SystemConfig:
+    return SystemConfig.experiment()
+
+
+@pytest.fixture
+def baseline_config() -> SystemConfig:
+    return SystemConfig.baseline()
+
+
+@pytest.fixture
+def controller(tiny_config) -> MemoryController:
+    return MemoryController(tiny_config.memory, tiny_config.core)
+
+
+@pytest.fixture
+def hierarchy(tiny_config, controller):
+    stats = SimStats()
+    return CacheHierarchy(tiny_config, controller, stats)

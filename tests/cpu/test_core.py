@@ -1,0 +1,132 @@
+"""Tests for the trace-driven core model."""
+
+from hypothesis import given, strategies as st
+
+from repro.config import CoreConfig
+from repro.cpu.core import Core
+
+
+def make_core(**overrides) -> Core:
+    defaults = dict(freq_ghz=4.0, width=4, rob_entries=16, lsq_entries=4, issue_queue=4)
+    defaults.update(overrides)
+    return Core(CoreConfig(**defaults))
+
+
+class TestRetirement:
+    def test_width_limits_throughput(self):
+        core = make_core(width=4)
+        core.advance(40)
+        assert core.cycle == 10
+        assert core.instructions == 40
+
+    def test_fractional_retire_slots_accumulate(self):
+        core = make_core(width=4)
+        for _ in range(4):
+            core.advance(1)
+        assert core.cycle == 1
+
+    def test_fast_loads_do_not_stall(self):
+        core = make_core()
+        for _ in range(10):
+            issue = core.issue_cycle()
+            core.retire_load(issue + 1)
+        assert core.outstanding_loads <= 10
+        assert core.cycle <= 10
+
+    def test_store_never_blocks(self):
+        core = make_core()
+        core.retire_store(10**9)
+        assert core.cycle < 10
+
+
+class TestStalls:
+    def test_rob_fill_stalls_on_oldest_load(self):
+        core = make_core(rob_entries=8, lsq_entries=8)
+        issue = core.issue_cycle()
+        core.retire_load(issue + 10_000)  # long-latency miss
+        core.advance(8)  # fill the ROB behind it
+        core.issue_cycle()  # must wait for the load
+        assert core.cycle >= 10_000
+
+    def test_lsq_fill_stalls(self):
+        core = make_core(rob_entries=1000, lsq_entries=2)
+        core.retire_load(5_000)
+        core.retire_load(6_000)
+        core.issue_cycle()  # LSQ full: wait for the oldest
+        assert core.cycle >= 5_000
+
+    def test_mlp_overlap_within_rob(self):
+        """Independent misses overlap: N misses of latency L cost ~L, not
+        N*L, while the ROB has room."""
+        core = make_core(rob_entries=64, lsq_entries=16)
+        for _ in range(8):
+            issue = core.issue_cycle()
+            core.retire_load(issue + 300)
+        final = core.finish()
+        assert final < 8 * 300 / 2
+
+    def test_serialized_when_rob_tiny(self):
+        # With a ~2-entry ROB at most ~3 loads overlap, so 8 back-to-back
+        # 300-cycle misses take at least three non-overlapped rounds.
+        core = make_core(rob_entries=2, lsq_entries=16)
+        for _ in range(8):
+            issue = core.issue_cycle()
+            core.retire_load(issue + 300)
+        assert core.finish() >= 3 * 300
+
+
+class TestFinish:
+    def test_finish_waits_for_outstanding(self):
+        core = make_core()
+        core.retire_load(12345)
+        assert core.finish() == 12345
+        assert core.outstanding_loads == 0
+
+    def test_finish_idempotent(self):
+        core = make_core()
+        core.retire_load(100)
+        core.finish()
+        assert core.finish() == core.cycle
+
+
+class TestProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=500), min_size=1, max_size=100))
+    def test_cycle_monotone(self, latencies):
+        core = make_core()
+        last = 0
+        for latency in latencies:
+            issue = core.issue_cycle()
+            assert issue >= last
+            core.retire_load(issue + latency)
+            last = core.cycle
+        assert core.finish() >= last
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=20),
+                st.integers(min_value=0, max_value=400),
+            ),
+            min_size=1,
+            max_size=80,
+        )
+    )
+    def test_instruction_count_exact(self, ops):
+        core = make_core()
+        expected = 0
+        for gap, latency in ops:
+            core.advance(gap)
+            issue = core.issue_cycle()
+            core.retire_load(issue + latency)
+            expected += gap + 1
+        assert core.instructions == expected
+
+    @given(st.lists(st.integers(min_value=1, max_value=300), min_size=2, max_size=60))
+    def test_ipc_never_exceeds_width(self, latencies):
+        core = make_core(width=4)
+        for latency in latencies:
+            core.advance(3)
+            issue = core.issue_cycle()
+            core.retire_load(issue + latency)
+        cycles = core.finish()
+        assert core.instructions / max(1, cycles) <= 4.0 + 1e-9

@@ -1,0 +1,25 @@
+"""Tests for the experiments CLI."""
+
+import pytest
+
+from repro.experiments.__main__ import FIGURES, main
+
+
+class TestCli:
+    def test_unknown_figure_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_hw_figure_runs_without_simulation(self, capsys):
+        assert main(["hw"]) == 0
+        out = capsys.readouterr().out
+        assert "86.5" in out
+
+    def test_single_figure_at_test_scale(self, capsys):
+        assert main(["fig13", "--scale", "test", "--window", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 13" in out
+        assert "total:" in out
+
+    def test_figure_registry_complete(self):
+        assert {"fig01", "fig06", "fig14", "record"} <= set(FIGURES)

@@ -1,0 +1,30 @@
+"""Tests for the extension-workloads experiment."""
+
+import pytest
+
+from repro.experiments import extra_workloads
+from repro.experiments.runner import ExperimentRunner
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(scale="test", iterations=2, window_size=8)
+
+
+class TestExtraWorkloads:
+    def test_all_cells_computed(self, runner):
+        data = extra_workloads.compute(runner)
+        assert set(data) == set(extra_workloads.CELLS)
+        for row in data.values():
+            assert row["speedup"] > 0
+            assert 0.0 <= row["accuracy"] <= 1.0
+            assert 0.0 <= row["coverage"] <= 1.0
+
+    def test_unknown_workload_rejected(self, runner):
+        with pytest.raises(ValueError):
+            extra_workloads._make_workload("doom", "urand", runner)
+
+    def test_report_renders(self, runner):
+        text = extra_workloads.report(runner)
+        assert "belief_propagation" in text
+        assert "spmv" in text

@@ -1,0 +1,39 @@
+"""Tests for table rendering helpers."""
+
+import pytest
+
+from repro.experiments.tables import format_percent, format_table, geomean
+
+
+class TestFormatTable:
+    def test_alignment_and_headers(self):
+        text = format_table(("name", "val"), [("a", 1.0), ("bb", 22.5)], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert "22.50" in text
+
+    def test_first_column_left_aligned(self):
+        text = format_table(("workload", "x"), [("w", 1.0)])
+        row = text.splitlines()[-1]
+        assert row.startswith("w")
+
+    def test_non_numeric_cells(self):
+        text = format_table(("a", "b"), [("x", "-")])
+        assert "-" in text
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_ignores_nonpositive(self):
+        assert geomean([2.0, 0.0, -1.0]) == pytest.approx(2.0)
+
+    def test_empty(self):
+        assert geomean([]) == 0.0
+
+
+class TestFormatPercent:
+    def test_format(self):
+        assert format_percent(0.123) == "12.3%"

@@ -1,0 +1,149 @@
+"""Tests for the CSR graph container."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.csr import CSRGraph
+
+
+def triangle() -> CSRGraph:
+    return CSRGraph.from_edges(3, [(0, 1), (1, 2), (2, 0), (0, 2)])
+
+
+class TestConstruction:
+    def test_from_edges_basic(self):
+        graph = triangle()
+        assert graph.num_vertices == 3
+        assert graph.num_edges == 4
+        assert sorted(graph.neighbors(0)) == [1, 2]
+        assert list(graph.neighbors(1)) == [2]
+
+    def test_from_edges_empty(self):
+        graph = CSRGraph.from_edges(5, [])
+        assert graph.num_vertices == 5
+        assert graph.num_edges == 0
+
+    def test_bad_offsets_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([0, 2, 1]), np.array([0, 1]))
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([1, 2]), np.array([0, 1]))
+
+    def test_target_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph.from_edges(2, [(0, 5)])
+
+    def test_source_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph.from_edges(2, [(5, 0)])
+
+    def test_empty_offsets_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([]), np.array([]))
+
+
+class TestDerived:
+    def test_degrees(self):
+        graph = triangle()
+        assert list(graph.degrees()) == [2, 1, 1]
+        assert graph.out_degree(0) == 2
+
+    def test_edge_pairs_round_trip(self):
+        graph = triangle()
+        pairs = {tuple(p) for p in graph.edge_pairs()}
+        assert pairs == {(0, 1), (0, 2), (1, 2), (2, 0)}
+
+    def test_transpose_reverses_edges(self):
+        graph = triangle()
+        reverse = graph.transpose()
+        forward = {tuple(p) for p in graph.edge_pairs()}
+        backward = {(dst, src) for src, dst in reverse.edge_pairs()}
+        assert forward == backward
+
+    def test_symmetrized_contains_both_directions(self):
+        graph = CSRGraph.from_edges(3, [(0, 1)])
+        sym = graph.symmetrized()
+        pairs = {tuple(p) for p in sym.edge_pairs()}
+        assert pairs == {(0, 1), (1, 0)}
+
+    def test_symmetrized_dedups(self):
+        graph = CSRGraph.from_edges(2, [(0, 1), (1, 0)])
+        assert graph.symmetrized().num_edges == 2
+
+    def test_input_bytes_positive(self):
+        assert triangle().input_bytes > 0
+
+    def test_locality_score_ordering(self):
+        local = CSRGraph.from_edges(100, [(i, i + 1) for i in range(99)])
+        remote = CSRGraph.from_edges(100, [(i, (i + 50) % 100) for i in range(100)])
+        assert local.locality_score() < remote.locality_score()
+
+
+class TestProperties:
+    @settings(max_examples=50)
+    @given(
+        st.integers(min_value=2, max_value=40).flatmap(
+            lambda n: st.tuples(
+                st.just(n),
+                st.lists(
+                    st.tuples(
+                        st.integers(min_value=0, max_value=n - 1),
+                        st.integers(min_value=0, max_value=n - 1),
+                    ),
+                    max_size=120,
+                ),
+            )
+        )
+    )
+    def test_from_edges_preserves_multiset(self, case):
+        n, edges = case
+        graph = CSRGraph.from_edges(n, edges)
+        assert graph.num_edges == len(edges)
+        assert sorted(map(tuple, graph.edge_pairs())) == sorted(edges)
+
+    @settings(max_examples=50)
+    @given(
+        st.integers(min_value=2, max_value=30).flatmap(
+            lambda n: st.tuples(
+                st.just(n),
+                st.lists(
+                    st.tuples(
+                        st.integers(min_value=0, max_value=n - 1),
+                        st.integers(min_value=0, max_value=n - 1),
+                    ),
+                    max_size=80,
+                ),
+            )
+        )
+    )
+    def test_double_transpose_is_identity(self, case):
+        n, edges = case
+        graph = CSRGraph.from_edges(n, edges)
+        double = graph.transpose().transpose()
+        assert sorted(map(tuple, double.edge_pairs())) == sorted(
+            map(tuple, graph.edge_pairs())
+        )
+
+    @settings(max_examples=30)
+    @given(
+        st.integers(min_value=2, max_value=30).flatmap(
+            lambda n: st.tuples(
+                st.just(n),
+                st.lists(
+                    st.tuples(
+                        st.integers(min_value=0, max_value=n - 1),
+                        st.integers(min_value=0, max_value=n - 1),
+                    ),
+                    max_size=60,
+                ),
+            )
+        )
+    )
+    def test_symmetrized_is_symmetric(self, case):
+        n, edges = case
+        sym = CSRGraph.from_edges(n, edges).symmetrized()
+        pairs = {tuple(p) for p in sym.edge_pairs()}
+        assert all((dst, src) in pairs for src, dst in pairs)

@@ -1,0 +1,48 @@
+"""Tests for the named graph inputs (Table III substitutes)."""
+
+import pytest
+
+from repro.graphs import datasets
+
+
+class TestMakeGraph:
+    def test_all_names_build(self):
+        for name in datasets.GRAPH_NAMES:
+            graph = datasets.make_graph(name, "test")
+            assert graph.num_vertices > 0
+            assert graph.num_edges > 0
+
+    def test_memoized(self):
+        a = datasets.make_graph("urand", "test")
+        b = datasets.make_graph("urand", "test")
+        assert a is b
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown graph"):
+            datasets.make_graph("facebook")
+
+    def test_unknown_scale(self):
+        with pytest.raises(ValueError, match="unknown scale"):
+            datasets.make_graph("urand", "huge")
+
+    def test_bench_larger_than_test(self):
+        test_graph = datasets.make_graph("urand", "test")
+        bench_graph = datasets.make_graph("urand", "bench")
+        assert bench_graph.num_vertices > test_graph.num_vertices
+
+
+class TestLocalityClasses:
+    def test_urand_has_no_locality(self):
+        assert datasets.make_graph("urand", "test").locality_score() > 0.25
+
+    def test_road_is_most_local(self):
+        road = datasets.make_graph("roadUSA", "test").locality_score()
+        for other in ("urand", "amazon", "com-orkut"):
+            assert road < datasets.make_graph(other, "test").locality_score()
+
+    def test_orkut_denser_than_amazon(self):
+        amazon = datasets.make_graph("amazon", "test")
+        orkut = datasets.make_graph("com-orkut", "test")
+        amazon_density = amazon.num_edges / amazon.num_vertices
+        orkut_density = orkut.num_edges / orkut.num_vertices
+        assert orkut_density > amazon_density

@@ -1,0 +1,113 @@
+"""Tests for the graph generators (Table III locality classes)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import (
+    community_graph,
+    preferential_attachment,
+    road_network,
+    uniform_random,
+)
+
+
+class TestUniformRandom:
+    def test_size_and_degree(self):
+        graph = uniform_random(1000, avg_degree=8, seed=1)
+        assert graph.num_vertices == 1000
+        assert 0.9 * 8000 <= graph.num_edges <= 8000
+
+    def test_deterministic(self):
+        a = uniform_random(500, 4, seed=3)
+        b = uniform_random(500, 4, seed=3)
+        assert np.array_equal(a.targets, b.targets)
+
+    def test_seed_changes_graph(self):
+        a = uniform_random(500, 4, seed=3)
+        b = uniform_random(500, 4, seed=4)
+        assert not np.array_equal(a.targets, b.targets)
+
+    def test_no_self_loops(self):
+        graph = uniform_random(200, 4, seed=1)
+        for src, dst in graph.edge_pairs():
+            assert src != dst
+
+    def test_rejects_tiny_graph(self):
+        with pytest.raises(ValueError):
+            uniform_random(1)
+
+
+class TestCommunityGraph:
+    def test_intra_fraction_respected(self):
+        graph = community_graph(
+            2048, num_communities=16, avg_degree=8, intra_fraction=0.9, seed=1
+        )
+        size = 2048 // 16
+        pairs = graph.edge_pairs()
+        intra = np.sum(pairs[:, 0] // size == pairs[:, 1] // size)
+        assert intra / len(pairs) > 0.8
+
+    def test_zero_intra_is_roughly_uniform(self):
+        graph = community_graph(
+            1024, num_communities=8, avg_degree=8, intra_fraction=0.0, seed=1
+        )
+        assert graph.locality_score() > 0.2
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            community_graph(100, num_communities=0)
+        with pytest.raises(ValueError):
+            community_graph(100, num_communities=200)
+        with pytest.raises(ValueError):
+            community_graph(100, intra_fraction=1.5)
+
+
+class TestPreferentialAttachment:
+    def test_heavy_tail(self):
+        graph = preferential_attachment(1000, out_degree=4, seed=1)
+        in_degrees = np.bincount(graph.targets, minlength=1000)
+        # Early vertices accumulate far more in-edges than the median.
+        assert in_degrees.max() > 10 * max(1, np.median(in_degrees))
+
+    def test_out_degree_constant_after_seed(self):
+        graph = preferential_attachment(200, out_degree=4, seed=1)
+        degrees = graph.degrees()[10:]
+        assert np.all(degrees == 4)
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            preferential_attachment(4, out_degree=8)
+
+
+class TestRoadNetwork:
+    def test_grid_degrees(self):
+        graph = road_network(10, 10, extra_fraction=0.0)
+        degrees = graph.degrees()
+        assert degrees.max() <= 4
+        assert degrees.min() >= 2
+
+    def test_bidirectional(self):
+        graph = road_network(5, 5, extra_fraction=0.0)
+        pairs = {tuple(p) for p in graph.edge_pairs()}
+        assert all((dst, src) in pairs for src, dst in pairs)
+
+    def test_high_locality(self):
+        graph = road_network(32, 32, seed=1)
+        assert graph.locality_score() < 0.1
+
+    def test_rejects_degenerate_grid(self):
+        with pytest.raises(ValueError):
+            road_network(1, 5)
+
+
+class TestLocalityOrdering:
+    def test_table_iii_locality_classes(self):
+        """The four classes must order by locality the way the paper's
+        inputs do: road << amazon-like < orkut-like < urand."""
+        n = 4096
+        road = road_network(64, 64, seed=1)
+        amazon = community_graph(n, 64, 6, 0.85, seed=2)
+        orkut = community_graph(n, 8, 12, 0.6, seed=3)
+        urand = uniform_random(n, 8, seed=4)
+        scores = [g.locality_score() for g in (road, amazon, orkut, urand)]
+        assert scores == sorted(scores)

@@ -1,0 +1,80 @@
+"""Tests for the METIS-substitute partitioner."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.generators import community_graph, road_network, uniform_random
+from repro.graphs.partition import edge_cut, partition_bfs, partition_vertex_ranges
+
+
+class TestPartitionBasics:
+    def test_every_vertex_assigned(self):
+        graph = uniform_random(400, 4, seed=1)
+        assignment = partition_bfs(graph, 4)
+        assert assignment.shape == (400,)
+        assert assignment.min() >= 0
+        assert assignment.max() < 4
+
+    def test_balance(self):
+        graph = uniform_random(400, 4, seed=1)
+        assignment = partition_bfs(graph, 4)
+        sizes = np.bincount(assignment, minlength=4)
+        assert sizes.max() - sizes.min() <= 0.25 * 100 + 2
+
+    def test_single_part(self):
+        graph = uniform_random(100, 4, seed=1)
+        assert np.all(partition_bfs(graph, 1) == 0)
+
+    def test_rejects_bad_part_counts(self):
+        graph = uniform_random(10, 2, seed=1)
+        with pytest.raises(ValueError):
+            partition_bfs(graph, 0)
+        with pytest.raises(ValueError):
+            partition_bfs(graph, 100)
+
+    def test_vertex_ranges_cover_everything(self):
+        graph = uniform_random(200, 4, seed=1)
+        assignment = partition_bfs(graph, 4)
+        ranges = partition_vertex_ranges(assignment, 4)
+        combined = np.concatenate(ranges)
+        assert sorted(combined) == list(range(200))
+
+
+class TestCutQuality:
+    def test_beats_random_on_community_graph(self):
+        """The partitioner's goal (like METIS's): exploit structure to cut
+        fewer edges than a random assignment."""
+        graph = community_graph(1024, num_communities=4, avg_degree=8,
+                                intra_fraction=0.9, seed=5)
+        assignment = partition_bfs(graph, 4)
+        rng = np.random.default_rng(0)
+        random_assignment = rng.integers(0, 4, size=graph.num_vertices)
+        assert edge_cut(graph, assignment) < edge_cut(graph, random_assignment)
+
+    def test_road_network_cut_is_small(self):
+        graph = road_network(32, 32, extra_fraction=0.0)
+        assignment = partition_bfs(graph, 4)
+        assert edge_cut(graph, assignment) < 0.2 * graph.num_edges
+
+    def test_edge_cut_zero_for_single_part(self):
+        graph = uniform_random(100, 4, seed=1)
+        assert edge_cut(graph, np.zeros(100, dtype=np.int32)) == 0
+
+
+class TestProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(min_value=16, max_value=128),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=0, max_value=100),
+    )
+    def test_partition_invariants(self, vertices, parts, seed):
+        graph = uniform_random(vertices, 3, seed=seed + 1)
+        parts = min(parts, vertices)
+        assignment = partition_bfs(graph, parts, seed=seed)
+        assert assignment.size == vertices
+        assert set(np.unique(assignment)) <= set(range(parts))
+        sizes = np.bincount(assignment, minlength=parts)
+        capacity = (vertices + parts - 1) // parts
+        assert sizes.max() <= capacity + 1

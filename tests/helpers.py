@@ -1,0 +1,39 @@
+"""Test utilities shared across test modules."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.config import SystemConfig
+from repro.mem.controller import MemoryController
+from repro.stats import SimStats
+
+
+def make_hierarchy(
+    config: Optional[SystemConfig] = None,
+) -> Tuple[CacheHierarchy, SimStats]:
+    """A fresh tiny hierarchy plus its stats object."""
+    config = config if config is not None else SystemConfig.tiny()
+    stats = SimStats()
+    controller = MemoryController(config.memory, config.core)
+    return CacheHierarchy(config, controller, stats), stats
+
+
+class PrefetchProbe:
+    """Wraps a hierarchy's prefetch_l2 to record issued line addresses."""
+
+    def __init__(self, hierarchy: CacheHierarchy):
+        self.issued: List[Tuple[int, int]] = []  # (line_addr, cycle)
+        self._orig = hierarchy.prefetch_l2
+        hierarchy.prefetch_l2 = self._wrapped  # type: ignore[method-assign]
+
+    def _wrapped(self, line_addr, cycle, pf_window=-1, kind=None):
+        self.issued.append((line_addr, cycle))
+        if kind is None:
+            return self._orig(line_addr, cycle, pf_window=pf_window)
+        return self._orig(line_addr, cycle, pf_window=pf_window, kind=kind)
+
+    @property
+    def lines(self) -> List[int]:
+        return [line for line, _ in self.issued]

@@ -1,0 +1,73 @@
+"""Tests for the DRAM address mapping."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config import LINE_SIZE, MemoryConfig
+from repro.mem.address import AddressMapping
+
+
+@pytest.fixture
+def mapping() -> AddressMapping:
+    return AddressMapping(MemoryConfig())
+
+
+class TestLocate:
+    def test_consecutive_lines_share_a_row(self, mapping):
+        loc0 = mapping.locate(0)
+        loc1 = mapping.locate(LINE_SIZE)
+        assert (loc0.bank, loc0.row) == (loc1.bank, loc1.row)
+        assert loc1.column == loc0.column + 1
+
+    def test_row_crossing_changes_bank(self, mapping):
+        row_bytes = MemoryConfig().timing.row_bytes
+        loc_a = mapping.locate(0)
+        loc_b = mapping.locate(row_bytes)
+        assert loc_a.bank != loc_b.bank
+
+    def test_banks_wrap_around(self, mapping):
+        config = MemoryConfig()
+        row_bytes = config.timing.row_bytes
+        loc = mapping.locate(row_bytes * config.banks)
+        assert loc.bank == mapping.locate(0).bank
+        assert loc.row != mapping.locate(0).row
+
+    def test_lines_per_row(self, mapping):
+        assert mapping.lines_per_row == MemoryConfig().timing.row_bytes // LINE_SIZE
+
+    def test_same_row_predicate(self, mapping):
+        assert mapping.same_row(0, LINE_SIZE)
+        assert not mapping.same_row(0, MemoryConfig().timing.row_bytes)
+
+
+class TestLocateProperties:
+    @given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+    def test_fields_in_range(self, address):
+        config = MemoryConfig()
+        mapping = AddressMapping(config)
+        loc = mapping.locate(address)
+        assert 0 <= loc.channel < config.channels
+        assert 0 <= loc.rank < config.ranks
+        assert 0 <= loc.bank < config.banks
+        assert 0 <= loc.column < mapping.lines_per_row
+        assert loc.row >= 0
+
+    @given(st.integers(min_value=0, max_value=(1 << 30) - 1))
+    def test_same_line_same_location(self, line):
+        mapping = AddressMapping(MemoryConfig())
+        base = line * LINE_SIZE
+        assert mapping.locate(base) == mapping.locate(base + LINE_SIZE - 1)
+
+    @given(
+        st.integers(min_value=0, max_value=1 << 24),
+        st.integers(min_value=0, max_value=1 << 24),
+    )
+    def test_distinct_lines_distinct_coordinates(self, line_a, line_b):
+        if line_a == line_b:
+            return
+        mapping = AddressMapping(MemoryConfig())
+        loc_a = mapping.locate(line_a * LINE_SIZE)
+        loc_b = mapping.locate(line_b * LINE_SIZE)
+        assert (
+            loc_a != loc_b
+        ), "two different lines may never map to the same (bank,row,col)"

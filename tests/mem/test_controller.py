@@ -1,0 +1,107 @@
+"""Tests for the FCFS memory controller."""
+
+import pytest
+
+from repro.config import CoreConfig, LINE_SIZE, MemoryConfig
+from repro.mem.controller import MemoryController, RequestKind
+
+
+@pytest.fixture
+def controller() -> MemoryController:
+    return MemoryController(MemoryConfig(), CoreConfig())
+
+
+class TestReads:
+    def test_read_returns_future_completion(self, controller):
+        completion = controller.read(0, 100, RequestKind.DEMAND)
+        assert completion > 100
+
+    def test_read_rejects_write_kinds(self, controller):
+        with pytest.raises(ValueError):
+            controller.read(0, 0, RequestKind.WRITEBACK)
+
+    def test_prefetch_not_faster_than_demand(self, controller):
+        demand = controller.read(0, 0, RequestKind.DEMAND)
+        fresh = MemoryController(MemoryConfig(), CoreConfig())
+        prefetch = fresh.read(0, 0, RequestKind.PREFETCH)
+        assert prefetch >= demand
+
+    def test_prefetch_penalized_behind_pending_demand(self, controller):
+        # Load up outstanding demand, then issue a prefetch at the same time.
+        for i in range(8):
+            controller.read(i * LINE_SIZE, 0, RequestKind.DEMAND)
+        loaded = controller.read(100 * LINE_SIZE, 0, RequestKind.PREFETCH)
+        idle = MemoryController(MemoryConfig(), CoreConfig()).read(
+            100 * LINE_SIZE, 0, RequestKind.PREFETCH
+        )
+        assert loaded > idle
+
+    def test_read_queue_backpressure(self, controller):
+        config = MemoryConfig()
+        completions = [
+            controller.read(i * LINE_SIZE, 0, RequestKind.DEMAND)
+            for i in range(config.read_queue + 8)
+        ]
+        # The queue-overflowing requests must wait for earlier completions.
+        assert completions[-1] > completions[0]
+
+    def test_reads_counted(self, controller):
+        controller.read(0, 0)
+        controller.read(LINE_SIZE, 0)
+        assert controller.reads_serviced == 2
+
+
+class TestWrites:
+    def test_writes_are_posted(self, controller):
+        # Below the drain threshold nothing is serviced.
+        controller.write(0, 0, RequestKind.WRITEBACK)
+        assert controller.writes_serviced == 0
+        assert controller.write_queue_occupancy == 1
+
+    def test_write_rejects_read_kinds(self, controller):
+        with pytest.raises(ValueError):
+            controller.write(0, 0, RequestKind.DEMAND)
+
+    def test_drain_at_high_watermark(self, controller):
+        config = MemoryConfig()
+        high = int(config.write_queue * config.drain_high)
+        low = int(config.write_queue * config.drain_low)
+        for i in range(high):
+            controller.write(i * LINE_SIZE, 0, RequestKind.WRITEBACK)
+        assert controller.writes_serviced == high - low
+        assert controller.write_queue_occupancy == low
+
+    def test_flush_empties_queue(self, controller):
+        for i in range(5):
+            controller.write(i * LINE_SIZE, 0, RequestKind.WRITEBACK)
+        controller.flush_writes(1000)
+        assert controller.write_queue_occupancy == 0
+        assert controller.writes_serviced == 5
+
+    def test_drain_slows_subsequent_reads(self):
+        """Write drains occupy DRAM banks/bus, delaying reads — the
+        mechanism behind the record-iteration overhead (Section VII-A.6)."""
+        quiet = MemoryController(MemoryConfig(), CoreConfig())
+        busy = MemoryController(MemoryConfig(), CoreConfig())
+        config = MemoryConfig()
+        high = int(config.write_queue * config.drain_high)
+        for i in range(high):
+            busy.write((1000 + i) * LINE_SIZE, 0, RequestKind.METADATA_WRITE)
+        quiet_read = quiet.read(0, 0)
+        busy_read = busy.read(0, 0)
+        assert busy_read > quiet_read
+
+
+class TestReset:
+    def test_reset_clears_everything(self, controller):
+        controller.read(0, 0)
+        controller.write(0, 0, RequestKind.WRITEBACK)
+        controller.reset()
+        assert controller.reads_serviced == 0
+        assert controller.writes_serviced == 0
+        assert controller.write_queue_occupancy == 0
+
+    def test_completion_monotone_with_cycle(self, controller):
+        early = controller.read(0, 0)
+        late = controller.read(LINE_SIZE * 999, 1_000_000)
+        assert late > early

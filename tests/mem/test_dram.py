@@ -1,0 +1,106 @@
+"""Tests for the DRAM bank/bus timing model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config import LINE_SIZE, MemoryConfig
+from repro.mem.dram import DramBankModel
+
+
+@pytest.fixture
+def dram() -> DramBankModel:
+    return DramBankModel(MemoryConfig())
+
+
+TIMING = MemoryConfig().timing
+
+
+class TestBasicLatency:
+    def test_first_access_is_row_open(self, dram):
+        completion = dram.service(0, 0, is_write=False)
+        assert completion == TIMING.tRCD + TIMING.tCL + TIMING.tBURST
+        assert dram.row_conflicts == 1  # closed row counts as a conflict
+
+    def test_row_hit_is_cheaper(self, dram):
+        first = dram.service(0, 0, is_write=False)
+        second = dram.service(LINE_SIZE, first, is_write=False)
+        assert second - first <= TIMING.tCL + TIMING.tBURST
+        assert dram.row_hits == 1
+
+    def test_row_conflict_pays_precharge(self, dram):
+        row_bytes = TIMING.row_bytes
+        banks = MemoryConfig().banks
+        first = dram.service(0, 0, is_write=False)
+        # Same bank, different row: bank stride = banks * row_bytes.
+        same_bank_other_row = banks * row_bytes
+        second = dram.service(same_bank_other_row, first, is_write=False)
+        assert second - first >= TIMING.tRP + TIMING.tRCD + TIMING.tCL
+
+    def test_reset_clears_state(self, dram):
+        dram.service(0, 0, is_write=False)
+        dram.reset()
+        assert dram.row_hits == 0
+        assert dram.row_conflicts == 0
+        completion = dram.service(0, 0, is_write=False)
+        assert completion == TIMING.tRCD + TIMING.tCL + TIMING.tBURST
+
+
+class TestBusContention:
+    def test_bus_serializes_transfers(self, dram):
+        # Two simultaneous requests to different banks still share the bus.
+        row_bytes = TIMING.row_bytes
+        first = dram.service(0, 0, is_write=False)
+        second = dram.service(row_bytes, 0, is_write=False)  # another bank
+        assert second >= first + TIMING.tBURST
+
+    def test_bank_parallelism_overlaps_activation(self, dram):
+        """N requests to N different banks finish much sooner than N
+        serialized activations."""
+        row_bytes = TIMING.row_bytes
+        completions = [
+            dram.service(bank * row_bytes, 0, is_write=False) for bank in range(8)
+        ]
+        serialized = 8 * (TIMING.tRCD + TIMING.tCL + TIMING.tBURST)
+        assert max(completions) < serialized
+
+    def test_same_bank_serializes_on_cas(self, dram):
+        row_bytes = TIMING.row_bytes
+        banks = MemoryConfig().banks
+        stride = banks * row_bytes  # same bank, new row each time
+        completions = [dram.service(i * stride, 0, is_write=False) for i in range(4)]
+        for earlier, later in zip(completions, completions[1:]):
+            assert later - earlier >= TIMING.tRP  # precharge at minimum
+
+    def test_read_write_turnaround(self, dram):
+        first = dram.service(0, 0, is_write=False)
+        write = dram.service(LINE_SIZE, first, is_write=True)
+        assert write - first >= TIMING.tRTW  # read->write turnaround
+        read_back = dram.service(2 * LINE_SIZE, write, is_write=False)
+        assert read_back - write >= TIMING.tWTR  # write->read turnaround
+
+
+class TestMonotonicity:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=1 << 24),
+                st.booleans(),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_completions_never_precede_arrivals(self, requests):
+        dram = DramBankModel(MemoryConfig())
+        now = 0
+        for line, is_write in requests:
+            completion = dram.service(line * LINE_SIZE, now, is_write)
+            assert completion > now
+            now = completion
+
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 20), min_size=2, max_size=30))
+    def test_bus_transfers_strictly_ordered(self, lines):
+        dram = DramBankModel(MemoryConfig())
+        completions = [dram.service(line * LINE_SIZE, 0, False) for line in lines]
+        for earlier, later in zip(completions, completions[1:]):
+            assert later >= earlier + TIMING.tBURST

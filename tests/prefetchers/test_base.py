@@ -1,0 +1,45 @@
+"""Tests for the prefetcher base class."""
+
+import pytest
+
+from repro.cache.hierarchy import L2Event
+from repro.prefetchers.base import NullPrefetcher, Prefetcher
+from tests.helpers import make_hierarchy
+
+
+class TestNullPrefetcher:
+    def test_never_prefetches(self):
+        hierarchy, stats = make_hierarchy()
+        prefetcher = NullPrefetcher()
+        prefetcher.attach(hierarchy, stats)
+        assert not prefetcher.on_access(0x100, 0, 0, False)
+        prefetcher.on_l2_event(1, 0, 0, L2Event.MISS, False)
+        prefetcher.on_directive("anything", (), 0)
+        prefetcher.finalize(0)
+        assert stats.prefetch.issued == 0
+
+    def test_name(self):
+        assert NullPrefetcher.name == "baseline"
+
+
+class TestIssueHelper:
+    def test_negative_line_rejected(self):
+        hierarchy, stats = make_hierarchy()
+        prefetcher = Prefetcher()
+        prefetcher.attach(hierarchy, stats)
+        assert not prefetcher._issue(-1, 0)
+        assert stats.prefetch.issued == 0
+
+    def test_issue_before_attach_asserts(self):
+        prefetcher = Prefetcher()
+        with pytest.raises(AssertionError):
+            prefetcher._issue(1, 0)
+
+    def test_issue_goes_through_hierarchy(self):
+        hierarchy, stats = make_hierarchy()
+        prefetcher = Prefetcher()
+        prefetcher.attach(hierarchy, stats)
+        assert prefetcher._issue(5, 0, window=3)
+        line = hierarchy.l2.probe(5)
+        assert line is not None
+        assert line.pf_window == 3

@@ -1,0 +1,68 @@
+"""Tests for the Bingo spatial prefetcher."""
+
+from repro.cache.hierarchy import L2Event
+from repro.prefetchers.bingo import BingoPrefetcher
+from tests.helpers import PrefetchProbe, make_hierarchy
+
+
+def make(**kwargs):
+    hierarchy, stats = make_hierarchy()
+    prefetcher = BingoPrefetcher(**kwargs)
+    prefetcher.attach(hierarchy, stats)
+    return prefetcher, PrefetchProbe(hierarchy)
+
+
+def miss(prefetcher, line, pc=0x40):
+    prefetcher.on_l2_event(line, pc, 0, L2Event.MISS, False)
+
+
+class TestFootprints:
+    def test_learned_footprint_replayed_on_long_event(self):
+        prefetcher, probe = make(region_lines=8, active_regions=1)
+        region_base = 32  # region 4 with 8-line regions
+        for offset in (0, 3, 5):
+            miss(prefetcher, region_base + offset)
+        # Retire the region by touching a different one.
+        miss(prefetcher, 1000)
+        probe.issued.clear()
+        # Re-trigger the same region with the same PC+address+offset.
+        miss(prefetcher, region_base)
+        assert set(probe.lines) == {region_base + 3, region_base + 5}
+
+    def test_short_event_generalizes_across_regions(self):
+        """The PC+offset event lets a footprint learned in one region
+        prefetch a *different* region with the same layout."""
+        prefetcher, probe = make(region_lines=8, active_regions=1)
+        for offset in (0, 2, 6):
+            miss(prefetcher, 64 + offset, pc=0x7)
+        miss(prefetcher, 9000, pc=0x9)  # retire
+        probe.issued.clear()
+        miss(prefetcher, 128, pc=0x7)  # new region, same trigger PC+offset
+        assert set(probe.lines) == {128 + 2, 128 + 6}
+
+    def test_unknown_trigger_prefetches_nothing(self):
+        prefetcher, probe = make()
+        miss(prefetcher, 42)
+        assert probe.lines == []
+
+    def test_accumulation_not_retriggered_within_region(self):
+        prefetcher, probe = make(region_lines=8)
+        miss(prefetcher, 0)
+        miss(prefetcher, 1)  # same region: accumulate, no prediction
+        assert probe.lines == []
+
+    def test_finalize_retires_active_regions(self):
+        prefetcher, probe = make(region_lines=8, active_regions=4)
+        for offset in (0, 1, 4):
+            miss(prefetcher, offset)
+        prefetcher.finalize(0)
+        probe.issued.clear()
+        miss(prefetcher, 0)
+        assert set(probe.lines) == {1, 4}
+
+    def test_history_bounded(self):
+        prefetcher, _ = make(history_entries=4, active_regions=1)
+        for region in range(50):
+            miss(prefetcher, region * 32, pc=region)
+        assert len(prefetcher._history_long) <= 4
+        assert len(prefetcher._history_short) <= 4

@@ -1,0 +1,52 @@
+"""Tests for the Best-Offset prefetcher."""
+
+from repro.cache.hierarchy import L2Event
+from repro.prefetchers.bop import BestOffsetPrefetcher
+from tests.helpers import PrefetchProbe, make_hierarchy
+
+
+def make(**kwargs):
+    hierarchy, stats = make_hierarchy()
+    prefetcher = BestOffsetPrefetcher(**kwargs)
+    prefetcher.attach(hierarchy, stats)
+    return prefetcher, PrefetchProbe(hierarchy)
+
+
+def misses(prefetcher, lines):
+    for cycle, line in enumerate(lines):
+        prefetcher.on_l2_event(line, 0, cycle * 10, L2Event.MISS, False)
+
+
+class TestOffsetLearning:
+    def test_learns_constant_stride(self):
+        prefetcher, probe = make(score_max=8)
+        misses(prefetcher, range(0, 600, 3))  # stride 3 in lines
+        assert prefetcher.best_offset == 3
+
+    def test_learns_unit_stride(self):
+        prefetcher, probe = make(score_max=8)
+        misses(prefetcher, range(400))
+        assert prefetcher.best_offset == 1
+
+    def test_prefetches_with_best_offset(self):
+        prefetcher, probe = make(score_max=8)
+        misses(prefetcher, range(0, 600, 3))
+        probe.issued.clear()
+        prefetcher.on_l2_event(10_000, 0, 0, L2Event.MISS, False)
+        assert 10_000 + prefetcher.best_offset in probe.lines
+
+    def test_random_pattern_turns_prefetching_off(self):
+        import random
+
+        rng = random.Random(2)
+        prefetcher, probe = make(round_max=5, bad_score=2)
+        misses(prefetcher, [rng.randrange(1 << 24) for _ in range(2000)])
+        probe.issued.clear()
+        prefetcher.on_l2_event(42, 0, 0, L2Event.MISS, False)
+        # Either off entirely or issuing very little.
+        assert len(probe.lines) <= 1 and not prefetcher._active
+
+    def test_scores_reset_each_round(self):
+        prefetcher, _ = make(round_max=1)
+        misses(prefetcher, range(64))
+        assert all(score <= prefetcher.score_max for score in prefetcher._scores.values())

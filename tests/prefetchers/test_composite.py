@@ -1,0 +1,76 @@
+"""Tests for the composite prefetcher (RnR-Combined plumbing)."""
+
+import pytest
+
+from repro.cache.hierarchy import L2Event
+from repro.prefetchers.base import Prefetcher
+from repro.prefetchers.composite import CompositePrefetcher
+from tests.helpers import make_hierarchy
+
+
+class Recording(Prefetcher):
+    name = "rec"
+
+    def __init__(self, flag=False):
+        super().__init__()
+        self.flag = flag
+        self.events = []
+
+    def on_access(self, address, pc, cycle, is_store):
+        self.events.append(("access", address))
+        return self.flag
+
+    def on_l2_event(self, line_addr, pc, cycle, event, flagged, completion=0):
+        self.events.append(("l2", line_addr, flagged))
+
+    def on_directive(self, op, args, cycle):
+        self.events.append(("dir", op))
+
+    def finalize(self, cycle):
+        self.events.append(("fin", cycle))
+
+
+class TestComposite:
+    def test_requires_children(self):
+        with pytest.raises(ValueError):
+            CompositePrefetcher([])
+
+    def test_name_concatenates(self):
+        composite = CompositePrefetcher([Recording(), Recording()])
+        assert composite.name == "rec+rec"
+
+    def test_attach_propagates(self):
+        hierarchy, stats = make_hierarchy()
+        children = [Recording(), Recording()]
+        composite = CompositePrefetcher(children)
+        composite.attach(hierarchy, stats)
+        assert all(c.hierarchy is hierarchy for c in children)
+
+    def test_flag_is_or_of_children(self):
+        hierarchy, stats = make_hierarchy()
+        composite = CompositePrefetcher([Recording(flag=False), Recording(flag=True)])
+        composite.attach(hierarchy, stats)
+        assert composite.on_access(0x100, 0, 0, False) is True
+
+    def test_flag_shared_with_all_children(self):
+        """The RnR flag computed by one child reaches the stream
+        prefetcher's training hook (Fig 4 packet flag)."""
+        hierarchy, stats = make_hierarchy()
+        rnr_like = Recording(flag=True)
+        stream_like = Recording(flag=False)
+        composite = CompositePrefetcher([rnr_like, stream_like])
+        composite.attach(hierarchy, stats)
+        flagged = composite.on_access(0x100, 0, 0, False)
+        composite.on_l2_event(4, 0, 0, L2Event.MISS, flagged)
+        assert ("l2", 4, True) in stream_like.events
+
+    def test_directives_and_finalize_fan_out(self):
+        hierarchy, stats = make_hierarchy()
+        children = [Recording(), Recording()]
+        composite = CompositePrefetcher(children)
+        composite.attach(hierarchy, stats)
+        composite.on_directive("x", (), 0)
+        composite.finalize(99)
+        for child in children:
+            assert ("dir", "x") in child.events
+            assert ("fin", 99) in child.events

@@ -1,0 +1,60 @@
+"""Tests for the Domino temporal prefetcher."""
+
+from repro.cache.hierarchy import L2Event
+from repro.prefetchers.domino import DominoPrefetcher
+from tests.helpers import PrefetchProbe, make_hierarchy
+
+
+def make(**kwargs):
+    hierarchy, stats = make_hierarchy()
+    prefetcher = DominoPrefetcher(**kwargs)
+    prefetcher.attach(hierarchy, stats)
+    return prefetcher, PrefetchProbe(hierarchy)
+
+
+def misses(prefetcher, lines):
+    for line in lines:
+        prefetcher.on_l2_event(line, 0, 0, L2Event.MISS, False)
+
+
+class TestPairIndexing:
+    def test_repeating_sequence_predicted_after_pair(self):
+        prefetcher, probe = make(degree=3)
+        sequence = [9, 12, 33, 20, 1]
+        misses(prefetcher, sequence)
+        probe.issued.clear()
+        misses(prefetcher, [9, 12])  # the pair (9, 12) matches history
+        assert probe.lines[:3] == [33, 20, 1]
+
+    def test_pair_disambiguates_shared_miss(self):
+        """The paper's Fig 2 (b) confusion: 9 followed by both 12 and 20.
+        A GHB picks the most recent; Domino's pair index keeps both."""
+        prefetcher, probe = make(degree=1)
+        misses(prefetcher, [7, 9, 12, 100, 8, 9, 20, 101])
+        probe.issued.clear()
+        misses(prefetcher, [7, 9])
+        assert probe.lines == [12]
+        probe.issued.clear()
+        misses(prefetcher, [8, 9])
+        assert probe.lines == [20]
+
+    def test_single_miss_never_triggers(self):
+        prefetcher, probe = make()
+        misses(prefetcher, [5, 6, 7])
+        probe.issued.clear()
+        prefetcher._prev = None
+        prefetcher._last = None
+        misses(prefetcher, [5])  # one miss: no pair context yet
+        assert probe.lines == []
+
+    def test_chain_extension_up_to_degree(self):
+        prefetcher, probe = make(degree=2)
+        misses(prefetcher, [1, 2, 3, 4, 5])
+        probe.issued.clear()
+        misses(prefetcher, [1, 2])
+        assert probe.lines == [3, 4]
+
+    def test_hits_do_not_train(self):
+        prefetcher, probe = make()
+        prefetcher.on_l2_event(1, 0, 0, L2Event.HIT, False)
+        assert prefetcher._last is None

@@ -1,0 +1,78 @@
+"""Tests for the DROPLET data-aware prefetcher."""
+
+from repro.cache.hierarchy import L2Event
+from repro.config import LINE_SIZE
+from repro.prefetchers.droplet import DropletPrefetcher
+from tests.helpers import PrefetchProbe, make_hierarchy
+
+EDGE_BASE = 0x10000
+VALUE_BASE = 0x80000
+
+
+def make(resolver=None, **kwargs):
+    hierarchy, stats = make_hierarchy()
+    prefetcher = DropletPrefetcher(resolver=resolver, **kwargs)
+    prefetcher.attach(hierarchy, stats)
+    prefetcher.on_directive("droplet.edges", (EDGE_BASE, 4096), 0)
+    prefetcher.on_directive("droplet.values", (VALUE_BASE, 65536, 8), 0)
+    return prefetcher, PrefetchProbe(hierarchy)
+
+
+class TestEdgeStreaming:
+    def test_edge_miss_streams_ahead(self):
+        prefetcher, probe = make(edge_stream_degree=2)
+        edge_line = EDGE_BASE // LINE_SIZE
+        prefetcher.on_l2_event(edge_line, 0, 0, L2Event.MISS, False, completion=100)
+        assert edge_line + 1 in probe.lines
+        assert edge_line + 2 in probe.lines
+
+    def test_stream_stops_at_edge_region_end(self):
+        prefetcher, probe = make(edge_stream_degree=4)
+        last_line = (EDGE_BASE + 4096) // LINE_SIZE - 1
+        prefetcher.on_l2_event(last_line, 0, 0, L2Event.MISS, False)
+        assert all(line <= last_line for line in probe.lines)
+
+    def test_non_edge_miss_ignored(self):
+        prefetcher, probe = make()
+        prefetcher.on_l2_event(1, 0, 0, L2Event.MISS, False)
+        assert probe.lines == []
+
+
+class TestDependentVertexPrefetch:
+    def test_vertex_prefetch_from_edge_data(self):
+        resolver = lambda line: [3, 100]
+        prefetcher, probe = make(resolver=resolver, generation_latency=24)
+        edge_line = EDGE_BASE // LINE_SIZE
+        prefetcher.on_l2_event(edge_line, 0, 0, L2Event.MISS, False, completion=500)
+        vertex_lines = {(VALUE_BASE + v * 8) // LINE_SIZE for v in (3, 100)}
+        assert vertex_lines <= set(probe.lines)
+
+    def test_vertex_prefetch_waits_for_edge_data(self):
+        """The paper's critique: the dependent prefetch can only issue
+        after the edge line arrives plus the address-generation delay."""
+        resolver = lambda line: [3]
+        prefetcher, probe = make(resolver=resolver, generation_latency=24)
+        edge_line = EDGE_BASE // LINE_SIZE
+        prefetcher.on_l2_event(edge_line, 0, 10, L2Event.MISS, False, completion=500)
+        vertex_line = (VALUE_BASE + 24) // LINE_SIZE
+        cycles = {line: cycle for line, cycle in probe.issued}
+        assert cycles[vertex_line] == 524
+
+    def test_prefetch_hit_on_edge_also_triggers(self):
+        resolver = lambda line: [7]
+        prefetcher, probe = make(resolver=resolver)
+        edge_line = EDGE_BASE // LINE_SIZE
+        prefetcher.on_l2_event(edge_line, 0, 0, L2Event.PREFETCH_HIT, False, completion=50)
+        assert (VALUE_BASE + 56) // LINE_SIZE in probe.lines
+
+    def test_no_resolver_no_vertex_prefetch(self):
+        prefetcher, probe = make(resolver=None)
+        edge_line = EDGE_BASE // LINE_SIZE
+        prefetcher.on_l2_event(edge_line, 0, 0, L2Event.MISS, False, completion=50)
+        assert all((line * LINE_SIZE) < VALUE_BASE for line in probe.lines)
+
+    def test_reset_directive_clears_descriptors(self):
+        prefetcher, probe = make(resolver=lambda line: [1])
+        prefetcher.on_directive("droplet.reset", (), 0)
+        prefetcher.on_l2_event(EDGE_BASE // LINE_SIZE, 0, 0, L2Event.MISS, False)
+        assert probe.lines == []

@@ -1,0 +1,66 @@
+"""Tests for the GHB temporal prefetcher."""
+
+from repro.cache.hierarchy import L2Event
+from repro.prefetchers.ghb import GHBPrefetcher
+from tests.helpers import PrefetchProbe, make_hierarchy
+
+
+def make(**kwargs):
+    hierarchy, stats = make_hierarchy()
+    prefetcher = GHBPrefetcher(**kwargs)
+    prefetcher.attach(hierarchy, stats)
+    return prefetcher, PrefetchProbe(hierarchy)
+
+
+def miss(prefetcher, line, cycle=0):
+    prefetcher.on_l2_event(line, 0, cycle, L2Event.MISS, False)
+
+
+class TestTemporalReplay:
+    def test_repeating_sequence_predicted(self):
+        prefetcher, probe = make(degree=3)
+        sequence = [9, 12, 33, 20, 1]
+        for line in sequence:
+            miss(prefetcher, line)
+        miss(prefetcher, 9)  # second occurrence triggers replay
+        assert probe.lines[:3] == [12, 33, 20]
+
+    def test_only_misses_train(self):
+        prefetcher, probe = make()
+        prefetcher.on_l2_event(5, 0, 0, L2Event.HIT, False)
+        prefetcher.on_l2_event(5, 0, 0, L2Event.MISS, False)
+        assert probe.lines == []  # first miss of 5: no history yet
+
+    def test_most_recent_occurrence_wins(self):
+        """Section II's motivating weakness: when 9 is followed by both 12
+        and 20, the GHB predicts the most recent successor."""
+        prefetcher, probe = make(degree=1)
+        for line in [9, 12, 7, 9, 20, 8]:
+            miss(prefetcher, line)
+        probe.issued.clear()
+        miss(prefetcher, 9)
+        assert probe.lines == [20]
+
+    def test_mixed_streams_confuse_prediction(self):
+        """Interleaved streams (Fig 2 (b)) produce interleaved history, so
+        the replayed successors cross streams."""
+        prefetcher, probe = make(degree=2)
+        stream_a = [1, 2, 3]
+        stream_b = [9, 12, 20]
+        interleaved = [1, 9, 2, 12, 3, 20]
+        for line in interleaved:
+            miss(prefetcher, line)
+        probe.issued.clear()
+        miss(prefetcher, 1)
+        # The successor of 1 in global history is 9 (from the other stream).
+        assert 9 in probe.lines
+
+    def test_buffer_wraparound_invalidates_stale_links(self):
+        prefetcher, probe = make(buffer_entries=4, degree=2)
+        for line in [100, 200, 300]:
+            miss(prefetcher, line)
+        for line in [1, 2, 3, 4, 5]:  # overwrite the circular buffer
+            miss(prefetcher, line)
+        probe.issued.clear()
+        miss(prefetcher, 100)  # its history entry has been overwritten
+        assert 200 not in probe.lines

@@ -1,0 +1,99 @@
+"""Tests for the ISB prefetcher."""
+
+from repro.cache.hierarchy import L2Event
+from repro.prefetchers.isb import ISBPrefetcher
+from tests.helpers import PrefetchProbe, make_hierarchy
+
+
+def make(**kwargs):
+    hierarchy, stats = make_hierarchy()
+    prefetcher = ISBPrefetcher(**kwargs)
+    prefetcher.attach(hierarchy, stats)
+    return prefetcher, PrefetchProbe(hierarchy)
+
+
+def miss(prefetcher, line, pc=0x40):
+    prefetcher.on_l2_event(line, pc, 0, L2Event.MISS, False)
+
+
+class TestStructuralMapping:
+    def test_first_pass_assigns_structural_addresses(self):
+        prefetcher, probe = make()
+        for line in [10, 99, 4, 77]:
+            miss(prefetcher, line)
+        assert prefetcher.mappings == 4
+        assert probe.lines == []  # training pass is silent
+
+    def test_second_pass_replays_in_structural_order(self):
+        prefetcher, probe = make(degree=2)
+        sequence = [10, 99, 4, 77]
+        for line in sequence:
+            miss(prefetcher, line)
+        # Second pass: the first miss re-syncs the stream head; subsequent
+        # in-order misses issue their structural successors.
+        miss(prefetcher, 10)
+        probe.issued.clear()
+        miss(prefetcher, 99)
+        assert probe.lines == [4, 77]
+
+    def test_out_of_order_trigger_stays_silent(self):
+        """A repeat occurrence (out of stream order) must not spray its
+        first-context successors."""
+        prefetcher, probe = make(degree=2)
+        for line in [10, 99, 4, 77]:
+            miss(prefetcher, line)
+        probe.issued.clear()
+        miss(prefetcher, 4)  # head is at 77's slot; 4 is behind it
+        assert probe.lines == []
+
+    def test_skip_tolerance_allows_small_gaps(self):
+        """Misses absent in this iteration (cache hits) skip structural
+        slots; the stream survives gaps up to order_tolerance."""
+        prefetcher, probe = make(degree=1, order_tolerance=4)
+        for line in [10, 20, 30, 40, 50]:
+            miss(prefetcher, line)
+        miss(prefetcher, 10)  # resync
+        probe.issued.clear()
+        miss(prefetcher, 30)  # skipped 20: delta = 2 <= 4
+        assert probe.lines == [40]
+
+    def test_large_jump_suppressed(self):
+        prefetcher, probe = make(degree=1, order_tolerance=4)
+        for line in [10, 20, 30, 40, 50, 60, 70, 80]:
+            miss(prefetcher, line)
+        miss(prefetcher, 10)
+        probe.issued.clear()
+        miss(prefetcher, 80)  # delta = 7 > 4
+        assert probe.lines == []
+
+    def test_streams_localized_by_pc(self):
+        prefetcher, probe = make(degree=1)
+        for a, b in zip([10, 20, 30], [500, 600, 700]):
+            miss(prefetcher, a, pc=0x1)
+            miss(prefetcher, b, pc=0x2)
+        miss(prefetcher, 10, pc=0x1)
+        probe.issued.clear()
+        miss(prefetcher, 20, pc=0x1)
+        assert probe.lines == [30]  # pc 0x2's stream untouched
+
+    def test_prefetch_hit_advances_stream(self):
+        prefetcher, probe = make(degree=1)
+        for line in [10, 20, 30]:
+            miss(prefetcher, line)
+        miss(prefetcher, 10)
+        probe.issued.clear()
+        prefetcher.on_l2_event(20, 0x40, 0, L2Event.PREFETCH_HIT, False)
+        assert probe.lines == [30]
+
+    def test_covers_repeating_irregular_sequence(self):
+        """End-to-end: a repeating unique irregular sequence is fully
+        predicted on the second pass."""
+        prefetcher, probe = make(degree=2)
+        sequence = [7, 400, 12, 9000, 33, 256, 81, 1024]
+        for line in sequence:
+            miss(prefetcher, line)
+        probe.issued.clear()
+        for line in sequence:
+            miss(prefetcher, line)
+        # Every in-order trigger (all but the resync) issues successors.
+        assert set(probe.lines) >= set(sequence[2:])

@@ -1,0 +1,74 @@
+"""Tests for the MISB prefetcher (off-chip metadata model)."""
+
+from repro.cache.hierarchy import L2Event
+from repro.prefetchers.misb import MISBPrefetcher
+from tests.helpers import PrefetchProbe, make_hierarchy
+
+
+def make(**kwargs):
+    hierarchy, stats = make_hierarchy()
+    prefetcher = MISBPrefetcher(**kwargs)
+    prefetcher.attach(hierarchy, stats)
+    return prefetcher, PrefetchProbe(hierarchy), stats
+
+
+def miss(prefetcher, line, pc=0x40, cycle=0):
+    prefetcher.on_l2_event(line, pc, cycle, L2Event.MISS, False)
+
+
+def train_and_resync(prefetcher, sequence):
+    for line in sequence:
+        miss(prefetcher, line)
+    miss(prefetcher, sequence[0])  # resync the stream head
+
+
+class TestMetadataCache:
+    def test_cold_metadata_drops_prediction_but_fetches(self):
+        prefetcher, probe, stats = make()
+        train_and_resync(prefetcher, [10, 20, 30])
+        prefetcher._meta_cache.clear()  # force a cold metadata cache
+        probe.issued.clear()
+        miss(prefetcher, 20)  # in order, but metadata is off-chip
+        assert probe.lines == []
+        assert stats.traffic.metadata_read_lines >= 1
+        assert prefetcher.metadata_misses >= 1
+
+    def test_warm_metadata_prefetches_degree_ahead(self):
+        prefetcher, probe, stats = make(degree=3)
+        train_and_resync(prefetcher, [10, 20, 30, 40, 50, 60])
+        miss(prefetcher, 20)  # first in-order trigger warms the metadata
+        probe.issued.clear()
+        miss(prefetcher, 30)
+        assert probe.lines == [40, 50, 60]
+        assert prefetcher.metadata_hits > 0
+
+    def test_metadata_cache_bounded(self):
+        prefetcher, _, _ = make(metadata_cache_lines=2)
+        for line in range(200):
+            miss(prefetcher, line)
+        assert len(prefetcher._meta_cache) <= 2
+
+    def test_metadata_traffic_is_metadata_kind(self):
+        prefetcher, _, stats = make()
+        train_and_resync(prefetcher, [1, 2])
+        prefetcher._meta_cache.clear()
+        miss(prefetcher, 2)
+        assert stats.traffic.metadata_read_lines >= 1
+        assert stats.traffic.prefetch_lines == 0  # prediction was dropped
+
+    def test_degree_capped_at_eight_by_default(self):
+        """The paper: MISB uses a maximum prefetch degree of eight."""
+        assert MISBPrefetcher().degree == 8
+
+    def test_mappings_accumulate(self):
+        prefetcher, _, _ = make()
+        for line in range(10):
+            miss(prefetcher, line)
+        assert prefetcher.mappings == 10
+
+    def test_inherits_isb_stream_confirmation(self):
+        prefetcher, probe, _ = make(degree=2)
+        train_and_resync(prefetcher, [10, 99, 4, 77])
+        probe.issued.clear()
+        miss(prefetcher, 4)  # out of order behind the head
+        assert probe.lines == []

@@ -1,0 +1,60 @@
+"""Tests for the next-line prefetcher."""
+
+import pytest
+
+from repro.cache.hierarchy import L2Event
+from repro.prefetchers.nextline import NextLinePrefetcher
+from tests.helpers import PrefetchProbe, make_hierarchy
+from repro.stats import SimStats
+
+
+def make(degree=1, on_miss_only=False):
+    hierarchy, stats = make_hierarchy()
+    prefetcher = NextLinePrefetcher(degree=degree, on_miss_only=on_miss_only)
+    prefetcher.attach(hierarchy, stats)
+    probe = PrefetchProbe(hierarchy)
+    return prefetcher, probe
+
+
+class TestNextLine:
+    def test_prefetches_next_line_on_miss(self):
+        prefetcher, probe = make()
+        prefetcher.on_l2_event(100, 0, 0, L2Event.MISS, False)
+        assert probe.lines == [101]
+
+    def test_degree(self):
+        prefetcher, probe = make(degree=3)
+        prefetcher.on_l2_event(100, 0, 0, L2Event.MISS, False)
+        assert probe.lines == [101, 102, 103]
+
+    def test_trains_on_hits_by_default(self):
+        prefetcher, probe = make()
+        prefetcher.on_l2_event(100, 0, 0, L2Event.HIT, False)
+        assert probe.lines == [101]
+
+    def test_miss_only_mode(self):
+        prefetcher, probe = make(on_miss_only=True)
+        prefetcher.on_l2_event(100, 0, 0, L2Event.HIT, False)
+        assert probe.lines == []
+        prefetcher.on_l2_event(100, 0, 0, L2Event.MISS, False)
+        assert probe.lines == [101]
+
+    def test_rejects_bad_degree(self):
+        with pytest.raises(ValueError):
+            NextLinePrefetcher(degree=0)
+
+    def test_covers_a_stream(self):
+        """On a pure stream the next-line prefetcher converts nearly all
+        misses into prefetch hits."""
+        hierarchy, stats = make_hierarchy()
+        prefetcher = NextLinePrefetcher()
+        prefetcher.attach(hierarchy, stats)
+        cycle = 0
+        for line in range(200):
+            cycle += 2000
+            result = hierarchy.load(line * 64, cycle)
+            if result.l2_event is not L2Event.NONE:
+                prefetcher.on_l2_event(
+                    result.line_addr, 0, cycle, result.l2_event, False
+                )
+        assert stats.prefetch.useful > 150

@@ -1,0 +1,54 @@
+"""Tests for the SteMS spatio-temporal prefetcher."""
+
+from repro.cache.hierarchy import L2Event
+from repro.prefetchers.stems import SteMSPrefetcher
+from tests.helpers import PrefetchProbe, make_hierarchy
+
+
+def make(**kwargs):
+    hierarchy, stats = make_hierarchy()
+    prefetcher = SteMSPrefetcher(**kwargs)
+    prefetcher.attach(hierarchy, stats)
+    return prefetcher, PrefetchProbe(hierarchy)
+
+
+def miss(prefetcher, line, pc=0x40):
+    prefetcher.on_l2_event(line, pc, 0, L2Event.MISS, False)
+
+
+class TestTemporalRegionStreaming:
+    def test_successor_regions_streamed_on_repeat(self):
+        prefetcher, probe = make(region_lines=8, region_lookahead=2, active_regions=2)
+        # First pass: regions 10 -> 20 -> 30 (by their first line).
+        for region in (10, 20, 30):
+            miss(prefetcher, region * 8)
+            miss(prefetcher, region * 8 + 2)
+        prefetcher.finalize(0)  # close the accumulating generations
+        probe.issued.clear()
+        # Second pass: re-entering region 10 streams regions 20 and 30.
+        miss(prefetcher, 10 * 8)
+        issued_regions = {line // 8 for line in probe.lines}
+        assert {20, 30} <= issued_regions
+
+    def test_footprints_carried_with_regions(self):
+        prefetcher, probe = make(region_lines=8, region_lookahead=1)
+        miss(prefetcher, 80)       # region 10 trigger
+        miss(prefetcher, 160)      # region 20 trigger
+        miss(prefetcher, 160 + 5)  # region 20 footprint bit
+        prefetcher.finalize(0)
+        probe.issued.clear()
+        miss(prefetcher, 80)  # re-trigger region 10
+        assert 160 + 5 in probe.lines or 160 in probe.lines
+
+    def test_first_pass_quiet(self):
+        prefetcher, probe = make()
+        for region in (1, 2, 3):
+            miss(prefetcher, region * 32)
+        assert probe.lines == []
+
+    def test_in_region_accesses_accumulate_silently(self):
+        prefetcher, probe = make(region_lines=8)
+        miss(prefetcher, 0)
+        miss(prefetcher, 3)
+        miss(prefetcher, 5)
+        assert probe.lines == []

@@ -1,0 +1,75 @@
+"""Tests for the stride/stream prefetcher."""
+
+from repro.cache.hierarchy import L2Event
+from repro.prefetchers.stream import StreamPrefetcher
+from tests.helpers import PrefetchProbe, make_hierarchy
+
+
+def make(**kwargs):
+    hierarchy, stats = make_hierarchy()
+    prefetcher = StreamPrefetcher(**kwargs)
+    prefetcher.attach(hierarchy, stats)
+    return prefetcher, PrefetchProbe(hierarchy)
+
+
+def train(prefetcher, pc, lines, event=L2Event.MISS):
+    for cycle, line in enumerate(lines):
+        prefetcher.on_l2_event(line, pc, cycle * 100, event, False)
+
+
+class TestStrideDetection:
+    def test_unit_stride_detected_after_threshold(self):
+        prefetcher, probe = make(degree=2, threshold=2)
+        train(prefetcher, 0x10, [100, 101, 102, 103])
+        assert 104 in probe.lines
+        assert 105 in probe.lines
+
+    def test_non_unit_stride(self):
+        prefetcher, probe = make(degree=1, threshold=2)
+        train(prefetcher, 0x10, [100, 110, 120, 130])
+        assert probe.lines[-1] == 140
+
+    def test_negative_stride(self):
+        prefetcher, probe = make(degree=1, threshold=2)
+        train(prefetcher, 0x10, [200, 190, 180, 170])
+        assert 160 in probe.lines
+
+    def test_random_pattern_stays_quiet(self):
+        prefetcher, probe = make(threshold=2)
+        train(prefetcher, 0x10, [5, 900, 17, 4000, 23, 812])
+        assert len(probe.lines) <= 1  # essentially no confident stream
+
+    def test_streams_are_pc_local(self):
+        """Two interleaved streams from different PCs are both detected."""
+        prefetcher, probe = make(degree=1, threshold=2)
+        a = [100, 101, 102, 103, 104]
+        b = [9000, 9010, 9020, 9030, 9040]
+        for line_a, line_b in zip(a, b):
+            prefetcher.on_l2_event(line_a, 0x10, 0, L2Event.MISS, False)
+            prefetcher.on_l2_event(line_b, 0x20, 0, L2Event.MISS, False)
+        assert 105 in probe.lines
+        assert 9050 in probe.lines
+
+
+class TestFlagExclusion:
+    def test_flagged_accesses_skipped(self):
+        """Section V-D: the stream prefetcher is not trained by accesses
+        inside the RnR address range (the packet flag)."""
+        prefetcher, probe = make(degree=1, threshold=2)
+        for cycle, line in enumerate([100, 101, 102, 103]):
+            prefetcher.on_l2_event(line, 0x10, cycle, L2Event.MISS, True)
+        assert probe.lines == []
+
+    def test_exclusion_can_be_disabled(self):
+        prefetcher, probe = make(degree=1, threshold=2, exclude_flagged=False)
+        for cycle, line in enumerate([100, 101, 102, 103]):
+            prefetcher.on_l2_event(line, 0x10, cycle, L2Event.MISS, True)
+        assert probe.lines != []
+
+
+class TestTableManagement:
+    def test_table_capacity_bounded(self):
+        prefetcher, _ = make(table_entries=4)
+        for pc in range(100):
+            prefetcher.on_l2_event(pc * 1000, pc, 0, L2Event.MISS, False)
+        assert len(prefetcher._table) <= 4

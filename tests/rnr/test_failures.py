@@ -1,0 +1,118 @@
+"""Failure injection: malformed programs and resource exhaustion must
+fail loudly with actionable errors, not corrupt the simulation."""
+
+import pytest
+
+from repro.config import LINE_SIZE, SystemConfig
+from repro.prefetchers import make_prefetcher
+from repro.rnr.state import InvalidTransition
+from repro.sim.engine import SimulationEngine
+from repro.trace.builder import TraceBuilder
+
+
+def run(trace_builder_fn):
+    builder = TraceBuilder()
+    trace_builder_fn(builder)
+    engine = SimulationEngine(SystemConfig.tiny(), make_prefetcher("rnr"))
+    return engine.run(builder.build())
+
+
+SEQ_BASE, DIV_BASE, DATA = 0x9000_0000, 0x9800_0000, 0x100000
+
+
+def init(builder, seq_cap=1 << 20, div_cap=1 << 16, window=4):
+    builder.directive("rnr.init", SEQ_BASE, seq_cap, DIV_BASE, div_cap, window, 1)
+    builder.directive("rnr.addr_base.set", DATA, 1 << 20)
+    builder.directive("rnr.addr_base.enable", DATA)
+
+
+class TestProgramOrderErrors:
+    def test_replay_before_start(self):
+        def build(builder):
+            init(builder)
+            builder.directive("rnr.state.replay")
+
+        with pytest.raises(InvalidTransition):
+            run(build)
+
+    def test_resume_without_pause(self):
+        def build(builder):
+            init(builder)
+            builder.directive("rnr.state.start")
+            builder.directive("rnr.state.resume")
+
+        with pytest.raises(InvalidTransition):
+            run(build)
+
+    def test_start_before_init(self):
+        def build(builder):
+            builder.directive("rnr.state.start")
+            builder.directive("rnr.state.replay")
+
+        with pytest.raises(RuntimeError, match="before RnR.init"):
+            run(build)
+
+    def test_enable_unknown_base(self):
+        def build(builder):
+            init(builder)
+            builder.directive("rnr.addr_base.enable", 0xDEAD0000)
+
+        with pytest.raises(KeyError):
+            run(build)
+
+    def test_too_many_boundary_registers(self):
+        def build(builder):
+            init(builder)
+            builder.directive("rnr.addr_base.set", 0x200000, 64)
+            builder.directive("rnr.addr_base.set", 0x300000, 64)
+
+        with pytest.raises(RuntimeError, match="boundary registers"):
+            run(build)
+
+
+class TestResourceExhaustion:
+    def test_sequence_table_overflow_is_loud(self):
+        """A metadata allocation too small for the record iteration raises
+        OverflowError naming the programmer's allocation."""
+
+        def build(builder):
+            init(builder, seq_cap=16)  # 4 entries only
+            builder.directive("rnr.state.start")
+            for i in range(64):
+                builder.work(3)
+                builder.load(DATA + i * LINE_SIZE, pc=1)
+
+        with pytest.raises(OverflowError, match="SequenceTable overflow"):
+            run(build)
+
+    def test_division_table_overflow_is_loud(self):
+        def build(builder):
+            init(builder, div_cap=8, window=1)  # 1 division word only
+            builder.directive("rnr.state.start")
+            for i in range(64):
+                builder.work(3)
+                builder.load(DATA + i * LINE_SIZE, pc=1)
+
+        with pytest.raises(OverflowError, match="DivisionTable overflow"):
+            run(build)
+
+    def test_estimated_capacity_prevents_overflow(self):
+        """estimate_capacity() sized allocations survive a worst-case
+        (every access misses) record iteration."""
+        from repro.rnr.api import RnRInterface
+
+        lines = 64
+        seq_cap, div_cap = RnRInterface.estimate_capacity(
+            structure_bytes=lines * LINE_SIZE, window_size=4
+        )
+
+        def build(builder):
+            init(builder, seq_cap=seq_cap, div_cap=div_cap)
+            builder.directive("rnr.state.start")
+            for i in range(lines):
+                builder.work(3)
+                builder.load(DATA + i * LINE_SIZE, pc=1)
+            builder.directive("rnr.state.end")
+
+        stats = run(build)
+        assert stats.rnr.sequence_entries == lines

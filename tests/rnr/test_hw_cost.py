@@ -1,0 +1,39 @@
+"""Tests for the Section VII-B hardware-cost model."""
+
+import pytest
+
+from repro.rnr.hw_cost import CHIP_AREA_MM2, HardwareCostModel
+
+
+class TestPaperNumbers:
+    def test_storage_under_1kb(self):
+        cost = HardwareCostModel().per_core()
+        assert cost.total_bytes < 1024
+
+    def test_area_about_2_7e3_mm2(self):
+        cost = HardwareCostModel().per_core()
+        assert 2.0e-3 < cost.area_mm2 < 3.5e-3
+
+    def test_chip_fraction_under_0_01_percent(self):
+        cost = HardwareCostModel().per_core()
+        assert cost.chip_fraction < 1e-4
+
+    def test_context_switch_state(self):
+        assert HardwareCostModel().save_restore_bytes == 86.5
+
+
+class TestScaling:
+    def test_linear_with_cores(self):
+        """Section V-E: hardware overhead grows linearly with core count."""
+        one = HardwareCostModel(cores=1).total_area_mm2()
+        four = HardwareCostModel(cores=4).total_area_mm2()
+        assert four == pytest.approx(4 * one)
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ValueError):
+            HardwareCostModel(cores=0)
+
+    def test_report_mentions_key_numbers(self):
+        report = HardwareCostModel().report()
+        assert "86.5" in report
+        assert str(CHIP_AREA_MM2) in report

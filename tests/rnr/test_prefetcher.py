@@ -1,0 +1,198 @@
+"""Integration tests for the RnR prefetcher against a real hierarchy."""
+
+import random
+
+import pytest
+
+from repro.cache.hierarchy import L2Event
+from repro.config import LINE_SIZE, SystemConfig
+from repro.rnr.prefetcher import RnRPrefetcher
+from repro.rnr.replayer import ControlMode
+from repro.rnr.state import PrefetchState
+from tests.helpers import make_hierarchy
+
+BASE = 0x100000
+SEQ_BASE = 0x9000000
+DIV_BASE = 0x9800000
+
+
+def make_rnr(mode=ControlMode.WINDOW_PACE, window=4, size=4096 * LINE_SIZE):
+    # The tiny hierarchy (32-line L2) guarantees the recorded lines are
+    # long evicted by replay time, so replay really has to prefetch.
+    hierarchy, stats = make_hierarchy(SystemConfig.tiny())
+    rnr = RnRPrefetcher(mode=mode)
+    rnr.attach(hierarchy, stats)
+    rnr.on_directive(
+        "rnr.init", (SEQ_BASE, 1 << 20, DIV_BASE, 1 << 16, window, 1), 0
+    )
+    rnr.on_directive("rnr.addr_base.set", (BASE, size), 0)
+    rnr.on_directive("rnr.addr_base.enable", (BASE,), 0)
+    return rnr, hierarchy, stats
+
+
+def drive_access(rnr, hierarchy, address, cycle):
+    """One demand load through the boundary check + hierarchy + L2 hook,
+    the way the simulation engine drives it."""
+    flagged = rnr.on_access(address, 0x408, cycle, False)
+    result = hierarchy.load(address, cycle)
+    if result.l2_event is not L2Event.NONE:
+        rnr.on_l2_event(
+            result.line_addr, 0x408, cycle, result.l2_event, flagged, result.completion
+        )
+    return result
+
+
+class TestDirectiveHandling:
+    def test_init_builds_tables(self):
+        rnr, _, _ = make_rnr()
+        assert rnr.sequence is not None
+        assert rnr.division is not None
+        assert rnr.registers.window_size == 4
+
+    def test_unknown_rnr_directive_raises(self):
+        rnr, _, _ = make_rnr()
+        with pytest.raises(ValueError):
+            rnr.on_directive("rnr.bogus", (), 0)
+
+    def test_non_rnr_directives_ignored(self):
+        rnr, _, _ = make_rnr()
+        rnr.on_directive("droplet.edges", (0, 64), 0)  # no error
+
+    def test_state_calls_before_init_raise(self):
+        hierarchy, stats = make_hierarchy()
+        rnr = RnRPrefetcher()
+        rnr.attach(hierarchy, stats)
+        rnr.on_directive("rnr.state.start", (), 0)
+        with pytest.raises(RuntimeError):
+            rnr.on_directive("rnr.state.replay", (), 0)
+
+    def test_rnr_end_clears_everything(self):
+        rnr, _, _ = make_rnr()
+        rnr.on_directive("rnr.end", (), 0)
+        assert rnr.sequence is None
+        assert rnr.boundary.entries == []
+
+
+class TestRecord:
+    def test_flagged_misses_recorded(self):
+        rnr, hierarchy, stats = make_rnr()
+        rnr.on_directive("rnr.state.start", (), 0)
+        for i in (9, 12, 9, 20, 1):
+            drive_access(rnr, hierarchy, BASE + i * LINE_SIZE, i * 1000)
+        # line 9 hits the second time: only 4 misses recorded.
+        assert len(rnr.sequence) == 4
+        assert [rnr.sequence.miss_at(i)[1] for i in range(4)] == [9, 12, 20, 1]
+        assert stats.rnr.struct_reads == 5
+
+    def test_out_of_range_not_recorded(self):
+        rnr, hierarchy, _ = make_rnr()
+        rnr.on_directive("rnr.state.start", (), 0)
+        drive_access(rnr, hierarchy, 0x4000, 0)  # outside the region
+        assert len(rnr.sequence) == 0
+
+    def test_stores_not_flagged(self):
+        rnr, hierarchy, _ = make_rnr()
+        rnr.on_directive("rnr.state.start", (), 0)
+        assert not rnr.on_access(BASE, 0, 0, True)
+
+    def test_not_recording_when_idle(self):
+        rnr, hierarchy, _ = make_rnr()
+        drive_access(rnr, hierarchy, BASE, 0)
+        assert len(rnr.sequence) == 0
+
+    def test_record_does_not_prefetch(self):
+        """Section VII-A.1: RnR does not prefetch for the target structure
+        during the recording state."""
+        rnr, hierarchy, stats = make_rnr()
+        rnr.on_directive("rnr.state.start", (), 0)
+        for i in range(20):
+            drive_access(rnr, hierarchy, BASE + i * LINE_SIZE, i * 1000)
+        assert stats.prefetch.issued == 0
+
+
+class TestReplay:
+    def run_record_and_replay(self, offsets, mode=ControlMode.WINDOW_PACE, window=4):
+        rnr, hierarchy, stats = make_rnr(mode=mode, window=window)
+        rnr.on_directive("rnr.state.start", (), 0)
+        cycle = 0
+        for offset in offsets:
+            cycle += 2000
+            drive_access(rnr, hierarchy, BASE + offset * LINE_SIZE, cycle)
+        rnr.on_directive("rnr.state.replay", (), cycle)
+        for offset in offsets:
+            cycle += 2000
+            drive_access(rnr, hierarchy, BASE + offset * LINE_SIZE, cycle)
+        final = cycle + 100_000
+        rnr.finalize(final)
+        hierarchy.drain(final)
+        return rnr, stats
+
+    def test_replay_covers_repeating_pattern(self):
+        rng = random.Random(5)
+        offsets = [rng.randrange(4096) for _ in range(64)]
+        rnr, stats = self.run_record_and_replay(offsets, window=4)
+        assert stats.prefetch.issued > 0
+        assert stats.prefetch.accuracy > 0.8
+
+    def test_replay_transition_flushes_record(self):
+        rnr, stats = self.run_record_and_replay([1, 2, 3])
+        assert stats.traffic.metadata_write_lines >= 1
+        assert rnr.machine.state is PrefetchState.REPLAY
+
+    def test_timeliness_categories_sum_to_issued(self):
+        rng = random.Random(7)
+        offsets = [rng.randrange(4096) for _ in range(64)]
+        rnr, stats = self.run_record_and_replay(offsets, window=4)
+        prefetch = stats.prefetch
+        accounted = (
+            prefetch.useful + prefetch.early + prefetch.out_of_window + prefetch.late
+        )
+        assert accounted == prefetch.issued
+
+    def test_metadata_read_traffic_during_replay(self):
+        rng = random.Random(9)
+        offsets = [rng.randrange(4096) for _ in range(64)]
+        _, stats = self.run_record_and_replay(offsets)
+        assert stats.traffic.metadata_read_lines >= 1
+
+
+class TestPauseResume:
+    def test_pause_counted(self):
+        rnr, _, stats = make_rnr()
+        rnr.on_directive("rnr.state.start", (), 0)
+        rnr.on_directive("rnr.state.pause", (), 0)
+        rnr.on_directive("rnr.state.resume", (), 0)
+        assert stats.rnr.pauses == 1
+        assert stats.rnr.resumes == 1
+
+    def test_paused_recording_ignores_accesses(self):
+        rnr, hierarchy, _ = make_rnr()
+        rnr.on_directive("rnr.state.start", (), 0)
+        rnr.on_directive("rnr.state.pause", (), 0)
+        drive_access(rnr, hierarchy, BASE, 0)
+        assert len(rnr.sequence) == 0
+
+
+class TestContextSwitch:
+    def test_save_restore_round_trip(self):
+        """Section IV-C: pause, copy out 86.5 B, restore on reschedule."""
+        rnr, hierarchy, _ = make_rnr()
+        rnr.on_directive("rnr.state.start", (), 0)
+        for i in range(6):
+            drive_access(rnr, hierarchy, BASE + i * LINE_SIZE, i * 1000)
+        rnr.on_directive("rnr.state.pause", (), 6000)
+        saved = rnr.save_context()
+
+        # Another process uses the core: registers trashed.
+        rnr.registers.cur_struct_read = 0
+        rnr.registers.seq_table_len = 0
+        rnr.boundary.clear()
+
+        rnr.restore_context(saved)
+        rnr.on_directive("rnr.state.resume", (), 7000)
+        assert rnr.registers.cur_struct_read == 6
+        assert rnr.registers.seq_table_len == 6
+        assert rnr.boundary.check(BASE) is not None
+        # Recording continues seamlessly.
+        drive_access(rnr, hierarchy, BASE + 100 * LINE_SIZE, 8000)
+        assert rnr.registers.seq_table_len == 7

@@ -1,0 +1,74 @@
+"""Tests for the Record state (Fig 4 left)."""
+
+from repro.rnr.recorder import Recorder
+from repro.rnr.registers import RnRRegisters
+from repro.rnr.tables import DivisionTable, SequenceTable
+from repro.stats import RnRStats
+
+
+def make_recorder(window: int = 4):
+    registers = RnRRegisters()
+    registers.window_size = window
+    sequence = SequenceTable(0x10000, 1 << 20)
+    division = DivisionTable(0x80000, 1 << 16)
+    stats = RnRStats()
+    return Recorder(registers, sequence, division, stats), registers, sequence, division, stats
+
+
+class TestRecording:
+    def test_misses_append_in_order(self):
+        recorder, _, sequence, _, _ = make_recorder()
+        for offset in (9, 12, 9, 20, 1):
+            recorder.record_miss(0, offset, 0, None)
+        assert [sequence.miss_at(i)[1] for i in range(5)] == [9, 12, 9, 20, 1]
+
+    def test_division_entry_every_window(self):
+        """Fig 4 step 6: every window_size misses, Cur Struct Read is
+        appended to the division table."""
+        recorder, registers, _, division, _ = make_recorder(window=4)
+        for i in range(8):
+            registers.cur_struct_read += 2  # two struct reads per miss
+            recorder.record_miss(0, i, 0, None)
+        assert division.windows == 2
+        assert division[0] == 8  # struct reads when window 0 closed
+        assert division[1] == 16
+
+    def test_finish_closes_partial_window(self):
+        recorder, registers, _, division, _ = make_recorder(window=4)
+        for i in range(6):
+            registers.cur_struct_read += 1
+            recorder.record_miss(0, i, 0, None)
+        recorder.finish(0, None)
+        assert division.windows == 2
+        assert division[1] == 6
+
+    def test_finish_on_exact_window_boundary_adds_nothing(self):
+        recorder, registers, _, division, _ = make_recorder(window=4)
+        for i in range(8):
+            registers.cur_struct_read += 1
+            recorder.record_miss(0, i, 0, None)
+        recorder.finish(0, None)
+        assert division.windows == 2
+
+    def test_empty_record_finish(self):
+        recorder, _, sequence, division, _ = make_recorder()
+        recorder.finish(0, None)
+        assert len(sequence) == 0
+        assert division.windows == 0
+
+    def test_stats_counters(self):
+        recorder, registers, _, _, stats = make_recorder(window=2)
+        for i in range(5):
+            registers.cur_struct_read += 1
+            recorder.record_miss(1, i, 0, None)
+        recorder.finish(0, None)
+        assert stats.sequence_entries == 5
+        assert stats.windows_recorded == 3
+        assert stats.division_entries == 3
+
+    def test_registers_track_lengths(self):
+        recorder, registers, _, _, _ = make_recorder(window=2)
+        for i in range(4):
+            recorder.record_miss(0, i, 0, None)
+        assert registers.seq_table_len == 4
+        assert registers.div_table_len == 2

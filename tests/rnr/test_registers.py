@@ -1,0 +1,68 @@
+"""Tests for the RnR register file and its save/restore inventory."""
+
+from repro.rnr.registers import (
+    RnRRegisters,
+    SAVE_RESTORE_BITS,
+    SAVE_RESTORE_BYTES,
+    STATE_INVENTORY,
+)
+
+
+class TestInventory:
+    def test_save_restore_is_86_5_bytes(self):
+        """Section IV-C: a context switch copies 86.5 B of RnR state."""
+        assert SAVE_RESTORE_BYTES == 86.5
+        assert SAVE_RESTORE_BITS == 692
+
+    def test_inventory_has_architectural_and_internal_parts(self):
+        architectural = [name for name, _, arch in STATE_INVENTORY if arch]
+        internal = [name for name, _, arch in STATE_INVENTORY if not arch]
+        assert "prefetch_state" in architectural
+        assert "window_size" in architectural
+        assert "cur_struct_read" in internal
+        assert "prefetch_pace" in internal
+
+    def test_two_boundary_registers_in_inventory(self):
+        bases = [n for n, _, _ in STATE_INVENTORY if n.startswith("boundary_base")]
+        assert len(bases) == 2  # footnote 1
+
+    def test_prefetch_state_is_two_bits(self):
+        widths = {name: bits for name, bits, _ in STATE_INVENTORY}
+        assert widths["prefetch_state"] == 2
+
+
+class TestSnapshotRestore:
+    def test_round_trip(self):
+        regs = RnRRegisters()
+        regs.cur_struct_read = 123
+        regs.window_size = 64
+        regs.cur_window = 5
+        saved = regs.snapshot()
+        fresh = RnRRegisters()
+        fresh.restore(saved)
+        assert fresh.cur_struct_read == 123
+        assert fresh.window_size == 64
+        assert fresh.cur_window == 5
+
+    def test_restore_rejects_unknown_register(self):
+        regs = RnRRegisters()
+        try:
+            regs.restore({"bogus": 1})
+        except KeyError:
+            pass
+        else:
+            raise AssertionError("expected KeyError")
+
+    def test_reset_replay_clears_progress_not_config(self):
+        regs = RnRRegisters()
+        regs.window_size = 32
+        regs.seq_table_len = 100
+        regs.cur_struct_read = 500
+        regs.cur_window = 9
+        regs.replay_seq_ptr = 77
+        regs.reset_replay()
+        assert regs.cur_struct_read == 0
+        assert regs.cur_window == 0
+        assert regs.replay_seq_ptr == 0
+        assert regs.window_size == 32  # configuration survives
+        assert regs.seq_table_len == 100  # the recorded table survives

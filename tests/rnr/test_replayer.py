@@ -1,0 +1,188 @@
+"""Tests for the Replay state and its timing control (Sections V-B/V-C)."""
+
+from repro.config import LINE_SIZE
+from repro.rnr.boundary import BoundaryTable
+from repro.rnr.registers import RnRRegisters
+from repro.rnr.replayer import ControlMode, Replayer
+from repro.rnr.tables import DivisionTable, SequenceTable
+from repro.stats import RnRStats
+
+BASE = 0x100000
+
+
+def make_replayer(offsets, struct_reads_per_window, window=4, mode=ControlMode.WINDOW_PACE):
+    """Build a replayer over a pre-recorded sequence.
+
+    ``offsets`` — recorded line offsets; ``struct_reads_per_window`` — the
+    division-table contents (cumulative struct reads per window).
+    """
+    registers = RnRRegisters()
+    registers.window_size = window
+    boundary = BoundaryTable()
+    boundary.set(BASE, (max(offsets) + 1) * LINE_SIZE if offsets else LINE_SIZE)
+    boundary.enable(BASE)
+    sequence = SequenceTable(0x10000, 1 << 20)
+    for offset in offsets:
+        sequence.append_miss(0, offset, 0, None)
+    division = DivisionTable(0x80000, 1 << 16)
+    for count in struct_reads_per_window:
+        division.append(count, 0, None)
+    issued = []
+    replayer = Replayer(
+        registers,
+        boundary,
+        sequence,
+        division,
+        RnRStats(),
+        mode=mode,
+        issue=lambda line, cycle, window_idx: issued.append((line, cycle, window_idx)) or True,
+    )
+    return replayer, registers, issued
+
+
+def lines(issued):
+    return [line for line, _, _ in issued]
+
+
+def expected_line(offset):
+    return (BASE + offset * LINE_SIZE) // LINE_SIZE
+
+
+class TestBegin:
+    def test_pace_mode_primes_one_window(self):
+        replayer, _, issued = make_replayer(list(range(12)), [4, 8, 12], window=4)
+        replayer.begin(0)
+        assert lines(issued) == [expected_line(o) for o in range(4)]
+
+    def test_window_mode_primes_two_windows(self):
+        replayer, _, issued = make_replayer(
+            list(range(12)), [4, 8, 12], window=4, mode=ControlMode.WINDOW
+        )
+        replayer.begin(0)
+        assert lines(issued) == [expected_line(o) for o in range(8)]
+
+    def test_none_mode_primes_nothing(self):
+        replayer, _, issued = make_replayer(
+            list(range(12)), [4, 8, 12], window=4, mode=ControlMode.NONE
+        )
+        replayer.begin(0)
+        assert issued == []
+
+    def test_begin_resets_progress(self):
+        replayer, registers, issued = make_replayer(list(range(8)), [4, 8], window=4)
+        replayer.begin(0)
+        registers.cur_struct_read = 99
+        replayer.begin(100)
+        assert registers.cur_struct_read == 0
+        assert registers.cur_window == 0
+
+
+class TestReplaySequence:
+    def test_full_sequence_replayed_in_order(self):
+        offsets = [9, 12, 9, 20, 1, 7, 3, 15]
+        replayer, registers, issued = make_replayer(offsets, [4, 8], window=4)
+        replayer.begin(0)
+        for read in range(8):
+            registers.cur_struct_read += 1
+            replayer.on_struct_read(read * 10)
+        assert lines(issued) == [expected_line(o) for o in offsets]
+
+    def test_each_prefetch_tagged_with_its_window(self):
+        replayer, registers, issued = make_replayer(list(range(8)), [4, 8], window=4)
+        replayer.begin(0)
+        for read in range(8):
+            registers.cur_struct_read += 1
+            replayer.on_struct_read(read)
+        windows = [w for _, _, w in issued]
+        assert windows == [0, 0, 0, 0, 1, 1, 1, 1]
+
+    def test_none_mode_one_prefetch_per_access(self):
+        replayer, registers, issued = make_replayer(
+            list(range(8)), [4, 8], window=4, mode=ControlMode.NONE
+        )
+        replayer.begin(0)
+        for read in range(3):
+            registers.cur_struct_read += 1
+            replayer.on_struct_read(read)
+        assert len(issued) == 3
+
+
+class TestPaceControl:
+    def test_pace_spreads_prefetches(self):
+        """Fig 5 (d): with 8 struct reads per 4-miss window, one prefetch
+        is issued every second structure access."""
+        offsets = list(range(12))
+        # Windows close at struct reads 8, 16, 24: miss ratio 50%.
+        replayer, registers, issued = make_replayer(offsets, [8, 16, 24], window=4)
+        replayer.begin(0)
+        assert registers.prefetch_pace == 2
+        issued.clear()
+        for read in range(8):
+            registers.cur_struct_read += 1
+            replayer.on_struct_read(read)
+        # 8 reads at pace 2 -> window 1's four misses, plus the first entry
+        # of window 2 right after the window switch on the 8th read.
+        assert [w for _, _, w in issued] == [1, 1, 1, 1, 2]
+
+    def test_window_advance_updates_pace(self):
+        offsets = list(range(8))
+        # Window 0: 4 reads (pace 1); window 1: 16 reads (pace 4).
+        replayer, registers, issued = make_replayer(offsets, [4, 20], window=4)
+        replayer.begin(0)
+        for read in range(4):
+            registers.cur_struct_read += 1
+            replayer.on_struct_read(read)
+        assert registers.cur_window == 1
+        assert registers.prefetch_pace == 4
+
+    def test_prefetches_never_pass_next_window(self):
+        """Double buffering: the pointer must stay within one window ahead
+        of the window demand is consuming."""
+        offsets = list(range(20))
+        replayer, registers, issued = make_replayer(
+            offsets, [4, 8, 12, 16, 20], window=4
+        )
+        replayer.begin(0)
+        for read in range(4):  # still inside window 0
+            registers.cur_struct_read += 1
+            replayer.on_struct_read(read)
+        assert registers.replay_seq_ptr <= 12  # at most through window 2's start
+
+
+class TestWindowControl:
+    def test_window_mode_bursts_next_window_on_advance(self):
+        offsets = list(range(12))
+        replayer, registers, issued = make_replayer(
+            offsets, [4, 8, 12], window=4, mode=ControlMode.WINDOW
+        )
+        replayer.begin(0)  # windows 0 and 1 primed
+        issued.clear()
+        for read in range(4):
+            registers.cur_struct_read += 1
+            replayer.on_struct_read(read)
+        # Entering window 1 bursts window 2 (entries 8..11).
+        assert lines(issued) == [expected_line(o) for o in range(8, 12)]
+
+
+class TestBaseSwapDuringReplay:
+    def test_disabled_slot_redirects(self):
+        registers = RnRRegisters()
+        registers.window_size = 2
+        boundary = BoundaryTable(max_entries=2)
+        boundary.set(BASE, 16 * LINE_SIZE)
+        boundary.set(BASE + 0x10000, 16 * LINE_SIZE)
+        sequence = SequenceTable(0x10000, 1 << 20)
+        for offset in (3, 5):
+            sequence.append_miss(0, offset, 0, None)  # recorded on slot 0
+        division = DivisionTable(0x80000, 1 << 16)
+        division.append(2, 0, None)
+        issued = []
+        replayer = Replayer(
+            registers, boundary, sequence, division, RnRStats(),
+            issue=lambda line, cycle, window: issued.append(line) or True,
+        )
+        # The programmer swapped bases: slot 1 is now the live array.
+        boundary.enable(BASE + 0x10000)
+        replayer.begin(0)
+        swapped_base_line = (BASE + 0x10000) // LINE_SIZE
+        assert issued == [swapped_base_line + 3, swapped_base_line + 5]

@@ -1,0 +1,109 @@
+"""Tests for the Fig 3 prefetch-state machine."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rnr.state import InvalidTransition, PrefetchState, PrefetchStateMachine
+
+
+class TestHappyPath:
+    def test_table_i_lifecycle(self):
+        """init -> start -> replay (xN) -> end — Algorithm 1's flow."""
+        machine = PrefetchStateMachine()
+        assert machine.state is PrefetchState.IDLE
+        machine.start()
+        assert machine.recording
+        machine.replay()
+        assert machine.replaying
+        machine.replay()  # restart replay at each iteration
+        assert machine.replaying
+        machine.end()
+        assert machine.state is PrefetchState.IDLE
+
+    def test_pause_resume_during_record(self):
+        machine = PrefetchStateMachine()
+        machine.start()
+        machine.pause()
+        assert machine.paused
+        assert machine.state is PrefetchState.RECORD_PAUSED
+        machine.resume()
+        assert machine.recording
+
+    def test_pause_resume_during_replay(self):
+        machine = PrefetchStateMachine()
+        machine.start()
+        machine.replay()
+        machine.pause()
+        assert machine.state is PrefetchState.REPLAY_PAUSED
+        machine.resume()
+        assert machine.replaying
+
+    def test_replay_from_record_pause(self):
+        """Algorithm 1 allows pausing the record and replaying later."""
+        machine = PrefetchStateMachine()
+        machine.start()
+        machine.pause()
+        machine.replay()
+        assert machine.replaying
+
+    def test_end_from_any_active_state(self):
+        for setup in (
+            lambda m: m.start(),
+            lambda m: (m.start(), m.pause()),
+            lambda m: (m.start(), m.replay()),
+            lambda m: (m.start(), m.replay(), m.pause()),
+        ):
+            machine = PrefetchStateMachine()
+            setup(machine)
+            machine.end()
+            assert machine.state is PrefetchState.IDLE
+
+
+class TestInvalidTransitions:
+    def test_replay_before_start(self):
+        with pytest.raises(InvalidTransition):
+            PrefetchStateMachine().replay()
+
+    def test_pause_when_idle(self):
+        with pytest.raises(InvalidTransition):
+            PrefetchStateMachine().pause()
+
+    def test_resume_without_pause(self):
+        machine = PrefetchStateMachine()
+        machine.start()
+        with pytest.raises(InvalidTransition):
+            machine.resume()
+
+    def test_double_start(self):
+        machine = PrefetchStateMachine()
+        machine.start()
+        with pytest.raises(InvalidTransition):
+            machine.start()
+
+    def test_double_pause(self):
+        machine = PrefetchStateMachine()
+        machine.start()
+        machine.pause()
+        with pytest.raises(InvalidTransition):
+            machine.pause()
+
+
+class TestTransitionLog:
+    def test_transitions_recorded(self):
+        machine = PrefetchStateMachine()
+        machine.start()
+        machine.replay()
+        machine.end()
+        assert [t[0] for t in machine.transitions] == ["start", "replay", "end"]
+
+
+class TestFuzz:
+    @given(st.lists(st.sampled_from(["start", "replay", "pause", "resume", "end"]), max_size=40))
+    def test_machine_never_reaches_unknown_state(self, calls):
+        machine = PrefetchStateMachine()
+        for call in calls:
+            try:
+                getattr(machine, call)()
+            except InvalidTransition:
+                pass
+            assert isinstance(machine.state, PrefetchState)

@@ -1,0 +1,127 @@
+"""Tests for the sequence and division metadata tables."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rnr.tables import DivisionTable, MetadataTable, SequenceTable
+from repro.stats import RnRStats
+from tests.helpers import make_hierarchy
+
+
+class TestGeometry:
+    def test_capacity_entries(self):
+        table = SequenceTable(0x1000, 1024, entry_bytes=4)
+        assert table.capacity_entries == 256
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            MetadataTable("X", 0, 2, 4)
+
+    def test_overflow_raises(self):
+        table = SequenceTable(0x1000, 8, entry_bytes=4)
+        table.append_miss(0, 1, 0, None)
+        table.append_miss(0, 2, 0, None)
+        with pytest.raises(OverflowError):
+            table.append_miss(0, 3, 0, None)
+
+
+class TestSequenceEncoding:
+    def test_slot_offset_round_trip(self):
+        table = SequenceTable(0, 1 << 20)
+        table.append_miss(1, 12345, 0, None)
+        assert table.miss_at(0) == (1, 12345)
+
+    def test_offset_overflow_detected(self):
+        table = SequenceTable(0, 1 << 20)
+        with pytest.raises(OverflowError):
+            table.append_miss(0, 1 << 28, 0, None)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=1),
+                st.integers(min_value=0, max_value=(1 << 28) - 1),
+            ),
+            max_size=100,
+        )
+    )
+    def test_encode_decode_property(self, entries):
+        table = SequenceTable(0, 1 << 24)
+        for slot, offset in entries:
+            table.append_miss(slot, offset, 0, None)
+        for index, (slot, offset) in enumerate(entries):
+            assert table.miss_at(index) == (slot, offset)
+
+
+class TestWriteCombining:
+    def test_one_metadata_write_per_line(self):
+        hierarchy, stats = make_hierarchy()
+        table = SequenceTable(0x10000, 1 << 16, entry_bytes=4)
+        for i in range(16):  # exactly one 64 B line of 4 B entries
+            table.append_miss(0, i, 0, hierarchy)
+        assert stats.traffic.metadata_write_lines == 1
+        for i in range(15):  # a partial second line: not yet written
+            table.append_miss(0, 100 + i, 0, hierarchy)
+        assert stats.traffic.metadata_write_lines == 1
+
+    def test_flush_writes_partial_line(self):
+        hierarchy, stats = make_hierarchy()
+        table = SequenceTable(0x10000, 1 << 16, entry_bytes=4)
+        for i in range(5):
+            table.append_miss(0, i, 0, hierarchy)
+        table.flush(0, hierarchy)
+        assert stats.traffic.metadata_write_lines == 1
+        table.flush(0, hierarchy)  # idempotent
+        assert stats.traffic.metadata_write_lines == 1
+
+    def test_tlb_lookup_once_per_4mb_page(self):
+        stats = RnRStats()
+        table = SequenceTable(0x10000, 1 << 24, entry_bytes=4)
+        for i in range(100):
+            table.append(i, 0, None, stats)
+        assert stats.tlb_lookups == 1  # all within the first 4 MB page
+
+
+class TestStreamingRead:
+    def test_double_buffered_streaming(self):
+        hierarchy, stats = make_hierarchy()
+        table = SequenceTable(0x10000, 1 << 16, entry_bytes=4)
+        for i in range(64):  # 4 lines of entries
+            table.append_miss(0, i, 0, None)
+        table.reset_read()
+        table.stream_to(0, 0, hierarchy)
+        assert stats.traffic.metadata_read_lines >= 1  # line 0 (+lookahead)
+        before = stats.traffic.metadata_read_lines
+        table.stream_to(1, 100, hierarchy)  # same line: no new traffic
+        assert stats.traffic.metadata_read_lines == before
+
+    def test_stream_covers_all_lines_once(self):
+        hierarchy, stats = make_hierarchy()
+        table = SequenceTable(0x10000, 1 << 16, entry_bytes=4)
+        for i in range(64):
+            table.append_miss(0, i, 0, None)
+        table.reset_read()
+        for i in range(64):
+            table.stream_to(i, i * 10, hierarchy)
+        assert stats.traffic.metadata_read_lines == 4  # 64 entries / 16 per line
+
+    def test_stream_past_end_is_noop(self):
+        hierarchy, stats = make_hierarchy()
+        table = SequenceTable(0x10000, 1 << 16)
+        assert table.stream_to(99, 5, hierarchy) == 5
+        assert stats.traffic.metadata_read_lines == 0
+
+
+class TestDivisionTable:
+    def test_window_semantics(self):
+        table = DivisionTable(0, 1 << 16)
+        for count in (1000, 1800, 3100):
+            table.append(count, 0, None)
+        assert table.windows == 3
+        assert table.struct_reads_at_window_end(1) == 1800
+
+    def test_size_bytes(self):
+        table = DivisionTable(0, 1 << 16, entry_bytes=8)
+        table.append(1, 0, None)
+        table.append(2, 0, None)
+        assert table.size_bytes == 16

@@ -1,0 +1,102 @@
+"""The paper's Fig 5 worked example, window size = 3.
+
+Window 1 has a 50 % miss ratio (3 misses in 6 accesses), window 2 a
+33.3 % ratio (3 misses in 9 accesses).  With window control the replayer
+issues window 2's three prefetches only after the program enters window 1
+(i.e. not all up front); with pace control they are spread one per
+``N_pace = 6 / 3 = 2`` structure accesses.
+"""
+
+from repro.config import LINE_SIZE
+from repro.rnr.boundary import BoundaryTable
+from repro.rnr.registers import RnRRegisters
+from repro.rnr.replayer import ControlMode, Replayer
+from repro.rnr.tables import DivisionTable, SequenceTable
+from repro.stats import RnRStats
+
+BASE = 0x200000
+WINDOW = 3
+# Fig 5: window 1 = 3 misses over 6 accesses; window 2 = 3 over 9.
+OFFSETS = [0, 1, 2, 3, 4, 5]
+DIVISION = [6, 15]
+
+
+def make(mode):
+    registers = RnRRegisters()
+    registers.window_size = WINDOW
+    boundary = BoundaryTable()
+    boundary.set(BASE, 64 * LINE_SIZE)
+    boundary.enable(BASE)
+    sequence = SequenceTable(0x10000, 1 << 16)
+    for offset in OFFSETS:
+        sequence.append_miss(0, offset, 0, None)
+    division = DivisionTable(0x20000, 1 << 16)
+    for count in DIVISION:
+        division.append(count, 0, None)
+    issued = []
+    replayer = Replayer(
+        registers, boundary, sequence, division, RnRStats(), mode=mode,
+        issue=lambda line, cycle, window: issued.append((line, len(issued))) or True,
+    )
+    return replayer, registers, issued
+
+
+def drive(replayer, registers, accesses, log):
+    """Run ``accesses`` struct reads, recording how many prefetches had
+    been issued after each access."""
+    for access in range(accesses):
+        registers.cur_struct_read += 1
+        replayer.on_struct_read(access)
+        log.append(None)
+
+
+class TestFig5:
+    def test_window_control_waits_for_window_boundary(self):
+        """Fig 5 (c): after window 1's prefetches, the replayer waits
+        until the 6th access before issuing window 2's."""
+        replayer, registers, issued = make(ControlMode.WINDOW)
+        replayer.begin(0)
+        primed = len(issued)
+        assert primed == 6  # both windows primed at replay start
+        counts = []
+        for access in range(1, 7):
+            registers.cur_struct_read += 1
+            replayer.on_struct_read(access)
+            counts.append(len(issued))
+        # Nothing further to issue until a third window would exist.
+        assert counts == [6, 6, 6, 6, 6, 6]
+
+    def test_pace_control_spreads_evenly(self):
+        """Fig 5 (d): N_pace = 6/3 = 2 — one prefetch per two accesses."""
+        replayer, registers, issued = make(ControlMode.WINDOW_PACE)
+        replayer.begin(0)
+        assert len(issued) == 3  # window 1 primed
+        assert registers.prefetch_pace == 2
+        progression = []
+        for access in range(1, 7):
+            registers.cur_struct_read += 1
+            replayer.on_struct_read(access)
+            progression.append(len(issued))
+        # Window 2's three prefetches arrive at accesses 2, 4, 6.
+        assert progression == [3, 4, 4, 5, 5, 6]
+
+    def test_pace_updates_at_window_switch(self):
+        """Entering window 2 (15 - 6 = 9 accesses, 3 misses) changes the
+        pace to 9 // 3 = 3."""
+        replayer, registers, issued = make(ControlMode.WINDOW_PACE)
+        replayer.begin(0)
+        for access in range(7):  # cross into window 2 at access 6
+            registers.cur_struct_read += 1
+            replayer.on_struct_read(access)
+        assert registers.cur_window == 1
+        assert registers.prefetch_pace == 3
+
+    def test_no_control_races_ahead(self):
+        """Fig 5 (b): one prefetch per access, ignoring windows."""
+        replayer, registers, issued = make(ControlMode.NONE)
+        replayer.begin(0)
+        assert issued == []
+        for access in range(4):
+            registers.cur_struct_read += 1
+            replayer.on_struct_read(access)
+        assert len(issued) == 4  # already past window 1's three misses

@@ -1,0 +1,40 @@
+"""Tests for the one-call comparison harness."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.graphs.generators import uniform_random
+from repro.sim.harness import compare_prefetchers
+from repro.workloads import PageRankWorkload
+
+
+@pytest.fixture(scope="module")
+def results():
+    workload = PageRankWorkload(uniform_random(256, 4, seed=8), iterations=2,
+                                window_size=8)
+    return compare_prefetchers(
+        workload,
+        ["baseline", "nextline", "droplet", "rnr", "rnr-combined"],
+        config=SystemConfig.tiny(),
+    )
+
+
+class TestCompare:
+    def test_all_names_present(self, results):
+        assert set(results) == {"baseline", "nextline", "droplet", "rnr", "rnr-combined"}
+
+    def test_baseline_speedup_is_one(self, results):
+        assert results["baseline"].speedup == 1.0
+
+    def test_metrics_accessible(self, results):
+        rnr = results["rnr"]
+        assert rnr.speedup > 0
+        assert 0.0 <= rnr.accuracy <= 1.0
+        assert 0.0 <= rnr.coverage <= 1.0
+        assert rnr.extra_traffic >= 0.0
+
+    def test_droplet_wired_automatically(self, results):
+        assert results["droplet"].stats.prefetch.issued > 0
+
+    def test_shared_baseline_instance(self, results):
+        assert results["nextline"].baseline is results["rnr"].baseline

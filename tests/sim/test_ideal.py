@@ -1,0 +1,37 @@
+"""Tests for the infinite-LLC ideal bound."""
+
+from repro.config import LINE_SIZE, SystemConfig
+from repro.sim.engine import SimulationEngine
+from repro.sim.ideal import ideal_config, run_ideal
+from repro.trace.builder import TraceBuilder
+
+
+def thrash_trace(lines=600):
+    builder = TraceBuilder()
+    for _ in range(3):
+        for line in range(lines):
+            builder.work(2)
+            builder.load(line * LINE_SIZE, pc=0x1)
+    return builder.build()
+
+
+class TestIdeal:
+    def test_ideal_config_inflates_llc_only(self):
+        config = SystemConfig.tiny()
+        ideal = ideal_config(config)
+        assert ideal.llc.size_bytes > config.llc.size_bytes
+        assert ideal.l2.size_bytes == config.l2.size_bytes
+        assert ideal.l1d.size_bytes == config.l1d.size_bytes
+
+    def test_ideal_never_slower(self):
+        config = SystemConfig.tiny()
+        trace = thrash_trace()
+        real = SimulationEngine(config).run(trace)
+        ideal = run_ideal(config, trace)
+        assert ideal.cycles <= real.cycles
+
+    def test_ideal_has_only_cold_llc_misses(self):
+        config = SystemConfig.tiny()
+        trace = thrash_trace(lines=300)
+        ideal = run_ideal(config, trace)
+        assert ideal.llc.demand_misses == 300  # one cold miss per line

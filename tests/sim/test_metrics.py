@@ -1,0 +1,126 @@
+"""Tests for the evaluation metrics."""
+
+import pytest
+
+from repro.sim import metrics
+from repro.stats import PhaseStats, SimStats
+
+
+def stats_with(cycles=1000, instructions=1000, phases=(), **prefetch):
+    stats = SimStats(instructions=instructions, cycles=cycles)
+    stats.phases = [PhaseStats(*phase) for phase in phases]
+    for key, value in prefetch.items():
+        setattr(stats.prefetch, key, value)
+    return stats
+
+
+class TestSpeedup:
+    def test_basic(self):
+        base = stats_with(cycles=2000)
+        fast = stats_with(cycles=1000)
+        assert metrics.speedup(base, fast) == 2.0
+
+    def test_zero_cycles(self):
+        assert metrics.speedup(stats_with(), stats_with(cycles=0)) == 0.0
+
+    def test_replay_speedup_skips_record_iteration(self):
+        base = stats_with(phases=[("iter0", 100, 1000, 10), ("iter1", 100, 1000, 10)])
+        cand = stats_with(phases=[("iter0", 100, 2000, 10), ("iter1", 100, 500, 10)])
+        # iter0 (record) excluded: 1000/500.
+        assert metrics.replay_speedup(base, cand) == 2.0
+
+    def test_amortized_speedup_weights_record_once(self):
+        base = stats_with(phases=[("iter0", 100, 1000, 0), ("iter1", 100, 1000, 0)])
+        cand = stats_with(phases=[("iter0", 100, 1100, 0), ("iter1", 100, 500, 0)])
+        amortized = metrics.amortized_speedup(base, cand, total_iterations=100)
+        # (100 * 1000) / (1100 + 99 * 500) ~ 1.974
+        assert amortized == pytest.approx(100_000 / (1100 + 99 * 500))
+
+    def test_amortized_falls_back_without_phases(self):
+        base = stats_with(cycles=100)
+        cand = stats_with(cycles=50)
+        assert metrics.amortized_speedup(base, cand) == 2.0
+
+
+class TestCoverageAccuracy:
+    def test_coverage(self):
+        base = stats_with()
+        base.l2.demand_misses = 200
+        cand = stats_with(useful=100, issued=150)
+        assert metrics.coverage(base, cand) == 0.5
+
+    def test_coverage_capped_at_one(self):
+        base = stats_with()
+        base.l2.demand_misses = 10
+        cand = stats_with(useful=100)
+        assert metrics.coverage(base, cand) == 1.0
+
+    def test_accuracy(self):
+        cand = stats_with(useful=75, issued=100)
+        assert metrics.accuracy(cand) == 0.75
+
+    def test_accuracy_no_prefetches(self):
+        assert metrics.accuracy(stats_with()) == 0.0
+
+    def test_mpki(self):
+        stats = stats_with(instructions=10_000)
+        stats.l2.demand_misses = 50
+        assert metrics.l2_mpki(stats) == 5.0
+
+    def test_mpki_reduction(self):
+        base = stats_with(instructions=1000)
+        base.l2.demand_misses = 100
+        cand = stats_with(instructions=1000)
+        cand.l2.demand_misses = 10
+        assert metrics.mpki_reduction(base, cand) == pytest.approx(0.9)
+
+
+class TestTimeliness:
+    def test_breakdown_fractions(self):
+        cand = stats_with(issued=100, useful=80, late=5, early=10, out_of_window=5)
+        breakdown = metrics.timeliness_breakdown(cand)
+        assert breakdown["on_time"] == 0.80
+        assert breakdown["late"] == 0.05
+        assert breakdown["early"] == 0.10
+        assert breakdown["out_of_window"] == 0.05
+        assert sum(breakdown.values()) == pytest.approx(1.0)
+
+    def test_breakdown_empty(self):
+        assert metrics.timeliness_breakdown(stats_with())["on_time"] == 0.0
+
+
+class TestTraffic:
+    def test_additional_traffic_ratio(self):
+        base = stats_with()
+        base.traffic.demand_lines = 100
+        cand = stats_with()
+        cand.traffic.demand_lines = 90
+        cand.traffic.prefetch_lines = 20
+        cand.traffic.metadata_read_lines = 8
+        cand.traffic.metadata_write_lines = 2
+        # total 120 vs baseline 100 -> +20%.
+        assert metrics.additional_traffic_ratio(base, cand) == pytest.approx(0.2)
+
+    def test_no_negative_traffic(self):
+        base = stats_with()
+        base.traffic.demand_lines = 100
+        cand = stats_with()
+        cand.traffic.demand_lines = 50
+        assert metrics.additional_traffic_ratio(base, cand) == 0.0
+
+
+class TestStorage:
+    def test_storage_overhead(self):
+        assert metrics.storage_overhead(120, 1000) == 0.12
+
+    def test_bad_input_size(self):
+        with pytest.raises(ValueError):
+            metrics.storage_overhead(10, 0)
+
+
+class TestPhaseLookup:
+    def test_phase_cycles(self):
+        stats = stats_with(phases=[("iter0", 1, 111, 0)])
+        assert metrics.phase_cycles(stats, "iter0") == 111
+        with pytest.raises(KeyError):
+            metrics.phase_cycles(stats, "iter9")

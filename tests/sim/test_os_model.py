@@ -1,0 +1,118 @@
+"""Tests for the context-switch model (Section IV-C)."""
+
+import random
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.prefetchers import make_prefetcher
+from repro.rnr.api import RnRInterface
+from repro.sim import metrics
+from repro.sim.engine import SimulationEngine
+from repro.sim.os_model import apply_switch, emit_context_switch
+from repro.trace import AddressSpace, TraceBuilder
+from tests.helpers import make_hierarchy
+
+
+class TestApplySwitch:
+    def test_advances_clock(self):
+        hierarchy, _ = make_hierarchy()
+        resume = apply_switch(hierarchy, cycle=1000, away_cycles=5000, pollution=0.0)
+        assert resume == 6000
+
+    def test_full_pollution_empties_private_caches_of_our_lines(self):
+        hierarchy, _ = make_hierarchy()
+        for line in range(8):
+            hierarchy.load(line * 64, line * 1000)
+        apply_switch(hierarchy, cycle=10**6, away_cycles=0, pollution=1.0)
+        for line in range(8):
+            assert hierarchy.l1.probe(line) is None
+            assert hierarchy.l2.probe(line) is None
+
+    def test_zero_pollution_keeps_everything(self):
+        hierarchy, _ = make_hierarchy()
+        for line in range(8):
+            hierarchy.load(line * 64, line * 1000)
+        apply_switch(hierarchy, cycle=10**6, away_cycles=100, pollution=0.0)
+        assert any(hierarchy.l2.probe(line) is not None for line in range(8))
+
+    def test_dirty_lines_written_back(self):
+        hierarchy, stats = make_hierarchy()
+        hierarchy.store(0, 0)
+        before = stats.traffic.writeback_lines
+        apply_switch(hierarchy, cycle=10**6, away_cycles=0, pollution=1.0)
+        assert stats.traffic.writeback_lines > before
+
+
+class TestEmitContextSwitch:
+    def test_pause_switch_resume_sequence(self):
+        builder = TraceBuilder()
+        space = AddressSpace()
+        rnr = RnRInterface(builder, space)
+        rnr.init()
+        rnr.prefetch_state.start()
+        emit_context_switch(builder, rnr, away_cycles=100, pollution=0.5)
+        ops = [d.op for d in builder.build().directives()]
+        assert ops[-3:] == ["rnr.state.pause", "os.switch", "rnr.state.resume"]
+
+    def test_validation(self):
+        builder = TraceBuilder()
+        with pytest.raises(ValueError):
+            emit_context_switch(builder, None, pollution=2.0)
+        with pytest.raises(ValueError):
+            emit_context_switch(builder, None, away_cycles=-1)
+
+
+class TestEndToEnd:
+    def build(self, with_switch):
+        rng = random.Random(5)
+        space = AddressSpace()
+        data = space.alloc("data", 8192, 8)
+        indices = [rng.randrange(8192) for _ in range(600)]
+        builder = TraceBuilder()
+        rnr = RnRInterface(builder, space, default_window=8)
+        rnr.init()
+        rnr.addr_base.set(data)
+        rnr.addr_base.enable(data)
+        for iteration in range(3):
+            if iteration == 0:
+                rnr.prefetch_state.start()
+            else:
+                rnr.prefetch_state.replay()
+            builder.iter_begin(iteration)
+            for position, index in enumerate(indices):
+                builder.work(5)
+                builder.load(data.addr(index), pc=0x1)
+                if with_switch and iteration == 1 and position == 300:
+                    emit_context_switch(builder, rnr, away_cycles=20_000,
+                                        pollution=1.0)
+            builder.iter_end(iteration)
+        rnr.prefetch_state.end()
+        rnr.end()
+        return builder.build()
+
+    def test_rnr_survives_context_switch(self):
+        """The paper's claim: no retraining needed after a switch — the
+        replay continues from the saved state and stays accurate."""
+        config = SystemConfig.tiny()
+        stats = SimulationEngine(config, make_prefetcher("rnr")).run(
+            self.build(with_switch=True)
+        )
+        assert stats.rnr.pauses == 1
+        assert stats.rnr.resumes == 1
+        assert metrics.accuracy(stats) > 0.75
+
+    def test_switch_costs_warmup_not_metadata(self):
+        """The switch's cost is cache warm-up (bounded), not a retraining
+        of the recorded sequence (which lives in memory)."""
+        config = SystemConfig.tiny()
+        clean = SimulationEngine(SystemConfig.tiny(), make_prefetcher("rnr")).run(
+            self.build(with_switch=False)
+        )
+        switched = SimulationEngine(config, make_prefetcher("rnr")).run(
+            self.build(with_switch=True)
+        )
+        assert switched.rnr.sequence_entries == clean.rnr.sequence_entries
+        # Cost bounded: the time away plus warm-up — not a re-record of
+        # the interrupted iteration.
+        assert switched.cycles - clean.cycles < 20_000 + 0.5 * clean.cycles

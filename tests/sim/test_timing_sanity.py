@@ -1,0 +1,104 @@
+"""Analytical sanity checks on the timing model.
+
+These pin the simulator's first-order behaviour to hand-computable
+numbers, so modelling regressions (double-charged latency, lost
+parallelism, broken retire-width accounting) are caught by arithmetic,
+not just by relative comparisons.
+"""
+
+from repro.config import LINE_SIZE, SystemConfig
+from repro.sim.engine import SimulationEngine
+from repro.trace.builder import TraceBuilder
+
+
+def simulate(builder_fn, config=None):
+    config = config or SystemConfig.tiny()
+    builder = TraceBuilder()
+    builder_fn(builder)
+    return SimulationEngine(config).run(builder.build())
+
+
+class TestComputeBound:
+    def test_pure_arithmetic_runs_at_width(self):
+        """100k non-memory instructions on a 4-wide core: 25k cycles."""
+        def build(builder):
+            builder.work(100_000)
+            builder.load(0, pc=1)  # one access so the trace isn't empty
+
+        stats = simulate(build)
+        width = SystemConfig.tiny().core.width
+        assert abs(stats.cycles - 100_000 / width) < 1_000
+
+    def test_l1_hits_fully_pipelined(self):
+        """Repeated hits to one line cost ~1 retire slot each, not 4-cycle
+        serialized latency (the ROB hides L1 hit latency)."""
+        def build(builder):
+            builder.load(0, pc=1)
+            for _ in range(10_000):
+                builder.load(8, pc=1)
+
+        stats = simulate(build)
+        assert stats.cycles < 10_000  # far below 4 cycles per access
+
+
+class TestMemoryBound:
+    def test_compute_rich_gaps_hide_miss_latency(self):
+        """An OoO core overlaps a memory round trip with enough
+        independent arithmetic: misses behind 2000-instruction gaps are
+        essentially free."""
+        config = SystemConfig.tiny()
+
+        def build(builder):
+            for i in range(200):
+                builder.work(2_000)
+                builder.load(i * 64 * config.l2.num_sets * 64, pc=1)
+
+        stats = simulate(build, config)
+        compute_only = 200 * 2_000 / config.core.width
+        assert stats.cycles - compute_only < 20 * 200  # ~free per miss
+
+    def test_tiny_rob_serializes_misses(self):
+        """With a near-scalar ROB, back-to-back misses pay most of the
+        memory round trip each (no MLP left to exploit)."""
+        import dataclasses
+
+        from repro.config import CoreConfig
+
+        config = dataclasses.replace(
+            SystemConfig.tiny(), core=CoreConfig(rob_entries=2, lsq_entries=2)
+        )
+
+        def build(builder):
+            for i in range(100):
+                builder.work(2)
+                builder.load(i * 64 * config.l2.num_sets * 64, pc=1)
+
+        stats = simulate(build, config)
+        per_miss = stats.cycles / 100
+        # Round trip is ~170-300 core cycles; ~3 misses overlap at most.
+        assert per_miss > 50
+
+    def test_independent_misses_overlap(self):
+        """Back-to-back independent misses enjoy MSHR-level parallelism:
+        total time is far below misses x round-trip."""
+        def build(builder):
+            for i in range(512):
+                builder.work(2)
+                builder.load(i * LINE_SIZE * 97, pc=1)
+
+        stats = simulate(build)
+        assert stats.cycles < 512 * 150  # strong overlap vs ~250/round trip
+
+    def test_stream_bounded_by_bus(self):
+        """A cold stream cannot beat one bus transfer per line."""
+        config = SystemConfig.tiny()
+
+        def build(builder):
+            for i in range(2_000):
+                builder.work(1)
+                builder.load(i * LINE_SIZE, pc=1)
+
+        stats = simulate(build, config)
+        timing = config.memory.timing
+        bus_floor = 2_000 * timing.core_cycles(timing.tBURST, config.core.freq_ghz)
+        assert stats.cycles >= 0.5 * bus_floor  # within model tolerance

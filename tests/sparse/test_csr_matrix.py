@@ -1,0 +1,95 @@
+"""Tests for the CSR sparse matrix."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sparse.csr_matrix import CSRMatrix
+
+
+def small() -> CSRMatrix:
+    dense = np.array(
+        [
+            [2.0, 0.0, 1.0],
+            [0.0, 3.0, 0.0],
+            [4.0, 0.0, 5.0],
+        ]
+    )
+    return CSRMatrix.from_dense(dense)
+
+
+class TestConstruction:
+    def test_from_dense_round_trip(self):
+        matrix = small()
+        assert matrix.nnz == 5
+        assert np.allclose(matrix.to_dense()[0], [2.0, 0.0, 1.0])
+
+    def test_from_coo_sums_duplicates(self):
+        matrix = CSRMatrix.from_coo(
+            (2, 2), np.array([0, 0]), np.array([1, 1]), np.array([1.0, 2.0])
+        )
+        assert matrix.nnz == 1
+        assert matrix.to_dense()[0, 1] == 3.0
+
+    def test_from_coo_keeps_duplicates_when_asked(self):
+        matrix = CSRMatrix.from_coo(
+            (2, 2),
+            np.array([0, 0]),
+            np.array([1, 1]),
+            np.array([1.0, 2.0]),
+            sum_duplicates=False,
+        )
+        assert matrix.nnz == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CSRMatrix((2, 2), np.array([0, 1]), np.array([0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            CSRMatrix((2, 2), np.array([0, 1, 0]), np.array([0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            CSRMatrix((2, 2), np.array([0, 1, 1]), np.array([5]), np.array([1.0]))
+
+    def test_row_view(self):
+        matrix = small()
+        cols, vals = matrix.row(2)
+        assert list(cols) == [0, 2]
+        assert list(vals) == [4.0, 5.0]
+
+
+class TestSpMV:
+    def test_matches_dense(self):
+        matrix = small()
+        x = np.array([1.0, 2.0, 3.0])
+        assert np.allclose(matrix.spmv(x), matrix.to_dense() @ x)
+
+    def test_dimension_check(self):
+        with pytest.raises(ValueError):
+            small().spmv(np.ones(5))
+
+    @settings(max_examples=40)
+    @given(st.integers(min_value=1, max_value=12), st.integers(min_value=0, max_value=99))
+    def test_spmv_property(self, n, seed):
+        rng = np.random.default_rng(seed)
+        dense = rng.random((n, n)) * (rng.random((n, n)) < 0.4)
+        matrix = CSRMatrix.from_dense(dense)
+        x = rng.standard_normal(n)
+        assert np.allclose(matrix.spmv(x), dense @ x)
+
+
+class TestTransposeSymmetry:
+    def test_transpose(self):
+        matrix = small()
+        assert np.allclose(matrix.transpose().to_dense(), matrix.to_dense().T)
+
+    def test_is_symmetric(self):
+        sym = CSRMatrix.from_dense(np.array([[1.0, 2.0], [2.0, 1.0]]))
+        asym = CSRMatrix.from_dense(np.array([[1.0, 2.0], [0.0, 1.0]]))
+        assert sym.is_symmetric()
+        assert not asym.is_symmetric()
+
+    def test_rectangular_never_symmetric(self):
+        rect = CSRMatrix.from_coo((2, 3), np.array([0]), np.array([2]), np.array([1.0]))
+        assert not rect.is_symmetric()
+
+    def test_input_bytes(self):
+        assert small().input_bytes > 0

@@ -1,0 +1,44 @@
+"""Tests for the named matrix inputs."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import datasets
+from repro.sparse.cg import conjugate_gradient
+
+
+class TestMakeMatrix:
+    def test_all_names_build_and_solve(self):
+        for name in datasets.MATRIX_NAMES:
+            matrix = datasets.make_matrix(name, "test")
+            result = conjugate_gradient(
+                matrix, np.ones(matrix.num_rows), tol=1e-6, max_iterations=3000
+            )
+            assert result.converged, f"{name} did not converge"
+
+    def test_iteration_counts_realistic(self):
+        """Section VII-A.1: iterative solvers take tens to hundreds of
+        iterations — the generators must not be trivially conditioned."""
+        for name in datasets.MATRIX_NAMES:
+            matrix = datasets.make_matrix(name, "test")
+            result = conjugate_gradient(
+                matrix, np.ones(matrix.num_rows), tol=1e-8, max_iterations=3000
+            )
+            assert result.iterations >= 10, f"{name} converged suspiciously fast"
+
+    def test_memoized(self):
+        assert datasets.make_matrix("bbmat", "test") is datasets.make_matrix(
+            "bbmat", "test"
+        )
+
+    def test_unknown_inputs(self):
+        with pytest.raises(ValueError):
+            datasets.make_matrix("spd9000")
+        with pytest.raises(ValueError):
+            datasets.make_matrix("bbmat", "gigantic")
+
+    def test_all_spd_shaped(self):
+        for name in datasets.MATRIX_NAMES:
+            matrix = datasets.make_matrix(name, "test")
+            assert matrix.num_rows == matrix.num_cols
+            assert matrix.nnz > matrix.num_rows  # off-diagonal structure

@@ -1,0 +1,152 @@
+"""Tests for repro.config — the Table II baseline and its scaling."""
+
+import pytest
+
+from repro.config import (
+    CacheConfig,
+    CoreConfig,
+    DramTimingConfig,
+    LINE_SIZE,
+    MemoryConfig,
+    SystemConfig,
+)
+
+
+class TestTableII:
+    """The unscaled baseline must match the paper's Table II verbatim."""
+
+    def test_core(self):
+        core = SystemConfig.baseline().core
+        assert core.freq_ghz == 4.0
+        assert core.width == 4
+        assert core.rob_entries == 256
+        assert core.lsq_entries == 64
+        assert core.issue_queue == 16
+
+    def test_l1d(self):
+        l1 = SystemConfig.baseline().l1d
+        assert l1.size_bytes == 64 << 10
+        assert l1.ways == 8
+        assert l1.mshr_entries == 8
+        assert l1.latency == 4
+
+    def test_l2(self):
+        l2 = SystemConfig.baseline().l2
+        assert l2.size_bytes == 256 << 10
+        assert l2.ways == 8
+        assert l2.mshr_entries == 16
+        assert l2.latency == 12
+
+    def test_llc(self):
+        llc = SystemConfig.baseline().llc
+        assert llc.size_bytes == 8 << 20
+        assert llc.ways == 16
+        assert llc.mshr_entries == 128
+        assert llc.latency == 42
+
+    def test_memory_controller(self):
+        mem = SystemConfig.baseline().memory
+        assert mem.read_queue == 64
+        assert mem.write_queue == 32
+        assert mem.drain_high == 0.75
+        assert mem.drain_low == 0.25
+        assert mem.channels == 1
+        assert mem.ranks == 1
+        assert mem.banks == 16
+
+    def test_ddr4_timing(self):
+        timing = SystemConfig.baseline().memory.timing
+        assert timing.tCL == 17
+        assert timing.tRCD == 17
+        assert timing.tRP == 17
+        assert timing.freq_mhz == 1200  # DDR4-2400 bus clock
+
+    def test_four_cores(self):
+        assert SystemConfig.baseline().cores == 4
+
+
+class TestCacheGeometry:
+    def test_num_sets(self):
+        cache = CacheConfig("X", 64 << 10, 8, 8, 4)
+        assert cache.num_sets == 128
+        assert cache.num_lines == 1024
+
+    def test_num_sets_uses_line_size(self):
+        cache = CacheConfig("X", 8 << 10, 8, 8, 4, line_size=128)
+        assert cache.num_sets == 8
+
+    def test_scaled_keeps_ways_and_latency(self):
+        cache = CacheConfig("X", 64 << 10, 8, 8, 4)
+        small = cache.scaled(64)
+        assert small.size_bytes == 1 << 10
+        assert small.ways == 8
+        assert small.latency == 4
+
+    def test_scaled_never_below_one_set(self):
+        cache = CacheConfig("X", 1 << 10, 8, 8, 4)
+        small = cache.scaled(1 << 20)
+        assert small.num_sets >= 1
+        assert small.size_bytes >= small.ways * LINE_SIZE
+
+
+class TestScaledSystems:
+    def test_scaled_factor(self):
+        system = SystemConfig.scaled(64)
+        assert system.l1d.size_bytes == 1 << 10
+        assert system.l2.size_bytes == 4 << 10
+        assert system.llc.size_bytes == 128 << 10
+
+    def test_scaled_rejects_bad_factor(self):
+        with pytest.raises(ValueError):
+            SystemConfig.scaled(0)
+
+    def test_experiment_ordering(self):
+        system = SystemConfig.experiment()
+        assert system.l1d.size_bytes < system.l2.size_bytes < system.llc.size_bytes
+
+    def test_tiny_is_smaller_than_experiment(self):
+        tiny = SystemConfig.tiny()
+        experiment = SystemConfig.experiment()
+        assert tiny.llc.size_bytes < experiment.llc.size_bytes
+
+    def test_latencies_preserved_by_presets(self):
+        for system in (SystemConfig.experiment(), SystemConfig.tiny()):
+            assert system.l1d.latency == 4
+            assert system.l2.latency == 12
+            assert system.llc.latency == 42
+
+
+class TestTimingConversion:
+    def test_memory_to_core_cycles(self):
+        timing = DramTimingConfig()
+        # 1200 MHz bus, 4 GHz core: 1 bus cycle = 10/3 core cycles.
+        assert timing.core_cycles(3, 4.0) == 10
+
+    def test_idle_memory_latency(self):
+        system = SystemConfig.baseline()
+        # Row hit: tCL + burst = 21 bus cycles = 70 core cycles.
+        assert system.memory_latency_core_cycles == 70
+
+    def test_memory_config_immutable(self):
+        mem = MemoryConfig()
+        with pytest.raises(AttributeError):
+            mem.read_queue = 1  # frozen dataclass
+
+    def test_core_config_immutable(self):
+        with pytest.raises(AttributeError):
+            CoreConfig().width = 8
+
+
+class TestDescribe:
+    def test_table_ii_rendering(self):
+        text = SystemConfig.baseline().describe()
+        assert "4 cores, 4 GHz, 4-wide OoO, 256-entry ROB, 64-entry LSQ" in text
+        assert "private, 64 KB, 8-way, 8-entry MSHR, delay = 4 cycles" in text
+        assert "shared, 8192 KB, 16-way, 128-entry MSHR, delay = 42 cycles" in text
+        assert "drain high/low = 75%/25%" in text
+        assert "2400 MT/s" in text
+
+    def test_scaled_systems_render(self):
+        for system in (SystemConfig.experiment(), SystemConfig.tiny()):
+            text = system.describe()
+            assert "Processors" in text and "Memory" in text

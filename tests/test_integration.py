@@ -1,0 +1,234 @@
+"""End-to-end integration invariants across the whole stack."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import LINE_SIZE, SystemConfig
+from repro.prefetchers import make_prefetcher
+from repro.rnr.api import RnRInterface
+from repro.sim import metrics
+from repro.sim.engine import SimulationEngine
+from repro.trace import AddressSpace, TraceBuilder
+
+
+def build_gather_trace(
+    indices,
+    iterations=3,
+    rnr=True,
+    window=8,
+    array_elems=8192,
+    pause_mid_replay=False,
+):
+    space = AddressSpace()
+    data = space.alloc("data", array_elems, 8)
+    builder = TraceBuilder()
+    interface = RnRInterface(builder, space, default_window=window)
+    if rnr:
+        interface.init()
+        interface.addr_base.set(data)
+        interface.addr_base.enable(data)
+    for iteration in range(iterations):
+        if rnr:
+            if iteration == 0:
+                interface.prefetch_state.start()
+            else:
+                interface.prefetch_state.replay()
+        builder.iter_begin(iteration)
+        for position, index in enumerate(indices):
+            builder.work(5)
+            builder.load(data.addr(index), pc=0x100)
+            if (
+                pause_mid_replay
+                and rnr
+                and iteration == 1
+                and position == len(indices) // 2
+            ):
+                interface.prefetch_state.pause()
+                builder.work(500)  # some other process runs
+                interface.prefetch_state.resume()
+        builder.iter_end(iteration)
+    if rnr:
+        interface.prefetch_state.end()
+        interface.end()
+    return builder.build()
+
+
+@pytest.fixture(scope="module")
+def config():
+    return SystemConfig.tiny()
+
+
+class TestRecordReplayEquivalence:
+    def test_unique_sequence_fully_covered(self, config):
+        """A repeating sequence of distinct lines: every replay miss was
+        recorded, so accuracy approaches 1 and replay misses collapse."""
+        indices = [i * 8 for i in range(500)]  # 500 distinct lines
+        random.Random(3).shuffle(indices)
+        trace = build_gather_trace(indices, rnr=True)
+        stats = SimulationEngine(config, make_prefetcher("rnr")).run(trace)
+        assert metrics.accuracy(stats) > 0.95
+        replay_misses = [p.l2_demand_misses for p in stats.phases[1:]]
+        record_misses = stats.phases[0].l2_demand_misses
+        assert all(m < 0.2 * record_misses for m in replay_misses)
+
+    def test_rnr_beats_baseline_on_irregular_repeats(self, config):
+        rng = random.Random(9)
+        indices = [rng.randrange(8192) for _ in range(1500)]
+        base = SimulationEngine(config).run(build_gather_trace(indices, rnr=False))
+        rnr = SimulationEngine(config, make_prefetcher("rnr")).run(
+            build_gather_trace(indices, rnr=True)
+        )
+        assert metrics.replay_speedup(base, rnr) > 1.2
+
+    def test_annotations_are_free_for_baseline(self, config):
+        """Running the annotated trace WITHOUT the RnR prefetcher gives
+        identical timing to the unannotated trace (directives are free)."""
+        rng = random.Random(4)
+        indices = [rng.randrange(8192) for _ in range(400)]
+        plain = SimulationEngine(config).run(build_gather_trace(indices, rnr=False))
+        annotated = SimulationEngine(SystemConfig.tiny()).run(
+            build_gather_trace(indices, rnr=True)
+        )
+        assert plain.cycles == annotated.cycles
+
+
+class TestTimelinessInvariant:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_categories_partition_issued(self, seed):
+        rng = random.Random(seed)
+        indices = [rng.randrange(8192) for _ in range(300)]
+        trace = build_gather_trace(indices, rnr=True, window=4)
+        stats = SimulationEngine(SystemConfig.tiny(), make_prefetcher("rnr")).run(trace)
+        prefetch = stats.prefetch
+        assert (
+            prefetch.useful + prefetch.late + prefetch.early + prefetch.out_of_window
+            == prefetch.issued
+        )
+
+
+class TestPauseResume:
+    def test_mid_replay_context_switch(self, config):
+        """Pausing and resuming mid-replay (Section IV-C) keeps working."""
+        rng = random.Random(6)
+        indices = [rng.randrange(8192) for _ in range(400)]
+        trace = build_gather_trace(indices, rnr=True, pause_mid_replay=True)
+        stats = SimulationEngine(config, make_prefetcher("rnr")).run(trace)
+        assert stats.rnr.pauses == 1
+        assert stats.rnr.resumes == 1
+        assert metrics.accuracy(stats) > 0.8
+
+
+class TestCombinedPrefetcher:
+    def test_combined_covers_streams_and_gathers(self, config):
+        """RnR-Combined: a trace mixing a stream with a gather — the
+        stream prefetcher covers one, RnR the other (Fig 2's scenario)."""
+        rng = random.Random(8)
+        space = AddressSpace()
+        stream = space.alloc("stream", 4096, 8)
+        gather = space.alloc("gather", 8192, 8)
+        gather_indices = [rng.randrange(8192) for _ in range(800)]
+        builder = TraceBuilder()
+        interface = RnRInterface(builder, space, default_window=8)
+        interface.init()
+        interface.addr_base.set(gather)
+        interface.addr_base.enable(gather)
+        for iteration in range(3):
+            if iteration == 0:
+                interface.prefetch_state.start()
+            else:
+                interface.prefetch_state.replay()
+            builder.iter_begin(iteration)
+            for position, index in enumerate(gather_indices):
+                builder.work(3)
+                builder.load(stream.addr((position * 2) % 4096), pc=0x200)
+                builder.work(3)
+                builder.load(gather.addr(index), pc=0x100)
+            builder.iter_end(iteration)
+        interface.prefetch_state.end()
+        interface.end()
+        trace = builder.build()
+
+        base = SimulationEngine(SystemConfig.tiny()).run(trace)
+        rnr_only = SimulationEngine(SystemConfig.tiny(), make_prefetcher("rnr")).run(trace)
+        combined = SimulationEngine(
+            SystemConfig.tiny(), make_prefetcher("rnr-combined")
+        ).run(trace)
+        assert metrics.coverage(base, combined) > metrics.coverage(base, rnr_only)
+        assert combined.cycles <= rnr_only.cycles
+
+
+class TestMetadataAccounting:
+    def test_metadata_traffic_appears_in_record_and_replay(self, config):
+        rng = random.Random(10)
+        indices = [rng.randrange(8192) for _ in range(600)]
+        trace = build_gather_trace(indices, rnr=True)
+        stats = SimulationEngine(config, make_prefetcher("rnr")).run(trace)
+        assert stats.traffic.metadata_write_lines > 0  # record side
+        assert stats.traffic.metadata_read_lines > 0  # replay side
+        # Storage: one 4-byte entry per recorded miss + division words.
+        assert stats.rnr.storage_bytes() == (
+            stats.rnr.sequence_entries * 4 + stats.rnr.division_entries * 8
+        )
+
+
+class TestTwoStructures:
+    """Both boundary registers enabled at once: two interleaved irregular
+    gathers recorded into one sequence with slot tags, replayed to the
+    right arrays (the full Fig 2 scenario with two sparse structures)."""
+
+    def build(self, rnr, free_metadata=True):
+        rng = random.Random(11)
+        space = AddressSpace()
+        first = space.alloc("first", 8192, 8)
+        second = space.alloc("second", 8192, 8)
+        idx_a = [rng.randrange(8192) for _ in range(400)]
+        idx_b = [rng.randrange(8192) for _ in range(400)]
+        builder = TraceBuilder()
+        interface = RnRInterface(builder, space, default_window=8)
+        if rnr:
+            interface.init()
+            interface.addr_base.set(first)
+            interface.addr_base.set(second)
+            interface.addr_base.enable(first)
+            interface.addr_base.enable(second)
+        for iteration in range(3):
+            if rnr:
+                if iteration == 0:
+                    interface.prefetch_state.start()
+                else:
+                    interface.prefetch_state.replay()
+            builder.iter_begin(iteration)
+            for a, b in zip(idx_a, idx_b):
+                builder.work(4)
+                builder.load(first.addr(a), pc=0x1)
+                builder.work(4)
+                builder.load(second.addr(b), pc=0x2)
+            builder.iter_end(iteration)
+        if rnr:
+            interface.prefetch_state.end()
+            if free_metadata:
+                interface.end()
+        return builder.build()
+
+    def test_both_structures_recorded_and_covered(self, config):
+        from repro.rnr.prefetcher import RnRPrefetcher
+
+        prefetcher = RnRPrefetcher()
+        # Keep the metadata alive (no RnR.end()) so the test can inspect it.
+        stats = SimulationEngine(config, prefetcher).run(
+            self.build(rnr=True, free_metadata=False)
+        )
+        slots = {prefetcher.sequence.miss_at(i)[0]
+                 for i in range(len(prefetcher.sequence))}
+        assert slots == {0, 1}  # both registers contributed entries
+        assert metrics.accuracy(stats) > 0.9
+
+    def test_two_structure_replay_beats_baseline(self, config):
+        base = SimulationEngine(config).run(self.build(rnr=False))
+        rnr = SimulationEngine(config, make_prefetcher("rnr")).run(
+            self.build(rnr=True)
+        )
+        assert metrics.replay_speedup(base, rnr) > 1.15

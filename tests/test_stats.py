@@ -1,0 +1,104 @@
+"""Tests for the statistics containers."""
+
+from hypothesis import given, strategies as st
+
+from repro.stats import CacheStats, PhaseStats, PrefetchStats, SimStats, TrafficStats
+
+
+class TestCacheStats:
+    def test_miss_ratio(self):
+        stats = CacheStats(demand_accesses=10, demand_misses=3)
+        assert stats.miss_ratio == 0.3
+
+    def test_miss_ratio_empty(self):
+        assert CacheStats().miss_ratio == 0.0
+
+
+class TestPrefetchStats:
+    def test_accuracy_and_coverage(self):
+        stats = PrefetchStats(issued=100, useful=80)
+        assert stats.accuracy == 0.8
+        assert stats.coverage(200) == 0.4
+
+    def test_empty(self):
+        stats = PrefetchStats()
+        assert stats.accuracy == 0.0
+        assert stats.coverage(0) == 0.0
+
+    def test_on_time_is_useful(self):
+        stats = PrefetchStats(issued=10, useful=6, late=2)
+        assert stats.on_time == 6
+
+
+class TestTrafficStats:
+    def test_total_and_extra(self):
+        stats = TrafficStats(
+            demand_lines=100,
+            prefetch_lines=20,
+            writeback_lines=10,
+            metadata_read_lines=5,
+            metadata_write_lines=5,
+        )
+        assert stats.total == 140
+        assert stats.extra == 30
+
+
+class TestPhaseStats:
+    def test_ipc(self):
+        assert PhaseStats("x", instructions=100, cycles=50).ipc == 2.0
+        assert PhaseStats("x").ipc == 0.0
+
+
+class TestMerge:
+    def test_merge_accumulates(self):
+        a = SimStats(instructions=10, cycles=100)
+        a.l2.demand_misses = 5
+        a.prefetch.issued = 7
+        a.traffic.demand_lines = 3
+        a.rnr.sequence_entries = 2
+        b = SimStats(instructions=20, cycles=60)
+        b.l2.demand_misses = 4
+        b.prefetch.issued = 3
+        b.traffic.demand_lines = 2
+        b.rnr.sequence_entries = 8
+        a.merge(b)
+        assert a.instructions == 30
+        assert a.cycles == 100  # max, not sum (parallel cores)
+        assert a.l2.demand_misses == 9
+        assert a.prefetch.issued == 10
+        assert a.traffic.demand_lines == 5
+        assert a.rnr.sequence_entries == 10
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=10**6),
+                st.integers(min_value=0, max_value=10**6),
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_merge_commutes_on_counters(self, cores):
+        forward = SimStats()
+        backward = SimStats()
+        stats_list = []
+        for instructions, misses in cores:
+            stats = SimStats(instructions=instructions)
+            stats.l2.demand_misses = misses
+            stats_list.append(stats)
+        for stats in stats_list:
+            forward.merge(stats)
+        for stats in reversed(stats_list):
+            backward.merge(stats)
+        assert forward.instructions == backward.instructions
+        assert forward.l2.demand_misses == backward.l2.demand_misses
+
+
+class TestRnRStats:
+    def test_storage_bytes(self):
+        stats = SimStats()
+        stats.rnr.sequence_entries = 100
+        stats.rnr.division_entries = 10
+        assert stats.rnr.storage_bytes() == 100 * 4 + 10 * 8
+        assert stats.rnr.storage_bytes(seq_entry_bytes=2) == 280

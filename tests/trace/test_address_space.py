@@ -1,0 +1,90 @@
+"""Tests for the simulated address space."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.trace.address_space import AddressSpace
+
+
+class TestAlloc:
+    def test_regions_page_aligned_and_disjoint(self):
+        space = AddressSpace()
+        a = space.alloc("a", 100, 8)
+        b = space.alloc("b", 100, 8)
+        assert a.base % AddressSpace.PAGE == 0
+        assert b.base % AddressSpace.PAGE == 0
+        assert a.end <= b.base
+
+    def test_guard_page_between_regions(self):
+        space = AddressSpace()
+        a = space.alloc("a", 1, 8)
+        b = space.alloc("b", 1, 8)
+        assert b.base - a.end >= AddressSpace.PAGE
+
+    def test_duplicate_name_rejected(self):
+        space = AddressSpace()
+        space.alloc("a", 1, 8)
+        with pytest.raises(ValueError):
+            space.alloc("a", 1, 8)
+
+    def test_bad_sizes_rejected(self):
+        space = AddressSpace()
+        with pytest.raises(ValueError):
+            space.alloc("a", -1, 8)
+        with pytest.raises(ValueError):
+            space.alloc("b", 1, 0)
+
+    def test_free_and_lookup(self):
+        space = AddressSpace()
+        space.alloc("a", 4, 8)
+        assert "a" in space
+        space.free("a")
+        assert "a" not in space
+
+
+class TestRegion:
+    def test_addr_indexing(self):
+        space = AddressSpace()
+        region = space.alloc("a", 10, 8)
+        assert region.addr(0) == region.base
+        assert region.addr(3) == region.base + 24
+
+    def test_addr_out_of_range(self):
+        region = AddressSpace().alloc("a", 10, 8)
+        with pytest.raises(IndexError):
+            region.addr(10)
+        with pytest.raises(IndexError):
+            region.addr(-1)
+
+    def test_contains(self):
+        region = AddressSpace().alloc("a", 10, 8)
+        assert region.contains(region.base)
+        assert region.contains(region.end - 1)
+        assert not region.contains(region.end)
+
+    def test_region_of(self):
+        space = AddressSpace()
+        region = space.alloc("a", 10, 8)
+        assert space.region_of(region.base + 8) == "a"
+        assert space.region_of(0) == "<unmapped>"
+
+
+class TestProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=10_000),
+                st.sampled_from([1, 4, 8, 16]),
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_allocations_never_overlap(self, allocations):
+        space = AddressSpace()
+        regions = [
+            space.alloc(f"r{i}", count, elem)
+            for i, (count, elem) in enumerate(allocations)
+        ]
+        for earlier, later in zip(regions, regions[1:]):
+            assert earlier.end <= later.base

@@ -1,0 +1,55 @@
+"""Tests for the TraceBuilder."""
+
+import pytest
+
+from repro.trace.builder import TraceBuilder
+from repro.trace.record import KIND_DIRECTIVE, KIND_LOAD, KIND_STORE
+
+
+class TestBuilder:
+    def test_work_accumulates_into_next_gap(self):
+        builder = TraceBuilder()
+        builder.work(3)
+        builder.work(2)
+        builder.load(0x100, pc=1)
+        trace = builder.build()
+        assert trace[0].gap == 5
+        assert trace[0].kind == KIND_LOAD
+
+    def test_gap_resets_after_emission(self):
+        builder = TraceBuilder()
+        builder.work(4)
+        builder.load(0x100)
+        builder.store(0x200)
+        trace = builder.build()
+        assert trace[1].gap == 0
+        assert trace[1].kind == KIND_STORE
+
+    def test_directive_carries_gap(self):
+        builder = TraceBuilder()
+        builder.work(7)
+        builder.directive("rnr.init", 1, 2)
+        entry = builder.build()[0]
+        assert entry.kind == KIND_DIRECTIVE
+        assert entry.gap == 7
+        assert entry.args == (1, 2)
+
+    def test_iter_markers(self):
+        builder = TraceBuilder()
+        builder.iter_begin(0)
+        builder.load(0)
+        builder.iter_end(0)
+        ops = [d.op for d in builder.build().directives()]
+        assert ops == ["iter.begin", "iter.end"]
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(ValueError):
+            TraceBuilder().work(-1)
+
+    def test_instruction_accounting(self):
+        builder = TraceBuilder()
+        builder.work(10)
+        builder.load(0)
+        builder.work(5)
+        builder.store(64)
+        assert builder.build().instructions == 17

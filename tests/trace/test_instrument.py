@@ -1,0 +1,112 @@
+"""Tests for the automatic trace instrumentation."""
+
+import numpy as np
+import pytest
+
+from repro.config import SystemConfig
+from repro.prefetchers import make_prefetcher
+from repro.sim import metrics
+from repro.sim.engine import SimulationEngine
+from repro.trace.instrument import Tracer
+from repro.trace.record import KIND_LOAD, KIND_STORE
+
+
+class TestInstrumentedArray:
+    def test_reads_and_writes_emit_records(self):
+        tracer = Tracer()
+        x = tracer.array("x", 16, pc=0x50)
+        x[3] = 7.5
+        value = x[3]
+        assert value == 7.5
+        refs = list(tracer.build().memory_references())
+        assert [r.kind for r in refs] == [KIND_STORE, KIND_LOAD]
+        assert refs[0].addr == x.region.addr(3)
+        assert all(r.pc == 0x50 for r in refs)
+
+    def test_negative_indexing(self):
+        tracer = Tracer()
+        x = tracer.array("x", 8)
+        x[-1] = 2.0
+        assert x.peek(7) == 2.0
+
+    def test_out_of_range(self):
+        tracer = Tracer()
+        x = tracer.array("x", 4)
+        with pytest.raises(IndexError):
+            x[4]
+
+    def test_peek_is_untraced(self):
+        tracer = Tracer()
+        x = tracer.array("x", 4)
+        x.peek(0)
+        assert len(list(tracer.build().memory_references())) == 0
+
+    def test_auto_pc_distinct_per_array(self):
+        tracer = Tracer()
+        a = tracer.array("a", 4)
+        b = tracer.array("b", 4)
+        assert a.pc != b.pc
+
+    def test_dtype_and_len(self):
+        tracer = Tracer()
+        idx = tracer.array("idx", 5, elem_size=4, dtype=np.int32, fill=1)
+        assert len(idx) == 5
+        assert idx.peek(0) == 1
+        assert idx.data.dtype == np.int32
+
+
+class TestIterationScope:
+    def test_iter_markers(self):
+        tracer = Tracer()
+        x = tracer.array("x", 4)
+        with tracer.iteration(0):
+            x[0] = 1.0
+        ops = [d.op for d in tracer.build().directives()]
+        assert "iter.begin" in ops and "iter.end" in ops
+
+    def test_rnr_calls_when_initialised(self):
+        tracer = Tracer()
+        x = tracer.array("x", 64)
+        tracer.rnr.init()
+        tracer.rnr.addr_base.set(x.region)
+        tracer.rnr.addr_base.enable(x.region)
+        for iteration in range(2):
+            with tracer.iteration(iteration):
+                x[0] = 1.0
+        ops = [d.op for d in tracer.build().directives()]
+        assert "rnr.state.start" in ops
+        assert "rnr.state.replay" in ops
+
+
+class TestEndToEnd:
+    def test_user_algorithm_gets_rnr_speedup(self):
+        """The headline use case: a plain user loop over instrumented
+        arrays, annotated and simulated, shows RnR covering the gather."""
+        rng = np.random.default_rng(3)
+        indices = rng.integers(0, 4096, size=700)
+
+        def build(with_rnr):
+            tracer = Tracer(rnr_window=8)
+            x = tracer.array("x", 4096, pc=0x10)
+            if with_rnr:
+                tracer.rnr.init()
+                tracer.rnr.addr_base.set(x.region)
+                tracer.rnr.addr_base.enable(x.region)
+            total = 0.0
+            for iteration in range(3):
+                with tracer.iteration(iteration):
+                    for i in indices:
+                        tracer.work(4)
+                        total += x[int(i)]
+            if with_rnr:
+                tracer.rnr.prefetch_state.end()
+                tracer.rnr.end()
+            return tracer.build()
+
+        config = SystemConfig.tiny()
+        baseline = SimulationEngine(config).run(build(False))
+        rnr = SimulationEngine(SystemConfig.tiny(), make_prefetcher("rnr")).run(
+            build(True)
+        )
+        assert metrics.accuracy(rnr) > 0.9
+        assert metrics.replay_speedup(baseline, rnr) > 1.1

@@ -1,0 +1,46 @@
+"""Tests for trace record types."""
+
+from repro.trace.record import (
+    KIND_DIRECTIVE,
+    KIND_LOAD,
+    KIND_STORE,
+    Directive,
+    TraceRecord,
+)
+
+
+class TestTraceRecord:
+    def test_fields(self):
+        record = TraceRecord(KIND_LOAD, 0x1000, 0x400, 5)
+        assert record.kind == KIND_LOAD
+        assert record.addr == 0x1000
+        assert record.pc == 0x400
+        assert record.gap == 5
+
+    def test_equality(self):
+        a = TraceRecord(KIND_STORE, 1, 2, 3)
+        b = TraceRecord(KIND_STORE, 1, 2, 3)
+        c = TraceRecord(KIND_LOAD, 1, 2, 3)
+        assert a == b
+        assert a != c
+
+    def test_repr_mentions_kind(self):
+        assert "LOAD" in repr(TraceRecord(KIND_LOAD, 0, 0))
+        assert "STORE" in repr(TraceRecord(KIND_STORE, 0, 0))
+
+
+class TestDirective:
+    def test_fields(self):
+        directive = Directive("rnr.state.start", (1, 2), gap=3)
+        assert directive.kind == KIND_DIRECTIVE
+        assert directive.op == "rnr.state.start"
+        assert directive.args == (1, 2)
+        assert directive.gap == 3
+
+    def test_args_coerced_to_tuple(self):
+        assert Directive("x", [1, 2]).args == (1, 2)
+
+    def test_equality(self):
+        assert Directive("a", (1,)) == Directive("a", (1,))
+        assert Directive("a", (1,)) != Directive("a", (2,))
+        assert Directive("a") != TraceRecord(KIND_LOAD, 0, 0)

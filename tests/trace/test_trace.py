@@ -1,0 +1,80 @@
+"""Tests for the Trace container."""
+
+from hypothesis import given, strategies as st
+
+from repro.trace.record import KIND_LOAD, KIND_STORE, Directive, TraceRecord
+from repro.trace.trace import Trace
+
+
+def sample_trace() -> Trace:
+    return Trace(
+        [
+            Directive("iter.begin", (0,)),
+            TraceRecord(KIND_LOAD, 0x100, 0x1, 3),
+            TraceRecord(KIND_STORE, 0x140, 0x2, 0),
+            Directive("iter.end", (0,), gap=2),
+        ]
+    )
+
+
+class TestCounts:
+    def test_lengths(self):
+        trace = sample_trace()
+        assert len(trace) == 4
+        assert trace.num_loads == 1
+        assert trace.num_stores == 1
+        assert trace.num_directives == 2
+
+    def test_instructions_counts_gaps_and_refs(self):
+        # 3 (gap) + 1 (load) + 0 + 1 (store) + 2 (gap before directive)
+        assert sample_trace().instructions == 7
+
+    def test_iteration_helpers(self):
+        trace = sample_trace()
+        assert [r.addr for r in trace.memory_references()] == [0x100, 0x140]
+        assert [d.op for d in trace.directives()] == ["iter.begin", "iter.end"]
+
+    def test_indexing(self):
+        trace = sample_trace()
+        assert isinstance(trace[0], Directive)
+        assert trace[1].addr == 0x100
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path):
+        trace = sample_trace()
+        path = tmp_path / "trace.jsonl"
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert list(loaded) == list(trace)
+
+    @given(
+        st.lists(
+            st.one_of(
+                st.builds(
+                    TraceRecord,
+                    st.sampled_from([KIND_LOAD, KIND_STORE]),
+                    st.integers(min_value=0, max_value=1 << 40),
+                    st.integers(min_value=0, max_value=1 << 16),
+                    st.integers(min_value=0, max_value=100),
+                ),
+                st.builds(
+                    Directive,
+                    st.sampled_from(["iter.begin", "rnr.state.start", "x.y"]),
+                    st.tuples(st.integers(min_value=0, max_value=1 << 30)),
+                ),
+            ),
+            max_size=50,
+        )
+    )
+    def test_round_trip_property(self, entries):
+        import tempfile
+        from pathlib import Path
+
+        trace = Trace(entries)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "t.jsonl"
+            trace.save(path)
+            loaded = Trace.load(path)
+        assert list(loaded) == entries
+        assert loaded.instructions == trace.instructions

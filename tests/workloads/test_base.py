@@ -1,0 +1,52 @@
+"""Tests for the workload base helpers (trace compression)."""
+
+import pytest
+
+from repro.config import LINE_SIZE
+from repro.trace.address_space import AddressSpace
+from repro.trace.builder import TraceBuilder
+from repro.workloads.base import StreamCursor
+
+
+@pytest.fixture
+def setup():
+    builder = TraceBuilder()
+    space = AddressSpace()
+    region = space.alloc("a", 1024, 8)
+    return builder, region
+
+
+class TestStreamCursor:
+    def test_one_reference_per_line(self, setup):
+        builder, region = setup
+        cursor = StreamCursor(builder, region, pc=0x1)
+        for i in range(16):  # 8 B elements -> 8 per line -> 2 lines
+            cursor.touch(i)
+        refs = list(builder.build().memory_references())
+        assert len(refs) == 2
+        assert refs[0].addr == region.base
+        assert refs[1].addr == region.base + LINE_SIZE
+
+    def test_instruction_count_preserved(self, setup):
+        builder, region = setup
+        cursor = StreamCursor(builder, region, pc=0x1, work_per_elem=2)
+        for i in range(16):
+            cursor.touch(i)
+        # 16 elements * (2 work + 1 elided-or-real reference) = 48 instrs.
+        assert builder.build().instructions == 48
+
+    def test_store_mode(self, setup):
+        builder, region = setup
+        cursor = StreamCursor(builder, region, pc=0x1, is_store=True)
+        cursor.touch(0)
+        from repro.trace.record import KIND_STORE
+
+        assert builder.build()[0].kind == KIND_STORE
+
+    def test_revisiting_line_reemits(self, setup):
+        builder, region = setup
+        cursor = StreamCursor(builder, region, pc=0x1)
+        cursor.touch(0)
+        cursor.touch(20)  # jump to another line
+        cursor.touch(1)  # back to the first line: counts as a new touch
+        assert len(builder.build()) == 3

@@ -1,0 +1,69 @@
+"""Tests for the belief-propagation workload."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import road_network, uniform_random
+from repro.trace.record import KIND_LOAD
+from repro.workloads.belief_propagation import PC_GATHER, BeliefPropagationWorkload
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return uniform_random(128, 3, seed=4)
+
+
+class TestNumerics:
+    def test_messages_bounded_by_coupling(self, graph):
+        workload = BeliefPropagationWorkload(graph, iterations=4, coupling=0.3)
+        workload.build_trace(rnr=False)
+        # tanh-clipped messages can never exceed 2*coupling in magnitude.
+        assert np.all(np.abs(workload._messages) <= 2 * 0.3 + 1e-9)
+
+    def test_beliefs_follow_priors_on_tree(self):
+        """With zero coupling, messages vanish and beliefs equal priors."""
+        graph = road_network(6, 6, extra_fraction=0.0)
+        workload = BeliefPropagationWorkload(graph, iterations=3, coupling=0.0)
+        workload.build_trace(rnr=False)
+        assert np.allclose(workload.beliefs, workload._prior)
+
+    def test_reverse_index_is_involution(self, graph):
+        workload = BeliefPropagationWorkload(graph, iterations=2)
+        reverse = workload._reverse
+        assert np.array_equal(reverse[reverse], np.arange(reverse.size))
+
+    def test_residuals_recorded(self, graph):
+        workload = BeliefPropagationWorkload(graph, iterations=3)
+        workload.build_trace(rnr=False)
+        assert len(workload.residual_history) == 3
+
+
+class TestTraceShape:
+    def test_one_gather_per_directed_edge(self, graph):
+        workload = BeliefPropagationWorkload(graph, iterations=2)
+        trace = workload.build_trace(rnr=False)
+        gathers = sum(
+            1
+            for record in trace.memory_references()
+            if record.kind == KIND_LOAD and record.pc == PC_GATHER
+        )
+        assert gathers == 2 * workload.graph.num_edges
+
+    def test_base_swap_annotations(self, graph):
+        workload = BeliefPropagationWorkload(graph, iterations=3)
+        trace = workload.build_trace(rnr=True)
+        ops = [d.op for d in trace.directives() if d.op.startswith("rnr.addr_base")]
+        assert ops.count("rnr.addr_base.set") == 2
+        assert ops.count("rnr.addr_base.enable") >= 3
+
+    def test_identical_stream_with_and_without_rnr(self, graph):
+        workload = BeliefPropagationWorkload(graph, iterations=2)
+        without = [
+            (r.kind, r.addr)
+            for r in workload.build_trace(rnr=False).memory_references()
+        ]
+        with_rnr = [
+            (r.kind, r.addr)
+            for r in workload.build_trace(rnr=True).memory_references()
+        ]
+        assert without == with_rnr

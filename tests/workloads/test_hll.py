@@ -1,0 +1,82 @@
+"""Tests for the HyperLogLog sketches."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.hll import HllArray
+
+
+class TestSingletons:
+    def test_each_vertex_estimates_one(self):
+        hll = HllArray.singletons(100)
+        counts = hll.counts()
+        assert np.all(counts > 0.4)
+        assert np.all(counts < 3.0)
+
+    def test_register_count(self):
+        hll = HllArray.singletons(10, register_bits=5)
+        assert hll.num_registers == 32
+        assert hll.registers.shape == (10, 32)
+
+    def test_register_bits_validated(self):
+        with pytest.raises(ValueError):
+            HllArray(10, register_bits=1)
+
+
+class TestUnion:
+    def test_union_monotone(self):
+        hll = HllArray.singletons(10)
+        before = hll.counts()[0]
+        hll.union_into(0, 1)
+        assert hll.counts()[0] >= before
+
+    def test_union_idempotent(self):
+        hll = HllArray.singletons(10)
+        hll.union_into(0, 1)
+        snapshot = hll.registers[0].copy()
+        changed = hll.union_into(0, 1)
+        assert not changed
+        assert np.array_equal(hll.registers[0], snapshot)
+
+    def test_union_commutative_in_estimate(self):
+        a = HllArray.singletons(10)
+        b = HllArray.singletons(10)
+        a.union_into(0, 1)
+        a.union_into(0, 2)
+        b.union_into(0, 2)
+        b.union_into(0, 1)
+        assert np.array_equal(a.registers[0], b.registers[0])
+
+    def test_copy_is_independent(self):
+        hll = HllArray.singletons(4)
+        clone = hll.copy()
+        hll.union_into(0, 1)
+        assert not np.array_equal(hll.registers[0], clone.registers[0])
+
+
+class TestEstimation:
+    def test_estimate_tracks_true_cardinality(self):
+        """Union n singleton sketches into one: the estimate must be within
+        HLL's error band (~26 % for 16 registers) of n."""
+        n = 256
+        hll = HllArray.singletons(n)
+        for v in range(1, n):
+            hll.union_into(0, v)
+        estimate = hll.counts()[0]
+        assert 0.5 * n < estimate < 1.7 * n
+
+    def test_neighbourhood_function_sums(self):
+        hll = HllArray.singletons(50)
+        assert hll.neighbourhood_function() == pytest.approx(hll.counts().sum())
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=2, max_value=200))
+    def test_estimate_grows_with_unions(self, n):
+        hll = HllArray.singletons(n)
+        previous = hll.counts()[0]
+        for v in range(1, n):
+            hll.union_into(0, v)
+            current = hll.counts()[0]
+            assert current >= previous - 1e-9
+            previous = current

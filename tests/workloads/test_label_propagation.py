@@ -1,0 +1,75 @@
+"""Tests for the label-propagation workload."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import community_graph
+from repro.trace.record import KIND_LOAD
+from repro.workloads.label_propagation import PC_GATHER, LabelPropagationWorkload
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return community_graph(256, num_communities=4, avg_degree=8,
+                           intra_fraction=0.95, seed=5)
+
+
+class TestNumerics:
+    def test_labels_converge_toward_communities(self, graph):
+        workload = LabelPropagationWorkload(graph, iterations=6)
+        workload.build_trace(rnr=False)
+        # 256 singleton labels collapse toward the planted communities.
+        assert workload.num_communities < 64
+
+    def test_changes_decrease(self, graph):
+        workload = LabelPropagationWorkload(graph, iterations=6)
+        workload.build_trace(rnr=False)
+        changes = workload.changes_history
+        assert changes[-1] < changes[0]
+
+    def test_deterministic_tie_break(self, graph):
+        a = LabelPropagationWorkload(graph, iterations=3)
+        b = LabelPropagationWorkload(graph, iterations=3)
+        a.build_trace(rnr=False)
+        b.build_trace(rnr=False)
+        assert np.array_equal(a.labels, b.labels)
+
+
+class TestTraceShape:
+    def test_one_gather_per_edge(self, graph):
+        workload = LabelPropagationWorkload(graph, iterations=2)
+        trace = workload.build_trace(rnr=False)
+        gathers = sum(
+            1
+            for record in trace.memory_references()
+            if record.kind == KIND_LOAD and record.pc == PC_GATHER
+        )
+        assert gathers == 2 * workload.graph.num_edges
+
+    def test_pattern_repeats_while_data_changes(self, graph):
+        """The gather address sequence is identical across iterations even
+        though the label values change — the RnR-friendly property."""
+        workload = LabelPropagationWorkload(graph, iterations=2)
+        trace = workload.build_trace(rnr=False)
+        per_iter = []
+        current = None
+        for entry in trace:
+            op = getattr(entry, "op", None)
+            if op == "iter.begin":
+                current = []
+            elif op == "iter.end":
+                per_iter.append(current)
+                current = None
+            elif current is not None and entry.kind == KIND_LOAD and entry.pc == PC_GATHER:
+                # Offsets within the (swapping) label arrays must match.
+                current.append(entry.addr % (1 << 20))
+        offsets_a = [a % 4096 for a in per_iter[0]]
+        offsets_b = [a % 4096 for a in per_iter[1]]
+        assert offsets_a == offsets_b
+
+    def test_rnr_annotations(self, graph):
+        workload = LabelPropagationWorkload(graph, iterations=3)
+        trace = workload.build_trace(rnr=True)
+        ops = [d.op for d in trace.directives() if d.op.startswith("rnr.")]
+        assert "rnr.state.start" in ops
+        assert ops.count("rnr.state.replay") == 2

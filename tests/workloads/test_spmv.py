@@ -1,0 +1,50 @@
+"""Tests for the standalone SpMV workload."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.generators import banded_random
+from repro.trace.record import KIND_LOAD
+from repro.workloads.spmv import PC_GATHER, SpMVWorkload
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return banded_random(256, seed=9)
+
+
+class TestSpMV:
+    def test_result_matches_reference(self, matrix):
+        workload = SpMVWorkload(matrix, iterations=2)
+        workload.build_trace(rnr=False)
+        assert np.allclose(workload.y, matrix.spmv(workload.x))
+
+    def test_one_gather_per_nonzero(self, matrix):
+        workload = SpMVWorkload(matrix, iterations=2)
+        trace = workload.build_trace(rnr=False)
+        gathers = sum(
+            1
+            for record in trace.memory_references()
+            if record.kind == KIND_LOAD and record.pc == PC_GATHER
+        )
+        assert gathers == 2 * matrix.nnz
+
+    def test_gather_addresses_follow_column_indices(self, matrix):
+        """Fig 2 (a): the dense-vector access order IS the column array."""
+        workload = SpMVWorkload(matrix, iterations=2)
+        trace = workload.build_trace(rnr=False)
+        x_region = workload.region("x")
+        gathered = [
+            (record.addr - x_region.base) // 8
+            for record in trace.memory_references()
+            if record.pc == PC_GATHER
+        ]
+        expected = list(matrix.indices) * 2
+        assert gathered == expected
+
+    def test_rnr_marks_only_x(self, matrix):
+        workload = SpMVWorkload(matrix, iterations=2)
+        trace = workload.build_trace(rnr=True)
+        sets = [d for d in trace.directives() if d.op == "rnr.addr_base.set"]
+        assert len(sets) == 1
+        assert sets[0].args[0] == workload.region("x").base
