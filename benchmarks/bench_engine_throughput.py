@@ -1,0 +1,160 @@
+"""Engine hot-loop throughput in trace entries per second.
+
+The other simulator benches time whole figure cells; this one isolates the
+``SimulationEngine.run`` + ``Trace`` iteration hot path and reports a
+single comparable number — trace entries consumed per wall-clock second —
+so loop-level regressions are visible independent of workload mix.
+
+Run standalone to (re)write the ``BENCH_engine.json`` baseline at the repo
+root::
+
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py
+
+or through pytest-benchmark with the rest of the harness::
+
+    pytest benchmarks/bench_engine_throughput.py
+
+The pytest run also compares against a committed baseline when one exists
+(soft check: a >30 % drop fails the bench).
+"""
+
+import json
+import random
+import time
+from pathlib import Path
+
+from repro.config import SystemConfig
+from repro.prefetchers import make_prefetcher
+from repro.rnr.api import RnRInterface
+from repro.sim.engine import SimulationEngine
+from repro.trace import AddressSpace, TraceBuilder
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+#: Allowed slowdown vs the committed baseline before the bench fails
+#: (generous: CI machines vary; this catches order-of-magnitude slips).
+REGRESSION_TOLERANCE = 0.30
+
+
+def build_trace(accesses=50_000, rnr=False, window=16, footprint=32_768):
+    """A two-iteration pointer-chase-style trace (same shape as bench_simulator)."""
+    rng = random.Random(7)
+    space = AddressSpace()
+    array = space.alloc("x", footprint, 8)
+    indices = [rng.randrange(footprint) for _ in range(accesses // 2)]
+    builder = TraceBuilder()
+    interface = RnRInterface(builder, space, default_window=window)
+    if rnr:
+        interface.init()
+        interface.addr_base.set(array)
+        interface.addr_base.enable(array)
+    for iteration in range(2):
+        if rnr:
+            if iteration == 0:
+                interface.prefetch_state.start()
+            else:
+                interface.prefetch_state.replay()
+        builder.iter_begin(iteration)
+        for index in indices:
+            builder.work(5)
+            builder.load(array.addr(index), pc=0x100)
+        builder.iter_end(iteration)
+    if rnr:
+        interface.prefetch_state.end()
+        interface.end()
+    return builder.build()
+
+
+def measure_entries_per_second(trace, prefetcher_name=None, repeats=3):
+    """Best-of-``repeats`` trace entries consumed per second."""
+    config = SystemConfig.experiment()
+    entries = len(trace)
+    best = 0.0
+    for _ in range(repeats):
+        prefetcher = (
+            make_prefetcher(prefetcher_name) if prefetcher_name else None
+        )
+        engine = SimulationEngine(config, prefetcher)
+        began = time.perf_counter()
+        engine.run(trace)
+        elapsed = time.perf_counter() - began
+        best = max(best, entries / elapsed)
+    return best
+
+
+def run_suite(repeats=3):
+    """{scenario: entries/sec} for the demand and RnR replay paths."""
+    demand = build_trace(rnr=False)
+    rnr = build_trace(rnr=True)
+    return {
+        "demand": measure_entries_per_second(demand, None, repeats),
+        "rnr": measure_entries_per_second(rnr, "rnr", repeats),
+    }
+
+
+def write_baseline(results, path=BASELINE_PATH):
+    payload = {
+        "unit": "trace entries per second",
+        "entries_per_second": {k: round(v, 1) for k, v in results.items()},
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_baseline(path=BASELINE_PATH):
+    try:
+        return json.loads(path.read_text())["entries_per_second"]
+    except (OSError, ValueError, KeyError):
+        return None
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points
+# ----------------------------------------------------------------------
+def test_engine_entries_per_second(benchmark):
+    trace = build_trace(rnr=False)
+    config = SystemConfig.experiment()
+    entries = len(trace)
+    benchmark.pedantic(
+        lambda: SimulationEngine(config).run(trace), rounds=3, iterations=1
+    )
+    rate = entries / benchmark.stats.stats.min
+    benchmark.extra_info["entries_per_second"] = round(rate, 1)
+    baseline = load_baseline()
+    if baseline and "demand" in baseline:
+        floor = baseline["demand"] * (1.0 - REGRESSION_TOLERANCE)
+        assert rate >= floor, (
+            f"engine throughput regressed: {rate:.0f} entries/s vs "
+            f"baseline {baseline['demand']:.0f} (floor {floor:.0f})"
+        )
+
+
+def test_engine_rnr_entries_per_second(benchmark):
+    trace = build_trace(rnr=True)
+    config = SystemConfig.experiment()
+    entries = len(trace)
+    benchmark.pedantic(
+        lambda: SimulationEngine(config, make_prefetcher("rnr")).run(trace),
+        rounds=3,
+        iterations=1,
+    )
+    rate = entries / benchmark.stats.stats.min
+    benchmark.extra_info["entries_per_second"] = round(rate, 1)
+
+
+def main():
+    results = run_suite()
+    for scenario, rate in results.items():
+        print(f"{scenario:>8}: {rate:>12,.0f} trace entries/s")
+    baseline = load_baseline()
+    if baseline:
+        for scenario, rate in results.items():
+            old = baseline.get(scenario)
+            if old:
+                print(f"{scenario:>8}: {rate / old:.2f}x vs baseline")
+    path = write_baseline(results)
+    print(f"baseline written to {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -31,6 +31,13 @@ class Cache:
         self._ways = config.ways
         self._sets: list[Dict[int, CacheLine]] = [dict() for _ in range(self._num_sets)]
         self._policy = policy if policy is not None else LRUPolicy()
+        # Fast path for the default tick-LRU: dict insertion order *is*
+        # recency order (hits and fills move the line to the end of its
+        # set), so the victim is the first key — O(1) instead of an
+        # O(ways) scan, with victim choice identical to the tick policy
+        # (ticks strictly increase, so there are never ties to break).
+        # Custom policies keep the protocol dispatch.
+        self._dict_lru = type(self._policy) is LRUPolicy
         self.mshr = MSHRFile(config.mshr_entries)
 
     # ------------------------------------------------------------------
@@ -40,9 +47,15 @@ class Cache:
     def lookup(self, line_addr: int) -> Optional[CacheLine]:
         """Return the resident line and promote it in LRU, or None."""
         num_sets = self._num_sets
-        line = self._sets[line_addr % num_sets].get(line_addr // num_sets)
+        tag = line_addr // num_sets
+        lines = self._sets[line_addr % num_sets]
+        line = lines.get(tag)
         if line is not None:
-            self._policy.touch(line)
+            if self._dict_lru:
+                del lines[tag]
+                lines[tag] = line
+            else:
+                self._policy.touch(line)
         return line
 
     def probe(self, line_addr: int) -> Optional[CacheLine]:
@@ -64,24 +77,33 @@ class Cache:
         Returns the inserted line. If the line is already resident, its
         metadata is refreshed instead (an MSHR-merge fill).
         """
-        set_idx, tag = self._index(line_addr)
+        num_sets = self._num_sets
+        set_idx = line_addr % num_sets
+        tag = line_addr // num_sets
         lines = self._sets[set_idx]
+        dict_lru = self._dict_lru
         line = lines.get(tag)
         if line is None:
             if len(lines) >= self._ways:
-                victim_tag = self._policy.victim(lines)
+                victim_tag = (
+                    next(iter(lines)) if dict_lru else self._policy.victim(lines)
+                )
                 victim = lines.pop(victim_tag)
                 if on_evict is not None:
-                    victim_addr = victim_tag * self._num_sets + set_idx
-                    on_evict(victim_addr, victim)
+                    on_evict(victim_tag * num_sets + set_idx, victim)
             line = CacheLine(tag, arrive)
             lines[tag] = line
         else:
-            line.arrive = min(line.arrive, arrive)
+            if arrive < line.arrive:
+                line.arrive = arrive
+            if dict_lru:
+                del lines[tag]
+                lines[tag] = line
         line.dirty = line.dirty or dirty
         line.prefetched = prefetched
         line.pf_window = pf_window
-        self._policy.touch(line)
+        if not dict_lru:
+            self._policy.touch(line)
         return line
 
     def invalidate(self, line_addr: int) -> Optional[CacheLine]:

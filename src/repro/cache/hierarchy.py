@@ -16,7 +16,6 @@ The hierarchy implements the paper's methodology:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from enum import Enum
 from typing import Callable, Optional
 
@@ -36,14 +35,38 @@ class L2Event(Enum):
     MISS = "miss"
 
 
-@dataclass
 class AccessResult:
-    """Outcome of one demand access."""
+    """Outcome of one demand access.
 
-    completion: int
-    latency: int
-    l2_event: L2Event
-    line_addr: int
+    A plain __slots__ class rather than a dataclass: one is built per
+    demand access, so construction cost is part of the engine hot loop.
+    """
+
+    __slots__ = ("completion", "latency", "l2_event", "line_addr")
+
+    def __init__(
+        self, completion: int, latency: int, l2_event: L2Event, line_addr: int
+    ):
+        self.completion = completion
+        self.latency = latency
+        self.l2_event = l2_event
+        self.line_addr = line_addr
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"AccessResult(completion={self.completion}, latency={self.latency}, "
+            f"l2_event={self.l2_event}, line_addr={self.line_addr:#x})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AccessResult):
+            return NotImplemented
+        return (
+            self.completion == other.completion
+            and self.latency == other.latency
+            and self.l2_event == other.l2_event
+            and self.line_addr == other.line_addr
+        )
 
 
 # Classifier for prefetched lines evicted before use: (line_addr, pf_window)
@@ -131,60 +154,69 @@ class CacheHierarchy:
         return self._demand(address, cycle, is_store=True)
 
     def _demand(self, address: int, cycle: int, is_store: bool) -> AccessResult:
+        # Hot path: every self.x.y chain that runs per access is hoisted
+        # into a local up front; the L1-hit exit pays only for what it uses.
         line_addr = address // LINE_SIZE
         stats = self.stats
+        l1 = self.l1
 
         if self.dtlb is not None and not self.dtlb.access(address):
             cycle += self.page_walk_cycles  # page-table walk before access
 
         # L1 --------------------------------------------------------------
-        stats.l1d.demand_accesses += 1
-        l1_line = self.l1.lookup(line_addr)
+        l1_stats = stats.l1d
+        l1_stats.demand_accesses += 1
+        l1_line = l1.lookup(line_addr)
         at_l1 = cycle + self._l1_latency
         if l1_line is not None:
-            stats.l1d.demand_hits += 1
-            completion = max(at_l1, l1_line.arrive)
+            l1_stats.demand_hits += 1
+            arrive = l1_line.arrive
+            completion = arrive if arrive > at_l1 else at_l1
             if is_store:
                 l1_line.dirty = True
             return AccessResult(completion, completion - cycle, L2Event.NONE, line_addr)
-        stats.l1d.demand_misses += 1
-        l1_issue = self.l1.mshr.acquire(at_l1)
+        l1_stats.demand_misses += 1
+        l1_issue = l1.mshr.acquire(at_l1)
 
         # L2 --------------------------------------------------------------
-        stats.l2.demand_accesses += 1
-        l2_line = self.l2.lookup(line_addr)
+        l2 = self.l2
+        l2_stats = stats.l2
+        l2_stats.demand_accesses += 1
+        l2_line = l2.lookup(line_addr)
         at_l2 = l1_issue + self._l2_latency
         if l2_line is not None:
             event = L2Event.HIT
-            completion = max(at_l2, l2_line.arrive)
+            arrive = l2_line.arrive
+            completion = arrive if arrive > at_l2 else at_l2
             if l2_line.prefetched:
                 # First demand touch of a prefetched line.  If the fill is
                 # still in flight the demand merges with it (partial latency
                 # hiding); the prefetch was still issued before the demand,
                 # so it counts as useful/on-time per the paper's definition.
                 stats.prefetch.useful += 1
-                stats.l2.prefetch_hits += 1
+                l2_stats.prefetch_hits += 1
                 event = L2Event.PREFETCH_HIT
-                if l2_line.arrive > at_l2:
-                    stats.l2.late_prefetch_hits += 1
+                if arrive > at_l2:
+                    l2_stats.late_prefetch_hits += 1
                 l2_line.prefetched = False
                 l2_line.pf_window = -1
-            stats.l2.demand_hits += 1
-            self.l1.mshr.register(completion)
-            self.l1.fill(
-                line_addr, arrive=completion, dirty=is_store, on_evict=self._evict_from_l1
-            )
+            l2_stats.demand_hits += 1
+            l1.mshr.register(completion)
+            l1.fill(line_addr, completion, is_store, False, -1, self._evict_from_l1)
             return AccessResult(completion, completion - cycle, event, line_addr)
-        stats.l2.demand_misses += 1
+        l2_stats.demand_misses += 1
 
         # LLC ---------------------------------------------------------------
-        issue = self.l2.mshr.acquire(at_l2)
-        stats.llc.demand_accesses += 1
-        llc_line = self.llc.lookup(line_addr)
+        llc = self.llc
+        llc_stats = stats.llc
+        issue = l2.mshr.acquire(at_l2)
+        llc_stats.demand_accesses += 1
+        llc_line = llc.lookup(line_addr)
         at_llc = issue + self._llc_latency
         if llc_line is not None:
-            stats.llc.demand_hits += 1
-            completion = max(at_llc, llc_line.arrive)
+            llc_stats.demand_hits += 1
+            arrive = llc_line.arrive
+            completion = arrive if arrive > at_llc else at_llc
             if llc_line.prefetched:
                 # LLC-destination prefetching (the Section III ablation):
                 # first demand touch of an LLC-resident prefetched line.
@@ -192,22 +224,18 @@ class CacheHierarchy:
                 llc_line.prefetched = False
                 llc_line.pf_window = -1
         else:
-            stats.llc.demand_misses += 1
-            mem_issue = self.llc.mshr.acquire(at_llc)
+            llc_stats.demand_misses += 1
+            mem_issue = llc.mshr.acquire(at_llc)
             completion = self.controller.read(
                 address, mem_issue, RequestKind.DEMAND
             )
             stats.traffic.demand_lines += 1
-            self.llc.mshr.register(completion)
-            self.llc.fill(line_addr, arrive=completion, on_evict=self._evict_from_llc)
-        self.l1.mshr.register(completion)
-        self.l2.mshr.register(completion)
-        self.l2.fill(
-            line_addr, arrive=completion, dirty=False, on_evict=self._evict_from_l2
-        )
-        self.l1.fill(
-            line_addr, arrive=completion, dirty=is_store, on_evict=self._evict_from_l1
-        )
+            llc.mshr.register(completion)
+            llc.fill(line_addr, completion, False, False, -1, self._evict_from_llc)
+        l1.mshr.register(completion)
+        l2.mshr.register(completion)
+        l2.fill(line_addr, completion, False, False, -1, self._evict_from_l2)
+        l1.fill(line_addr, completion, is_store, False, -1, self._evict_from_l1)
         return AccessResult(completion, completion - cycle, L2Event.MISS, line_addr)
 
     # ------------------------------------------------------------------

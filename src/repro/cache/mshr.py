@@ -9,7 +9,7 @@ real MSHR file does).
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 
 
 class MSHRFile:
@@ -37,16 +37,16 @@ class MSHRFile:
         cycle at which the miss can actually issue."""
         heap = self._completions
         while heap and heap[0] <= cycle:
-            heapq.heappop(heap)
+            heappop(heap)
         if len(heap) >= self._entries:
-            delayed = heapq.heappop(heap)
+            delayed = heappop(heap)
             self.stalls += 1
             return max(cycle, delayed)
         return cycle
 
     def register(self, completion: int) -> None:
         """Record the fill time of an admitted miss."""
-        heapq.heappush(self._completions, completion)
+        heappush(self._completions, completion)
 
     def reset(self) -> None:
         """Clear all state."""

@@ -53,40 +53,42 @@ class Core:
         while pending and pending[0][1] <= cycle:
             pending.popleft()
 
-    def _stall_for_structures(self) -> None:
-        """Block until ROB and LSQ have room for one more load."""
-        pending = self._pending
-        while pending:
-            oldest_instr, oldest_done = pending[0]
-            rob_full = self.instructions - oldest_instr >= self._rob
-            lsq_full = len(pending) >= self._lsq
-            if not rob_full and not lsq_full:
-                break
-            if oldest_done > self.cycle:
-                self.cycle = oldest_done
-            pending.popleft()
-
     # ------------------------------------------------------------------
     def issue_cycle(self) -> int:
         """The cycle at which the next memory reference can issue."""
-        self._drain_completed()
-        self._stall_for_structures()
-        return self.cycle
+        # Hot path: _drain_completed and _stall_for_structures inlined
+        # (one call per memory reference each adds up).
+        pending = self._pending
+        cycle = self.cycle
+        while pending and pending[0][1] <= cycle:
+            pending.popleft()
+        if pending:
+            instructions = self.instructions
+            rob = self._rob
+            lsq = self._lsq
+            while pending:
+                oldest_instr, oldest_done = pending[0]
+                if instructions - oldest_instr < rob and len(pending) < lsq:
+                    break
+                if oldest_done > cycle:
+                    cycle = oldest_done
+                pending.popleft()
+            self.cycle = cycle
+        return cycle
 
     def retire_load(self, completion: int) -> None:
         """Account one load instruction completing at ``completion``."""
-        self.instructions += 1
-        self._bump_retire_slot()
+        instructions = self.instructions = self.instructions + 1
+        total = 1 + self._gap_remainder
+        self.cycle += total // self._width
+        self._gap_remainder = total % self._width
         if completion > self.cycle:
-            self._pending.append((self.instructions, completion))
+            self._pending.append((instructions, completion))
 
     def retire_store(self, completion: int) -> None:
         """Stores commit without blocking retirement (posted via the
         store buffer), but still consume a retire slot."""
         self.instructions += 1
-        self._bump_retire_slot()
-
-    def _bump_retire_slot(self) -> None:
         total = 1 + self._gap_remainder
         self.cycle += total // self._width
         self._gap_remainder = total % self._width

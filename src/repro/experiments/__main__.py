@@ -5,8 +5,15 @@ Usage::
     python -m repro.experiments                # every figure, bench scale
     python -m repro.experiments fig06 fig09    # selected figures
     python -m repro.experiments --scale test   # fast smoke pass
+    python -m repro.experiments fig06 --jobs 4 # parallel sweep, 4 workers
 
 Figure names: fig01, fig06 ... fig14, record, hw.
+
+``--jobs N`` (default: the ``RNR_JOBS`` environment variable, else the CPU
+count) prewarms every requested figure's cell matrix across N worker
+processes before the reports render serially from the warm memo.
+``--cache-dir DIR`` (default: ``RNR_CACHE_DIR``) persists finished cells
+on disk across invocations.
 """
 
 from __future__ import annotations
@@ -27,6 +34,7 @@ from repro.experiments import (
     fig13_storage,
     fig14_window_sweep,
     hw_overhead,
+    pool,
     record_overhead,
 )
 from repro.experiments.runner import ExperimentRunner
@@ -59,6 +67,19 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--scale", default="bench", choices=("bench", "test"))
     parser.add_argument("--window", type=int, default=16, help="RnR window size")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for the sweep (default: $RNR_JOBS, else CPU count)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persistent cell cache directory (default: $RNR_CACHE_DIR, else off)",
+    )
     args = parser.parse_args(argv)
 
     names = args.figures or list(FIGURES) + ["hw"]
@@ -66,8 +87,28 @@ def main(argv=None) -> int:
     if unknown:
         parser.error(f"unknown figures: {', '.join(unknown)}")
 
-    runner = ExperimentRunner(scale=args.scale, window_size=args.window)
+    runner = ExperimentRunner(
+        scale=args.scale, window_size=args.window, cache_dir=args.cache_dir
+    )
     start = time.time()
+    try:
+        jobs = pool.resolve_jobs(args.jobs)
+    except ValueError as exc:
+        parser.error(str(exc))
+    if jobs > 1:
+        specs = []
+        for name in names:
+            module = FIGURES.get(name)
+            if module is not None and hasattr(module, "specs"):
+                specs.extend(module.specs(runner))
+        if specs:
+            ran = pool.run_sweep(runner, specs, jobs=jobs)
+            print(
+                f"[sweep: {ran} cells simulated across {jobs} workers "
+                f"in {time.time() - start:.0f}s]"
+            )
+    if runner.cache is not None:
+        print(f"[{runner.cache.describe()}]")
     for name in names:
         began = time.time()
         if name == "hw":

@@ -1,0 +1,177 @@
+"""Persistent on-disk cache for simulated experiment cells.
+
+Every figure sweep draws from the same (app x input x prefetcher) cell
+matrix, but an :class:`~repro.experiments.runner.ExperimentRunner`'s memo
+dictionaries die with the process.  This module keeps finished
+:class:`~repro.experiments.runner.CellResult` objects on disk, keyed by a
+content hash of everything that can change a cell's statistics:
+
+* the full :class:`~repro.config.SystemConfig` (all capacities/latencies),
+* workload scale, seed, and iteration count,
+* the RnR window size,
+* the prefetcher name and control mode,
+* the package version (so model changes invalidate stale results).
+
+Writes are atomic (temp file + ``os.replace``) so a killed sweep never
+leaves a half-written entry, and loads tolerate corruption: an unreadable
+entry is treated as a miss and deleted.
+
+Enable it by passing ``cache_dir=`` to ``ExperimentRunner`` or by setting
+the ``RNR_CACHE_DIR`` environment variable (the CLI's ``--cache-dir`` flag
+does the former).  Inspect with :meth:`DiskCellCache.describe`; clear with
+:meth:`DiskCellCache.clear` or simply ``rm -rf`` the directory.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Optional, Union
+
+import repro
+
+#: Environment variable naming the default cache directory.
+CACHE_DIR_ENV = "RNR_CACHE_DIR"
+
+#: Bumped when the on-disk entry format (not the simulated model) changes.
+FORMAT_VERSION = 1
+
+
+def default_cache_dir() -> Optional[Path]:
+    """The cache directory named by ``RNR_CACHE_DIR``, or None."""
+    value = os.environ.get(CACHE_DIR_ENV, "").strip()
+    return Path(value) if value else None
+
+
+def cell_key(
+    *,
+    config,
+    scale: str,
+    seed: int,
+    iterations: int,
+    window: int,
+    app: str,
+    input_name: str,
+    prefetcher: str,
+    mode=None,
+    version: Optional[str] = None,
+) -> str:
+    """Content hash identifying one simulated cell.
+
+    Any change to any component — system configuration, workload scale or
+    seed, iteration count, window, prefetcher/mode, or package version —
+    produces a different key, so stale entries are never returned.
+    """
+    payload = {
+        "format": FORMAT_VERSION,
+        "version": version if version is not None else repro.__version__,
+        "config": dataclasses.asdict(config),
+        "scale": scale,
+        "seed": seed,
+        "iterations": iterations,
+        "window": window,
+        "app": app,
+        "input": input_name,
+        "prefetcher": prefetcher,
+        "mode": getattr(mode, "value", mode),
+    }
+    blob = json.dumps(payload, sort_keys=True, default=str).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+class DiskCellCache:
+    """Content-addressed store of pickled cell results.
+
+    Entries live two directory levels deep (``ab/abcdef....pkl``) so large
+    sweeps don't produce a single directory with thousands of files.
+    """
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.corrupt = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    # ------------------------------------------------------------------
+    def get(self, key: str):
+        """The cached result for ``key``, or None.
+
+        A missing, truncated, or otherwise unreadable entry counts as a
+        miss; corrupt files are deleted so they don't fail again.
+        """
+        path = self._path(key)
+        try:
+            with path.open("rb") as fh:
+                result = pickle.load(fh)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            self.corrupt += 1
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result) -> None:
+        """Store ``result`` under ``key`` atomically."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(path.parent), prefix=".tmp-", suffix=".pkl"
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+
+    # ------------------------------------------------------------------
+    def entries(self):
+        """Yield the Path of every cached entry."""
+        if not self.root.is_dir():
+            return
+        for sub in sorted(self.root.iterdir()):
+            if sub.is_dir():
+                yield from sorted(sub.glob("*.pkl"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in list(self.entries()):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def describe(self) -> str:
+        """One-line summary for logs / the CLI."""
+        paths = list(self.entries())
+        total = sum(p.stat().st_size for p in paths)
+        return (
+            f"cell cache at {self.root}: {len(paths)} entries, "
+            f"{total / 1024:.0f} KiB "
+            f"(session: {self.hits} hits, {self.misses} misses, "
+            f"{self.stores} stores, {self.corrupt} corrupt)"
+        )

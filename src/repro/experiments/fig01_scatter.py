@@ -9,13 +9,18 @@ from __future__ import annotations
 
 from typing import Dict, Tuple
 
-from repro.experiments.runner import ExperimentRunner
+from repro.experiments.runner import CellSpec, ExperimentRunner
 from repro.experiments.tables import format_table
 from repro.sim import metrics
 
 APP = "pagerank"
 INPUT = "amazon"
 PREFETCHERS = ("nextline", "bingo", "stems", "misb", "droplet", "rnr")
+
+
+def specs(runner: ExperimentRunner):
+    """Cells this figure needs (for parallel prewarming)."""
+    return [CellSpec(APP, INPUT, name) for name in ("baseline",) + PREFETCHERS]
 
 
 def compute(runner: ExperimentRunner) -> Dict[str, Tuple[float, float]]:

@@ -13,6 +13,7 @@ from typing import Dict, List
 
 from repro.experiments.runner import (
     APPS,
+    CellSpec,
     ExperimentRunner,
     inputs_for,
     prefetchers_for,
@@ -21,6 +22,16 @@ from repro.experiments.tables import format_table, geomean
 from repro.sim import metrics
 
 COLUMNS = ("nextline", "bingo", "stems", "misb", "droplet", "rnr", "rnr-combined", "ideal")
+
+
+def specs(runner: ExperimentRunner):
+    """Cells this figure needs (for parallel prewarming)."""
+    return [
+        CellSpec(app, input_name, name)
+        for app in APPS
+        for input_name in inputs_for(app)
+        for name in ("baseline",) + prefetchers_for(app) + ("ideal",)
+    ]
 
 
 def compute(runner: ExperimentRunner) -> Dict[str, Dict[str, Dict[str, float]]]:

@@ -12,6 +12,7 @@ from typing import Dict
 
 from repro.experiments.runner import (
     APPS,
+    CellSpec,
     ExperimentRunner,
     inputs_for,
     prefetchers_for,
@@ -20,6 +21,16 @@ from repro.experiments.tables import format_table
 from repro.sim.metrics import iteration_phases
 
 COLUMNS = ("baseline", "nextline", "bingo", "stems", "misb", "droplet", "rnr", "rnr-combined")
+
+
+def specs(runner: ExperimentRunner):
+    """Cells this figure needs (for parallel prewarming)."""
+    return [
+        CellSpec(app, input_name, name)
+        for app in APPS
+        for input_name in inputs_for(app)
+        for name in ("baseline",) + prefetchers_for(app)
+    ]
 
 
 def steady_state_mpki(stats) -> float:

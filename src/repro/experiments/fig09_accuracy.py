@@ -11,6 +11,7 @@ from typing import Dict
 
 from repro.experiments.runner import (
     APPS,
+    CellSpec,
     ExperimentRunner,
     inputs_for,
     prefetchers_for,
@@ -19,6 +20,16 @@ from repro.experiments.tables import format_table, geomean
 from repro.sim import metrics
 
 COLUMNS = ("nextline", "bingo", "stems", "misb", "droplet", "rnr", "rnr-combined")
+
+
+def specs(runner: ExperimentRunner):
+    """Cells this figure needs (for parallel prewarming)."""
+    return [
+        CellSpec(app, input_name, name)
+        for app in APPS
+        for input_name in inputs_for(app)
+        for name in prefetchers_for(app)
+    ]
 
 
 def compute(runner: ExperimentRunner) -> Dict[str, Dict[str, Dict[str, float]]]:

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, Tuple
 
-from repro.experiments.runner import ExperimentRunner
+from repro.experiments.runner import CellSpec, ExperimentRunner
 from repro.experiments.tables import format_table
 from repro.rnr.replayer import ControlMode
 from repro.sim import metrics
@@ -25,6 +25,15 @@ CELLS: Tuple[Tuple[str, str], ...] = (
 )
 
 MODES = (ControlMode.NONE, ControlMode.WINDOW, ControlMode.WINDOW_PACE)
+
+
+def specs(runner: ExperimentRunner):
+    """Cells this figure needs (for parallel prewarming)."""
+    out = []
+    for app, input_name in CELLS:
+        out.append(CellSpec(app, input_name, "baseline"))
+        out.extend(CellSpec(app, input_name, "rnr", mode=mode) for mode in MODES)
+    return out
 
 
 def compute(runner: ExperimentRunner) -> Dict[Tuple[str, str], Dict[str, float]]:

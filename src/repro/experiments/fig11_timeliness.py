@@ -12,9 +12,18 @@ from __future__ import annotations
 from typing import Dict, Tuple
 
 from repro.experiments.fig10_timing_control import CELLS, MODES
-from repro.experiments.runner import ExperimentRunner
+from repro.experiments.runner import CellSpec, ExperimentRunner
 from repro.experiments.tables import format_table
 from repro.sim import metrics
+
+
+def specs(runner: ExperimentRunner):
+    """Cells this figure needs (for parallel prewarming)."""
+    return [
+        CellSpec(app, input_name, "rnr", mode=mode)
+        for app, input_name in CELLS
+        for mode in MODES
+    ]
 
 
 def compute(

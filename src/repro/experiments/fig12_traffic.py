@@ -13,12 +13,24 @@ from typing import Dict
 
 from repro.experiments.runner import (
     APPS,
+    CellSpec,
     ExperimentRunner,
     inputs_for,
     prefetchers_for,
 )
 from repro.experiments.tables import format_table
 from repro.sim import metrics
+
+
+def specs(runner: ExperimentRunner):
+    """Cells this figure needs (for parallel prewarming)."""
+    return [
+        CellSpec(app, input_name, name)
+        for app in APPS
+        for input_name in inputs_for(app)
+        for name in ("baseline",) + prefetchers_for(app)
+    ]
+
 
 PAPER_AVERAGES = {
     "nextline": 0.452,

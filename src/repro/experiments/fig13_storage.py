@@ -10,9 +10,18 @@ from __future__ import annotations
 
 from typing import Dict
 
-from repro.experiments.runner import APPS, ExperimentRunner, inputs_for
+from repro.experiments.runner import APPS, CellSpec, ExperimentRunner, inputs_for
 from repro.experiments.tables import format_table
 from repro.sim.metrics import storage_overhead
+
+
+def specs(runner: ExperimentRunner):
+    """Cells this figure needs (for parallel prewarming)."""
+    return [
+        CellSpec(app, input_name, "rnr")
+        for app in APPS
+        for input_name in inputs_for(app)
+    ]
 
 
 def compute(runner: ExperimentRunner) -> Dict[str, Dict[str, float]]:

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, Tuple
 
-from repro.experiments.runner import ExperimentRunner
+from repro.experiments.runner import CellSpec, ExperimentRunner
 from repro.experiments.tables import format_table
 from repro.sim import metrics
 from repro.sim.metrics import storage_overhead
@@ -21,6 +21,17 @@ WINDOW_SIZES = (4, 8, 16, 32, 64, 128)
 #: Cells averaged in the figure (one graph app + spCG, as a sweep over the
 #: full grid would dominate benchmark time without changing the shape).
 CELLS: Tuple[Tuple[str, str], ...] = (("pagerank", "urand"), ("spcg", "bbmat"))
+
+
+def specs(runner: ExperimentRunner):
+    """Cells this figure needs (for parallel prewarming)."""
+    out = [CellSpec(app, input_name, "baseline") for app, input_name in CELLS]
+    out.extend(
+        CellSpec(app, input_name, "rnr", window=window)
+        for window in WINDOW_SIZES
+        for app, input_name in CELLS
+    )
+    return out
 
 
 def compute(runner: ExperimentRunner) -> Dict[int, Tuple[float, float]]:

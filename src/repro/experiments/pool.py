@@ -1,0 +1,178 @@
+"""Parallel sweep executor for the experiment cell matrix.
+
+Nothing in the (app x input x prefetcher) matrix shares mutable state, so
+cells fan out cleanly across a :class:`~concurrent.futures.ProcessPoolExecutor`
+(the trace-driven methodology of the paper's ChampSim harness, where every
+cell is an independent simulator invocation).  Specs are grouped by
+(app, input) before dispatch so each worker builds a workload's traces once
+and reuses them for every prefetcher column of that row.
+
+Results are merged back into the coordinating
+:class:`~repro.experiments.runner.ExperimentRunner`'s memo dictionaries, so
+the figure modules run unchanged afterwards and hit only warm cells.
+
+Worker count resolution: explicit ``jobs`` argument, else the ``RNR_JOBS``
+environment variable, else ``os.cpu_count()``.  ``jobs=1`` (or a
+single-cell sweep) degrades to plain in-process simulation.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.experiments.runner import (
+    APPS,
+    CellResult,
+    CellSpec,
+    ExperimentRunner,
+    inputs_for,
+    prefetchers_for,
+)
+
+#: Environment variable providing the default worker count.
+JOBS_ENV = "RNR_JOBS"
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Worker count: explicit argument > ``RNR_JOBS`` > ``os.cpu_count()``."""
+    if jobs is not None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        return jobs
+    env = os.environ.get(JOBS_ENV, "").strip()
+    if env:
+        try:
+            value = int(env)
+        except ValueError:
+            raise ValueError(
+                f"{JOBS_ENV} must be a positive integer, got {env!r}"
+            ) from None
+        if value < 1:
+            raise ValueError(f"{JOBS_ENV} must be >= 1, got {value}")
+        return value
+    return os.cpu_count() or 1
+
+
+def full_matrix_specs(runner: ExperimentRunner) -> List[CellSpec]:
+    """Every (app, input, prefetcher) cell of Figs 1 and 6-13 plus ideal."""
+    specs: List[CellSpec] = []
+    for app in APPS:
+        for input_name in inputs_for(app):
+            specs.append(CellSpec(app, input_name, "baseline"))
+            for name in prefetchers_for(app):
+                specs.append(CellSpec(app, input_name, name))
+            specs.append(CellSpec(app, input_name, "ideal"))
+    return specs
+
+
+# ----------------------------------------------------------------------
+# Worker side.  Each process builds its own ExperimentRunner once (via the
+# initializer) and keeps it in a module global, so successive groups for
+# the same worker reuse its memoized workloads and traces.
+# ----------------------------------------------------------------------
+_WORKER_RUNNER: Optional[ExperimentRunner] = None
+
+
+def _init_worker(
+    scale: str,
+    iterations: int,
+    window_size: int,
+    config,
+    seed: int,
+    cache_dir,
+) -> None:
+    global _WORKER_RUNNER
+    _WORKER_RUNNER = ExperimentRunner(
+        scale=scale,
+        iterations=iterations,
+        window_size=window_size,
+        config=config,
+        seed=seed,
+        cache_dir=cache_dir,
+    )
+
+
+def _run_group(specs: Tuple[CellSpec, ...]) -> List[Tuple[CellSpec, CellResult]]:
+    assert _WORKER_RUNNER is not None, "pool worker used before initialization"
+    return [(spec, _WORKER_RUNNER.run_spec(spec)) for spec in specs]
+
+
+# ----------------------------------------------------------------------
+# Coordinator side.
+# ----------------------------------------------------------------------
+def _group_by_input(
+    specs: Sequence[CellSpec],
+) -> List[Tuple[CellSpec, ...]]:
+    """Group specs by (app, input) so one worker reuses one trace set."""
+    groups: Dict[Tuple[str, str], List[CellSpec]] = {}
+    for spec in specs:
+        groups.setdefault((spec.app, spec.input_name), []).append(spec)
+    return [tuple(group) for group in groups.values()]
+
+
+def run_sweep(
+    runner: ExperimentRunner,
+    specs: Optional[Iterable[CellSpec]] = None,
+    jobs: Optional[int] = None,
+) -> int:
+    """Simulate ``specs`` (default: the full matrix) with ``jobs`` workers.
+
+    Already-memoized cells are skipped; everything else is simulated —
+    in parallel when ``jobs > 1`` — and merged into ``runner``'s memo
+    dicts.  Returns the number of newly simulated cells.
+    """
+    if specs is None:
+        specs = full_matrix_specs(runner)
+    pending: List[CellSpec] = []
+    seen = set()
+    for spec in specs:
+        key = runner._result_key(
+            spec.app, spec.input_name, spec.prefetcher, spec.mode, spec.window
+        )
+        if key in runner._results or key in seen:
+            continue
+        if runner.cache is not None:
+            # Warm cells load here so a fully cached sweep spawns no workers.
+            window = spec.window if spec.window is not None else runner.window_size
+            cached = runner.cache.get(
+                runner._cell_key(
+                    spec.app, spec.input_name, spec.prefetcher, spec.mode, window
+                )
+            )
+            if cached is not None:
+                runner.merge_result(spec, cached)
+                continue
+        seen.add(key)
+        pending.append(spec)
+    if not pending:
+        return 0
+
+    jobs = resolve_jobs(jobs)
+    if jobs == 1 or len(pending) == 1:
+        for spec in pending:
+            runner.run_spec(spec)
+        return len(pending)
+
+    groups = _group_by_input(pending)
+    cache_dir = runner.cache.root if runner.cache is not None else None
+    init_args = (
+        runner.scale,
+        runner.iterations,
+        runner.window_size,
+        runner.config,
+        runner.seed,
+        cache_dir,
+    )
+    merged = 0
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(groups)),
+        initializer=_init_worker,
+        initargs=init_args,
+    ) as executor:
+        for pairs in executor.map(_run_group, groups):
+            for spec, result in pairs:
+                runner.merge_result(spec, result)
+                merged += 1
+    return merged

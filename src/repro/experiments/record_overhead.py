@@ -10,9 +10,19 @@ from __future__ import annotations
 
 from typing import Dict, Tuple
 
-from repro.experiments.runner import APPS, ExperimentRunner, inputs_for
+from repro.experiments.runner import APPS, CellSpec, ExperimentRunner, inputs_for
 from repro.experiments.tables import format_table
 from repro.sim.metrics import iteration_phases
+
+
+def specs(runner: ExperimentRunner):
+    """Cells this figure needs (for parallel prewarming)."""
+    return [
+        CellSpec(app, input_name, name)
+        for app in APPS
+        for input_name in inputs_for(app)
+        for name in ("baseline", "rnr")
+    ]
 
 
 def compute(runner: ExperimentRunner) -> Dict[Tuple[str, str], float]:

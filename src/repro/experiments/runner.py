@@ -15,9 +15,11 @@ that figures 1 and 6-13 can all be produced from one sweep.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
 
 from repro.config import SystemConfig
+from repro.experiments import diskcache
 from repro.graphs import datasets as graph_datasets
 from repro.prefetchers import make_prefetcher
 from repro.prefetchers.droplet import DropletPrefetcher
@@ -71,8 +73,31 @@ class CellResult:
     input_bytes: int
 
 
+@dataclass(frozen=True)
+class CellSpec:
+    """Pickle-safe identity of one cell of the run matrix.
+
+    ``window=None`` means the runner's default window; ``mode`` is the
+    RnR :class:`~repro.rnr.replayer.ControlMode` (or None) exactly as the
+    figure modules pass it to :meth:`ExperimentRunner.run`.
+    """
+
+    app: str
+    input_name: str
+    prefetcher: str
+    mode: Optional[ControlMode] = None
+    window: Optional[int] = None
+
+
 class ExperimentRunner:
-    """Builds workloads/traces once and memoizes every simulation."""
+    """Builds workloads/traces once and memoizes every simulation.
+
+    ``cache_dir`` (or the ``RNR_CACHE_DIR`` environment variable) enables
+    the persistent cell cache: finished :class:`CellResult` objects are
+    stored on disk and reloaded by any later runner with an identical
+    (config, scale, seed, iterations, window, prefetcher, version) key —
+    see :mod:`repro.experiments.diskcache`.
+    """
 
     def __init__(
         self,
@@ -80,11 +105,17 @@ class ExperimentRunner:
         iterations: int = 3,
         window_size: int = 16,
         config: Optional[SystemConfig] = None,
+        seed: int = 0,
+        cache_dir: Optional[Union[str, Path]] = None,
     ):
         self.scale = scale
         self.iterations = iterations
         self.window_size = window_size
         self.config = config if config is not None else SystemConfig.experiment()
+        self.seed = seed
+        if cache_dir is None:
+            cache_dir = diskcache.default_cache_dir()
+        self.cache = diskcache.DiskCellCache(cache_dir) if cache_dir else None
         self._workloads: Dict[Tuple, Workload] = {}
         self._traces: Dict[Tuple, Trace] = {}
         self._results: Dict[Tuple, CellResult] = {}
@@ -144,6 +175,37 @@ class ExperimentRunner:
                 child.value_reader = workload.read_int
         return prefetcher
 
+    def _result_key(
+        self,
+        app: str,
+        input_name: str,
+        prefetcher: str,
+        mode: Optional[ControlMode],
+        window_size: Optional[int],
+    ) -> Tuple:
+        window = window_size if window_size is not None else self.window_size
+        return (app, input_name, prefetcher, mode, window)
+
+    def _cell_key(
+        self,
+        app: str,
+        input_name: str,
+        prefetcher: str,
+        mode: Optional[ControlMode],
+        window: int,
+    ) -> str:
+        return diskcache.cell_key(
+            config=self.config,
+            scale=self.scale,
+            seed=self.seed,
+            iterations=self.iterations,
+            window=window,
+            app=app,
+            input_name=input_name,
+            prefetcher=prefetcher,
+            mode=mode,
+        )
+
     def run(
         self,
         app: str,
@@ -152,11 +214,18 @@ class ExperimentRunner:
         mode: Optional[ControlMode] = None,
         window_size: Optional[int] = None,
     ) -> CellResult:
-        """Simulate one cell (cached)."""
+        """Simulate one cell (cached in memory and, if enabled, on disk)."""
         window = window_size if window_size is not None else self.window_size
         key = (app, input_name, prefetcher, mode, window)
         if key in self._results:
             return self._results[key]
+        cache = self.cache
+        if cache is not None:
+            disk_key = self._cell_key(app, input_name, prefetcher, mode, window)
+            cached = cache.get(disk_key)
+            if cached is not None:
+                self._results[key] = cached
+                return cached
         uses_rnr = prefetcher in ("rnr", "rnr-combined")
         trace = self.trace(app, input_name, rnr=uses_rnr, window_size=window)
         workload = self.workload(app, input_name, window)
@@ -167,7 +236,27 @@ class ExperimentRunner:
             stats = SimulationEngine(self.config, pf).run(trace)
         result = CellResult(app, input_name, prefetcher, stats, workload.input_bytes)
         self._results[key] = result
+        if cache is not None:
+            cache.put(disk_key, result)
         return result
+
+    def run_spec(self, spec: CellSpec) -> CellResult:
+        """Simulate the cell named by a :class:`CellSpec` (cached)."""
+        return self.run(
+            spec.app,
+            spec.input_name,
+            spec.prefetcher,
+            mode=spec.mode,
+            window_size=spec.window,
+        )
+
+    def merge_result(self, spec: CellSpec, result: CellResult) -> None:
+        """Adopt an externally simulated cell (e.g. from a pool worker)."""
+        self._results[
+            self._result_key(
+                spec.app, spec.input_name, spec.prefetcher, spec.mode, spec.window
+            )
+        ] = result
 
     def baseline(self, app: str, input_name: str) -> CellResult:
         """The no-prefetcher cell (cached)."""

@@ -3,6 +3,7 @@ paper's bar charts: same rows/series, printable in a terminal or CI log)."""
 
 from __future__ import annotations
 
+import math
 from typing import List, Sequence
 
 
@@ -11,9 +12,15 @@ def format_table(
     rows: Sequence[Sequence[object]],
     title: str = "",
 ) -> str:
-    """Monospace table with right-aligned numeric columns."""
+    """Monospace table with right-aligned numeric columns.
+
+    Missing cells (NaN floats — e.g. DROPLET on spCG, which the paper
+    excludes) render as ``-`` rather than ``nan``.
+    """
     def render(cell: object) -> str:
         if isinstance(cell, float):
+            if math.isnan(cell):
+                return "-"
             return f"{cell:.2f}"
         return str(cell)
 

@@ -9,14 +9,18 @@ buffer hits; random vertex accesses thrashing rows, Section VII-A.7).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import NamedTuple
 
 from repro.config import LINE_SIZE, MemoryConfig
 
 
-@dataclass(frozen=True)
-class DramLocation:
-    """DRAM coordinates of one cache-line-sized access."""
+class DramLocation(NamedTuple):
+    """DRAM coordinates of one cache-line-sized access.
+
+    A NamedTuple rather than a frozen dataclass: one is built per DRAM
+    request, and tuple construction is several times cheaper than a frozen
+    dataclass's ``object.__setattr__`` init.
+    """
 
     channel: int
     rank: int

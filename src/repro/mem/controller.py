@@ -103,17 +103,28 @@ class MemoryController:
         """Service a line read; returns the completion time in core cycles."""
         if kind not in _READ_KINDS:
             raise ValueError(f"read() called with non-read kind {kind}")
-        now = self._to_mem(core_cycle)
-        self._retire_completed(now)
-        arrival = self._read_queue_delay(now)
+        # Hot path (one call per LLC miss): _to_mem/_retire_completed/
+        # _read_queue_delay inlined, with the same arithmetic.
+        ratio = self._ratio
+        now = core_cycle / ratio
+        reads = self._outstanding_reads
+        demand = self._outstanding_demand
+        while reads and reads[0] <= now:
+            heapq.heappop(reads)
+        while demand and demand[0] <= now:
+            heapq.heappop(demand)
+        if len(reads) < self._config.read_queue:
+            arrival = now
+        else:
+            arrival = max(now, reads[0])
         if kind is RequestKind.PREFETCH:
-            arrival += self._prefetch_penalty()
+            arrival += len(demand) * self._config.timing.tBURST
         completion = self._dram.service(address, int(arrival), is_write=False)
-        heapq.heappush(self._outstanding_reads, float(completion))
+        heapq.heappush(reads, float(completion))
         if kind is RequestKind.DEMAND:
-            heapq.heappush(self._outstanding_demand, float(completion))
+            heapq.heappush(demand, float(completion))
         self.reads_serviced += 1
-        return self._to_core(completion)
+        return int(completion * ratio) + 1
 
     def write(self, address: int, core_cycle: int, kind: RequestKind = RequestKind.WRITEBACK) -> None:
         """Post a line write; drains synchronously past the high watermark."""

@@ -15,7 +15,7 @@ core cycles at the boundary.
 
 from __future__ import annotations
 
-from repro.config import MemoryConfig
+from repro.config import LINE_SIZE, MemoryConfig
 from repro.mem.address import AddressMapping, DramLocation
 
 
@@ -76,13 +76,21 @@ class DramBankModel:
 
         ``arrival`` and the result are in memory-bus cycles.
         """
+        # Hot path (one call per DRAM transfer): address decode and bank
+        # index inlined — same arithmetic as AddressMapping.locate.
         timing = self._timing
-        loc = self._mapping.locate(address)
-        bank = self._banks[self._bank_index(loc)]
-        channel = loc.channel
+        mapping = self._mapping
+        frame = address // (LINE_SIZE * mapping.lines_per_row)
+        bank_no = frame % mapping._banks
+        frame //= mapping._banks
+        frame //= mapping._ranks
+        channel = frame % mapping._channels
+        row = frame // mapping._channels
+        banks = self._banks
+        bank = banks[(channel * self._banks_per_channel + bank_no) % len(banks)]
 
         start = max(arrival, bank.ready_at)
-        if bank.open_row == loc.row:
+        if bank.open_row == row:
             access_latency = timing.tCL
             self.row_hits += 1
         else:
@@ -91,11 +99,12 @@ class DramBankModel:
             else:
                 access_latency = timing.tRP + timing.tRCD + timing.tCL
             self.row_conflicts += 1
-            bank.open_row = loc.row
+            bank.open_row = row
 
+        bus_free = self._bus_free_at[channel]
         data_ready = start + access_latency
-        bus_start = max(data_ready, self._bus_free_at[channel])
-        if self._last_was_write[channel] != is_write and self._bus_free_at[channel] > 0:
+        bus_start = data_ready if data_ready > bus_free else bus_free
+        if self._last_was_write[channel] != is_write and bus_free > 0:
             bus_start += timing.tWTR if self._last_was_write[channel] else timing.tRTW
         completion = bus_start + timing.tBURST
 

@@ -16,6 +16,7 @@ from repro.config import SystemConfig
 from repro.cpu.core import Core
 from repro.mem.controller import MemoryController
 from repro.prefetchers.base import NullPrefetcher, Prefetcher
+from repro.sim.os_model import apply_switch
 from repro.stats import PhaseStats, SimStats
 from repro.trace.record import KIND_DIRECTIVE, KIND_LOAD
 from repro.trace.trace import Trace
@@ -95,8 +96,6 @@ class SimulationEngine:
         elif op == "iter.end":
             self._end_phase(f"iter{args[0]}")
         elif op == "os.switch":
-            from repro.sim.os_model import apply_switch
-
             away_cycles, pollution = args
             self.core.cycle = apply_switch(
                 self.hierarchy, self.core.cycle, away_cycles, pollution
@@ -105,41 +104,76 @@ class SimulationEngine:
 
     # ------------------------------------------------------------------
     def run(self, trace: Trace) -> SimStats:
-        """Simulate the full trace; returns the accumulated statistics."""
-        core = self.core
-        hierarchy = self.hierarchy
-        prefetcher = self.prefetcher
-        on_access = prefetcher.on_access
-        on_l2_event = prefetcher.on_l2_event
-        none_event = L2Event.NONE
+        """Simulate the full trace; returns the accumulated statistics.
 
-        for entry in trace:
-            gap = entry.gap
-            if gap:
-                core.advance(gap)
-            kind = entry.kind
-            if kind == KIND_DIRECTIVE:
-                self._handle_directive(entry.op, entry.args, core.cycle)
-                continue
-            issue = core.issue_cycle()
-            address = entry.addr
-            pc = entry.pc
-            is_store = kind != KIND_LOAD
-            flagged = on_access(address, pc, issue, is_store)
-            if is_store:
-                result = hierarchy.store(address, issue)
-                core.retire_store(result.completion)
-            else:
-                result = hierarchy.load(address, issue)
-                core.retire_load(result.completion)
-            if result.l2_event is not none_event:
-                on_l2_event(
-                    result.line_addr, pc, issue, result.l2_event, flagged, result.completion
-                )
+        The loop streams the trace's packed columns (kind, addr, pc, gap)
+        and hoists every per-entry bound method into a local, so the
+        steady-state cost per reference is the cache model itself rather
+        than attribute lookups and record-object construction.
+        """
+        if not isinstance(trace, Trace):
+            trace = Trace(trace)
+        core = self.core
+        prefetcher = self.prefetcher
+        none_event = L2Event.NONE
+        advance = core.advance
+        issue_cycle = core.issue_cycle
+        retire_load = core.retire_load
+        retire_store = core.retire_store
+        load = self.hierarchy.load
+        store = self.hierarchy.store
+        handle_directive = self._handle_directive
+        directive_at = trace.directive_at
+        kind_directive = KIND_DIRECTIVE
+        kind_load = KIND_LOAD
+
+        ptype = type(prefetcher)
+        if (
+            ptype.on_access is Prefetcher.on_access
+            and ptype.on_l2_event is Prefetcher.on_l2_event
+        ):
+            # Slim loop for prefetchers whose per-access hooks are the
+            # base no-ops (baseline / ideal runs): both hook dispatches
+            # and the L2-event plumbing drop out of the hot path.
+            for kind, addr, pc, gap in trace.iter_packed():
+                if gap:
+                    advance(gap)
+                if kind == kind_directive:
+                    op, args = directive_at(addr)
+                    handle_directive(op, args, core.cycle)
+                    continue
+                issue = issue_cycle()
+                if kind == kind_load:
+                    retire_load(load(addr, issue).completion)
+                else:
+                    retire_store(store(addr, issue).completion)
+        else:
+            on_access = prefetcher.on_access
+            on_l2_event = prefetcher.on_l2_event
+            for kind, addr, pc, gap in trace.iter_packed():
+                if gap:
+                    advance(gap)
+                if kind == kind_directive:
+                    op, args = directive_at(addr)
+                    handle_directive(op, args, core.cycle)
+                    continue
+                issue = issue_cycle()
+                if kind == kind_load:
+                    flagged = on_access(addr, pc, issue, False)
+                    result = load(addr, issue)
+                    retire_load(result.completion)
+                else:
+                    flagged = on_access(addr, pc, issue, True)
+                    result = store(addr, issue)
+                    retire_store(result.completion)
+                if result.l2_event is not none_event:
+                    on_l2_event(
+                        result.line_addr, pc, issue, result.l2_event, flagged, result.completion
+                    )
 
         final_cycle = core.finish()
         prefetcher.finalize(final_cycle)
-        hierarchy.drain(final_cycle)
+        self.hierarchy.drain(final_cycle)
         self.stats.instructions = core.instructions
         self.stats.cycles = final_cycle
         return self.stats

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.trace.record import KIND_LOAD, KIND_STORE, Directive, TraceRecord
+from repro.trace.record import KIND_LOAD, KIND_STORE
 from repro.trace.trace import Trace
 
 
@@ -26,17 +26,17 @@ class TraceBuilder:
 
     def load(self, address: int, pc: int = 0) -> None:
         """Emit one load record."""
-        self.trace.append(TraceRecord(KIND_LOAD, address, pc, self._pending_gap))
+        self.trace.append_ref(KIND_LOAD, address, pc, self._pending_gap)
         self._pending_gap = 0
 
     def store(self, address: int, pc: int = 0) -> None:
         """Emit one store record."""
-        self.trace.append(TraceRecord(KIND_STORE, address, pc, self._pending_gap))
+        self.trace.append_ref(KIND_STORE, address, pc, self._pending_gap)
         self._pending_gap = 0
 
     def directive(self, op: str, *args) -> None:
         """Emit one directive."""
-        self.trace.append(Directive(op, args, self._pending_gap))
+        self.trace.append_directive(op, args, self._pending_gap)
         self._pending_gap = 0
 
     # Convenience markers --------------------------------------------------

@@ -1,10 +1,21 @@
-"""Trace container with summary statistics and file round-trip."""
+"""Trace container with summary statistics and file round-trip.
+
+Storage is structure-of-arrays: four parallel ``array`` columns hold the
+kind/addr/pc/gap of every entry, and directive payloads (op + args) live in
+a side table indexed through the ``addr`` column.  Entries are materialised
+as :class:`TraceRecord` / :class:`Directive` objects only on demand, so the
+simulation hot loop can stream the packed columns directly via
+:meth:`Trace.iter_packed` without paying per-entry object construction or
+attribute lookups (the engine's single biggest fixed cost before this
+layout).
+"""
 
 from __future__ import annotations
 
 import json
+from array import array
 from pathlib import Path
-from typing import Iterable, Iterator, List, Union
+from typing import Iterable, Iterator, List, Tuple, Union
 
 from repro.trace.record import (
     KIND_DIRECTIVE,
@@ -16,105 +27,155 @@ from repro.trace.record import (
 
 Entry = Union[TraceRecord, Directive]
 
+#: One packed entry: (kind, addr, pc, gap).  For directives ``addr`` is an
+#: index into the trace's directive table (see :meth:`Trace.directive_at`)
+#: and ``pc`` is 0.
+PackedEntry = Tuple[int, int, int, int]
+
 
 class Trace:
     """An ordered sequence of memory references and directives."""
 
+    __slots__ = ("_kinds", "_addrs", "_pcs", "_gaps", "_dirs")
+
     def __init__(self, entries: Iterable[Entry] = ()):
-        self._entries: List[Entry] = list(entries)
+        self._kinds = array("B")
+        self._addrs = array("Q")
+        self._pcs = array("Q")
+        self._gaps = array("Q")
+        self._dirs: List[Tuple[str, tuple]] = []
+        self.extend(entries)
+
+    # -- column-level construction (fast path for builders) ----------------
+    def append_ref(self, kind: int, addr: int, pc: int, gap: int = 0) -> None:
+        """Append one load/store without building a TraceRecord."""
+        self._kinds.append(kind)
+        self._addrs.append(addr)
+        self._pcs.append(pc)
+        self._gaps.append(gap)
+
+    def append_directive(self, op: str, args: Tuple = (), gap: int = 0) -> None:
+        """Append one directive without building a Directive object."""
+        self._kinds.append(KIND_DIRECTIVE)
+        self._addrs.append(len(self._dirs))
+        self._pcs.append(0)
+        self._gaps.append(gap)
+        self._dirs.append((op, tuple(args)))
 
     # -- sequence protocol -------------------------------------------------
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self._kinds)
 
     def __iter__(self) -> Iterator[Entry]:
-        return iter(self._entries)
+        dirs = self._dirs
+        for kind, addr, pc, gap in zip(self._kinds, self._addrs, self._pcs, self._gaps):
+            if kind == KIND_DIRECTIVE:
+                op, args = dirs[addr]
+                yield Directive(op, args, gap)
+            else:
+                yield TraceRecord(kind, addr, pc, gap)
+
+    def _entry_at(self, idx: int) -> Entry:
+        kind = self._kinds[idx]
+        if kind == KIND_DIRECTIVE:
+            op, args = self._dirs[self._addrs[idx]]
+            return Directive(op, args, self._gaps[idx])
+        return TraceRecord(kind, self._addrs[idx], self._pcs[idx], self._gaps[idx])
 
     def __getitem__(self, idx):
-        return self._entries[idx]
+        if isinstance(idx, slice):
+            return [self._entry_at(i) for i in range(*idx.indices(len(self._kinds)))]
+        if idx < 0:
+            idx += len(self._kinds)
+        return self._entry_at(idx)
 
     def append(self, entry: Entry) -> None:
         """Append one entry."""
-        self._entries.append(entry)
+        if entry.kind == KIND_DIRECTIVE:
+            self.append_directive(entry.op, entry.args, entry.gap)
+        else:
+            self.append_ref(entry.kind, entry.addr, entry.pc, entry.gap)
 
     def extend(self, entries: Iterable[Entry]) -> None:
         """Append many entries."""
-        self._entries.extend(entries)
+        for entry in entries:
+            self.append(entry)
+
+    # -- packed fast path ---------------------------------------------------
+    def iter_packed(self) -> Iterator[PackedEntry]:
+        """Stream ``(kind, addr, pc, gap)`` tuples straight off the columns.
+
+        Directive entries carry their table index in the ``addr`` slot;
+        resolve the payload with :meth:`directive_at`.
+        """
+        return zip(self._kinds, self._addrs, self._pcs, self._gaps)
+
+    def directive_at(self, index: int) -> Tuple[str, tuple]:
+        """The (op, args) payload for a packed directive entry."""
+        return self._dirs[index]
 
     # -- summaries ----------------------------------------------------------
     @property
     def num_loads(self) -> int:
         """Number of load records."""
-        return sum(1 for e in self._entries if e.kind == KIND_LOAD)
+        return self._kinds.count(KIND_LOAD)
 
     @property
     def num_stores(self) -> int:
         """Number of store records."""
-        return sum(1 for e in self._entries if e.kind == KIND_STORE)
+        return self._kinds.count(KIND_STORE)
 
     @property
     def num_directives(self) -> int:
         """Number of embedded directives."""
-        return sum(1 for e in self._entries if e.kind == KIND_DIRECTIVE)
+        return len(self._dirs)
 
     @property
     def instructions(self) -> int:
         """Total instruction count: every record is one instruction plus its
         preceding gap of non-memory instructions (directives are free)."""
-        total = 0
-        for entry in self._entries:
-            total += entry.gap
-            if entry.kind != KIND_DIRECTIVE:
-                total += 1
-        return total
+        return sum(self._gaps) + len(self._kinds) - len(self._dirs)
 
     def memory_references(self) -> Iterator[TraceRecord]:
         """Iterate loads and stores only."""
-        for entry in self._entries:
-            if entry.kind != KIND_DIRECTIVE:
-                yield entry  # type: ignore[misc]
+        for kind, addr, pc, gap in zip(self._kinds, self._addrs, self._pcs, self._gaps):
+            if kind != KIND_DIRECTIVE:
+                yield TraceRecord(kind, addr, pc, gap)
 
     def directives(self) -> Iterator[Directive]:
         """Iterate directives only."""
-        for entry in self._entries:
-            if entry.kind == KIND_DIRECTIVE:
-                yield entry  # type: ignore[misc]
+        dirs = self._dirs
+        for kind, addr, gap in zip(self._kinds, self._addrs, self._gaps):
+            if kind == KIND_DIRECTIVE:
+                op, args = dirs[addr]
+                yield Directive(op, args, gap)
 
     # -- persistence ----------------------------------------------------------
     def save(self, path: Union[str, Path]) -> None:
         """Write the trace as JSON-lines (compact, diff-friendly)."""
         path = Path(path)
+        dirs = self._dirs
         with path.open("w") as fh:
-            for entry in self._entries:
-                if entry.kind == KIND_DIRECTIVE:
-                    fh.write(
-                        json.dumps(
-                            {"d": entry.op, "a": list(entry.args), "g": entry.gap}
-                        )
-                    )
+            for kind, addr, pc, gap in zip(
+                self._kinds, self._addrs, self._pcs, self._gaps
+            ):
+                if kind == KIND_DIRECTIVE:
+                    op, args = dirs[addr]
+                    fh.write(json.dumps({"d": op, "a": list(args), "g": gap}))
                 else:
-                    fh.write(
-                        json.dumps(
-                            {
-                                "k": entry.kind,
-                                "x": entry.addr,
-                                "p": entry.pc,
-                                "g": entry.gap,
-                            }
-                        )
-                    )
+                    fh.write(json.dumps({"k": kind, "x": addr, "p": pc, "g": gap}))
                 fh.write("\n")
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "Trace":
-        """Emit one load record."""
+        """Read a trace back from its JSON-lines form."""
         path = Path(path)
-        entries: List[Entry] = []
+        trace = cls()
         with path.open() as fh:
             for line in fh:
                 obj = json.loads(line)
                 if "d" in obj:
-                    entries.append(Directive(obj["d"], tuple(obj["a"]), obj["g"]))
+                    trace.append_directive(obj["d"], tuple(obj["a"]), obj["g"])
                 else:
-                    entries.append(TraceRecord(obj["k"], obj["x"], obj["p"], obj["g"]))
-        return cls(entries)
+                    trace.append_ref(obj["k"], obj["x"], obj["p"], obj["g"])
+        return trace

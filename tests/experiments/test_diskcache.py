@@ -1,0 +1,162 @@
+"""Persistent cell cache: key invalidation, atomicity, corruption tolerance."""
+
+import dataclasses
+import pickle
+
+import pytest
+
+import repro
+from repro.config import SystemConfig
+from repro.experiments import diskcache
+from repro.experiments.runner import ExperimentRunner
+from repro.rnr.replayer import ControlMode
+
+
+def _key(**overrides):
+    base = dict(
+        config=SystemConfig.experiment(),
+        scale="test",
+        seed=0,
+        iterations=3,
+        window=16,
+        app="pagerank",
+        input_name="urand",
+        prefetcher="rnr",
+        mode=None,
+    )
+    base.update(overrides)
+    return diskcache.cell_key(**base)
+
+
+class TestCellKey:
+    def test_deterministic(self):
+        assert _key() == _key()
+
+    @pytest.mark.parametrize(
+        "override",
+        [
+            {"scale": "bench"},
+            {"seed": 1},
+            {"iterations": 4},
+            {"window": 32},
+            {"app": "spcg"},
+            {"input_name": "amazon"},
+            {"prefetcher": "bingo"},
+            {"mode": ControlMode.WINDOW},
+            {"version": "0.0.0-other"},
+        ],
+    )
+    def test_every_component_invalidates(self, override):
+        assert _key(**override) != _key()
+
+    def test_config_change_invalidates(self):
+        config = SystemConfig.experiment()
+        tweaked = dataclasses.replace(
+            config,
+            l2=dataclasses.replace(config.l2, size_bytes=config.l2.size_bytes * 2),
+        )
+        assert _key(config=tweaked) != _key()
+
+    def test_mode_hashes_by_value(self):
+        # Same enum vs raw value — the worker and coordinator must agree.
+        assert _key(mode=ControlMode.WINDOW) == _key(mode=ControlMode.WINDOW.value)
+
+    def test_default_version_is_package_version(self):
+        assert _key(version=repro.__version__) == _key()
+
+
+class TestDiskCellCache:
+    def test_roundtrip(self, tmp_path):
+        cache = diskcache.DiskCellCache(tmp_path)
+        key = _key()
+        assert cache.get(key) is None
+        cache.put(key, {"payload": 42})
+        assert cache.get(key) == {"payload": 42}
+        assert cache.hits == 1 and cache.misses == 1 and cache.stores == 1
+
+    def test_fresh_instance_sees_entries(self, tmp_path):
+        diskcache.DiskCellCache(tmp_path).put(_key(), "persisted")
+        assert diskcache.DiskCellCache(tmp_path).get(_key()) == "persisted"
+
+    def test_corrupt_entry_is_a_miss_and_deleted(self, tmp_path):
+        cache = diskcache.DiskCellCache(tmp_path)
+        key = _key()
+        cache.put(key, "good")
+        path = cache._path(key)
+        path.write_bytes(b"\x80not a pickle")
+        assert cache.get(key) is None
+        assert cache.corrupt == 1
+        assert not path.exists()
+
+    def test_truncated_entry_is_a_miss(self, tmp_path):
+        cache = diskcache.DiskCellCache(tmp_path)
+        key = _key()
+        cache.put(key, list(range(1000)))
+        path = cache._path(key)
+        path.write_bytes(path.read_bytes()[:10])
+        assert cache.get(key) is None
+
+    def test_put_leaves_no_temp_files(self, tmp_path):
+        cache = diskcache.DiskCellCache(tmp_path)
+        cache.put(_key(), "x")
+        leftovers = [p for p in tmp_path.rglob("*") if p.name.startswith(".tmp-")]
+        assert leftovers == []
+
+    def test_entries_and_clear(self, tmp_path):
+        cache = diskcache.DiskCellCache(tmp_path)
+        for window in (4, 8, 16):
+            cache.put(_key(window=window), window)
+        assert len(list(cache.entries())) == 3
+        assert cache.clear() == 3
+        assert list(cache.entries()) == []
+
+    def test_describe_mentions_counts(self, tmp_path):
+        cache = diskcache.DiskCellCache(tmp_path)
+        cache.put(_key(), "x")
+        cache.get(_key())
+        text = cache.describe()
+        assert "1 entries" in text and "1 hits" in text
+
+
+class TestRunnerIntegration:
+    def test_second_runner_hits_disk(self, tmp_path):
+        first = ExperimentRunner(scale="test", cache_dir=tmp_path)
+        result = first.run("pagerank", "urand", "nextline")
+        assert first.cache.stores >= 1
+
+        second = ExperimentRunner(scale="test", cache_dir=tmp_path)
+        cached = second.run("pagerank", "urand", "nextline")
+        assert second.cache.hits == 1
+        assert cached.stats == result.stats
+        # Disk-hit path must not have built any traces.
+        assert second._traces == {}
+
+    def test_config_change_misses(self, tmp_path):
+        first = ExperimentRunner(scale="test", cache_dir=tmp_path)
+        first.run("pagerank", "urand", "baseline")
+        config = SystemConfig.experiment()
+        tweaked = dataclasses.replace(
+            config,
+            l2=dataclasses.replace(config.l2, size_bytes=config.l2.size_bytes * 2),
+        )
+        other = ExperimentRunner(scale="test", cache_dir=tmp_path, config=tweaked)
+        other.run("pagerank", "urand", "baseline")
+        assert other.cache.hits == 0
+        assert other.cache.stores == 1
+
+    def test_cache_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv(diskcache.CACHE_DIR_ENV, raising=False)
+        runner = ExperimentRunner(scale="test")
+        assert runner.cache is None
+
+    def test_env_var_enables_cache(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(diskcache.CACHE_DIR_ENV, str(tmp_path / "cells"))
+        runner = ExperimentRunner(scale="test")
+        assert runner.cache is not None
+        assert runner.cache.root == tmp_path / "cells"
+
+    def test_cell_result_is_picklable(self, tmp_path):
+        runner = ExperimentRunner(scale="test", cache_dir=None)
+        result = runner.run("spcg", "bbmat", "rnr")
+        clone = pickle.loads(pickle.dumps(result))
+        assert clone.stats == result.stats

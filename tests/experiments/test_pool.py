@@ -1,0 +1,92 @@
+"""The parallel sweep must be indistinguishable from the serial one."""
+
+import os
+
+import pytest
+
+from repro.experiments import pool
+from repro.experiments.runner import CellSpec, ExperimentRunner
+from repro.rnr.replayer import ControlMode
+
+SPECS = [
+    CellSpec("pagerank", "urand", "baseline"),
+    CellSpec("pagerank", "urand", "nextline"),
+    CellSpec("pagerank", "urand", "rnr", mode=ControlMode.WINDOW),
+    CellSpec("spcg", "bbmat", "baseline"),
+    CellSpec("spcg", "bbmat", "rnr", window=8),
+    CellSpec("pagerank", "amazon", "ideal"),
+]
+
+
+def _runner():
+    return ExperimentRunner(scale="test", cache_dir=None)
+
+
+class TestResolveJobs:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv(pool.JOBS_ENV, "7")
+        assert pool.resolve_jobs(3) == 3
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(pool.JOBS_ENV, "5")
+        assert pool.resolve_jobs() == 5
+
+    def test_cpu_count_default(self, monkeypatch):
+        monkeypatch.delenv(pool.JOBS_ENV, raising=False)
+        assert pool.resolve_jobs() == (os.cpu_count() or 1)
+
+    def test_rejects_nonpositive(self, monkeypatch):
+        with pytest.raises(ValueError):
+            pool.resolve_jobs(0)
+        monkeypatch.setenv(pool.JOBS_ENV, "-2")
+        with pytest.raises(ValueError):
+            pool.resolve_jobs()
+
+
+class TestRunSweep:
+    def test_parallel_matches_serial(self):
+        serial = _runner()
+        assert pool.run_sweep(serial, SPECS, jobs=1) == len(SPECS)
+        parallel = _runner()
+        assert pool.run_sweep(parallel, SPECS, jobs=2) == len(SPECS)
+        for spec in SPECS:
+            a = serial.run_spec(spec)
+            b = parallel.run_spec(spec)
+            assert a.stats == b.stats, spec
+            assert a.input_bytes == b.input_bytes, spec
+
+    def test_merged_cells_feed_the_memo(self):
+        runner = _runner()
+        pool.run_sweep(runner, SPECS[:2], jobs=2)
+        key = runner._result_key("pagerank", "urand", "nextline", None, None)
+        assert key in runner._results
+
+    def test_sweep_skips_memoized_cells(self):
+        runner = _runner()
+        runner.run_spec(SPECS[0])
+        assert pool.run_sweep(runner, SPECS[:2], jobs=1) == 1
+        assert pool.run_sweep(runner, SPECS[:2], jobs=1) == 0
+
+    def test_duplicate_specs_run_once(self):
+        runner = _runner()
+        assert pool.run_sweep(runner, [SPECS[0], SPECS[0]], jobs=1) == 1
+
+    def test_group_by_input_reuses_traces(self):
+        groups = pool._group_by_input(SPECS)
+        keys = [(g[0].app, g[0].input_name) for g in groups]
+        assert len(keys) == len(set(keys))
+        assert sum(len(g) for g in groups) == len(SPECS)
+        for group in groups:
+            assert len({(s.app, s.input_name) for s in group}) == 1
+
+    def test_full_matrix_covers_every_cell(self):
+        runner = _runner()
+        specs = pool.full_matrix_specs(runner)
+        pairs = {(s.app, s.input_name) for s in specs}
+        assert pairs == set(runner.cells())
+        names = {s.prefetcher for s in specs}
+        assert {"baseline", "rnr", "ideal"} <= names
+        # DROPLET must not be scheduled for the matrix apps.
+        assert not any(
+            s.prefetcher == "droplet" and s.app == "spcg" for s in specs
+        )

@@ -22,6 +22,11 @@ class TestFormatTable:
         text = format_table(("a", "b"), [("x", "-")])
         assert "-" in text
 
+    def test_nan_renders_as_dash(self):
+        text = format_table(("a", "b"), [("x", float("nan"))])
+        assert "nan" not in text
+        assert text.splitlines()[-1].split()[-1] == "-"
+
 
 class TestGeomean:
     def test_basic(self):

@@ -40,6 +40,27 @@ class TestCounts:
         assert trace[1].addr == 0x100
 
 
+class TestPackedIterator:
+    def test_matches_object_iteration(self):
+        trace = sample_trace()
+        from repro.trace.record import KIND_DIRECTIVE
+
+        rebuilt = []
+        for kind, addr, pc, gap in trace.iter_packed():
+            if kind == KIND_DIRECTIVE:
+                op, args = trace.directive_at(addr)
+                rebuilt.append(Directive(op, args, gap))
+            else:
+                rebuilt.append(TraceRecord(kind, addr, pc, gap))
+        assert rebuilt == list(trace)
+
+    def test_append_ref_matches_record_append(self):
+        via_objects = Trace([TraceRecord(KIND_LOAD, 0x200, 0x9, 4)])
+        via_columns = Trace()
+        via_columns.append_ref(KIND_LOAD, 0x200, 0x9, 4)
+        assert list(via_objects) == list(via_columns)
+
+
 class TestPersistence:
     def test_round_trip(self, tmp_path):
         trace = sample_trace()
