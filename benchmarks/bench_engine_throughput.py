@@ -142,16 +142,47 @@ def test_engine_rnr_entries_per_second(benchmark):
     benchmark.extra_info["entries_per_second"] = round(rate, 1)
 
 
+def floor_report(results, baseline):
+    """Lines comparing measured rates against the regression floor.
+
+    Always produces output: with no committed baseline (fresh clone,
+    deleted ``BENCH_engine.json``) it says so explicitly and shows the
+    floor each measured rate would set, instead of silently printing
+    nothing and letting the reader assume the check passed.
+    """
+    lines = []
+    if not baseline:
+        lines.append(
+            f"no baseline at {BASELINE_PATH.name}; regression floor "
+            f"({100 * (1 - REGRESSION_TOLERANCE):.0f}% of baseline) not enforced"
+        )
+        for scenario, rate in results.items():
+            would = rate * (1.0 - REGRESSION_TOLERANCE)
+            lines.append(
+                f"{scenario:>8}: floor would be {would:,.0f} entries/s "
+                "once this run is committed as the baseline"
+            )
+        return lines
+    for scenario, rate in results.items():
+        old = baseline.get(scenario)
+        if not old:
+            lines.append(f"{scenario:>8}: no baseline entry; floor not enforced")
+            continue
+        floor = old * (1.0 - REGRESSION_TOLERANCE)
+        verdict = "ok" if rate >= floor else "REGRESSION"
+        lines.append(
+            f"{scenario:>8}: {rate / old:.2f}x vs baseline {old:,.0f} "
+            f"(floor {floor:,.0f}) {verdict}"
+        )
+    return lines
+
+
 def main():
     results = run_suite()
     for scenario, rate in results.items():
         print(f"{scenario:>8}: {rate:>12,.0f} trace entries/s")
-    baseline = load_baseline()
-    if baseline:
-        for scenario, rate in results.items():
-            old = baseline.get(scenario)
-            if old:
-                print(f"{scenario:>8}: {rate / old:.2f}x vs baseline")
+    for line in floor_report(results, load_baseline()):
+        print(line)
     path = write_baseline(results)
     print(f"baseline written to {path}")
 

@@ -14,6 +14,14 @@ count) prewarms every requested figure's cell matrix across N worker
 processes before the reports render serially from the warm memo.
 ``--cache-dir DIR`` (default: ``RNR_CACHE_DIR``) persists finished cells
 on disk across invocations.
+
+The sweep runs under supervision (:mod:`repro.experiments.supervise`):
+``--cell-timeout`` bounds each cell's wall clock, ``--retries`` re-runs
+transiently failed cells with backoff, and a JSON manifest written next to
+the cell cache lets ``--resume`` skip already-finished cells.  By default
+(``--strict``) any permanently failed cell makes the run exit non-zero
+after printing the failure report; ``--lenient`` renders the figures
+anyway, with failed cells shown as ``-`` and a footnote.
 """
 
 from __future__ import annotations
@@ -23,6 +31,8 @@ import sys
 import time
 
 from repro.experiments import (
+    diskcache,
+    faults as faults_mod,
     fig01_scatter,
     fig06_speedup,
     fig07_mpki,
@@ -36,6 +46,7 @@ from repro.experiments import (
     hw_overhead,
     pool,
     record_overhead,
+    supervise,
 )
 from repro.experiments.runner import ExperimentRunner
 
@@ -80,6 +91,57 @@ def main(argv=None) -> int:
         metavar="DIR",
         help="persistent cell cache directory (default: $RNR_CACHE_DIR, else off)",
     )
+    parser.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="kill any cell running longer than this "
+        "(default: $RNR_CELL_TIMEOUT, else unlimited)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help="re-attempts for transiently failed cells "
+        "(timeout/crash/cache corruption; default: 1)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip cells the sweep manifest already marks done "
+        "(re-runs only failed/missing cells)",
+    )
+    parser.add_argument(
+        "--manifest",
+        default=None,
+        metavar="PATH",
+        help="sweep manifest location (default: sweep-manifest.json "
+        "inside the cell cache directory)",
+    )
+    strictness = parser.add_mutually_exclusive_group()
+    strictness.add_argument(
+        "--strict",
+        dest="strict",
+        action="store_true",
+        default=True,
+        help="exit non-zero if any cell failed permanently (default; for CI)",
+    )
+    strictness.add_argument(
+        "--lenient",
+        dest="strict",
+        action="store_false",
+        help="render figures anyway; failed cells show as '-' with a footnote",
+    )
+    parser.add_argument(
+        "--inject-fault",
+        action="append",
+        default=[],
+        metavar="CELL=KIND[:N]",
+        help="chaos testing: fault the named cell (kinds: "
+        f"{', '.join(faults_mod.FAULT_KINDS)}; also $RNR_FAULTS)",
+    )
     args = parser.parse_args(argv)
 
     names = args.figures or list(FIGURES) + ["hw"]
@@ -87,26 +149,70 @@ def main(argv=None) -> int:
     if unknown:
         parser.error(f"unknown figures: {', '.join(unknown)}")
 
-    runner = ExperimentRunner(
-        scale=args.scale, window_size=args.window, cache_dir=args.cache_dir
-    )
-    start = time.time()
+    cache_dir = args.cache_dir or diskcache.default_cache_dir()
+    if cache_dir:
+        try:
+            cache_dir = diskcache.ensure_writable(cache_dir)
+        except ValueError as exc:
+            parser.error(str(exc))
+
     try:
-        jobs = pool.resolve_jobs(args.jobs)
+        faults = faults_mod.faults_from_env()
+        faults.update(faults_mod.parse_faults(args.inject_fault))
     except ValueError as exc:
         parser.error(str(exc))
-    if jobs > 1:
+    try:
+        cell_timeout = supervise.resolve_cell_timeout(args.cell_timeout)
+        jobs = pool.resolve_jobs(args.jobs)
+        policy = supervise.RetryPolicy(retries=args.retries)
+    except ValueError as exc:
+        parser.error(str(exc))
+
+    runner = ExperimentRunner(
+        scale=args.scale,
+        window_size=args.window,
+        cache_dir=cache_dir,
+        lenient=not args.strict,
+    )
+    start = time.time()
+
+    # Figures simulate inline only for a plain serial run with no
+    # supervision features requested; any timeout/retry/resume/fault use
+    # goes through the supervised sweep even with one worker.
+    supervised = (
+        jobs > 1
+        or args.resume
+        or cell_timeout is not None
+        or bool(faults)
+        or args.manifest is not None
+    )
+    if supervised:
         specs = []
         for name in names:
             module = FIGURES.get(name)
             if module is not None and hasattr(module, "specs"):
                 specs.extend(module.specs(runner))
         if specs:
-            ran = pool.run_sweep(runner, specs, jobs=jobs)
-            print(
-                f"[sweep: {ran} cells simulated across {jobs} workers "
-                f"in {time.time() - start:.0f}s]"
+            report = supervise.run_supervised_sweep(
+                runner,
+                specs,
+                jobs=jobs,
+                cell_timeout=cell_timeout,
+                policy=policy,
+                manifest_path=args.manifest,
+                resume=args.resume,
+                faults=faults,
             )
+            print(f"[{report.render()}]")
+            if report.failures and args.strict:
+                print(
+                    "strict mode: failing because "
+                    f"{len(report.failures)} cell(s) could not be produced "
+                    "(re-run with --resume to retry only those, "
+                    "or --lenient to render partial figures)",
+                    file=sys.stderr,
+                )
+                return 1
     if runner.cache is not None:
         print(f"[{runner.cache.describe()}]")
     for name in names:

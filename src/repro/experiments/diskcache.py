@@ -13,8 +13,11 @@ content hash of everything that can change a cell's statistics:
 * the package version (so model changes invalidate stale results).
 
 Writes are atomic (temp file + ``os.replace``) so a killed sweep never
-leaves a half-written entry, and loads tolerate corruption: an unreadable
-entry is treated as a miss and deleted.
+leaves a half-written entry, and loads tolerate corruption: every entry
+carries a framed header (magic, CRC32, payload length) that is verified
+before unpickling, so a truncated or bit-flipped file — not just garbage
+bytes — is detected deterministically, treated as a miss, counted, and
+deleted.
 
 Enable it by passing ``cache_dir=`` to ``ExperimentRunner`` or by setting
 the ``RNR_CACHE_DIR`` environment variable (the CLI's ``--cache-dir`` flag
@@ -29,7 +32,9 @@ import hashlib
 import json
 import os
 import pickle
+import struct
 import tempfile
+import zlib
 from pathlib import Path
 from typing import Optional, Union
 
@@ -39,13 +44,42 @@ import repro
 CACHE_DIR_ENV = "RNR_CACHE_DIR"
 
 #: Bumped when the on-disk entry format (not the simulated model) changes.
-FORMAT_VERSION = 1
+#: v2: framed entries (magic + CRC32 + length before the pickle payload).
+FORMAT_VERSION = 2
+
+#: Entry framing: magic, CRC32 of the payload, payload length in bytes.
+_MAGIC = b"RNRC"
+_HEADER = struct.Struct("<4sIQ")
+
+
+class CacheIntegrityError(RuntimeError):
+    """A cache entry failed its length/checksum verification."""
 
 
 def default_cache_dir() -> Optional[Path]:
     """The cache directory named by ``RNR_CACHE_DIR``, or None."""
     value = os.environ.get(CACHE_DIR_ENV, "").strip()
     return Path(value) if value else None
+
+
+def ensure_writable(root: Union[str, Path]) -> Path:
+    """Validate that ``root`` can be created and written.
+
+    Returns the (created) directory.  Raises ``ValueError`` with a
+    one-line actionable message otherwise — meant for CLI startup, so a
+    bad ``--cache-dir`` fails immediately instead of as a deep traceback
+    halfway through a multi-hour sweep.
+    """
+    root = Path(root).expanduser()
+    try:
+        root.mkdir(parents=True, exist_ok=True)
+        fd, probe = tempfile.mkstemp(dir=str(root), prefix=".probe-")
+        os.close(fd)
+        os.unlink(probe)
+    except OSError as exc:
+        detail = exc.strerror or str(exc)
+        raise ValueError(f"cache dir {root} is not creatable/writable: {detail}") from None
+    return root
 
 
 def cell_key(
@@ -102,19 +136,46 @@ class DiskCellCache:
         return self.root / key[:2] / f"{key}.pkl"
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _verify(data: bytes) -> bytes:
+        """Return the pickle payload of a framed entry, or raise
+        :class:`CacheIntegrityError` naming what failed."""
+        if len(data) < _HEADER.size:
+            raise CacheIntegrityError(
+                f"entry shorter than its {_HEADER.size}-byte header"
+            )
+        magic, crc, length = _HEADER.unpack_from(data)
+        if magic != _MAGIC:
+            raise CacheIntegrityError(f"bad magic {magic!r}")
+        payload = data[_HEADER.size:]
+        if len(payload) != length:
+            raise CacheIntegrityError(
+                f"truncated entry: header promises {length} payload bytes, "
+                f"found {len(payload)}"
+            )
+        if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+            raise CacheIntegrityError("payload checksum mismatch")
+        return payload
+
     def get(self, key: str):
         """The cached result for ``key``, or None.
 
-        A missing, truncated, or otherwise unreadable entry counts as a
-        miss; corrupt files are deleted so they don't fail again.
+        A missing entry is a plain miss.  An entry failing the explicit
+        length/checksum verification — truncated, bit-flipped, or from an
+        old format — counts as a miss, is counted in ``corrupt``, and is
+        deleted so it doesn't fail again.
         """
         path = self._path(key)
         try:
-            with path.open("rb") as fh:
-                result = pickle.load(fh)
+            data = path.read_bytes()
         except FileNotFoundError:
             self.misses += 1
             return None
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            result = pickle.loads(self._verify(data))
         except Exception:
             self.corrupt += 1
             self.misses += 1
@@ -127,7 +188,10 @@ class DiskCellCache:
         return result
 
     def put(self, key: str, result) -> None:
-        """Store ``result`` under ``key`` atomically."""
+        """Store ``result`` under ``key`` atomically, framed with a
+        header (magic + CRC32 + length) that :meth:`get` verifies."""
+        payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        header = _HEADER.pack(_MAGIC, zlib.crc32(payload) & 0xFFFFFFFF, len(payload))
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp_name = tempfile.mkstemp(
@@ -135,7 +199,8 @@ class DiskCellCache:
         )
         try:
             with os.fdopen(fd, "wb") as fh:
-                pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                fh.write(header)
+                fh.write(payload)
             os.replace(tmp_name, path)
         except BaseException:
             try:

@@ -7,10 +7,11 @@ corner (>95 % both).
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Tuple
 
 from repro.experiments.runner import CellSpec, ExperimentRunner
-from repro.experiments.tables import format_table
+from repro.experiments.tables import MISSING, format_table
 from repro.sim import metrics
 
 APP = "pagerank"
@@ -29,6 +30,9 @@ def compute(runner: ExperimentRunner) -> Dict[str, Tuple[float, float]]:
     points = {}
     for name in PREFETCHERS:
         cell = runner.run(APP, INPUT, name)
+        if base is None or cell is None:
+            points[name] = (MISSING, MISSING)
+            continue
         points[name] = (
             metrics.coverage(base.stats, cell.stats),
             metrics.accuracy(cell.stats),
@@ -47,8 +51,14 @@ def report(runner: ExperimentRunner) -> str:
         ("prefetcher", "coverage %", "accuracy %"),
         rows,
         title=f"Fig 1 — miss coverage vs prefetching accuracy ({APP} / {INPUT})",
+        footnote=runner.missing_note(),
     )
+    plottable = {
+        name: (cov, acc)
+        for name, (cov, acc) in points.items()
+        if not (math.isnan(cov) or math.isnan(acc))
+    }
     plot = scatter_plot(
-        points, x_label="coverage", y_label="accuracy", size=24
+        plottable, x_label="coverage", y_label="accuracy", size=24
     )
     return table + "\n\n" + plot

@@ -18,7 +18,7 @@ from repro.experiments.runner import (
     inputs_for,
     prefetchers_for,
 )
-from repro.experiments.tables import format_table, geomean
+from repro.experiments.tables import MISSING, format_table, geomean
 from repro.sim import metrics
 
 COLUMNS = ("nextline", "bingo", "stems", "misb", "droplet", "rnr", "rnr-combined", "ideal")
@@ -45,7 +45,9 @@ def compute(runner: ExperimentRunner) -> Dict[str, Dict[str, Dict[str, float]]]:
             row = {}
             for name in names:
                 cell = runner.run(app, input_name, name)
-                if name == "ideal":
+                if base is None or cell is None:
+                    row[name] = MISSING
+                elif name == "ideal":
                     row[name] = metrics.speedup(base.stats, cell.stats)
                 else:
                     row[name] = metrics.amortized_speedup(base.stats, cell.stats)
@@ -75,4 +77,5 @@ def report(runner: ExperimentRunner) -> str:
         ("workload",) + COLUMNS,
         rows,
         title="Fig 6 — speedup over no-prefetcher baseline (100-iteration amortized)",
+        footnote=runner.missing_note(),
     )

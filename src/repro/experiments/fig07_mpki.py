@@ -17,7 +17,7 @@ from repro.experiments.runner import (
     inputs_for,
     prefetchers_for,
 )
-from repro.experiments.tables import format_table
+from repro.experiments.tables import MISSING, format_table
 from repro.sim.metrics import iteration_phases
 
 COLUMNS = ("baseline", "nextline", "bingo", "stems", "misb", "droplet", "rnr", "rnr-combined")
@@ -52,7 +52,7 @@ def compute(runner: ExperimentRunner) -> Dict[str, Dict[str, Dict[str, float]]]:
             row = {}
             for name in names:
                 cell = runner.run(app, input_name, name)
-                row[name] = steady_state_mpki(cell.stats)
+                row[name] = MISSING if cell is None else steady_state_mpki(cell.stats)
             out[app][input_name] = row
     return out
 
@@ -64,7 +64,9 @@ def mpki_reduction_summary(runner: ExperimentRunner) -> Dict[str, float]:
     for app, per_input in data.items():
         reductions = []
         for row in per_input.values():
-            if row["baseline"] > 0:
+            # NaN compares False, so cells a lenient sweep could not
+            # produce simply drop out of the average.
+            if row["baseline"] > 0 and row["rnr-combined"] == row["rnr-combined"]:
                 reductions.append(1.0 - row["rnr-combined"] / row["baseline"])
         summary[app] = sum(reductions) / len(reductions) if reductions else 0.0
     return summary
@@ -82,6 +84,7 @@ def report(runner: ExperimentRunner) -> str:
         ("workload",) + COLUMNS,
         rows,
         title="Fig 7 — steady-state demand L2 MPKI",
+        footnote=runner.missing_note(),
     )
     summary = mpki_reduction_summary(runner)
     lines = [table, "", "RnR-Combined demand-miss reduction (paper: 97.3%/94.6%/98.9%):"]

@@ -17,7 +17,7 @@ from repro.experiments.runner import (
     inputs_for,
     prefetchers_for,
 )
-from repro.experiments.tables import format_table, geomean
+from repro.experiments.tables import MISSING, format_table, geomean
 from repro.sim import metrics
 
 COLUMNS = ("nextline", "bingo", "stems", "misb", "droplet", "rnr", "rnr-combined")
@@ -42,7 +42,10 @@ def compute(runner: ExperimentRunner) -> Dict[str, Dict[str, Dict[str, float]]]:
             row = {}
             for name in prefetchers_for(app):
                 cell = runner.run(app, input_name, name)
-                row[name] = metrics.coverage(base.stats, cell.stats)
+                if base is None or cell is None:
+                    row[name] = MISSING
+                else:
+                    row[name] = metrics.coverage(base.stats, cell.stats)
             out[app][input_name] = row
     return out
 
@@ -69,4 +72,5 @@ def report(runner: ExperimentRunner) -> str:
         ("workload",) + tuple(f"{c} %" for c in COLUMNS),
         rows,
         title="Fig 8 — miss coverage (%)",
+        footnote=runner.missing_note(),
     )

@@ -16,7 +16,7 @@ from repro.experiments.runner import (
     inputs_for,
     prefetchers_for,
 )
-from repro.experiments.tables import format_table, geomean
+from repro.experiments.tables import MISSING, format_table, geomean, nanmean
 from repro.sim import metrics
 
 COLUMNS = ("nextline", "bingo", "stems", "misb", "droplet", "rnr", "rnr-combined")
@@ -40,7 +40,7 @@ def compute(runner: ExperimentRunner) -> Dict[str, Dict[str, Dict[str, float]]]:
             row = {}
             for name in prefetchers_for(app):
                 cell = runner.run(app, input_name, name)
-                row[name] = metrics.accuracy(cell.stats)
+                row[name] = MISSING if cell is None else metrics.accuracy(cell.stats)
             out[app][input_name] = row
     return out
 
@@ -48,7 +48,9 @@ def compute(runner: ExperimentRunner) -> Dict[str, Dict[str, Dict[str, float]]]:
 def rnr_average_accuracy(runner: ExperimentRunner) -> float:
     data = compute(runner)
     values = [row["rnr"] for per_input in data.values() for row in per_input.values()]
-    return sum(values) / len(values) if values else 0.0
+    if not values:
+        return 0.0
+    return nanmean(values)
 
 
 def report(runner: ExperimentRunner) -> str:
@@ -73,9 +75,12 @@ def report(runner: ExperimentRunner) -> str:
         ("workload",) + tuple(f"{c} %" for c in COLUMNS),
         rows,
         title="Fig 9 — prefetching accuracy (%)",
+        footnote=runner.missing_note(),
     )
+    average = rnr_average_accuracy(runner)
+    rendered = "-" if average != average else f"{100 * average:.1f}%"
     return (
         table
-        + f"\n\nRnR average accuracy: {100 * rnr_average_accuracy(runner):.1f}%"
+        + f"\n\nRnR average accuracy: {rendered}"
         + " (paper: 97.18%)"
     )

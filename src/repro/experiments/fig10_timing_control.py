@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Dict, Tuple
 
 from repro.experiments.runner import CellSpec, ExperimentRunner
-from repro.experiments.tables import format_table
+from repro.experiments.tables import MISSING, format_table
 from repro.rnr.replayer import ControlMode
 from repro.sim import metrics
 
@@ -43,7 +43,10 @@ def compute(runner: ExperimentRunner) -> Dict[Tuple[str, str], Dict[str, float]]
         row = {}
         for mode in MODES:
             cell = runner.run(app, input_name, "rnr", mode=mode)
-            row[mode.value] = metrics.amortized_speedup(base.stats, cell.stats)
+            if base is None or cell is None:
+                row[mode.value] = MISSING
+            else:
+                row[mode.value] = metrics.amortized_speedup(base.stats, cell.stats)
         out[(app, input_name)] = row
     return out
 
@@ -58,4 +61,5 @@ def report(runner: ExperimentRunner) -> str:
         ("workload",) + tuple(m.value for m in MODES),
         rows,
         title="Fig 10 — replay timing control (speedup over baseline)",
+        footnote=runner.missing_note(),
     )

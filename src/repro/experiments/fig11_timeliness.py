@@ -13,7 +13,7 @@ from typing import Dict, Tuple
 
 from repro.experiments.fig10_timing_control import CELLS, MODES
 from repro.experiments.runner import CellSpec, ExperimentRunner
-from repro.experiments.tables import format_table
+from repro.experiments.tables import MISSING, format_table
 from repro.sim import metrics
 
 
@@ -34,7 +34,13 @@ def compute(
         per_mode = {}
         for mode in MODES:
             cell = runner.run(app, input_name, "rnr", mode=mode)
-            per_mode[mode.value] = metrics.timeliness_breakdown(cell.stats)
+            if cell is None:
+                per_mode[mode.value] = {
+                    key: MISSING
+                    for key in ("on_time", "early", "late", "out_of_window")
+                }
+            else:
+                per_mode[mode.value] = metrics.timeliness_breakdown(cell.stats)
         out[(app, input_name)] = per_mode
     return out
 
@@ -58,4 +64,5 @@ def report(runner: ExperimentRunner) -> str:
         ("workload", "control", "on-time %", "early %", "late %", "out-of-win %"),
         rows,
         title="Fig 11 — prefetch timeliness breakdown",
+        footnote=runner.missing_note(),
     )

@@ -18,7 +18,7 @@ from repro.experiments.runner import (
     inputs_for,
     prefetchers_for,
 )
-from repro.experiments.tables import format_table
+from repro.experiments.tables import MISSING, format_table, nanmean
 from repro.sim import metrics
 
 
@@ -52,7 +52,10 @@ def compute(runner: ExperimentRunner) -> Dict[str, Dict[str, Dict[str, float]]]:
             row = {}
             for name in prefetchers_for(app):
                 cell = runner.run(app, input_name, name)
-                row[name] = metrics.additional_traffic_ratio(base.stats, cell.stats)
+                if base is None or cell is None:
+                    row[name] = MISSING
+                else:
+                    row[name] = metrics.additional_traffic_ratio(base.stats, cell.stats)
             out[app][input_name] = row
     return out
 
@@ -64,7 +67,7 @@ def averages(runner: ExperimentRunner) -> Dict[str, float]:
         for row in per_input.values():
             for name, value in row.items():
                 sums.setdefault(name, []).append(value)
-    return {name: sum(vals) / len(vals) for name, vals in sums.items()}
+    return {name: nanmean(vals) for name, vals in sums.items()}
 
 
 def report(runner: ExperimentRunner) -> str:
@@ -84,4 +87,5 @@ def report(runner: ExperimentRunner) -> str:
         ("workload",) + tuple(f"{c} %" for c in columns),
         rows,
         title="Fig 12 — additional off-chip traffic (% of baseline demand traffic)",
+        footnote=runner.missing_note(),
     )

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.experiments.runner import APPS, CellSpec, ExperimentRunner, inputs_for
-from repro.experiments.tables import format_table
+from repro.experiments.tables import MISSING, format_table, nanmean
 from repro.sim.metrics import storage_overhead
 
 
@@ -30,6 +30,9 @@ def compute(runner: ExperimentRunner) -> Dict[str, Dict[str, float]]:
         out[app] = {}
         for input_name in inputs_for(app):
             cell = runner.run(app, input_name, "rnr")
+            if cell is None:
+                out[app][input_name] = MISSING
+                continue
             metadata_bytes = cell.stats.rnr.storage_bytes()
             out[app][input_name] = storage_overhead(metadata_bytes, cell.input_bytes)
     return out
@@ -41,10 +44,11 @@ def report(runner: ExperimentRunner) -> str:
     for app, per_input in data.items():
         for input_name, overhead in per_input.items():
             rows.append([f"{app}/{input_name}", 100.0 * overhead])
-        avg = sum(per_input.values()) / len(per_input)
+        avg = nanmean(list(per_input.values()))
         rows.append([f"{app}/AVERAGE", 100.0 * avg])
     return format_table(
         ("workload", "metadata storage % of input"),
         rows,
         title="Fig 13 — RnR metadata storage overhead",
+        footnote=runner.missing_note(),
     )

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Dict, Tuple
 
 from repro.experiments.runner import CellSpec, ExperimentRunner
-from repro.experiments.tables import format_table
+from repro.experiments.tables import MISSING, format_table, nanmean
 from repro.sim import metrics
 from repro.sim.metrics import storage_overhead
 
@@ -43,14 +43,15 @@ def compute(runner: ExperimentRunner) -> Dict[int, Tuple[float, float]]:
         for app, input_name in CELLS:
             base = runner.baseline(app, input_name)
             cell = runner.run(app, input_name, "rnr", window_size=window)
+            if base is None or cell is None:
+                speedups.append(MISSING)
+                storages.append(MISSING)
+                continue
             speedups.append(metrics.amortized_speedup(base.stats, cell.stats))
             storages.append(
                 storage_overhead(cell.stats.rnr.storage_bytes(), cell.input_bytes)
             )
-        out[window] = (
-            sum(speedups) / len(speedups),
-            sum(storages) / len(storages),
-        )
+        out[window] = (nanmean(speedups), nanmean(storages))
     return out
 
 
@@ -64,4 +65,5 @@ def report(runner: ExperimentRunner) -> str:
         ("window (lines)", "avg speedup", "storage % of input"),
         rows,
         title="Fig 14 — speedup and storage vs window size",
+        footnote=runner.missing_note(),
     )

@@ -112,19 +112,16 @@ def _group_by_input(
     return [tuple(group) for group in groups.values()]
 
 
-def run_sweep(
-    runner: ExperimentRunner,
-    specs: Optional[Iterable[CellSpec]] = None,
-    jobs: Optional[int] = None,
-) -> int:
-    """Simulate ``specs`` (default: the full matrix) with ``jobs`` workers.
+def pending_specs(
+    runner: ExperimentRunner, specs: Iterable[CellSpec]
+) -> List[CellSpec]:
+    """The subset of ``specs`` that actually needs simulating.
 
-    Already-memoized cells are skipped; everything else is simulated —
-    in parallel when ``jobs > 1`` — and merged into ``runner``'s memo
-    dicts.  Returns the number of newly simulated cells.
+    Memoized and duplicate cells are dropped; disk-cached cells are loaded
+    into the runner's memo here, so a fully warm sweep dispatches no work.
+    Shared by the plain executor below and the supervised one in
+    :mod:`repro.experiments.supervise`.
     """
-    if specs is None:
-        specs = full_matrix_specs(runner)
     pending: List[CellSpec] = []
     seen = set()
     for spec in specs:
@@ -134,7 +131,6 @@ def run_sweep(
         if key in runner._results or key in seen:
             continue
         if runner.cache is not None:
-            # Warm cells load here so a fully cached sweep spawns no workers.
             window = spec.window if spec.window is not None else runner.window_size
             cached = runner.cache.get(
                 runner._cell_key(
@@ -146,6 +142,27 @@ def run_sweep(
                 continue
         seen.add(key)
         pending.append(spec)
+    return pending
+
+
+def run_sweep(
+    runner: ExperimentRunner,
+    specs: Optional[Iterable[CellSpec]] = None,
+    jobs: Optional[int] = None,
+) -> int:
+    """Simulate ``specs`` (default: the full matrix) with ``jobs`` workers.
+
+    Already-memoized cells are skipped; everything else is simulated —
+    in parallel when ``jobs > 1`` — and merged into ``runner``'s memo
+    dicts.  Returns the number of newly simulated cells.
+
+    This is the *unsupervised* fast path: any worker failure aborts the
+    sweep.  For timeouts, retries, crash isolation, and the resumable
+    manifest, use :func:`repro.experiments.supervise.run_supervised_sweep`.
+    """
+    if specs is None:
+        specs = full_matrix_specs(runner)
+    pending = pending_specs(runner, specs)
     if not pending:
         return 0
 

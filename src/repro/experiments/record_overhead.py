@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Dict, Tuple
 
 from repro.experiments.runner import APPS, CellSpec, ExperimentRunner, inputs_for
-from repro.experiments.tables import format_table
+from repro.experiments.tables import MISSING, format_table, nanmean
 from repro.sim.metrics import iteration_phases
 
 
@@ -32,6 +32,9 @@ def compute(runner: ExperimentRunner) -> Dict[Tuple[str, str], float]:
         for input_name in inputs_for(app):
             base = runner.baseline(app, input_name)
             rnr = runner.run(app, input_name, "rnr")
+            if base is None or rnr is None:
+                out[(app, input_name)] = MISSING
+                continue
             base_iter0 = iteration_phases(base.stats)[0]
             rnr_iter0 = iteration_phases(rnr.stats)[0]
             if base_iter0.ipc == 0:
@@ -44,8 +47,9 @@ def compute(runner: ExperimentRunner) -> Dict[Tuple[str, str], float]:
 def report(runner: ExperimentRunner) -> str:
     data = compute(runner)
     rows = [[f"{app}/{inp}", 100.0 * loss] for (app, inp), loss in data.items()]
-    average = sum(data.values()) / len(data) if data else 0.0
-    worst = max(data.values()) if data else 0.0
+    present = [v for v in data.values() if v == v]
+    average = nanmean(list(data.values())) if data else 0.0
+    worst = max(present) if present else 0.0
     rows.append(["AVERAGE", 100.0 * average])
     return format_table(
         ("workload", "record-iteration IPC loss %"),
@@ -54,4 +58,5 @@ def report(runner: ExperimentRunner) -> str:
             "Record iteration overhead (paper: worst 1.75%, avg 1.02%) — "
             f"measured worst {100 * worst:.2f}%"
         ),
+        footnote=runner.missing_note(),
     )

@@ -62,6 +62,11 @@ def prefetchers_for(app: str) -> Tuple[str, ...]:
     return tuple(names)
 
 
+class CellFailedError(RuntimeError):
+    """Raised (in strict mode) when a figure asks for a cell that the
+    supervised sweep already recorded as permanently failed."""
+
+
 @dataclass
 class CellResult:
     """One simulated (app, input, prefetcher) cell."""
@@ -97,6 +102,13 @@ class ExperimentRunner:
     stored on disk and reloaded by any later runner with an identical
     (config, scale, seed, iterations, window, prefetcher, version) key —
     see :mod:`repro.experiments.diskcache`.
+
+    ``lenient=True`` turns missing cells into degraded output instead of
+    exceptions: a cell that the supervised sweep marked failed — or that
+    fails while a figure renders — returns ``None`` from :meth:`run`, and
+    the figure modules print ``-`` with a footnote.  The default (strict)
+    raises :class:`CellFailedError` for known-failed cells so CI cannot
+    silently publish partial tables.
     """
 
     def __init__(
@@ -107,18 +119,23 @@ class ExperimentRunner:
         config: Optional[SystemConfig] = None,
         seed: int = 0,
         cache_dir: Optional[Union[str, Path]] = None,
+        lenient: bool = False,
     ):
         self.scale = scale
         self.iterations = iterations
         self.window_size = window_size
         self.config = config if config is not None else SystemConfig.experiment()
         self.seed = seed
+        self.lenient = lenient
         if cache_dir is None:
             cache_dir = diskcache.default_cache_dir()
         self.cache = diskcache.DiskCellCache(cache_dir) if cache_dir else None
         self._workloads: Dict[Tuple, Workload] = {}
         self._traces: Dict[Tuple, Trace] = {}
         self._results: Dict[Tuple, CellResult] = {}
+        #: result-key -> human-readable reason, for cells the supervised
+        #: sweep (or a lenient in-process run) could not produce.
+        self.failed_cells: Dict[Tuple, str] = {}
 
     # ------------------------------------------------------------------
     def workload(
@@ -213,12 +230,25 @@ class ExperimentRunner:
         prefetcher: str,
         mode: Optional[ControlMode] = None,
         window_size: Optional[int] = None,
-    ) -> CellResult:
-        """Simulate one cell (cached in memory and, if enabled, on disk)."""
+    ) -> Optional[CellResult]:
+        """Simulate one cell (cached in memory and, if enabled, on disk).
+
+        Returns ``None`` in lenient mode when the cell is known-failed or
+        fails here; raises :class:`CellFailedError` for known-failed cells
+        in strict mode (never silently re-simulating a cell that already
+        failed under supervision).
+        """
         window = window_size if window_size is not None else self.window_size
         key = (app, input_name, prefetcher, mode, window)
         if key in self._results:
             return self._results[key]
+        if key in self.failed_cells:
+            if self.lenient:
+                return None
+            raise CellFailedError(
+                f"cell {app}/{input_name}/{prefetcher} failed during the "
+                f"sweep ({self.failed_cells[key]}); re-run it or use --lenient"
+            )
         cache = self.cache
         if cache is not None:
             disk_key = self._cell_key(app, input_name, prefetcher, mode, window)
@@ -226,14 +256,20 @@ class ExperimentRunner:
             if cached is not None:
                 self._results[key] = cached
                 return cached
-        uses_rnr = prefetcher in ("rnr", "rnr-combined")
-        trace = self.trace(app, input_name, rnr=uses_rnr, window_size=window)
-        workload = self.workload(app, input_name, window)
-        if prefetcher == "ideal":
-            stats = run_ideal(self.config, trace)
-        else:
-            pf = self._make_prefetcher(prefetcher, app, input_name, mode, window)
-            stats = SimulationEngine(self.config, pf).run(trace)
+        try:
+            uses_rnr = prefetcher in ("rnr", "rnr-combined")
+            trace = self.trace(app, input_name, rnr=uses_rnr, window_size=window)
+            workload = self.workload(app, input_name, window)
+            if prefetcher == "ideal":
+                stats = run_ideal(self.config, trace)
+            else:
+                pf = self._make_prefetcher(prefetcher, app, input_name, mode, window)
+                stats = SimulationEngine(self.config, pf).run(trace)
+        except Exception as exc:
+            if not self.lenient:
+                raise
+            self.failed_cells[key] = f"error: {type(exc).__name__}: {exc}"
+            return None
         result = CellResult(app, input_name, prefetcher, stats, workload.input_bytes)
         self._results[key] = result
         if cache is not None:
@@ -252,13 +288,31 @@ class ExperimentRunner:
 
     def merge_result(self, spec: CellSpec, result: CellResult) -> None:
         """Adopt an externally simulated cell (e.g. from a pool worker)."""
-        self._results[
+        key = self._result_key(
+            spec.app, spec.input_name, spec.prefetcher, spec.mode, spec.window
+        )
+        self._results[key] = result
+        self.failed_cells.pop(key, None)
+
+    def mark_failed(self, spec: CellSpec, reason: str) -> None:
+        """Record a cell the supervised sweep could not produce."""
+        self.failed_cells[
             self._result_key(
                 spec.app, spec.input_name, spec.prefetcher, spec.mode, spec.window
             )
-        ] = result
+        ] = reason
 
-    def baseline(self, app: str, input_name: str) -> CellResult:
+    def missing_note(self) -> str:
+        """Footnote for degraded tables ('' when nothing failed)."""
+        if not self.failed_cells:
+            return ""
+        count = len(self.failed_cells)
+        return (
+            f"- : {count} cell{'s' if count != 1 else ''} unavailable "
+            "(failed during the sweep; see the sweep failure report)"
+        )
+
+    def baseline(self, app: str, input_name: str) -> Optional[CellResult]:
         """The no-prefetcher cell (cached)."""
         return self.run(app, input_name, "baseline")
 

@@ -1,0 +1,717 @@
+"""Fault-tolerant supervision for the parallel experiment sweep.
+
+:mod:`repro.experiments.pool` fans the (app x input x prefetcher) cell
+matrix out across worker processes, but a plain pool is brittle: one
+worker exception, hang, or OOM kill aborts the whole sweep and discards
+every finished cell.  This module wraps the same cell matrix in the
+supervision discipline of a long-running serving stack:
+
+* **per-cell wall-clock timeouts** (``cell_timeout`` argument,
+  ``--cell-timeout`` flag, or ``RNR_CELL_TIMEOUT``) — a hung worker is
+  killed and only its current cell is charged;
+* **bounded retries with exponential backoff + jitter**
+  (:class:`RetryPolicy`) for transient failures (timeouts, crashes,
+  cache corruption); deterministic errors fail immediately;
+* **crash isolation** — each worker is a separate process with its own
+  result pipe; a dead worker (exception we never saw, signal, OOM kill)
+  fails only the cell it was running, its undispatched cells are
+  requeued, and a replacement worker is spawned;
+* a **sweep manifest** (:class:`SweepManifest`) — a JSON file written
+  atomically after every event, recording per-cell status / attempts /
+  duration / failure, which ``resume=True`` uses to skip finished cells
+  and re-run only the failed ones after an interruption;
+* a **failure taxonomy** (:class:`FailureKind`: timeout / crash /
+  deterministic error / cache corruption) and a structured end-of-sweep
+  report (:meth:`SweepReport.render`).
+
+Workers stream one message per cell, so results finished before a fault
+are always kept.  Cells are dispatched in (app, input) groups so a worker
+still builds each workload's traces once, as in the plain pool.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import random
+import tempfile
+import time
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as connection_wait
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.experiments import faults as faults_mod
+from repro.experiments.pool import pending_specs, resolve_jobs
+from repro.experiments.runner import CellSpec, ExperimentRunner
+
+#: Environment variable providing the default per-cell timeout (seconds).
+CELL_TIMEOUT_ENV = "RNR_CELL_TIMEOUT"
+
+#: Manifest schema version.
+MANIFEST_FORMAT = 1
+
+#: Default manifest file name (placed next to the cell cache entries).
+MANIFEST_NAME = "sweep-manifest.json"
+
+#: Supervisor poll interval in seconds (timeout/death detection latency).
+_POLL_SECONDS = 0.02
+
+
+class FailureKind:
+    """The sweep failure taxonomy."""
+
+    TIMEOUT = "timeout"
+    CRASH = "crash"
+    ERROR = "error"  # deterministic: the cell's workload raised
+    CACHE_CORRUPTION = "cache-corruption"
+
+    #: Kinds worth retrying — the environment may have misbehaved.
+    TRANSIENT = frozenset({TIMEOUT, CRASH, CACHE_CORRUPTION})
+
+
+def classify_exception(exc_type_name: str) -> str:
+    """Map a worker-side exception type name onto the taxonomy."""
+    if exc_type_name == "CacheIntegrityError":
+        return FailureKind.CACHE_CORRUPTION
+    return FailureKind.ERROR
+
+
+def resolve_cell_timeout(timeout: Optional[float] = None) -> Optional[float]:
+    """Timeout: explicit argument > ``RNR_CELL_TIMEOUT`` > None (no limit)."""
+    if timeout is not None:
+        if timeout <= 0:
+            raise ValueError(f"cell timeout must be > 0 seconds, got {timeout}")
+        return timeout
+    env = os.environ.get(CELL_TIMEOUT_ENV, "").strip()
+    if env:
+        try:
+            value = float(env)
+        except ValueError:
+            raise ValueError(
+                f"{CELL_TIMEOUT_ENV} must be a number of seconds, got {env!r}"
+            ) from None
+        if value <= 0:
+            raise ValueError(f"{CELL_TIMEOUT_ENV} must be > 0, got {value}")
+        return value
+    return None
+
+
+def cell_id(spec: CellSpec) -> str:
+    """Stable human-readable manifest id for one cell.
+
+    ``app/input/prefetcher`` plus ``@mode`` when a control mode is set and
+    ``/wN`` when the spec overrides the window.
+    """
+    out = f"{spec.app}/{spec.input_name}/{spec.prefetcher}"
+    if spec.mode is not None:
+        out += f"@{getattr(spec.mode, 'value', spec.mode)}"
+    if spec.window is not None:
+        out += f"/w{spec.window}"
+    return out
+
+
+@dataclass
+class RetryPolicy:
+    """Bounded retries with exponential backoff and deterministic jitter.
+
+    ``retries`` is the number of *re*-attempts after the first try, so a
+    cell runs at most ``retries + 1`` times.  Only transient failures
+    (:data:`FailureKind.TRANSIENT`) are retried.
+    """
+
+    retries: int = 1
+    backoff: float = 0.05
+    backoff_max: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        self._rng = random.Random(self.seed)
+
+    @property
+    def max_attempts(self) -> int:
+        return self.retries + 1
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before re-attempt number ``attempt`` (2-based)."""
+        base = min(self.backoff * (2.0 ** max(0, attempt - 2)), self.backoff_max)
+        return base * (1.0 + self.jitter * self._rng.random())
+
+
+@dataclass
+class CellFailure:
+    """One permanently failed cell."""
+
+    cell: str
+    kind: str
+    attempts: int
+    message: str
+    duration: float = 0.0
+
+
+@dataclass
+class SweepReport:
+    """Outcome of one supervised sweep."""
+
+    simulated: int = 0
+    skipped: int = 0  # warm in memo/disk cache before the sweep started
+    resumed: int = 0  # skipped because the manifest already marked them done
+    retried: int = 0  # extra attempts beyond the first, across all cells
+    duration: float = 0.0
+    failures: List[CellFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def render(self) -> str:
+        """The structured end-of-sweep failure report."""
+        header = (
+            f"sweep: {self.simulated} simulated, {self.skipped} warm, "
+            f"{self.resumed} resumed, {self.retried} retries, "
+            f"{len(self.failures)} failed in {self.duration:.1f}s"
+        )
+        if not self.failures:
+            return header
+        lines = [header, "failed cells:"]
+        width = max(len(f.cell) for f in self.failures)
+        for failure in sorted(self.failures, key=lambda f: f.cell):
+            lines.append(
+                f"  {failure.cell.ljust(width)}  {failure.kind:<16} "
+                f"attempts={failure.attempts}  {failure.message}"
+            )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Manifest
+# ----------------------------------------------------------------------
+class SweepManifest:
+    """Atomic JSON record of per-cell sweep status.
+
+    One entry per cell id: ``status`` ("done"/"failed"), ``attempts``,
+    ``duration_s`` and — for failures — ``kind`` and ``message``.  The
+    ``fingerprint`` ties the manifest to one runner identity (config,
+    scale, seed, iterations, window, package version); resuming under a
+    different identity starts from scratch rather than skipping cells
+    that were simulated under different conditions.
+    """
+
+    def __init__(self, path: Union[str, Path], fingerprint: str = ""):
+        self.path = Path(path)
+        self.fingerprint = fingerprint
+        self.cells: Dict[str, dict] = {}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path: Union[str, Path], fingerprint: str = "") -> "SweepManifest":
+        """Load ``path`` if it exists and matches ``fingerprint``; else a
+        fresh manifest bound to the same path."""
+        manifest = cls(path, fingerprint)
+        try:
+            payload = json.loads(Path(path).read_text())
+        except (OSError, ValueError):
+            return manifest
+        if not isinstance(payload, dict) or payload.get("format") != MANIFEST_FORMAT:
+            return manifest
+        if fingerprint and payload.get("fingerprint") not in ("", fingerprint):
+            return manifest
+        cells = payload.get("cells")
+        if isinstance(cells, dict):
+            manifest.cells = {
+                k: v for k, v in cells.items() if isinstance(v, dict) and "status" in v
+            }
+        return manifest
+
+    def save(self) -> None:
+        """Write the manifest atomically (temp file + ``os.replace``)."""
+        payload = {
+            "format": MANIFEST_FORMAT,
+            "fingerprint": self.fingerprint,
+            "updated": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "cells": self.cells,
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(self.path.parent), prefix=".tmp-manifest-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            os.replace(tmp_name, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+    def mark_done(self, cell: str, attempts: int, duration: float) -> None:
+        self.cells[cell] = {
+            "status": "done",
+            "attempts": attempts,
+            "duration_s": round(duration, 3),
+        }
+
+    def mark_failed(
+        self, cell: str, kind: str, message: str, attempts: int, duration: float
+    ) -> None:
+        self.cells[cell] = {
+            "status": "failed",
+            "kind": kind,
+            "message": message,
+            "attempts": attempts,
+            "duration_s": round(duration, 3),
+        }
+
+    def done_cells(self) -> frozenset:
+        return frozenset(
+            cell for cell, entry in self.cells.items() if entry["status"] == "done"
+        )
+
+    def failed_cells(self) -> frozenset:
+        return frozenset(
+            cell for cell, entry in self.cells.items() if entry["status"] == "failed"
+        )
+
+
+def runner_fingerprint(runner: ExperimentRunner) -> str:
+    """Identity of everything that can change a cell's statistics."""
+    import dataclasses as dc
+    import hashlib
+
+    import repro
+
+    payload = {
+        "config": dc.asdict(runner.config),
+        "scale": runner.scale,
+        "seed": runner.seed,
+        "iterations": runner.iterations,
+        "window": runner.window_size,
+        "version": repro.__version__,
+    }
+    blob = json.dumps(payload, sort_keys=True, default=str).encode()
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+def default_manifest_path(runner: ExperimentRunner) -> Optional[Path]:
+    """Next to the cell cache when one is configured, else None."""
+    if runner.cache is None:
+        return None
+    return runner.cache.root / MANIFEST_NAME
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+def _worker_main(conn, init_kwargs: dict, fault_plan: dict) -> None:
+    """One supervised worker: receive (spec, attempt) groups, stream one
+    message per cell, repeat until told to stop."""
+    runner = ExperimentRunner(**init_kwargs)
+    plan = faults_mod.FaultPlan(fault_plan)
+    try:
+        while True:
+            group = conn.recv()
+            if group is None:
+                return
+            for index, (spec, attempt) in enumerate(group):
+                conn.send(("start", index))
+                began = time.perf_counter()
+                try:
+                    plan.fire(cell_id(spec), attempt)
+                    result = runner.run_spec(spec)
+                except BaseException as exc:  # noqa: BLE001 — reported, not hidden
+                    conn.send(
+                        (
+                            "err",
+                            index,
+                            type(exc).__name__,
+                            f"{type(exc).__name__}: {exc}"[:500],
+                            time.perf_counter() - began,
+                        )
+                    )
+                else:
+                    conn.send(("ok", index, result, time.perf_counter() - began))
+            conn.send(("group_done",))
+    except (EOFError, OSError, KeyboardInterrupt):
+        return
+
+
+class _Worker:
+    """Supervisor-side handle on one worker process."""
+
+    def __init__(self, init_kwargs: dict, fault_plan: dict):
+        self.conn, child_conn = multiprocessing.Pipe()
+        self.proc = multiprocessing.Process(
+            target=_worker_main,
+            args=(child_conn, init_kwargs, fault_plan),
+            daemon=True,
+        )
+        self.proc.start()
+        child_conn.close()
+        self.group: List[Tuple[CellSpec, int]] = []
+        self.started: int = -1  # highest cell index a "start" was seen for
+        self.finished: int = -1  # highest cell index a result was seen for
+        self.deadline: Optional[float] = None
+        self.busy = False
+
+    def assign(self, group: List[Tuple[CellSpec, int]], timeout: Optional[float]) -> None:
+        self.group = group
+        self.started = -1
+        self.finished = -1
+        self.busy = True
+        self.deadline = (time.monotonic() + timeout) if timeout else None
+        self.conn.send(group)
+
+    def refresh_deadline(self, timeout: Optional[float]) -> None:
+        self.deadline = (time.monotonic() + timeout) if timeout else None
+
+    def alive(self) -> bool:
+        return self.proc.is_alive()
+
+    def kill(self) -> None:
+        try:
+            self.proc.kill()
+        except OSError:
+            pass
+        self.proc.join(timeout=5)
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+    def stop(self) -> None:
+        """Polite shutdown for an idle worker."""
+        try:
+            self.conn.send(None)
+        except (OSError, BrokenPipeError):
+            pass
+        self.proc.join(timeout=5)
+        if self.proc.is_alive():
+            self.kill()
+        else:
+            try:
+                self.conn.close()
+            except OSError:
+                pass
+
+
+# ----------------------------------------------------------------------
+# Supervisor
+# ----------------------------------------------------------------------
+class _CellState:
+    """Attempt bookkeeping for one pending cell."""
+
+    __slots__ = ("spec", "attempts", "elapsed")
+
+    def __init__(self, spec: CellSpec):
+        self.spec = spec
+        self.attempts = 0
+        self.elapsed = 0.0
+
+
+def run_supervised_sweep(
+    runner: ExperimentRunner,
+    specs: Optional[Iterable[CellSpec]] = None,
+    jobs: Optional[int] = None,
+    cell_timeout: Optional[float] = None,
+    policy: Optional[RetryPolicy] = None,
+    manifest_path: Optional[Union[str, Path]] = None,
+    resume: bool = False,
+    faults: Optional[dict] = None,
+) -> SweepReport:
+    """Run ``specs`` (default: the full matrix) under supervision.
+
+    Completed cells are merged into ``runner``'s memo (and its disk cache,
+    written by the workers); permanently failed cells are recorded on the
+    runner via :meth:`ExperimentRunner.mark_failed`, in the manifest, and
+    in the returned :class:`SweepReport`.
+    """
+    from repro.experiments.pool import full_matrix_specs
+
+    began = time.monotonic()
+    policy = policy if policy is not None else RetryPolicy()
+    cell_timeout = resolve_cell_timeout(cell_timeout)
+    jobs = resolve_jobs(jobs)
+    report = SweepReport()
+
+    if specs is None:
+        specs = full_matrix_specs(runner)
+    specs = list(specs)
+    pending = pending_specs(runner, specs)
+    report.skipped = len(specs) - len(pending)
+
+    manifest_path = (
+        Path(manifest_path) if manifest_path else default_manifest_path(runner)
+    )
+    fingerprint = runner_fingerprint(runner)
+    if manifest_path is not None and resume:
+        manifest = SweepManifest.load(manifest_path, fingerprint)
+    elif manifest_path is not None:
+        manifest = SweepManifest(manifest_path, fingerprint)
+    else:
+        manifest = None
+
+    if manifest is not None and resume:
+        # A cell marked done whose result we could not load (memo and disk
+        # cache both cold) is re-run anyway: the manifest records progress,
+        # the cache holds the numbers.
+        done = manifest.done_cells()
+        still_pending = []
+        for spec in pending:
+            if cell_id(spec) in done:
+                report.resumed += 1
+            else:
+                still_pending.append(spec)
+        pending = still_pending
+
+    if not pending:
+        report.duration = time.monotonic() - began
+        if manifest is not None:
+            manifest.save()
+        return report
+
+    # ------------------------------------------------------------------
+    # Dispatch state
+    # ------------------------------------------------------------------
+    ready: List[_CellState] = [_CellState(spec) for spec in pending]
+    delayed: List[Tuple[float, _CellState]] = []
+
+    cache_dir = runner.cache.root if runner.cache is not None else None
+    init_kwargs = dict(
+        scale=runner.scale,
+        iterations=runner.iterations,
+        window_size=runner.window_size,
+        config=runner.config,
+        seed=runner.seed,
+        cache_dir=cache_dir,
+    )
+    fault_plan = dict(faults or {})
+    workers: List[_Worker] = []
+
+    def save_manifest() -> None:
+        if manifest is not None:
+            manifest.save()
+
+    def complete(state: _CellState, result, duration: float) -> None:
+        state.attempts += 1
+        state.elapsed += duration
+        runner.merge_result(state.spec, result)
+        report.simulated += 1
+        if manifest is not None:
+            manifest.mark_done(cell_id(state.spec), state.attempts, state.elapsed)
+        save_manifest()
+
+    def fail_or_retry(state: _CellState, kind: str, message: str, duration: float) -> None:
+        state.attempts += 1
+        state.elapsed += duration
+        retryable = kind in FailureKind.TRANSIENT
+        if retryable and state.attempts < policy.max_attempts:
+            report.retried += 1
+            delayed.append((time.monotonic() + policy.delay(state.attempts + 1), state))
+            return
+        name = cell_id(state.spec)
+        failure = CellFailure(name, kind, state.attempts, message, state.elapsed)
+        report.failures.append(failure)
+        runner.mark_failed(state.spec, f"{kind}: {message}")
+        if manifest is not None:
+            manifest.mark_failed(name, kind, message, state.attempts, state.elapsed)
+        save_manifest()
+
+    # Map a dispatched group back to its _CellStates: the pipe carries
+    # specs; the supervisor keeps the states alongside per worker.
+    group_states: Dict[int, List[_CellState]] = {}
+
+    def drain(worker: _Worker, batch: List[_CellState]) -> None:
+        """Consume every message a (possibly dead) worker already sent, so
+        results that completed before a fault are never discarded."""
+        try:
+            while worker.conn.poll():
+                message = worker.conn.recv()
+                tag = message[0]
+                if tag == "start":
+                    worker.started = message[1]
+                elif tag == "ok":
+                    complete(batch[message[1]], message[2], message[3])
+                    worker.finished = message[1]
+                elif tag == "err":
+                    fail_or_retry(
+                        batch[message[1]],
+                        classify_exception(message[2]),
+                        message[3],
+                        message[4],
+                    )
+                    worker.finished = message[1]
+                elif tag == "group_done":
+                    worker.busy = False
+        except (EOFError, OSError):
+            pass
+
+    def dispatch(worker: _Worker) -> bool:
+        """Send the idle worker all ready cells sharing the first ready
+        cell's (app, input), so it builds that workload's traces once."""
+        if not ready:
+            return False
+        key = (ready[0].spec.app, ready[0].spec.input_name)
+        batch = [s for s in ready if (s.spec.app, s.spec.input_name) == key]
+        ready[:] = [s for s in ready if s not in batch]
+        try:
+            worker.assign([(s.spec, s.attempts + 1) for s in batch], cell_timeout)
+        except (OSError, BrokenPipeError):
+            ready.extend(batch)
+            return False
+        group_states[id(worker)] = batch
+        return True
+
+    try:
+        while ready or delayed or any(w.busy for w in workers):
+            now = time.monotonic()
+
+            # Promote delayed retries whose backoff has elapsed.
+            if delayed:
+                due = [item for item in delayed if item[0] <= now]
+                if due:
+                    delayed[:] = [item for item in delayed if item[0] > now]
+                    ready.extend(state for _, state in due)
+
+            # Keep enough live workers, dispatch to idle ones.
+            alive = [w for w in workers if w.alive() or w.busy]
+            for worker in list(alive):
+                if not worker.busy and ready and worker.alive():
+                    dispatch(worker)
+            while ready and sum(1 for w in workers if w.alive()) < jobs:
+                worker = _Worker(init_kwargs, fault_plan)
+                workers.append(worker)
+                dispatch(worker)
+
+            busy = [w for w in workers if w.busy]
+            if not busy:
+                if not ready and delayed:
+                    time.sleep(
+                        max(0.0, min(t for t, _ in delayed) - time.monotonic())
+                    )
+                continue
+
+            # Wait for events from any busy worker.
+            conns = {w.conn: w for w in busy if w.alive()}
+            if conns:
+                timeout = _POLL_SECONDS
+                if cell_timeout is not None:
+                    deadlines = [w.deadline for w in busy if w.deadline is not None]
+                    if deadlines:
+                        timeout = min(
+                            _POLL_SECONDS, max(0.0, min(deadlines) - time.monotonic())
+                        )
+                for conn in connection_wait(list(conns), timeout=timeout):
+                    worker = conns[conn]
+                    try:
+                        while worker.conn.poll():
+                            message = worker.conn.recv()
+                            tag = message[0]
+                            batch = group_states.get(id(worker), [])
+                            if tag == "start":
+                                worker.started = message[1]
+                                worker.refresh_deadline(cell_timeout)
+                            elif tag == "ok":
+                                _, index, result, duration = message
+                                complete(batch[index], result, duration)
+                                worker.finished = index
+                                worker.refresh_deadline(cell_timeout)
+                            elif tag == "err":
+                                _, index, exc_name, text, duration = message
+                                fail_or_retry(
+                                    batch[index],
+                                    classify_exception(exc_name),
+                                    text,
+                                    duration,
+                                )
+                                worker.finished = index
+                                worker.refresh_deadline(cell_timeout)
+                            elif tag == "group_done":
+                                worker.busy = False
+                                worker.group = []
+                                group_states.pop(id(worker), None)
+                    except (EOFError, OSError):
+                        pass  # death handled below
+
+            # Timeouts: kill the worker, charge the in-flight cell.
+            for worker in [w for w in workers if w.busy]:
+                if (
+                    worker.deadline is not None
+                    and time.monotonic() > worker.deadline
+                    and worker.alive()
+                ):
+                    batch = group_states.pop(id(worker), [])
+                    drain(worker, batch)
+                    worker.kill()
+                    if worker.busy:
+                        _reap_states(
+                            worker,
+                            batch,
+                            FailureKind.TIMEOUT,
+                            f"exceeded cell timeout of {cell_timeout}s",
+                            fail_or_retry,
+                            ready,
+                        )
+
+            # Crashes: a busy worker whose process died without reporting.
+            for worker in [w for w in workers if w.busy]:
+                if not worker.alive():
+                    # Drain anything it managed to send before dying.
+                    batch = group_states.pop(id(worker), [])
+                    drain(worker, batch)
+                    if worker.busy:
+                        _reap_states(
+                            worker,
+                            batch,
+                            FailureKind.CRASH,
+                            f"worker process died (exit {worker.proc.exitcode})",
+                            fail_or_retry,
+                            ready,
+                        )
+                    try:
+                        worker.conn.close()
+                    except OSError:
+                        pass
+    finally:
+        for worker in workers:
+            if worker.alive():
+                if worker.busy:
+                    worker.kill()
+                else:
+                    worker.stop()
+            else:
+                try:
+                    worker.conn.close()
+                except OSError:
+                    pass
+
+    report.duration = time.monotonic() - began
+    save_manifest()
+    return report
+
+
+def _reap_states(
+    worker: _Worker,
+    batch: List[_CellState],
+    kind: str,
+    message: str,
+    fail_or_retry,
+    ready: List[_CellState],
+) -> None:
+    """Charge the in-flight cell of a dead worker; requeue the rest."""
+    for index, state in enumerate(batch):
+        if index <= worker.finished:
+            continue  # already accounted
+        if index <= worker.started:
+            fail_or_retry(state, kind, message, 0.0)
+        else:
+            ready.append(state)
+    worker.busy = False
+    worker.group = []

@@ -7,15 +7,24 @@ import math
 from typing import List, Sequence
 
 
+#: Placeholder for a cell with no result (excluded or failed).
+MISSING = float("nan")
+
+
 def format_table(
     headers: Sequence[str],
     rows: Sequence[Sequence[object]],
     title: str = "",
+    footnote: str = "",
 ) -> str:
     """Monospace table with right-aligned numeric columns.
 
     Missing cells (NaN floats — e.g. DROPLET on spCG, which the paper
-    excludes) render as ``-`` rather than ``nan``.
+    excludes, or cells a lenient sweep failed to produce) render as ``-``
+    rather than ``nan`` or raising.  ``footnote`` is appended under the
+    table when given and at least one cell rendered as ``-`` — figure
+    modules pass :meth:`ExperimentRunner.missing_note` so degraded tables
+    say why.
     """
     def render(cell: object) -> str:
         if isinstance(cell, float):
@@ -46,11 +55,21 @@ def format_table(
     out.append("  ".join("-" * w for w in widths))
     for row in str_rows:
         out.append(line(row))
+    if footnote and any(cell == "-" for row in str_rows for cell in row):
+        out.append(footnote)
     return "\n".join(out)
 
 
 def format_percent(value: float) -> str:
     return f"{100.0 * value:.1f}%"
+
+
+def nanmean(values: Sequence[float]) -> float:
+    """Arithmetic mean ignoring NaN holes; NaN when nothing is left."""
+    vals = [v for v in values if not math.isnan(v)]
+    if not vals:
+        return MISSING
+    return sum(vals) / len(vals)
 
 
 def geomean(values: Sequence[float]) -> float:

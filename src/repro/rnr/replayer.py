@@ -21,17 +21,28 @@ Three control modes reproduce the Fig 10/11 ablation:
   (runs ahead of the program; prefetched data is evicted before use);
 * ``WINDOW`` — burst the whole next window at each window switch;
 * ``WINDOW_PACE`` — window bound plus even pacing (the full design).
+
+The metadata tables live in ordinary programmer-allocated memory, so a
+buggy program can scribble on them between record and replay.  Replay
+therefore *validates* every sequence entry before issuing
+(:meth:`~repro.rnr.tables.SequenceTable.checked_line_addr`): a provably
+malformed entry poisons its window — the remainder of that window
+degrades to no-prefetch (counted in ``stats.rnr.corrupt_entries`` /
+``windows_skipped``) instead of crashing the simulation or prefetching
+garbage addresses.  Corrupted division entries (non-monotonic progress
+counts) degrade the same way on the pacing side: the window falls back to
+the nominal pace.
 """
 
 from __future__ import annotations
 
 from enum import Enum
-from typing import Callable, Optional
+from typing import Callable, Dict, Optional, Set
 
 from repro.cache.hierarchy import CacheHierarchy
 from repro.rnr.boundary import BoundaryTable
 from repro.rnr.registers import RnRRegisters
-from repro.rnr.tables import DivisionTable, SequenceTable
+from repro.rnr.tables import CorruptMetadataError, DivisionTable, SequenceTable
 from repro.stats import RnRStats
 
 
@@ -63,6 +74,11 @@ class Replayer:
         # issue(line_addr, cycle, window) -> bool; bound by the prefetcher.
         self._issue = issue if issue is not None else (lambda line, cycle, window: False)
         self.hierarchy: Optional[CacheHierarchy] = None
+        #: Prefetches issued per window (fault-degradation observability).
+        self.issued_by_window: Dict[int, int] = {}
+        #: Windows degraded to no-prefetch after a corrupt sequence entry.
+        self.skipped_windows: Set[int] = set()
+        self._corrupt_div_windows: Set[int] = set()
 
     # ------------------------------------------------------------------
     def begin(self, cycle: int) -> None:
@@ -71,6 +87,9 @@ class Replayer:
         self.registers.reset_replay()
         self.sequence.reset_read()
         self.division.reset_read()
+        self.issued_by_window = {}
+        self.skipped_windows = set()
+        self._corrupt_div_windows = set()
         if self.mode is ControlMode.NONE:
             return
         # Prime the pipeline: fetch window 0 before demand starts.  Pace
@@ -97,6 +116,14 @@ class Replayer:
             return self.registers.window_size
         end = division[window]
         start = division[window - 1] if window > 0 else 0
+        if end < start or end < 0 or start < 0:
+            # Corrupted division entry (progress counts are monotonic by
+            # construction): fall back to the nominal pace for this window
+            # rather than dividing by a garbage count.
+            if window not in self._corrupt_div_windows:
+                self._corrupt_div_windows.add(window)
+                self.stats.corrupt_entries += 1
+            return self.registers.window_size
         return max(1, end - start)
 
     def _update_pace(self) -> None:
@@ -109,7 +136,12 @@ class Replayer:
     # Prefetch issue
     # ------------------------------------------------------------------
     def _prefetch_one(self, cycle: int) -> bool:
-        """Issue the next sequence entry; returns False when exhausted."""
+        """Issue the next sequence entry; returns False when exhausted.
+
+        A provably corrupt entry poisons its window: the remaining entries
+        of that window are skipped (no-prefetch degradation) and the
+        pointer lands on the next window's first entry.
+        """
         registers = self.registers
         index = registers.replay_seq_ptr
         if index >= len(self.sequence):
@@ -119,12 +151,22 @@ class Replayer:
             window = self._window_of_entry(index)
             if window < len(self.division):
                 ready = max(ready, self.division.stream_to(window, cycle, self.hierarchy))
-        slot, offset = self.sequence.miss_at(index)
+        try:
+            line_addr = self.sequence.checked_line_addr(index, self.boundary)
+        except CorruptMetadataError:
+            window = self._window_of_entry(index)
+            self.stats.corrupt_entries += 1
+            if window not in self.skipped_windows:
+                self.skipped_windows.add(window)
+                self.stats.windows_skipped += 1
+            registers.replay_seq_ptr = self._window_end_entry(window)
+            return True
         registers.replay_seq_ptr = index + 1
-        line_addr = self.boundary.line_addr(slot, offset)
         if line_addr is not None:
-            self._issue(line_addr, max(cycle, ready), self._window_of_entry(index))
+            window = self._window_of_entry(index)
+            self._issue(line_addr, max(cycle, ready), window)
             registers.prefetch_count += 1
+            self.issued_by_window[window] = self.issued_by_window.get(window, 0) + 1
         return True
 
     def _prefetch_through(self, end_index: int, cycle: int, burst: bool) -> None:

@@ -30,6 +30,17 @@ METADATA_PAGE_BYTES = 4 << 20  # 4 MB pages for metadata (Section V-A)
 BUFFER_BYTES = 128  # per-table staging buffer (double-buffered lines)
 
 
+class CorruptMetadataError(ValueError):
+    """A metadata entry decodes to something the hardware can prove is
+    impossible (slot beyond the boundary register file, offset beyond the
+    declared structure, value outside the entry encoding).
+
+    The tables live in ordinary programmer-allocated memory, so stray
+    stores *can* scribble on them; the replayer treats this error as a
+    poisoned window and degrades to no-prefetch instead of prefetching
+    garbage addresses."""
+
+
 class MetadataTable:
     """Common machinery for the two in-memory metadata tables."""
 
@@ -138,6 +149,30 @@ class MetadataTable:
             self._fetched_lines += 1
         return ready
 
+    # -- fault injection ---------------------------------------------------
+    # The tables are plain memory owned by the program, so tests (and the
+    # chaos harness) can model what a buggy program does to them.
+    def corrupt_entry(self, index: int, value: Optional[int] = None) -> int:
+        """Overwrite entry ``index`` with a malformed ``value`` (default: a
+        pattern no recorder can produce).  Returns the previous value."""
+        previous = self.entries[index]
+        if value is None:
+            value = -(previous + 0x5A5A_5A5A) - 1  # negative: outside any encoding
+        self.entries[index] = value
+        return previous
+
+    def truncate(self, length: int) -> int:
+        """Model a partially lost table: drop entries beyond ``length``.
+        Returns how many entries were removed."""
+        if length < 0:
+            raise ValueError(f"cannot truncate to negative length {length}")
+        removed = max(0, len(self.entries) - length)
+        del self.entries[length:]
+        full_lines = (length + self._entries_per_line - 1) // self._entries_per_line
+        self._written_lines = min(self._written_lines, full_lines)
+        self._fetched_lines = min(self._fetched_lines, full_lines)
+        return removed
+
     def __len__(self) -> int:
         return len(self.entries)
 
@@ -176,6 +211,43 @@ class SequenceTable(MetadataTable):
         """Decode entry ``index`` into (slot, line_offset)."""
         raw = self.entries[index]
         return raw >> self.SLOT_SHIFT, raw & ((1 << self.SLOT_SHIFT) - 1)
+
+    def checked_line_addr(self, index: int, boundary) -> Optional[int]:
+        """Decode entry ``index`` and resolve it against ``boundary``
+        (a :class:`~repro.rnr.boundary.BoundaryTable`), validating every
+        step the hardware can check.
+
+        Returns the prefetch line address; ``None`` for the benign
+        unresolvable case (recorded slot disabled and not exactly one
+        enabled register — the paper's base-swap convention cannot pick a
+        target); raises :class:`CorruptMetadataError` for an entry that no
+        recorder could have written.
+        """
+        raw = self.entries[index]
+        if raw < 0 or raw >= (1 << (8 * self.entry_bytes)):
+            raise CorruptMetadataError(
+                f"sequence entry {index} value {raw:#x} outside the "
+                f"{self.entry_bytes}-byte encoding"
+            )
+        slot, offset = raw >> self.SLOT_SHIFT, raw & ((1 << self.SLOT_SHIFT) - 1)
+        entries = boundary.entries
+        if slot >= boundary.max_entries or slot >= len(entries):
+            raise CorruptMetadataError(
+                f"sequence entry {index} names boundary slot {slot}, but only "
+                f"{len(entries)} of {boundary.max_entries} registers are set"
+            )
+        entry = entries[slot]
+        if not entry.enabled:
+            enabled = [e for e in entries if e.enabled]
+            if len(enabled) != 1:
+                return None  # benign: base-swap with no unambiguous target
+            entry = enabled[0]
+        if offset * LINE_SIZE >= entry.size:
+            raise CorruptMetadataError(
+                f"sequence entry {index} offset {offset} is beyond the "
+                f"{entry.size}-byte structure at {entry.base:#x}"
+            )
+        return (entry.base + offset * LINE_SIZE) // LINE_SIZE
 
 
 class DivisionTable(MetadataTable):

@@ -101,6 +101,8 @@ class RnRStats:
     tlb_lookups: int = 0
     pauses: int = 0
     resumes: int = 0
+    corrupt_entries: int = 0  # malformed metadata entries detected at replay
+    windows_skipped: int = 0  # replay windows degraded to no-prefetch
 
     def storage_bytes(self, seq_entry_bytes: int = 4, div_entry_bytes: int = 8) -> int:
         """Metadata footprint in bytes (Fig 13 numerator)."""
@@ -201,3 +203,5 @@ class SimStats:
         r.tlb_lookups += s.tlb_lookups
         r.pauses += s.pauses
         r.resumes += s.resumes
+        r.corrupt_entries += s.corrupt_entries
+        r.windows_skipped += s.windows_skipped

@@ -23,3 +23,64 @@ class TestCli:
 
     def test_figure_registry_complete(self):
         assert {"fig01", "fig06", "fig14", "record"} <= set(FIGURES)
+
+    def test_unwritable_cache_dir_rejected_at_startup(self, tmp_path, capsys):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file, not a directory")
+        with pytest.raises(SystemExit):
+            main(["hw", "--cache-dir", str(blocker / "cells")])
+        err = capsys.readouterr().err
+        assert "not creatable/writable" in err
+
+    def test_bad_fault_spec_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["hw", "--inject-fault", "cell=explode"])
+        assert "unknown fault kind" in capsys.readouterr().err
+
+    def test_bad_cell_timeout_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig13", "--cell-timeout", "-3"])
+
+
+class TestChaos:
+    """End-to-end: an injected failing cell degrades under --lenient and
+    fails the run under --strict."""
+
+    ARGS = [
+        "fig01",
+        "--scale",
+        "test",
+        "--jobs",
+        "2",
+        "--retries",
+        "0",
+        "--inject-fault",
+        "pagerank/amazon/stems=raise",
+    ]
+
+    def test_lenient_renders_partial_figure_and_exits_zero(self, capsys):
+        assert main(self.ARGS + ["--lenient"]) == 0
+        out = capsys.readouterr().out
+        assert "1 failed" in out
+        assert "pagerank/amazon/stems" in out
+        assert "cell unavailable" in out  # the degraded-table footnote
+        assert "Fig 1" in out
+
+    def test_strict_exits_nonzero_without_rendering(self, capsys):
+        assert main(self.ARGS + ["--strict"]) == 1
+        captured = capsys.readouterr()
+        assert "pagerank/amazon/stems" in captured.out
+        assert "strict mode" in captured.err
+        assert "Fig 1" not in captured.out
+
+
+class TestSupervisedCliFlow:
+    def test_resume_skips_done_cells(self, tmp_path, capsys):
+        manifest = tmp_path / "manifest.json"
+        args = ["fig13", "--scale", "test", "--jobs", "2", "--manifest", str(manifest)]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert manifest.exists()
+        assert main(args + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "0 simulated" in out or "12 resumed" in out

@@ -1,0 +1,88 @@
+"""Graceful figure degradation: failed cells render as ``-`` with a
+footnote under lenient mode, and raise loudly under strict (the default)."""
+
+import math
+
+import pytest
+
+from repro.experiments import fig01_scatter, fig13_storage
+from repro.experiments.runner import CellFailedError, CellSpec, ExperimentRunner
+
+
+def _lenient():
+    return ExperimentRunner(scale="test", cache_dir=None, lenient=True)
+
+
+class TestRunnerModes:
+    def test_strict_raises_for_known_failed_cell(self):
+        runner = ExperimentRunner(scale="test", cache_dir=None)
+        runner.mark_failed(CellSpec("pagerank", "amazon", "stems"), "crash: boom")
+        with pytest.raises(CellFailedError, match="--lenient"):
+            runner.run("pagerank", "amazon", "stems")
+
+    def test_lenient_returns_none_for_known_failed_cell(self):
+        runner = _lenient()
+        runner.mark_failed(CellSpec("pagerank", "amazon", "stems"), "crash: boom")
+        assert runner.run("pagerank", "amazon", "stems") is None
+
+    def test_lenient_swallows_inline_failure(self, monkeypatch):
+        runner = _lenient()
+        monkeypatch.setattr(
+            runner, "trace", lambda *a, **k: (_ for _ in ()).throw(RuntimeError("no"))
+        )
+        assert runner.run("pagerank", "urand", "baseline") is None
+        assert runner.failed_cells
+
+    def test_merge_result_clears_failure(self):
+        strict = ExperimentRunner(scale="test", cache_dir=None)
+        spec = CellSpec("pagerank", "urand", "baseline")
+        strict.mark_failed(spec, "timeout: slow")
+        result = _lenient().run_spec(spec)
+        strict.merge_result(spec, result)
+        assert strict.run_spec(spec) is result
+
+    def test_missing_note_counts_cells(self):
+        runner = _lenient()
+        assert runner.missing_note() == ""
+        runner.mark_failed(CellSpec("pagerank", "urand", "rnr"), "x")
+        assert "1 cell unavailable" in runner.missing_note()
+        runner.mark_failed(CellSpec("pagerank", "urand", "bingo"), "x")
+        assert "2 cells unavailable" in runner.missing_note()
+
+
+class TestFigureDegradation:
+    def test_fig01_renders_dash_and_footnote(self):
+        runner = _lenient()
+        runner.mark_failed(CellSpec("pagerank", "amazon", "stems"), "crash: boom")
+        out = fig01_scatter.report(runner)
+        assert "unavailable" in out
+        stems_row = next(
+            line for line in out.splitlines() if line.startswith("stems")
+        )
+        assert stems_row.split()[1:] == ["-", "-"]
+
+    def test_fig01_compute_marks_missing_as_nan(self):
+        runner = _lenient()
+        runner.mark_failed(CellSpec("pagerank", "amazon", "stems"), "crash: boom")
+        points = fig01_scatter.compute(runner)
+        assert math.isnan(points["stems"][0]) and math.isnan(points["stems"][1])
+        cov, acc = points["rnr"]
+        assert not math.isnan(cov) and not math.isnan(acc)
+
+    def test_fig13_average_ignores_missing(self):
+        runner = _lenient()
+        runner.mark_failed(CellSpec("spcg", "bbmat", "rnr"), "timeout: slow")
+        data = fig13_storage.compute(runner)
+        assert math.isnan(data["spcg"]["bbmat"])
+        out = fig13_storage.report(runner)
+        average_row = next(
+            line for line in out.splitlines() if line.startswith("spcg/AVERAGE")
+        )
+        # The average is over the surviving inputs, not NaN.
+        assert average_row.split()[-1] != "-"
+
+    def test_strict_figure_raises_instead_of_degrading(self):
+        runner = ExperimentRunner(scale="test", cache_dir=None)
+        runner.mark_failed(CellSpec("pagerank", "amazon", "stems"), "crash: boom")
+        with pytest.raises(CellFailedError):
+            fig01_scatter.report(runner)

@@ -1,0 +1,330 @@
+"""Fault-tolerant sweep supervision: timeouts, retries, crash isolation,
+manifest checkpointing, and resume."""
+
+import json
+
+import pytest
+
+from repro.experiments import supervise
+from repro.experiments.runner import CellSpec, ExperimentRunner
+from repro.experiments.supervise import (
+    CellFailure,
+    FailureKind,
+    RetryPolicy,
+    SweepManifest,
+    SweepReport,
+    cell_id,
+    classify_exception,
+    resolve_cell_timeout,
+    run_supervised_sweep,
+    runner_fingerprint,
+)
+from repro.rnr.replayer import ControlMode
+
+SPECS = [
+    CellSpec("pagerank", "urand", "baseline"),
+    CellSpec("pagerank", "urand", "nextline"),
+    CellSpec("pagerank", "amazon", "baseline"),
+    CellSpec("spcg", "bbmat", "baseline"),
+]
+
+#: Fast backoff so retry tests finish in milliseconds.
+FAST = dict(backoff=0.01, backoff_max=0.02, jitter=0.0)
+
+
+def _runner():
+    return ExperimentRunner(scale="test", cache_dir=None)
+
+
+class TestCellId:
+    def test_plain(self):
+        assert cell_id(CellSpec("pagerank", "urand", "rnr")) == "pagerank/urand/rnr"
+
+    def test_mode_and_window_suffixes(self):
+        spec = CellSpec("spcg", "bbmat", "rnr", mode=ControlMode.WINDOW, window=8)
+        assert cell_id(spec) == "spcg/bbmat/rnr@window/w8"
+
+
+class TestResolveCellTimeout:
+    def test_argument_wins(self, monkeypatch):
+        monkeypatch.setenv(supervise.CELL_TIMEOUT_ENV, "30")
+        assert resolve_cell_timeout(5.0) == 5.0
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(supervise.CELL_TIMEOUT_ENV, "12.5")
+        assert resolve_cell_timeout() == 12.5
+
+    def test_default_unlimited(self, monkeypatch):
+        monkeypatch.delenv(supervise.CELL_TIMEOUT_ENV, raising=False)
+        assert resolve_cell_timeout() is None
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0])
+    def test_rejects_nonpositive(self, bad):
+        with pytest.raises(ValueError):
+            resolve_cell_timeout(bad)
+
+    def test_rejects_garbage_env(self, monkeypatch):
+        monkeypatch.setenv(supervise.CELL_TIMEOUT_ENV, "soon")
+        with pytest.raises(ValueError):
+            resolve_cell_timeout()
+
+
+class TestRetryPolicy:
+    def test_max_attempts(self):
+        assert RetryPolicy(retries=2).max_attempts == 3
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(retries=-1)
+
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(retries=5, backoff=0.1, backoff_max=0.3, jitter=0.0)
+        delays = [policy.delay(attempt) for attempt in (2, 3, 4, 5)]
+        assert delays == pytest.approx([0.1, 0.2, 0.3, 0.3])
+
+    def test_jitter_bounded(self):
+        policy = RetryPolicy(backoff=0.1, jitter=0.5)
+        for _ in range(50):
+            assert 0.1 <= policy.delay(2) <= 0.15
+
+
+class TestClassify:
+    def test_cache_corruption(self):
+        assert classify_exception("CacheIntegrityError") == FailureKind.CACHE_CORRUPTION
+
+    def test_anything_else_is_deterministic(self):
+        assert classify_exception("ValueError") == FailureKind.ERROR
+
+    def test_transient_set(self):
+        assert FailureKind.TIMEOUT in FailureKind.TRANSIENT
+        assert FailureKind.CRASH in FailureKind.TRANSIENT
+        assert FailureKind.ERROR not in FailureKind.TRANSIENT
+
+
+class TestSweepReport:
+    def test_ok_without_failures(self):
+        assert SweepReport().ok
+
+    def test_render_lists_failures_sorted(self):
+        report = SweepReport(simulated=3)
+        report.failures.append(CellFailure("b/y/rnr", "crash", 2, "died"))
+        report.failures.append(CellFailure("a/x/rnr", "timeout", 3, "slow"))
+        text = report.render()
+        assert "2 failed" in text
+        assert text.index("a/x/rnr") < text.index("b/y/rnr")
+        assert "attempts=3" in text
+
+
+class TestManifest:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "m.json"
+        manifest = SweepManifest(path, fingerprint="abc")
+        manifest.mark_done("a/x/rnr", attempts=1, duration=0.5)
+        manifest.mark_failed("b/y/rnr", "crash", "died", attempts=2, duration=1.0)
+        manifest.save()
+
+        loaded = SweepManifest.load(path, "abc")
+        assert loaded.done_cells() == {"a/x/rnr"}
+        assert loaded.failed_cells() == {"b/y/rnr"}
+        assert loaded.cells["b/y/rnr"]["kind"] == "crash"
+
+    def test_fingerprint_mismatch_starts_fresh(self, tmp_path):
+        path = tmp_path / "m.json"
+        manifest = SweepManifest(path, fingerprint="abc")
+        manifest.mark_done("a/x/rnr", 1, 0.1)
+        manifest.save()
+        assert SweepManifest.load(path, "other").cells == {}
+
+    def test_garbage_file_starts_fresh(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text("{not json")
+        assert SweepManifest.load(path, "abc").cells == {}
+
+    def test_save_is_atomic(self, tmp_path):
+        path = tmp_path / "m.json"
+        manifest = SweepManifest(path, "abc")
+        manifest.mark_done("a", 1, 0.1)
+        manifest.save()
+        leftovers = [p for p in tmp_path.iterdir() if p.name.startswith(".tmp-")]
+        assert leftovers == []
+        assert json.loads(path.read_text())["format"] == supervise.MANIFEST_FORMAT
+
+    def test_fingerprint_tracks_runner_identity(self):
+        a = runner_fingerprint(ExperimentRunner(scale="test"))
+        b = runner_fingerprint(ExperimentRunner(scale="test"))
+        c = runner_fingerprint(ExperimentRunner(scale="test", seed=1))
+        assert a == b
+        assert a != c
+
+
+class TestHappyPath:
+    def test_matches_serial_results(self):
+        serial = _runner()
+        for spec in SPECS:
+            serial.run_spec(spec)
+
+        supervised = _runner()
+        report = run_supervised_sweep(supervised, SPECS, jobs=2)
+        assert report.ok
+        assert report.simulated == len(SPECS)
+        for spec in SPECS:
+            assert supervised.run_spec(spec).stats == serial.run_spec(spec).stats
+
+    def test_warm_cells_skipped(self):
+        runner = _runner()
+        runner.run_spec(SPECS[0])
+        report = run_supervised_sweep(runner, SPECS, jobs=2)
+        assert report.skipped == 1
+        assert report.simulated == len(SPECS) - 1
+
+
+class TestFaultIsolation:
+    def test_raising_cell_fails_fast_rest_completes(self, tmp_path):
+        runner = _runner()
+        manifest_path = tmp_path / "manifest.json"
+        report = run_supervised_sweep(
+            runner,
+            SPECS,
+            jobs=2,
+            policy=RetryPolicy(retries=2, **FAST),
+            manifest_path=manifest_path,
+            faults={"pagerank/urand/nextline": ("raise", None)},
+        )
+        assert [f.cell for f in report.failures] == ["pagerank/urand/nextline"]
+        failure = report.failures[0]
+        # Deterministic errors are not retried.
+        assert failure.kind == FailureKind.ERROR
+        assert failure.attempts == 1
+        assert "InjectedFault" in failure.message
+        assert report.simulated == len(SPECS) - 1
+        for spec in SPECS[:1] + SPECS[2:]:
+            assert runner.run_spec(spec) is not None
+        manifest = SweepManifest.load(manifest_path)
+        assert manifest.failed_cells() == {"pagerank/urand/nextline"}
+        assert len(manifest.done_cells()) == len(SPECS) - 1
+
+    def test_cache_corruption_is_transient(self):
+        runner = _runner()
+        report = run_supervised_sweep(
+            runner,
+            SPECS[:2],
+            jobs=1,
+            policy=RetryPolicy(retries=1, **FAST),
+            faults={"pagerank/urand/nextline": ("cache", 1)},
+        )
+        # First attempt corrupts, the retry succeeds.
+        assert report.ok
+        assert report.retried == 1
+        assert report.simulated == 2
+
+    def test_crash_and_hang_isolated_then_resumed(self, tmp_path):
+        """The acceptance scenario: one crashing cell, one hanging cell;
+        every other cell finishes, both faults follow the retry policy, the
+        manifest records everything, and resume re-runs only the failure."""
+        runner = _runner()
+        manifest_path = tmp_path / "manifest.json"
+        policy = RetryPolicy(retries=1, **FAST)
+        report = run_supervised_sweep(
+            runner,
+            SPECS,
+            jobs=2,
+            cell_timeout=0.75,
+            policy=policy,
+            manifest_path=manifest_path,
+            faults={
+                # Unbounded: crashes on every attempt -> permanent failure.
+                "pagerank/urand/nextline": ("crash", None),
+                # Bounded to attempt 1: hangs once, succeeds on retry.
+                "spcg/bbmat/baseline": ("hang", 1),
+            },
+        )
+        assert [f.cell for f in report.failures] == ["pagerank/urand/nextline"]
+        crash = report.failures[0]
+        assert crash.kind == FailureKind.CRASH
+        assert crash.attempts == policy.max_attempts
+        # One retry for the crash, one for the hang's timeout.
+        assert report.retried == 2
+        # Crash and hang are isolated: the other three cells all finished.
+        assert report.simulated == len(SPECS) - 1
+        for spec in SPECS[:1] + SPECS[2:]:
+            assert runner.run_spec(spec) is not None
+        assert runner.failed_cells  # the crash cell is marked on the runner
+
+        manifest = SweepManifest.load(manifest_path)
+        assert manifest.failed_cells() == {"pagerank/urand/nextline"}
+        assert manifest.cells["spcg/bbmat/baseline"]["status"] == "done"
+        assert manifest.cells["spcg/bbmat/baseline"]["attempts"] == 2
+
+        # Resume with the fault gone: only the failed cell is re-run.
+        resumed = _runner()
+        second = run_supervised_sweep(
+            resumed,
+            SPECS,
+            jobs=2,
+            policy=policy,
+            manifest_path=manifest_path,
+            resume=True,
+        )
+        assert second.ok
+        assert second.simulated == 1
+        assert second.resumed == len(SPECS) - 1
+        manifest = SweepManifest.load(manifest_path)
+        assert manifest.failed_cells() == frozenset()
+        assert len(manifest.done_cells()) == len(SPECS)
+
+    def test_timeout_kills_hung_worker(self):
+        runner = _runner()
+        report = run_supervised_sweep(
+            runner,
+            SPECS[:1],
+            jobs=1,
+            cell_timeout=0.5,
+            policy=RetryPolicy(retries=0, **FAST),
+            faults={"pagerank/urand/baseline": ("hang", None)},
+        )
+        assert [f.kind for f in report.failures] == [FailureKind.TIMEOUT]
+        assert report.simulated == 0
+
+    def test_killed_worker_keeps_finished_results(self, tmp_path):
+        """A worker dying mid-group must not discard the cells it already
+        streamed back, and the sweep must go on to finish the rest."""
+        runner = _runner()
+        manifest_path = tmp_path / "manifest.json"
+        report = run_supervised_sweep(
+            runner,
+            SPECS,
+            jobs=1,  # one worker carries the whole (app, input) group
+            policy=RetryPolicy(retries=0, **FAST),
+            manifest_path=manifest_path,
+            faults={"pagerank/urand/nextline": ("crash", None)},
+        )
+        # baseline ran before the crash in the same group and must be kept.
+        key = runner._result_key("pagerank", "urand", "baseline", None, None)
+        assert key in runner._results
+        assert report.simulated == len(SPECS) - 1
+        assert [f.cell for f in report.failures] == ["pagerank/urand/nextline"]
+        manifest = SweepManifest.load(manifest_path)
+        assert "pagerank/urand/baseline" in manifest.done_cells()
+
+
+class TestResumeGuards:
+    def test_resume_ignores_foreign_fingerprint(self, tmp_path):
+        manifest_path = tmp_path / "manifest.json"
+        foreign = SweepManifest(manifest_path, fingerprint="somebody-else")
+        for spec in SPECS:
+            foreign.mark_done(cell_id(spec), 1, 0.1)
+        foreign.save()
+
+        runner = _runner()
+        report = run_supervised_sweep(
+            runner, SPECS, jobs=2, manifest_path=manifest_path, resume=True
+        )
+        # Different identity: nothing may be skipped.
+        assert report.resumed == 0
+        assert report.simulated == len(SPECS)
+
+    def test_no_manifest_means_no_resume(self):
+        runner = _runner()
+        report = run_supervised_sweep(runner, SPECS[:1], jobs=1, resume=True)
+        assert report.resumed == 0
+        assert report.simulated == 1

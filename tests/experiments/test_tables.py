@@ -1,8 +1,16 @@
 """Tests for table rendering helpers."""
 
+import math
+
 import pytest
 
-from repro.experiments.tables import format_percent, format_table, geomean
+from repro.experiments.tables import (
+    MISSING,
+    format_percent,
+    format_table,
+    geomean,
+    nanmean,
+)
 
 
 class TestFormatTable:
@@ -27,6 +35,17 @@ class TestFormatTable:
         assert "nan" not in text
         assert text.splitlines()[-1].split()[-1] == "-"
 
+    def test_footnote_shown_only_with_missing_cells(self):
+        note = "- : 1 cell unavailable"
+        degraded = format_table(("a", "b"), [("x", MISSING)], footnote=note)
+        assert degraded.splitlines()[-1] == note
+        complete = format_table(("a", "b"), [("x", 1.0)], footnote=note)
+        assert note not in complete
+
+    def test_empty_footnote_never_appended(self):
+        text = format_table(("a", "b"), [("x", MISSING)])
+        assert text.splitlines()[-1].split()[-1] == "-"
+
 
 class TestGeomean:
     def test_basic(self):
@@ -37,6 +56,18 @@ class TestGeomean:
 
     def test_empty(self):
         assert geomean([]) == 0.0
+
+
+class TestNanmean:
+    def test_ignores_nan_holes(self):
+        assert nanmean([1.0, MISSING, 3.0]) == pytest.approx(2.0)
+
+    def test_all_missing_is_missing(self):
+        assert math.isnan(nanmean([MISSING, MISSING]))
+        assert math.isnan(nanmean([]))
+
+    def test_plain_mean_without_holes(self):
+        assert nanmean([2.0, 4.0]) == pytest.approx(3.0)
 
 
 class TestFormatPercent:

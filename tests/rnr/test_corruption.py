@@ -1,0 +1,185 @@
+"""Metadata corruption tolerance at replay (the tables live in ordinary
+programmer-owned memory, so stray stores can scribble on them): a provably
+malformed entry must degrade its window to no-prefetch, never crash the
+simulation or prefetch a garbage address."""
+
+import pytest
+
+from repro.config import LINE_SIZE
+from repro.rnr.boundary import BoundaryTable
+from repro.rnr.registers import RnRRegisters
+from repro.rnr.replayer import ControlMode, Replayer
+from repro.rnr.tables import CorruptMetadataError, DivisionTable, SequenceTable
+from repro.stats import RnRStats
+
+BASE = 0x100000
+WINDOW = 4
+
+
+def make_replayer(offsets, divisions, mode=ControlMode.WINDOW_PACE):
+    registers = RnRRegisters()
+    registers.window_size = WINDOW
+    boundary = BoundaryTable()
+    boundary.set(BASE, (max(offsets) + 1) * LINE_SIZE if offsets else LINE_SIZE)
+    boundary.enable(BASE)
+    sequence = SequenceTable(0x10000, 1 << 20)
+    for offset in offsets:
+        sequence.append_miss(0, offset, 0, None)
+    division = DivisionTable(0x80000, 1 << 16)
+    for count in divisions:
+        division.append(count, 0, None)
+    stats = RnRStats()
+    issued = []
+    replayer = Replayer(
+        registers,
+        boundary,
+        sequence,
+        division,
+        stats,
+        mode=mode,
+        issue=lambda line, cycle, window: issued.append((line, window)) or True,
+    )
+    return replayer, registers, sequence, division, stats, issued
+
+
+def replay_all(replayer, registers, reads):
+    replayer.begin(0)
+    for read in range(reads):
+        registers.cur_struct_read += 1
+        replayer.on_struct_read(read)
+
+
+class TestCheckedLineAddr:
+    def test_valid_entry_resolves(self):
+        _, _, sequence, _, _, _ = make_replayer([3], [1])
+        boundary = BoundaryTable()
+        boundary.set(BASE, 16 * LINE_SIZE)
+        boundary.enable(BASE)
+        assert sequence.checked_line_addr(0, boundary) == (BASE + 3 * LINE_SIZE) // LINE_SIZE
+
+    def test_negative_value_rejected(self):
+        _, _, sequence, _, _, _ = make_replayer([3], [1])
+        boundary = BoundaryTable()
+        boundary.set(BASE, 16 * LINE_SIZE)
+        boundary.enable(BASE)
+        sequence.corrupt_entry(0)  # default pattern is negative
+        with pytest.raises(CorruptMetadataError):
+            sequence.checked_line_addr(0, boundary)
+
+    def test_impossible_slot_rejected(self):
+        _, _, sequence, _, _, _ = make_replayer([3], [1])
+        boundary = BoundaryTable()
+        boundary.set(BASE, 16 * LINE_SIZE)
+        boundary.enable(BASE)
+        # Slot 3 exists in the encoding but not in the register file.
+        sequence.corrupt_entry(0, (3 << SequenceTable.SLOT_SHIFT) | 1)
+        with pytest.raises(CorruptMetadataError):
+            sequence.checked_line_addr(0, boundary)
+
+    def test_offset_beyond_structure_rejected(self):
+        _, _, sequence, _, _, _ = make_replayer([3], [1])
+        boundary = BoundaryTable()
+        boundary.set(BASE, 16 * LINE_SIZE)  # 16 lines
+        boundary.enable(BASE)
+        sequence.corrupt_entry(0, 500)  # offset 500 of a 16-line structure
+        with pytest.raises(CorruptMetadataError):
+            sequence.checked_line_addr(0, boundary)
+
+
+class TestWindowPoisoning:
+    def test_zero_prefetches_for_corrupted_window(self):
+        """Corrupting the first entry of window 1 must suppress every
+        prefetch of that window — and only that window."""
+        offsets = list(range(12))
+        replayer, registers, sequence, _, stats, issued = make_replayer(
+            offsets, [4, 8, 12]
+        )
+        sequence.corrupt_entry(WINDOW)  # first entry of window 1
+        replay_all(replayer, registers, reads=12)
+        by_window = {}
+        for _, window in issued:
+            by_window[window] = by_window.get(window, 0) + 1
+        assert by_window.get(1, 0) == 0
+        assert replayer.issued_by_window.get(1, 0) == 0
+        assert by_window[0] == WINDOW  # neighbours unaffected
+        assert by_window[2] == WINDOW
+        assert replayer.skipped_windows == {1}
+        assert stats.corrupt_entries == 1
+        assert stats.windows_skipped == 1
+
+    def test_midwindow_corruption_stops_remaining_entries(self):
+        offsets = list(range(12))
+        replayer, registers, sequence, _, stats, issued = make_replayer(
+            offsets, [4, 8, 12]
+        )
+        sequence.corrupt_entry(WINDOW + 2)  # third entry of window 1
+        replay_all(replayer, registers, reads=12)
+        # The two entries before the corruption issued; the rest did not.
+        assert replayer.issued_by_window.get(1, 0) == 2
+        assert replayer.skipped_windows == {1}
+        # Window 2 replays normally after the skip.
+        assert replayer.issued_by_window[2] == WINDOW
+
+    def test_replay_never_issues_garbage_address(self):
+        offsets = list(range(12))
+        replayer, registers, sequence, _, _, issued = make_replayer(
+            offsets, [4, 8, 12]
+        )
+        sequence.corrupt_entry(WINDOW, 3000)  # beyond the declared structure
+        replay_all(replayer, registers, reads=12)
+        structure_lines = range(
+            BASE // LINE_SIZE, BASE // LINE_SIZE + len(offsets)
+        )
+        assert all(line in structure_lines for line, _ in issued)
+
+    def test_truncated_table_replays_prefix_only(self):
+        offsets = list(range(12))
+        replayer, registers, sequence, _, _, issued = make_replayer(
+            offsets, [4, 8, 12]
+        )
+        removed = sequence.truncate(6)
+        assert removed == 6
+        replay_all(replayer, registers, reads=12)  # must not raise
+        assert len(issued) == 6
+
+    def test_begin_resets_corruption_bookkeeping(self):
+        offsets = list(range(8))
+        replayer, registers, sequence, _, stats, _ = make_replayer(offsets, [4, 8])
+        previous = sequence.corrupt_entry(WINDOW)
+        replay_all(replayer, registers, reads=8)
+        assert replayer.skipped_windows == {1}
+        sequence.entries[WINDOW] = previous  # the program fixed its memory
+        replay_all(replayer, registers, reads=8)
+        assert replayer.skipped_windows == set()
+        assert replayer.issued_by_window[1] == WINDOW
+
+
+class TestDivisionCorruption:
+    def test_corrupt_division_falls_back_to_nominal_pace(self):
+        offsets = list(range(12))
+        replayer, registers, _, division, stats, issued = make_replayer(
+            offsets, [8, 16, 24]
+        )
+        # Window 1's cumulative count rewritten to garbage (negative, so
+        # the window counter skips straight past it).
+        division.corrupt_entry(1, -5)
+        replayer.begin(0)
+        registers.cur_struct_read = 8
+        replayer.on_struct_read(0)
+        assert registers.cur_window == 2
+        # Window 2's span starts at the corrupt count: fall back to the
+        # nominal pace instead of dividing by a garbage span.
+        assert registers.prefetch_pace == 1
+        assert stats.corrupt_entries == 1
+
+    def test_corrupt_division_counted_once_per_window(self):
+        offsets = list(range(12))
+        replayer, registers, _, division, stats, _ = make_replayer(
+            offsets, [8, 16, 24]
+        )
+        division.corrupt_entry(1, -5)
+        replayer.begin(0)
+        for read in range(24):
+            registers.cur_struct_read += 1
+            replayer.on_struct_read(read)
+        assert stats.corrupt_entries == 1
