@@ -6,7 +6,11 @@ session no matter how many figures use it.  Set ``REPRO_BENCH_SCALE=test``
 for a fast smoke pass of the whole harness.
 
 The rendered paper-figure tables are printed in the terminal summary and
-written to ``paper_figures_report.txt`` in the working directory.
+written to ``paper_figures_report.txt`` in the working directory.  Every
+bench's wall-clock duration is additionally exported through the
+telemetry CSV writer to ``bench-timings.csv`` (under ``$RNR_TELEMETRY``
+when set, else the working directory), so bench trends can be tracked
+with the same tooling as run telemetry.
 """
 
 import os
@@ -15,9 +19,13 @@ from pathlib import Path
 import pytest
 
 from repro.experiments.runner import ExperimentRunner
+from repro.telemetry.config import TELEMETRY_ENV
+from repro.telemetry.export import write_csv
 
 _REPORTS = {}
+_TIMINGS = []
 REPORT_PATH = Path("paper_figures_report.txt")
+TIMINGS_NAME = "bench-timings.csv"
 
 
 def pytest_configure(config):
@@ -44,7 +52,27 @@ def _render_reports() -> str:
     return "\n".join(lines)
 
 
+def pytest_runtest_logreport(report):
+    if report.when == "call":
+        _TIMINGS.append((report.nodeid, int(report.duration * 1_000_000)))
+
+
+def _timings_path() -> Path:
+    root = os.environ.get(TELEMETRY_ENV, "").strip()
+    base = Path(root) if root else Path(".")
+    base.mkdir(parents=True, exist_ok=True)
+    return base / TIMINGS_NAME
+
+
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if _TIMINGS:
+        path = _timings_path()
+        write_csv(
+            path,
+            ["bench", "duration_us"],
+            [[nodeid.replace(",", ";"), duration] for nodeid, duration in _TIMINGS],
+        )
+        terminalreporter.write_line(f"(bench timings saved to {path.resolve()})")
     if not _REPORTS:
         return
     text = _render_reports()

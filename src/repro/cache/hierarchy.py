@@ -98,6 +98,10 @@ class CacheHierarchy:
         self.llc = llc if llc is not None else Cache(config.llc)
         self.unused_prefetch_classifier: Optional[UnusedPrefetchClassifier] = None
         self.prefetch_fill_level = prefetch_fill_level
+        # Optional telemetry receiver (repro.telemetry LifecycleTracer).
+        # None unless a run's collector is enabled; every hook call below
+        # sits off the L1-hit fast path, so disabled runs pay nothing.
+        self.tracer = None
         # Optional data-side TLB (off by default: the calibrated timing
         # model folds common-case translation into the L1 latency, as
         # trace-driven ChampSim configurations typically do).
@@ -122,6 +126,8 @@ class CacheHierarchy:
     def _evict_from_l2(self, line_addr: int, victim: CacheLine) -> None:
         if victim.prefetched:
             self.stats.l2.prefetch_evicted_unused += 1
+            if self.tracer is not None:
+                self.tracer.on_prefetch_evicted(line_addr, victim.pf_window)
             if self.unused_prefetch_classifier is not None:
                 self.unused_prefetch_classifier(line_addr, victim.pf_window)
         if not victim.dirty:
@@ -135,6 +141,8 @@ class CacheHierarchy:
     def _evict_from_llc(self, line_addr: int, victim: CacheLine) -> None:
         if victim.prefetched:
             self.stats.l2.prefetch_evicted_unused += 1
+            if self.tracer is not None:
+                self.tracer.on_prefetch_evicted(line_addr, victim.pf_window)
             if self.unused_prefetch_classifier is not None:
                 self.unused_prefetch_classifier(line_addr, victim.pf_window)
         if victim.dirty:
@@ -198,6 +206,10 @@ class CacheHierarchy:
                 event = L2Event.PREFETCH_HIT
                 if arrive > at_l2:
                     l2_stats.late_prefetch_hits += 1
+                if self.tracer is not None:
+                    self.tracer.on_prefetch_hit(
+                        line_addr, at_l2, arrive, l2_line.pf_window
+                    )
                 l2_line.prefetched = False
                 l2_line.pf_window = -1
             l2_stats.demand_hits += 1
@@ -221,6 +233,10 @@ class CacheHierarchy:
                 # LLC-destination prefetching (the Section III ablation):
                 # first demand touch of an LLC-resident prefetched line.
                 stats.prefetch.useful += 1
+                if self.tracer is not None:
+                    self.tracer.on_prefetch_hit(
+                        line_addr, at_llc, arrive, llc_line.pf_window
+                    )
                 llc_line.prefetched = False
                 llc_line.pf_window = -1
         else:
@@ -257,6 +273,7 @@ class CacheHierarchy:
         if self.prefetch_fill_level == "llc":
             return self._prefetch_llc(line_addr, cycle, pf_window, kind)
         stats = self.stats
+        tracer = self.tracer
         resident = self.l2.probe(line_addr)
         if resident is not None:
             if resident.arrive > cycle and not resident.prefetched:
@@ -265,8 +282,14 @@ class CacheHierarchy:
                 # the L2* — the paper's "late prefetch" category.
                 stats.prefetch.issued += 1
                 stats.prefetch.late += 1
+                if tracer is not None:
+                    tracer.on_prefetch_issued(
+                        line_addr, cycle, resident.arrive, pf_window, sent=False
+                    )
             else:
                 stats.prefetch.dropped += 1
+                if tracer is not None:
+                    tracer.on_prefetch_dropped(line_addr, cycle, pf_window)
             return False
         stats.prefetch.issued += 1
         llc_line = self.llc.lookup(line_addr)
@@ -279,6 +302,8 @@ class CacheHierarchy:
             stats.traffic.prefetch_lines += 1
             self.llc.mshr.register(completion)
             self.llc.fill(line_addr, arrive=completion, on_evict=self._evict_from_llc)
+        if tracer is not None:
+            tracer.on_prefetch_issued(line_addr, cycle, completion, pf_window, sent=True)
         self.l2.fill(
             line_addr,
             arrive=completion,
@@ -345,5 +370,7 @@ class CacheHierarchy:
             for line_addr, line in cache.resident_lines():
                 if line.prefetched:
                     self.stats.l2.prefetch_evicted_unused += 1
+                    if self.tracer is not None:
+                        self.tracer.on_prefetch_evicted(line_addr, line.pf_window)
                     if self.unused_prefetch_classifier is not None:
                         self.unused_prefetch_classifier(line_addr, line.pf_window)

@@ -21,6 +21,9 @@ class MSHRFile:
         self._entries = entries
         self._completions: list[int] = []
         self.stalls = 0
+        # Optional telemetry hook called only when a miss actually stalls
+        # (repro.telemetry wires it; None keeps the common path untouched).
+        self.on_stall = None
 
     @property
     def entries(self) -> int:
@@ -41,6 +44,8 @@ class MSHRFile:
         if len(heap) >= self._entries:
             delayed = heappop(heap)
             self.stalls += 1
+            if self.on_stall is not None:
+                self.on_stall(cycle, delayed)
             return max(cycle, delayed)
         return cycle
 

@@ -49,6 +49,7 @@ from repro.experiments import (
     supervise,
 )
 from repro.experiments.runner import ExperimentRunner
+from repro.telemetry import config as telemetry_config
 
 FIGURES = {
     "fig01": fig01_scatter,
@@ -142,6 +143,28 @@ def main(argv=None) -> int:
         help="chaos testing: fault the named cell (kinds: "
         f"{', '.join(faults_mod.FAULT_KINDS)}; also $RNR_FAULTS)",
     )
+    parser.add_argument(
+        "--telemetry-dir",
+        default=None,
+        metavar="DIR",
+        help="write per-cell telemetry (events, time series, summaries) "
+        "under DIR (default: $RNR_TELEMETRY, else off)",
+    )
+    parser.add_argument(
+        "--sample-interval",
+        type=int,
+        default=None,
+        metavar="CYCLES",
+        help="cycles between time-series samples "
+        f"(default: $RNR_SAMPLE_INTERVAL, else {telemetry_config.DEFAULT_SAMPLE_INTERVAL})",
+    )
+    parser.add_argument(
+        "--trace-events",
+        action="store_true",
+        default=None,
+        help="also export Chrome trace_event files loadable in "
+        "chrome://tracing (default: $RNR_TRACE_EVENTS)",
+    )
     args = parser.parse_args(argv)
 
     names = args.figures or list(FIGURES) + ["hw"]
@@ -165,6 +188,9 @@ def main(argv=None) -> int:
         cell_timeout = supervise.resolve_cell_timeout(args.cell_timeout)
         jobs = pool.resolve_jobs(args.jobs)
         policy = supervise.RetryPolicy(retries=args.retries)
+        telemetry = telemetry_config.resolve_config(
+            args.telemetry_dir, args.sample_interval, args.trace_events
+        )
     except ValueError as exc:
         parser.error(str(exc))
 
@@ -173,6 +199,7 @@ def main(argv=None) -> int:
         window_size=args.window,
         cache_dir=cache_dir,
         lenient=not args.strict,
+        telemetry=telemetry,
     )
     start = time.time()
 
@@ -215,6 +242,8 @@ def main(argv=None) -> int:
                 return 1
     if runner.cache is not None:
         print(f"[{runner.cache.describe()}]")
+    if runner.telemetry is not None:
+        print(f"[telemetry: {runner.telemetry.root}]")
     for name in names:
         began = time.time()
         if name == "hw":

@@ -82,6 +82,7 @@ def _init_worker(
     config,
     seed: int,
     cache_dir,
+    telemetry=None,
 ) -> None:
     global _WORKER_RUNNER
     _WORKER_RUNNER = ExperimentRunner(
@@ -91,6 +92,7 @@ def _init_worker(
         config=config,
         seed=seed,
         cache_dir=cache_dir,
+        telemetry=telemetry,
     )
 
 
@@ -130,7 +132,9 @@ def pending_specs(
         )
         if key in runner._results or key in seen:
             continue
-        if runner.cache is not None:
+        # Telemetry-enabled sweeps re-simulate warm disk cells so every
+        # requested cell produces artifacts (see ExperimentRunner.run).
+        if runner.cache is not None and runner.telemetry is None:
             window = spec.window if spec.window is not None else runner.window_size
             cached = runner.cache.get(
                 runner._cell_key(
@@ -181,6 +185,7 @@ def run_sweep(
         runner.config,
         runner.seed,
         cache_dir,
+        runner.telemetry,
     )
     merged = 0
     with ProcessPoolExecutor(

@@ -30,6 +30,8 @@ from repro.sim.engine import SimulationEngine
 from repro.sim.ideal import run_ideal
 from repro.sparse import datasets as matrix_datasets
 from repro.stats import SimStats
+from repro.telemetry.collector import TelemetryCollector
+from repro.telemetry.config import TelemetryConfig
 from repro.trace.trace import Trace
 from repro.workloads import HyperAnfWorkload, PageRankWorkload, SpCGWorkload
 from repro.workloads.base import Workload
@@ -120,6 +122,7 @@ class ExperimentRunner:
         seed: int = 0,
         cache_dir: Optional[Union[str, Path]] = None,
         lenient: bool = False,
+        telemetry: Optional[TelemetryConfig] = None,
     ):
         self.scale = scale
         self.iterations = iterations
@@ -127,6 +130,8 @@ class ExperimentRunner:
         self.config = config if config is not None else SystemConfig.experiment()
         self.seed = seed
         self.lenient = lenient
+        # Telemetry config (None or disabled keeps the null collector).
+        self.telemetry = telemetry if telemetry is not None and telemetry.enabled else None
         if cache_dir is None:
             cache_dir = diskcache.default_cache_dir()
         self.cache = diskcache.DiskCellCache(cache_dir) if cache_dir else None
@@ -203,6 +208,22 @@ class ExperimentRunner:
         window = window_size if window_size is not None else self.window_size
         return (app, input_name, prefetcher, mode, window)
 
+    def _telemetry_cell(
+        self,
+        app: str,
+        input_name: str,
+        prefetcher: str,
+        mode: Optional[ControlMode],
+        window_size: Optional[int],
+    ) -> str:
+        """Relative artifact directory for one cell (one dir per variant)."""
+        slug = prefetcher
+        if mode is not None:
+            slug += f"@{getattr(mode, 'value', mode)}"
+        if window_size is not None:
+            slug += f"-w{window_size}"
+        return f"{app}/{input_name}/{slug}"
+
     def _cell_key(
         self,
         app: str,
@@ -252,7 +273,9 @@ class ExperimentRunner:
         cache = self.cache
         if cache is not None:
             disk_key = self._cell_key(app, input_name, prefetcher, mode, window)
-            cached = cache.get(disk_key)
+            # A telemetry-enabled run always re-simulates: a cached result
+            # would produce the numbers but none of the artifacts.
+            cached = cache.get(disk_key) if self.telemetry is None else None
             if cached is not None:
                 self._results[key] = cached
                 return cached
@@ -264,7 +287,19 @@ class ExperimentRunner:
                 stats = run_ideal(self.config, trace)
             else:
                 pf = self._make_prefetcher(prefetcher, app, input_name, mode, window)
-                stats = SimulationEngine(self.config, pf).run(trace)
+                collector = (
+                    TelemetryCollector(self.telemetry)
+                    if self.telemetry is not None
+                    else None
+                )
+                stats = SimulationEngine(
+                    self.config, pf, collector=collector
+                ).run(trace)
+                if collector is not None:
+                    cell = self._telemetry_cell(
+                        app, input_name, prefetcher, mode, window_size
+                    )
+                    collector.export(self.telemetry.root / cell, cell)
         except Exception as exc:
             if not self.lenient:
                 raise

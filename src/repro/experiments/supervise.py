@@ -45,6 +45,7 @@ from typing import Dict, Iterable, List, Optional, Tuple, Union
 from repro.experiments import faults as faults_mod
 from repro.experiments.pool import pending_specs, resolve_jobs
 from repro.experiments.runner import CellSpec, ExperimentRunner
+from repro.telemetry.sweep import SweepTelemetry
 
 #: Environment variable providing the default per-cell timeout (seconds).
 CELL_TIMEOUT_ENV = "RNR_CELL_TIMEOUT"
@@ -315,12 +316,29 @@ def _worker_main(conn, init_kwargs: dict, fault_plan: dict) -> None:
     message per cell, repeat until told to stop."""
     runner = ExperimentRunner(**init_kwargs)
     plan = faults_mod.FaultPlan(fault_plan)
+    if runner.telemetry is not None:
+        # Live progress: the interval sampler calls this (wall-clock
+        # throttled) and the payload rides the existing result pipe as a
+        # ("tel", cell_index, payload) message.
+        current_cell = {"index": -1}
+
+        def _heartbeat(payload, _conn=conn, _current=current_cell):
+            try:
+                _conn.send(("tel", _current["index"], payload))
+            except (OSError, BrokenPipeError, ValueError):
+                pass
+
+        runner.telemetry.heartbeat = _heartbeat
+    else:
+        current_cell = None
     try:
         while True:
             group = conn.recv()
             if group is None:
                 return
             for index, (spec, attempt) in enumerate(group):
+                if current_cell is not None:
+                    current_cell["index"] = index
                 conn.send(("start", index))
                 began = time.perf_counter()
                 try:
@@ -346,7 +364,8 @@ def _worker_main(conn, init_kwargs: dict, fault_plan: dict) -> None:
 class _Worker:
     """Supervisor-side handle on one worker process."""
 
-    def __init__(self, init_kwargs: dict, fault_plan: dict):
+    def __init__(self, init_kwargs: dict, fault_plan: dict, wid: int = 0):
+        self.wid = wid
         self.conn, child_conn = multiprocessing.Pipe()
         self.proc = multiprocessing.Process(
             target=_worker_main,
@@ -491,9 +510,14 @@ def run_supervised_sweep(
         config=runner.config,
         seed=runner.seed,
         cache_dir=cache_dir,
+        telemetry=runner.telemetry,
     )
     fault_plan = dict(faults or {})
     workers: List[_Worker] = []
+    next_wid = [0]
+    sweep_tel = (
+        SweepTelemetry(runner.telemetry.root) if runner.telemetry is not None else None
+    )
 
     def save_manifest() -> None:
         if manifest is not None:
@@ -528,28 +552,60 @@ def run_supervised_sweep(
     # specs; the supervisor keeps the states alongside per worker.
     group_states: Dict[int, List[_CellState]] = {}
 
+    def handle_message(
+        worker: _Worker, batch: List[_CellState], message, refresh: bool = False
+    ) -> None:
+        """Apply one worker pipe message (shared by the live loop and the
+        post-mortem drain; ``refresh`` extends the timeout deadline)."""
+        tag = message[0]
+        if tag == "start":
+            worker.started = message[1]
+            if sweep_tel is not None:
+                state = batch[message[1]]
+                sweep_tel.cell_started(
+                    worker.wid, cell_id(state.spec), state.attempts + 1
+                )
+            if refresh:
+                worker.refresh_deadline(cell_timeout)
+        elif tag == "tel":
+            if sweep_tel is not None:
+                sweep_tel.cell_heartbeat(
+                    worker.wid, cell_id(batch[message[1]].spec), message[2]
+                )
+        elif tag == "ok":
+            _, index, result, duration = message
+            state = batch[index]
+            complete(state, result, duration)
+            if sweep_tel is not None:
+                sweep_tel.cell_finished(
+                    worker.wid, cell_id(state.spec), "done", state.attempts, duration
+                )
+            worker.finished = index
+            if refresh:
+                worker.refresh_deadline(cell_timeout)
+        elif tag == "err":
+            _, index, exc_name, text, duration = message
+            state = batch[index]
+            fail_or_retry(state, classify_exception(exc_name), text, duration)
+            if sweep_tel is not None:
+                sweep_tel.cell_finished(
+                    worker.wid, cell_id(state.spec), "failed", state.attempts,
+                    duration, text,
+                )
+            worker.finished = index
+            if refresh:
+                worker.refresh_deadline(cell_timeout)
+        elif tag == "group_done":
+            worker.busy = False
+            worker.group = []
+            group_states.pop(id(worker), None)
+
     def drain(worker: _Worker, batch: List[_CellState]) -> None:
         """Consume every message a (possibly dead) worker already sent, so
         results that completed before a fault are never discarded."""
         try:
             while worker.conn.poll():
-                message = worker.conn.recv()
-                tag = message[0]
-                if tag == "start":
-                    worker.started = message[1]
-                elif tag == "ok":
-                    complete(batch[message[1]], message[2], message[3])
-                    worker.finished = message[1]
-                elif tag == "err":
-                    fail_or_retry(
-                        batch[message[1]],
-                        classify_exception(message[2]),
-                        message[3],
-                        message[4],
-                    )
-                    worker.finished = message[1]
-                elif tag == "group_done":
-                    worker.busy = False
+                handle_message(worker, batch, worker.conn.recv())
         except (EOFError, OSError):
             pass
 
@@ -586,7 +642,8 @@ def run_supervised_sweep(
                 if not worker.busy and ready and worker.alive():
                     dispatch(worker)
             while ready and sum(1 for w in workers if w.alive()) < jobs:
-                worker = _Worker(init_kwargs, fault_plan)
+                worker = _Worker(init_kwargs, fault_plan, next_wid[0])
+                next_wid[0] += 1
                 workers.append(worker)
                 dispatch(worker)
 
@@ -613,30 +670,8 @@ def run_supervised_sweep(
                     try:
                         while worker.conn.poll():
                             message = worker.conn.recv()
-                            tag = message[0]
                             batch = group_states.get(id(worker), [])
-                            if tag == "start":
-                                worker.started = message[1]
-                                worker.refresh_deadline(cell_timeout)
-                            elif tag == "ok":
-                                _, index, result, duration = message
-                                complete(batch[index], result, duration)
-                                worker.finished = index
-                                worker.refresh_deadline(cell_timeout)
-                            elif tag == "err":
-                                _, index, exc_name, text, duration = message
-                                fail_or_retry(
-                                    batch[index],
-                                    classify_exception(exc_name),
-                                    text,
-                                    duration,
-                                )
-                                worker.finished = index
-                                worker.refresh_deadline(cell_timeout)
-                            elif tag == "group_done":
-                                worker.busy = False
-                                worker.group = []
-                                group_states.pop(id(worker), None)
+                            handle_message(worker, batch, message, refresh=True)
                     except (EOFError, OSError):
                         pass  # death handled below
 
@@ -651,6 +686,7 @@ def run_supervised_sweep(
                     drain(worker, batch)
                     worker.kill()
                     if worker.busy:
+                        _close_reaped_span(sweep_tel, worker, batch, "timeout")
                         _reap_states(
                             worker,
                             batch,
@@ -667,6 +703,7 @@ def run_supervised_sweep(
                     batch = group_states.pop(id(worker), [])
                     drain(worker, batch)
                     if worker.busy:
+                        _close_reaped_span(sweep_tel, worker, batch, "crash")
                         _reap_states(
                             worker,
                             batch,
@@ -694,7 +731,30 @@ def run_supervised_sweep(
 
     report.duration = time.monotonic() - began
     save_manifest()
+    if sweep_tel is not None:
+        sweep_tel.write(report)
     return report
+
+
+def _close_reaped_span(
+    sweep_tel: Optional[SweepTelemetry],
+    worker: _Worker,
+    batch: List[_CellState],
+    status: str,
+) -> None:
+    """Record the end of a killed/dead worker's in-flight cell span."""
+    if sweep_tel is None:
+        return
+    if worker.finished < worker.started < len(batch):
+        state = batch[worker.started]
+        sweep_tel.cell_finished(
+            worker.wid,
+            cell_id(state.spec),
+            status,
+            state.attempts + 1,
+            0.0,
+            f"worker {status}",
+        )
 
 
 def _reap_states(

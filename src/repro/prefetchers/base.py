@@ -30,11 +30,18 @@ class Prefetcher:
     def __init__(self) -> None:
         self.hierarchy: Optional[CacheHierarchy] = None
         self.stats: Optional[SimStats] = None
+        # Telemetry collector (None unless a run enables telemetry).
+        self.telemetry = None
 
     def attach(self, hierarchy: CacheHierarchy, stats: SimStats) -> None:
         """Bind to one core's hierarchy before simulation starts."""
         self.hierarchy = hierarchy
         self.stats = stats
+
+    def attach_telemetry(self, collector) -> None:
+        """Bind an enabled telemetry collector (engine calls this once per
+        instrumented run; never called for disabled runs)."""
+        self.telemetry = collector
 
     # -- hooks --------------------------------------------------------------
     def on_access(self, address: int, pc: int, cycle: int, is_store: bool) -> bool:
@@ -67,6 +74,9 @@ class Prefetcher:
         if line_addr < 0:
             return False
         assert self.hierarchy is not None, "prefetcher used before attach()"
+        tracer = self.hierarchy.tracer
+        if tracer is not None:
+            tracer.source = self.name
         return self.hierarchy.prefetch_l2(line_addr, cycle, pf_window=window)
 
 

@@ -31,6 +31,12 @@ class CompositePrefetcher(Prefetcher):
         for child in self.children:
             child.attach(hierarchy, stats)
 
+    def attach_telemetry(self, collector):
+        """Forward the collector to every child."""
+        super().attach_telemetry(collector)
+        for child in self.children:
+            child.attach_telemetry(collector)
+
     def on_access(self, address, pc, cycle, is_store):
         """Demand-reference hook; returns the RnR packet flag."""
         flagged = False

@@ -58,6 +58,15 @@ class RnRPrefetcher(Prefetcher):
         super().attach(hierarchy, stats)
         hierarchy.unused_prefetch_classifier = self._classify_unused
 
+    def attach_telemetry(self, collector):
+        """Propagate the collector to the live recorder/replayer (and to
+        any created by a later ``rnr.init`` directive)."""
+        super().attach_telemetry(collector)
+        if self.recorder is not None:
+            self.recorder.telemetry = collector
+        if self.replayer is not None:
+            self.replayer.telemetry = collector
+
     # ------------------------------------------------------------------
     # Software directives (Table I calls arriving through the trace)
     # ------------------------------------------------------------------
@@ -125,6 +134,9 @@ class RnRPrefetcher(Prefetcher):
             issue=self._issue_replay,
         )
         self.replayer.hierarchy = self.hierarchy
+        if self.telemetry is not None:
+            self.recorder.telemetry = self.telemetry
+            self.replayer.telemetry = self.telemetry
 
     def _recorder_required(self) -> Recorder:
         if self.recorder is None:
@@ -174,6 +186,9 @@ class RnRPrefetcher(Prefetcher):
     # Timeliness classification (Fig 11)
     # ------------------------------------------------------------------
     def _issue_replay(self, line_addr: int, cycle: int, window: int) -> bool:
+        tracer = self.hierarchy.tracer
+        if tracer is not None:
+            tracer.source = self.name
         return self.hierarchy.prefetch_l2(line_addr, cycle, pf_window=window)
 
     def _classify_unused(self, line_addr: int, pf_window: int) -> None:

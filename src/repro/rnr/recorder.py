@@ -36,6 +36,8 @@ class Recorder:
         self.sequence = sequence
         self.division = division
         self.stats = stats
+        # Telemetry collector (None unless the run enables telemetry).
+        self.telemetry = None
 
     def record_miss(
         self,
@@ -61,6 +63,10 @@ class Recorder:
         registers.div_table_len += 1
         self.stats.division_entries += 1
         self.stats.windows_recorded += 1
+        if self.telemetry is not None:
+            self.telemetry.on_window_recorded(
+                registers.div_table_len - 1, cycle, registers.cur_struct_read
+            )
 
     def finish(self, cycle: int, hierarchy: Optional[CacheHierarchy]) -> None:
         """Stop recording: close the trailing partial window and flush the

@@ -74,6 +74,8 @@ class Replayer:
         # issue(line_addr, cycle, window) -> bool; bound by the prefetcher.
         self._issue = issue if issue is not None else (lambda line, cycle, window: False)
         self.hierarchy: Optional[CacheHierarchy] = None
+        # Telemetry collector (None unless the run enables telemetry).
+        self.telemetry = None
         #: Prefetches issued per window (fault-degradation observability).
         self.issued_by_window: Dict[int, int] = {}
         #: Windows degraded to no-prefetch after a corrupt sequence entry.
@@ -90,6 +92,10 @@ class Replayer:
         self.issued_by_window = {}
         self.skipped_windows = set()
         self._corrupt_div_windows = set()
+        if self.telemetry is not None:
+            self.telemetry.on_replay_begin(
+                cycle, len(self.division), self.registers.prefetch_pace
+            )
         if self.mode is ControlMode.NONE:
             return
         # Prime the pipeline: fetch window 0 before demand starts.  Pace
@@ -159,6 +165,8 @@ class Replayer:
             if window not in self.skipped_windows:
                 self.skipped_windows.add(window)
                 self.stats.windows_skipped += 1
+                if self.telemetry is not None:
+                    self.telemetry.on_window_skipped(window, cycle)
             registers.replay_seq_ptr = self._window_end_entry(window)
             return True
         registers.replay_seq_ptr = index + 1
@@ -198,6 +206,13 @@ class Replayer:
 
         if advanced:
             self._update_pace()
+            if self.telemetry is not None:
+                self.telemetry.on_replay_window(
+                    registers.cur_window,
+                    cycle,
+                    registers.prefetch_pace,
+                    self._struct_reads_in_window(registers.cur_window),
+                )
             # Finish anything still pending for the window demand just
             # entered — its data is needed now.
             self._prefetch_through(

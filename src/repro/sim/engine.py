@@ -4,6 +4,12 @@ Couples one :class:`~repro.cpu.core.Core` to a
 :class:`~repro.cache.hierarchy.CacheHierarchy` and an attached prefetcher,
 interprets embedded RnR directives, and tracks per-phase statistics at the
 ``iter.begin`` / ``iter.end`` markers the workloads emit.
+
+An optional telemetry :class:`~repro.telemetry.collector.Collector` can
+observe the run (interval counter sampling, phase/directive events,
+prefetch lifecycle tracing).  The default is the shared null collector:
+``collector.enabled`` is checked once per run and the disabled path
+executes the original uninstrumented hot loops.
 """
 
 from __future__ import annotations
@@ -18,6 +24,7 @@ from repro.mem.controller import MemoryController
 from repro.prefetchers.base import NullPrefetcher, Prefetcher
 from repro.sim.os_model import apply_switch
 from repro.stats import PhaseStats, SimStats
+from repro.telemetry.collector import NULL_COLLECTOR, Collector
 from repro.trace.record import KIND_DIRECTIVE, KIND_LOAD
 from repro.trace.trace import Trace
 
@@ -32,6 +39,7 @@ class SimulationEngine:
         llc: Optional[Cache] = None,
         controller: Optional[MemoryController] = None,
         prefetch_fill_level: str = "l2",
+        collector: Optional[Collector] = None,
     ):
         self.config = config
         self.stats = SimStats()
@@ -50,11 +58,35 @@ class SimulationEngine:
         self.core = Core(config.core)
         self.prefetcher = prefetcher if prefetcher is not None else NullPrefetcher()
         self.prefetcher.attach(self.hierarchy, self.stats)
+        self.collector = collector if collector is not None else NULL_COLLECTOR
+        if self.collector.enabled:
+            self._wire_collector()
         self._phase_stack: list = []
+
+    def _wire_collector(self) -> None:
+        """Point the hierarchy/MSHR/prefetcher-side hooks at the collector.
+
+        Only runs for enabled collectors, so a disabled run leaves every
+        ``tracer`` / ``on_stall`` / ``telemetry`` attribute None and pays
+        nothing on the hot paths.
+        """
+        tracer = self.collector.tracer
+        if tracer is not None:
+            hierarchy = self.hierarchy
+            hierarchy.tracer = tracer
+            for level, cache in (
+                ("l1d", hierarchy.l1),
+                ("l2", hierarchy.l2),
+                ("llc", hierarchy.llc),
+            ):
+                cache.mshr.on_stall = tracer.mshr_stall_hook(level)
+        self.prefetcher.attach_telemetry(self.collector)
 
     # ------------------------------------------------------------------
     def _begin_phase(self, name: str) -> None:
         traffic = self.stats.traffic
+        if self.collector.enabled:
+            self.collector.on_phase_begin(name, self.core.cycle)
         self._phase_stack.append(
             (
                 name,
@@ -76,19 +108,20 @@ class SimulationEngine:
         if start_name != name:
             raise ValueError(f"phase mismatch: began {start_name!r}, ended {name!r}")
         traffic = self.stats.traffic
-        self.stats.phases.append(
-            PhaseStats(
-                name=name,
-                instructions=self.core.instructions - instrs,
-                cycles=self.core.cycle - cycles,
-                l2_demand_misses=self.stats.l2.demand_misses - misses,
-                demand_lines=traffic.demand_lines - demand,
-                prefetch_lines=traffic.prefetch_lines - prefetch,
-                metadata_lines=traffic.metadata_read_lines
-                + traffic.metadata_write_lines
-                - metadata,
-            )
+        phase = PhaseStats(
+            name=name,
+            instructions=self.core.instructions - instrs,
+            cycles=self.core.cycle - cycles,
+            l2_demand_misses=self.stats.l2.demand_misses - misses,
+            demand_lines=traffic.demand_lines - demand,
+            prefetch_lines=traffic.prefetch_lines - prefetch,
+            metadata_lines=traffic.metadata_read_lines
+            + traffic.metadata_write_lines
+            - metadata,
         )
+        self.stats.phases.append(phase)
+        if self.collector.enabled:
+            self.collector.on_phase_end(name, self.core.cycle, phase)
 
     def _handle_directive(self, op: str, args: tuple, cycle: int) -> None:
         if op == "iter.begin":
@@ -100,6 +133,8 @@ class SimulationEngine:
             self.core.cycle = apply_switch(
                 self.hierarchy, self.core.cycle, away_cycles, pollution
             )
+        if self.collector.enabled:
+            self.collector.on_directive(op, args, cycle)
         self.prefetcher.on_directive(op, args, cycle)
 
     # ------------------------------------------------------------------
@@ -127,8 +162,42 @@ class SimulationEngine:
         kind_directive = KIND_DIRECTIVE
         kind_load = KIND_LOAD
 
+        collector = self.collector
         ptype = type(prefetcher)
-        if (
+        if collector.enabled:
+            # Telemetry loop: same dispatch as the general loop plus one
+            # cycle comparison per entry for the interval sampler.  Only
+            # enabled collectors ever take this branch, so the two loops
+            # below stay exactly as fast as before telemetry existed.
+            collector.on_run_begin(len(trace), self.stats, prefetcher.name)
+            on_access = prefetcher.on_access
+            on_l2_event = prefetcher.on_l2_event
+            maybe_sample = collector.maybe_sample
+            stats = self.stats
+            for kind, addr, pc, gap in trace.iter_packed():
+                if gap:
+                    advance(gap)
+                if kind == kind_directive:
+                    op, args = directive_at(addr)
+                    handle_directive(op, args, core.cycle)
+                    continue
+                issue = issue_cycle()
+                if kind == kind_load:
+                    flagged = on_access(addr, pc, issue, False)
+                    result = load(addr, issue)
+                    retire_load(result.completion)
+                else:
+                    flagged = on_access(addr, pc, issue, True)
+                    result = store(addr, issue)
+                    retire_store(result.completion)
+                if result.l2_event is not none_event:
+                    on_l2_event(
+                        result.line_addr, pc, issue, result.l2_event, flagged, result.completion
+                    )
+                if core.cycle >= collector.next_sample:
+                    stats.instructions = core.instructions
+                    maybe_sample(core.cycle)
+        elif (
             ptype.on_access is Prefetcher.on_access
             and ptype.on_l2_event is Prefetcher.on_l2_event
         ):
@@ -176,4 +245,6 @@ class SimulationEngine:
         self.hierarchy.drain(final_cycle)
         self.stats.instructions = core.instructions
         self.stats.cycles = final_cycle
+        if collector.enabled:
+            collector.on_run_end(self.stats, final_cycle)
         return self.stats

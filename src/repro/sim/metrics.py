@@ -24,9 +24,14 @@ from repro.stats import PhaseStats, SimStats
 # Speedup
 # ---------------------------------------------------------------------------
 def speedup(baseline: SimStats, candidate: SimStats) -> float:
-    """End-to-end speedup of ``candidate`` over ``baseline`` (same trace)."""
+    """End-to-end speedup of ``candidate`` over ``baseline`` (same trace).
+
+    A candidate with no cycles (a degraded/failed cell) yields NaN — the
+    table renderer prints it as ``-`` and the geomean skips it — rather
+    than a fake 0.0 that would silently drag aggregate speedups down.
+    """
     if candidate.cycles == 0:
-        return 0.0
+        return float("nan")
     return baseline.cycles / candidate.cycles
 
 

@@ -8,7 +8,8 @@ overhead) from a single :class:`SimStats` object per run.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field, fields
+from typing import Dict, Iterator, Tuple
 
 
 @dataclass
@@ -164,6 +165,57 @@ class SimStats:
         if self.instructions == 0:
             return 0.0
         return 1000.0 * self.l2.demand_misses / self.instructions
+
+    def as_dict(self) -> dict:
+        """Nested plain-dict form of every counter (JSON-ready).
+
+        This is the one serialization path shared by the telemetry
+        interval snapshots, the sweep manifest, and anything else that
+        needs ``SimStats`` outside the process; :meth:`from_dict` is its
+        exact inverse (``SimStats.from_dict(s.as_dict()) == s``).
+        """
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SimStats":
+        """Rebuild a :class:`SimStats` from :meth:`as_dict` output."""
+        stats = cls(
+            instructions=payload.get("instructions", 0),
+            cycles=payload.get("cycles", 0),
+        )
+        stats.phases = [PhaseStats(**phase) for phase in payload.get("phases", [])]
+        for name, klass in (
+            ("l1d", CacheStats),
+            ("l2", CacheStats),
+            ("llc", CacheStats),
+            ("prefetch", PrefetchStats),
+            ("traffic", TrafficStats),
+            ("rnr", RnRStats),
+        ):
+            if name in payload:
+                setattr(stats, name, klass(**payload[name]))
+        return stats
+
+    def iter_counters(self) -> Iterator[Tuple[str, int]]:
+        """Flat ``(dotted_name, value)`` pairs for every numeric counter.
+
+        Phase lists and label strings are skipped; the order is stable
+        (dataclass field order), so telemetry time-series columns line up
+        across snapshots.
+        """
+        for top in fields(self):
+            value = getattr(self, top.name)
+            if isinstance(value, (int, float)):
+                yield top.name, value
+            elif top.name != "phases":
+                for sub in fields(value):
+                    item = getattr(value, sub.name)
+                    if isinstance(item, (int, float)):
+                        yield f"{top.name}.{sub.name}", item
+
+    def flat_counters(self) -> Dict[str, int]:
+        """:meth:`iter_counters` as a dict (telemetry snapshot form)."""
+        return dict(self.iter_counters())
 
     def merge(self, other: "SimStats") -> None:
         """Accumulate another core's / phase's counters into this one."""

@@ -1,0 +1,122 @@
+"""Chrome ``trace_event`` export.
+
+Builds the JSON object format that ``chrome://tracing`` and Perfetto load:
+``{"traceEvents": [...]}`` with complete-span (``ph: "X"``), instant
+(``ph: "i"``), counter (``ph: "C"``) and thread-name metadata events.
+
+Simulated time maps 1 cycle -> 1 microsecond of trace time, so a span of
+a million cycles reads as one millisecond on the tracing timeline; sweep
+level traces use wall-clock microseconds directly.  The unit in use is
+recorded in ``otherData.time_unit``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+
+class ChromeTraceBuilder:
+    """Accumulates trace events and writes the JSON object format."""
+
+    def __init__(self, time_unit: str = "cycles"):
+        self.events: list = []
+        self.time_unit = time_unit
+        self._named: set = set()
+
+    # ------------------------------------------------------------------
+    def thread_name(self, pid: int, tid: int, name: str) -> None:
+        """Label one (pid, tid) row of the tracing UI (idempotent)."""
+        key = (pid, tid)
+        if key in self._named:
+            return
+        self._named.add(key)
+        self.events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": name},
+            }
+        )
+
+    def complete(
+        self,
+        name: str,
+        ts: float,
+        dur: float,
+        pid: int = 0,
+        tid: int = 0,
+        cat: str = "sim",
+        args: Optional[dict] = None,
+    ) -> None:
+        """One complete span (begin + duration in one event)."""
+        event = {
+            "name": name,
+            "ph": "X",
+            "ts": ts,
+            "dur": max(0.0, dur),
+            "pid": pid,
+            "tid": tid,
+            "cat": cat,
+        }
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
+    def instant(
+        self,
+        name: str,
+        ts: float,
+        pid: int = 0,
+        tid: int = 0,
+        cat: str = "sim",
+        args: Optional[dict] = None,
+    ) -> None:
+        event = {
+            "name": name,
+            "ph": "i",
+            "s": "t",  # thread-scoped instant
+            "ts": ts,
+            "pid": pid,
+            "tid": tid,
+            "cat": cat,
+        }
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
+    def counter(
+        self,
+        name: str,
+        ts: float,
+        values: dict,
+        pid: int = 0,
+        tid: int = 0,
+    ) -> None:
+        self.events.append(
+            {
+                "name": name,
+                "ph": "C",
+                "ts": ts,
+                "pid": pid,
+                "tid": tid,
+                "args": values,
+            }
+        )
+
+    # ------------------------------------------------------------------
+    def payload(self) -> dict:
+        return {
+            "traceEvents": self.events,
+            "displayTimeUnit": "ms",
+            "otherData": {"time_unit": self.time_unit},
+        }
+
+    def write(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.payload()) + "\n")
+        return path

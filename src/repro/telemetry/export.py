@@ -1,0 +1,66 @@
+"""Telemetry file writers: JSONL event logs and CSV time series.
+
+These are the shared low-level writers — the collector's per-cell export,
+the sweep-level telemetry, and the benchmark harness all emit through
+them, so on-disk formats cannot drift per call site.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Sequence, Union
+
+
+def write_jsonl(path: Union[str, Path], events: Iterable[dict]) -> Path:
+    """One JSON object per line (the telemetry event-log format)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fh:
+        for event in events:
+            fh.write(json.dumps(event, sort_keys=True))
+            fh.write("\n")
+    return path
+
+
+def write_csv(
+    path: Union[str, Path],
+    columns: Sequence[str],
+    rows: Iterable[Sequence[object]],
+) -> Path:
+    """Header + comma-separated rows (the telemetry time-series format).
+
+    Values are rendered with ``repr``-free ``str`` and must not contain
+    commas; every telemetry column is a name or a number, so the format
+    stays trivially parseable (``repro.telemetry.check`` round-trips it).
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fh:
+        fh.write(",".join(str(c) for c in columns))
+        fh.write("\n")
+        for row in rows:
+            rendered = [str(value) for value in row]
+            for value in rendered:
+                if "," in value or "\n" in value:
+                    raise ValueError(
+                        f"telemetry CSV values must not contain commas: {value!r}"
+                    )
+            fh.write(",".join(rendered))
+            fh.write("\n")
+    return path
+
+
+def read_csv(path: Union[str, Path]):
+    """Inverse of :func:`write_csv`: (columns, rows-of-strings)."""
+    lines = Path(path).read_text().splitlines()
+    if not lines:
+        raise ValueError(f"empty telemetry CSV: {path}")
+    columns = lines[0].split(",")
+    rows = [line.split(",") for line in lines[1:] if line]
+    for number, row in enumerate(rows, start=2):
+        if len(row) != len(columns):
+            raise ValueError(
+                f"{path}:{number}: expected {len(columns)} fields, got {len(row)}"
+            )
+    return columns, rows

@@ -1,0 +1,203 @@
+"""Prefetch lifecycle tracing.
+
+Follows individual prefetches through their whole life — issue (into the
+MSHR/memory path) → fill → first demand hit, or eviction without use —
+and attributes each one to the RnR window it was recorded for (via the
+hierarchy's ``pf_window`` plumbing) or to the issuing baseline
+prefetcher from :mod:`repro.prefetchers.registry` (via the sticky
+:attr:`LifecycleTracer.source` set by ``Prefetcher._issue``).  The
+per-window aggregation is the interval-resolved pacing/timeliness view
+behind the paper's Figs 10–11.
+
+The tracer is the object the :class:`~repro.cache.hierarchy.CacheHierarchy`
+and the MSHR files talk to; it is ``None`` on every hierarchy unless a
+run's collector is enabled, so the disabled cost is literally one
+attribute that is never read on the demand fast path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class EventLog:
+    """Bounded append-only event list; overflow is counted, not silent."""
+
+    __slots__ = ("events", "max_events", "dropped")
+
+    def __init__(self, max_events: int):
+        self.events: list = []
+        self.max_events = max_events
+        self.dropped = 0
+
+    def append(self, event: dict) -> None:
+        if len(self.events) < self.max_events:
+            self.events.append(event)
+        else:
+            self.dropped += 1
+
+
+class WindowStats:
+    """Per-RnR-window (or per-source) prefetch lifecycle aggregate."""
+
+    __slots__ = ("issued", "late", "dropped", "used", "late_used", "evicted_unused",
+                 "first_issue_cycle", "last_event_cycle")
+
+    def __init__(self):
+        self.issued = 0
+        self.late = 0
+        self.dropped = 0
+        self.used = 0
+        self.late_used = 0  # demand arrived while the fill was in flight
+        self.evicted_unused = 0
+        self.first_issue_cycle: Optional[int] = None
+        self.last_event_cycle = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "issued": self.issued,
+            "late": self.late,
+            "dropped": self.dropped,
+            "used": self.used,
+            "late_used": self.late_used,
+            "evicted_unused": self.evicted_unused,
+            "first_issue_cycle": self.first_issue_cycle,
+            "last_event_cycle": self.last_event_cycle,
+        }
+
+
+class LifecycleTracer:
+    """Receives the hierarchy/MSHR-side telemetry hooks for one run."""
+
+    def __init__(self, log: EventLog):
+        self.log = log
+        #: Sticky attribution label; ``Prefetcher._issue`` sets it to the
+        #: issuing prefetcher's registry name before each prefetch.
+        self.source = "?"
+        #: line_addr -> (issue_cycle, completion, window, source) of
+        #: prefetched lines that have not been demanded yet.
+        self.inflight: Dict[int, tuple] = {}
+        #: pf_window -> :class:`WindowStats` (window -1 = non-RnR source).
+        self.windows: Dict[int, WindowStats] = {}
+        self.mshr_stalls: Dict[str, int] = {}
+        self._last_cycle = 0
+
+    # ------------------------------------------------------------------
+    def _window(self, window: int) -> WindowStats:
+        stats = self.windows.get(window)
+        if stats is None:
+            stats = self.windows[window] = WindowStats()
+        return stats
+
+    # -- hierarchy hooks -----------------------------------------------
+    def on_prefetch_issued(
+        self, line_addr: int, cycle: int, completion: int, window: int, sent: bool
+    ) -> None:
+        """One prefetch left the prefetcher.  ``sent=False`` marks the
+        paper's *late* category (a demand miss already outstanding)."""
+        self._last_cycle = cycle
+        stats = self._window(window)
+        stats.issued += 1
+        stats.last_event_cycle = cycle
+        if stats.first_issue_cycle is None:
+            stats.first_issue_cycle = cycle
+        if not sent:
+            stats.late += 1
+        else:
+            self.inflight[line_addr] = (cycle, completion, window, self.source)
+        self.log.append(
+            {
+                "ev": "pf.issue",
+                "cycle": cycle,
+                "line": line_addr,
+                "window": window,
+                "source": self.source,
+                "completion": completion,
+                "sent": sent,
+            }
+        )
+
+    def on_prefetch_dropped(self, line_addr: int, cycle: int, window: int) -> None:
+        """Prefetch target already resident: never sent off-chip."""
+        self._last_cycle = cycle
+        stats = self._window(window)
+        stats.dropped += 1
+        stats.last_event_cycle = cycle
+        self.log.append(
+            {
+                "ev": "pf.drop",
+                "cycle": cycle,
+                "line": line_addr,
+                "window": window,
+                "source": self.source,
+            }
+        )
+
+    def on_prefetch_hit(
+        self, line_addr: int, cycle: int, arrive: int, window: int
+    ) -> None:
+        """First demand touch of a prefetched line (the *useful* event)."""
+        self._last_cycle = cycle
+        record = self.inflight.pop(line_addr, None)
+        issue_cycle = record[0] if record else None
+        source = record[3] if record else self.source
+        in_flight = arrive > cycle
+        stats = self._window(window)
+        stats.used += 1
+        stats.last_event_cycle = cycle
+        if in_flight:
+            stats.late_used += 1
+        self.log.append(
+            {
+                "ev": "pf.use",
+                "cycle": cycle,
+                "line": line_addr,
+                "window": window,
+                "source": source,
+                "issue_cycle": issue_cycle,
+                "lead_cycles": (cycle - issue_cycle) if issue_cycle is not None else None,
+                "fill_in_flight": in_flight,
+            }
+        )
+
+    def on_prefetch_evicted(self, line_addr: int, window: int) -> None:
+        """A prefetched line left the cache (or survived to drain) unused.
+
+        Eviction handlers carry no cycle, so the event is stamped with
+        the last cycle the tracer saw.
+        """
+        record = self.inflight.pop(line_addr, None)
+        source = record[3] if record else self.source
+        stats = self._window(window)
+        stats.evicted_unused += 1
+        self.log.append(
+            {
+                "ev": "pf.evict",
+                "cycle": self._last_cycle,
+                "line": line_addr,
+                "window": window,
+                "source": source,
+            }
+        )
+
+    # -- MSHR hooks ----------------------------------------------------
+    def mshr_stall_hook(self, level: str):
+        """A per-level ``on_stall`` callback for one MSHR file."""
+
+        def on_stall(cycle: int, until: int) -> None:
+            self.mshr_stalls[level] = self.mshr_stalls.get(level, 0) + 1
+            self.log.append(
+                {
+                    "ev": "mshr.stall",
+                    "cycle": cycle,
+                    "level": level,
+                    "until": until,
+                }
+            )
+
+        return on_stall
+
+    # ------------------------------------------------------------------
+    def window_summary(self) -> Dict[str, dict]:
+        """{window: lifecycle aggregate} with -1 holding non-RnR issues."""
+        return {str(w): s.as_dict() for w, s in sorted(self.windows.items())}

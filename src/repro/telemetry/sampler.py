@@ -1,0 +1,78 @@
+"""Interval sampling of simulation counters into a columnar time series.
+
+Every ``interval`` cycles the sampler snapshots the run's
+:class:`~repro.stats.SimStats` flat counters and stores the *delta* since
+the previous snapshot, so each row answers "what happened in this
+interval" (the per-interval live counters that runtime-guided prefetcher
+tuning needs).  Because the first snapshot baseline is all-zero and the
+run ends with a final flush, the column sums reconcile exactly with the
+end-of-run counters — the property ``repro.telemetry.check`` validates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.stats import SimStats
+
+
+class IntervalSampler:
+    """Columnar (cycle, counter deltas) time series for one run."""
+
+    def __init__(self, interval: int):
+        if interval < 1:
+            raise ValueError(f"interval must be >= 1 cycle, got {interval}")
+        self.interval = interval
+        #: Column names: "cycle" plus every dotted SimStats counter.
+        self.columns: List[str] = []
+        #: One list per sampled interval, aligned with :attr:`columns`.
+        self.rows: List[List[int]] = []
+        #: Cycle at/after which the next sample is due (engine hot-loop
+        #: comparison target; huge until :meth:`begin`).
+        self.next_sample: int = 1 << 62
+        self._stats: Optional[SimStats] = None
+        self._last: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def begin(self, stats: SimStats) -> None:
+        """Bind to a run's stats object; the delta baseline is zero."""
+        self._stats = stats
+        counters = stats.flat_counters()
+        self.columns = ["cycle"] + list(counters)
+        self._last = {name: 0 for name in counters}
+        self.rows = []
+        self.next_sample = self.interval
+
+    def sample(self, cycle: int) -> Dict[str, int]:
+        """Record one interval row ending at ``cycle``; returns the deltas."""
+        assert self._stats is not None, "sampler used before begin()"
+        current = self._stats.flat_counters()
+        last = self._last
+        deltas = {name: value - last[name] for name, value in current.items()}
+        self.rows.append([cycle] + list(deltas.values()))
+        self._last = current
+        # Align the next sample on the interval grid so a burst of idle
+        # cycles does not drift the sampling phase.
+        self.next_sample = (cycle // self.interval + 1) * self.interval
+        return deltas
+
+    def finish(self, cycle: int) -> None:
+        """Flush the trailing partial interval (keeps sums reconciled)."""
+        if self._stats is None:
+            return
+        current = self._stats.flat_counters()
+        if self.rows and current == self._last and self.rows[-1][0] == cycle:
+            return
+        if current != self._last or not self.rows:
+            self.sample(cycle)
+        self.next_sample = 1 << 62
+
+    # ------------------------------------------------------------------
+    def totals(self) -> Dict[str, int]:
+        """Per-column sums over all rows (reconciliation view)."""
+        out: Dict[str, int] = {}
+        for index, name in enumerate(self.columns):
+            if name == "cycle":
+                continue
+            out[name] = sum(row[index] for row in self.rows)
+        return out

@@ -20,8 +20,12 @@ class TestSpeedup:
         fast = stats_with(cycles=1000)
         assert metrics.speedup(base, fast) == 2.0
 
-    def test_zero_cycles(self):
-        assert metrics.speedup(stats_with(), stats_with(cycles=0)) == 0.0
+    def test_zero_cycles_is_nan(self):
+        # A degraded cell must not pretend to be a 0x slowdown: NaN renders
+        # as '-' in the tables and is skipped by the geomean.
+        import math
+
+        assert math.isnan(metrics.speedup(stats_with(), stats_with(cycles=0)))
 
     def test_replay_speedup_skips_record_iteration(self):
         base = stats_with(phases=[("iter0", 100, 1000, 10), ("iter1", 100, 1000, 10)])

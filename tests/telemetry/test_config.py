@@ -1,0 +1,93 @@
+"""TelemetryConfig construction and CLI/environment resolution."""
+
+import pickle
+
+import pytest
+
+from repro.telemetry.config import (
+    DEFAULT_SAMPLE_INTERVAL,
+    SAMPLE_INTERVAL_ENV,
+    TELEMETRY_ENV,
+    TRACE_EVENTS_ENV,
+    TelemetryConfig,
+    resolve_config,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_env(monkeypatch):
+    for name in (TELEMETRY_ENV, SAMPLE_INTERVAL_ENV, TRACE_EVENTS_ENV):
+        monkeypatch.delenv(name, raising=False)
+
+
+class TestTelemetryConfig:
+    def test_disabled_without_out_dir(self):
+        config = TelemetryConfig()
+        assert not config.enabled
+        with pytest.raises(ValueError, match="disabled"):
+            config.root
+
+    def test_enabled_with_out_dir(self, tmp_path):
+        config = TelemetryConfig(out_dir=tmp_path / "tel")
+        assert config.enabled
+        assert config.root == tmp_path / "tel"
+
+    def test_rejects_nonpositive_interval(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            TelemetryConfig(sample_interval=0)
+
+    def test_pickles_without_heartbeat(self, tmp_path):
+        """The supervisor ships configs to workers; heartbeat stays local."""
+        config = TelemetryConfig(out_dir=str(tmp_path), sample_interval=123)
+        clone = pickle.loads(pickle.dumps(config))
+        assert clone == config
+        assert clone.heartbeat is None
+
+    def test_heartbeat_excluded_from_equality(self, tmp_path):
+        a = TelemetryConfig(out_dir=str(tmp_path))
+        b = TelemetryConfig(out_dir=str(tmp_path), heartbeat=lambda payload: None)
+        assert a == b
+
+
+class TestResolveConfig:
+    def test_disabled_by_default(self):
+        assert resolve_config() is None
+        assert resolve_config(None, 50_000, True) is None  # dir gates everything
+
+    def test_environment_enables(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(TELEMETRY_ENV, str(tmp_path))
+        config = resolve_config()
+        assert config is not None
+        assert config.root == tmp_path
+        assert config.sample_interval == DEFAULT_SAMPLE_INTERVAL
+        assert config.trace_events is False
+
+    def test_cli_beats_environment(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(TELEMETRY_ENV, str(tmp_path / "env"))
+        monkeypatch.setenv(SAMPLE_INTERVAL_ENV, "777")
+        monkeypatch.setenv(TRACE_EVENTS_ENV, "0")
+        config = resolve_config(str(tmp_path / "cli"), 1234, True)
+        assert config.root == tmp_path / "cli"
+        assert config.sample_interval == 1234
+        assert config.trace_events is True
+
+    def test_environment_fills_cli_gaps(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(SAMPLE_INTERVAL_ENV, "777")
+        monkeypatch.setenv(TRACE_EVENTS_ENV, "yes")
+        config = resolve_config(str(tmp_path))
+        assert config.sample_interval == 777
+        assert config.trace_events is True
+
+    @pytest.mark.parametrize("value", ["", "0", "false", "No", "OFF"])
+    def test_trace_events_falsy_values(self, monkeypatch, tmp_path, value):
+        monkeypatch.setenv(TRACE_EVENTS_ENV, value)
+        assert resolve_config(str(tmp_path)).trace_events is False
+
+    def test_bad_sample_interval_env_fails_fast(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(SAMPLE_INTERVAL_ENV, "fast")
+        with pytest.raises(ValueError, match=SAMPLE_INTERVAL_ENV):
+            resolve_config(str(tmp_path))
+
+    def test_nonpositive_interval_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match=">= 1"):
+            resolve_config(str(tmp_path), 0)

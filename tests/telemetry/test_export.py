@@ -1,0 +1,90 @@
+"""The shared JSONL/CSV writers and the Chrome trace builder."""
+
+import json
+
+import pytest
+
+from repro.telemetry.chrome import ChromeTraceBuilder
+from repro.telemetry.check import CheckFailure, check_chrome_trace, check_events_jsonl
+from repro.telemetry.export import read_csv, write_csv, write_jsonl
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        events = [{"ev": "a", "cycle": 1}, {"ev": "b", "cycle": 2, "nested": {"x": 1}}]
+        path = write_jsonl(tmp_path / "events.jsonl", events)
+        lines = path.read_text().splitlines()
+        assert [json.loads(line) for line in lines] == events
+
+    def test_validates(self, tmp_path):
+        path = write_jsonl(tmp_path / "e.jsonl", [{"ev": "a", "cycle": 1}])
+        assert check_events_jsonl(path) == 1
+
+    def test_check_rejects_missing_kind(self, tmp_path):
+        (tmp_path / "bad.jsonl").write_text('{"cycle": 1}\n')
+        with pytest.raises(CheckFailure, match="'ev' kind"):
+            check_events_jsonl(tmp_path / "bad.jsonl")
+
+    def test_check_rejects_missing_timestamp(self, tmp_path):
+        (tmp_path / "bad.jsonl").write_text('{"ev": "a"}\n')
+        with pytest.raises(CheckFailure, match="timestamp"):
+            check_events_jsonl(tmp_path / "bad.jsonl")
+
+
+class TestCsv:
+    def test_round_trip(self, tmp_path):
+        path = write_csv(tmp_path / "t.csv", ["cycle", "a"], [[100, 1], [200, 2]])
+        columns, rows = read_csv(path)
+        assert columns == ["cycle", "a"]
+        assert rows == [["100", "1"], ["200", "2"]]
+
+    def test_rejects_commas_in_values(self, tmp_path):
+        with pytest.raises(ValueError, match="commas"):
+            write_csv(tmp_path / "t.csv", ["a"], [["1,2"]])
+
+    def test_rejects_newlines_in_values(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_csv(tmp_path / "t.csv", ["a"], [["1\n2"]])
+
+    def test_read_rejects_empty_file(self, tmp_path):
+        (tmp_path / "empty.csv").write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            read_csv(tmp_path / "empty.csv")
+
+    def test_read_rejects_ragged_rows(self, tmp_path):
+        (tmp_path / "ragged.csv").write_text("a,b\n1\n")
+        with pytest.raises(ValueError, match="expected 2 fields"):
+            read_csv(tmp_path / "ragged.csv")
+
+
+class TestChromeBuilder:
+    def test_payload_structure_and_check(self, tmp_path):
+        trace = ChromeTraceBuilder(time_unit="cycles")
+        trace.thread_name(0, 0, "phases")
+        trace.complete("iter 0", 0, 500, tid=0, cat="phase", args={"ipc": 1.5})
+        trace.complete(
+            "replay window 3", 100, 50, tid=2, cat="rnr.replay", args={"pace": 8}
+        )
+        trace.instant("record.start", 10, tid=1, cat="rnr")
+        trace.counter("interval deltas", 100, {"instructions": 42}, tid=3)
+        path = trace.write(tmp_path / "trace.json")
+        flags = check_chrome_trace(path)
+        assert flags["phase_span"]
+        assert flags["window_span"]
+        assert flags["spans"] == 2
+        payload = json.loads(path.read_text())
+        assert payload["otherData"]["time_unit"] == "cycles"
+
+    def test_thread_name_is_idempotent(self):
+        trace = ChromeTraceBuilder()
+        trace.thread_name(0, 1, "workers")
+        trace.thread_name(0, 1, "workers again")
+        assert len(trace.events) == 1
+
+    def test_check_rejects_span_without_duration(self, tmp_path):
+        payload = {
+            "traceEvents": [{"name": "x", "ph": "X", "ts": 0, "pid": 0, "tid": 0}]
+        }
+        (tmp_path / "bad.json").write_text(json.dumps(payload))
+        with pytest.raises(CheckFailure, match="dur"):
+            check_chrome_trace(tmp_path / "bad.json")

@@ -1,0 +1,88 @@
+"""LifecycleTracer state transitions and per-window aggregation."""
+
+from repro.telemetry.lifecycle import EventLog, LifecycleTracer, WindowStats
+
+
+def make_tracer(max_events=1000):
+    log = EventLog(max_events)
+    tracer = LifecycleTracer(log)
+    return log, tracer
+
+
+class TestEventLog:
+    def test_overflow_is_counted_not_silent(self):
+        log = EventLog(2)
+        for i in range(5):
+            log.append({"ev": "x", "cycle": i})
+        assert len(log.events) == 2
+        assert log.dropped == 3
+
+
+class TestLifecycle:
+    def test_sent_prefetch_becomes_inflight_then_used_on_time(self):
+        log, tracer = make_tracer()
+        tracer.source = "nextline"
+        tracer.on_prefetch_issued(0x40, cycle=10, completion=110, window=3, sent=True)
+        assert 0x40 in tracer.inflight
+        tracer.on_prefetch_hit(0x40, cycle=200, arrive=110, window=3)
+        assert 0x40 not in tracer.inflight
+        stats = tracer.windows[3]
+        assert (stats.issued, stats.used, stats.late_used, stats.late) == (1, 1, 0, 0)
+        use = [e for e in log.events if e["ev"] == "pf.use"][0]
+        assert use["source"] == "nextline"
+        assert use["lead_cycles"] == 190
+        assert use["fill_in_flight"] is False
+
+    def test_demand_during_fill_counts_late_used(self):
+        _, tracer = make_tracer()
+        tracer.on_prefetch_issued(0x80, cycle=10, completion=300, window=0, sent=True)
+        tracer.on_prefetch_hit(0x80, cycle=50, arrive=300, window=0)
+        stats = tracer.windows[0]
+        assert stats.used == 1
+        assert stats.late_used == 1
+
+    def test_late_issue_never_inflight(self):
+        """sent=False is the paper's *late* category (demand already out)."""
+        _, tracer = make_tracer()
+        tracer.on_prefetch_issued(0xC0, cycle=20, completion=20, window=1, sent=False)
+        assert 0xC0 not in tracer.inflight
+        assert tracer.windows[1].late == 1
+        assert tracer.windows[1].issued == 1
+
+    def test_dropped_and_evicted_unused(self):
+        log, tracer = make_tracer()
+        tracer.on_prefetch_dropped(0x100, cycle=5, window=2)
+        tracer.on_prefetch_issued(0x140, cycle=6, completion=106, window=2, sent=True)
+        tracer.on_prefetch_evicted(0x140, window=2)
+        stats = tracer.windows[2]
+        assert stats.dropped == 1
+        assert stats.evicted_unused == 1
+        assert tracer.inflight == {}
+        evict = [e for e in log.events if e["ev"] == "pf.evict"][0]
+        assert evict["cycle"] == 6  # stamped with the last-seen cycle
+
+    def test_window_minus_one_collects_non_rnr_sources(self):
+        _, tracer = make_tracer()
+        tracer.source = "bingo"
+        tracer.on_prefetch_issued(0x40, cycle=1, completion=2, window=-1, sent=True)
+        summary = tracer.window_summary()
+        assert summary["-1"]["issued"] == 1
+
+    def test_window_summary_matches_window_stats_dict(self):
+        stats = WindowStats()
+        stats.issued = 3
+        stats.used = 2
+        assert stats.as_dict()["issued"] == 3
+        assert stats.as_dict()["used"] == 2
+
+    def test_mshr_stall_hooks_count_per_level(self):
+        log, tracer = make_tracer()
+        l2_hook = tracer.mshr_stall_hook("l2")
+        llc_hook = tracer.mshr_stall_hook("llc")
+        l2_hook(100, 150)
+        l2_hook(200, 240)
+        llc_hook(300, 310)
+        assert tracer.mshr_stalls == {"l2": 2, "llc": 1}
+        stall = [e for e in log.events if e["ev"] == "mshr.stall"][0]
+        assert stall["level"] == "l2"
+        assert stall["until"] == 150

@@ -1,0 +1,72 @@
+"""IntervalSampler: delta rows, grid alignment, exact reconciliation."""
+
+import pytest
+
+from repro.stats import SimStats
+from repro.telemetry.sampler import IntervalSampler
+
+
+def make_sampler(interval=100):
+    stats = SimStats()
+    sampler = IntervalSampler(interval)
+    sampler.begin(stats)
+    return stats, sampler
+
+
+class TestSampling:
+    def test_rejects_nonpositive_interval(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            IntervalSampler(0)
+
+    def test_columns_are_cycle_plus_flat_counters(self):
+        stats, sampler = make_sampler()
+        assert sampler.columns[0] == "cycle"
+        assert sampler.columns[1:] == list(stats.flat_counters())
+
+    def test_rows_hold_deltas_not_totals(self):
+        stats, sampler = make_sampler()
+        stats.instructions = 10
+        stats.l2.demand_misses = 3
+        sampler.sample(100)
+        stats.instructions = 25
+        stats.l2.demand_misses = 3
+        deltas = sampler.sample(200)
+        assert deltas["instructions"] == 15
+        assert deltas["l2.demand_misses"] == 0
+        column = sampler.columns.index("instructions")
+        assert [row[column] for row in sampler.rows] == [10, 15]
+
+    def test_next_sample_stays_on_grid(self):
+        """A burst of idle cycles must not drift the sampling phase."""
+        _, sampler = make_sampler(interval=100)
+        assert sampler.next_sample == 100
+        sampler.sample(250)  # engine overshot two periods
+        assert sampler.next_sample == 300
+
+    def test_finish_flushes_partial_interval(self):
+        stats, sampler = make_sampler(interval=100)
+        stats.instructions = 7
+        sampler.sample(100)
+        stats.instructions = 12
+        sampler.finish(140)  # trailing 40-cycle partial interval
+        assert sampler.rows[-1][0] == 140
+        assert sampler.totals()["instructions"] == 12
+
+    def test_finish_is_idempotent(self):
+        stats, sampler = make_sampler(interval=100)
+        stats.instructions = 5
+        sampler.finish(60)
+        rows = len(sampler.rows)
+        sampler.finish(60)
+        assert len(sampler.rows) == rows
+
+    def test_totals_reconcile_with_final_counters(self):
+        stats, sampler = make_sampler(interval=50)
+        for cycle in range(50, 501, 50):
+            stats.instructions += cycle
+            stats.l2.demand_misses += 2
+            stats.prefetch.issued += 1
+            sampler.sample(cycle)
+        stats.instructions += 11  # partial tail
+        sampler.finish(517)
+        assert sampler.totals() == stats.flat_counters()
