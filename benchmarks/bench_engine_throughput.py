@@ -1,9 +1,16 @@
-"""Engine hot-loop throughput in trace entries per second.
+"""Engine hot-loop and trace-acquisition throughput.
 
-The other simulator benches time whole figure cells; this one isolates the
-``SimulationEngine.run`` + ``Trace`` iteration hot path and reports a
-single comparable number — trace entries consumed per wall-clock second —
-so loop-level regressions are visible independent of workload mix.
+The other simulator benches time whole figure cells; this one isolates two
+hot paths and reports comparable single numbers:
+
+* ``SimulationEngine.run`` + ``Trace`` iteration — trace entries consumed
+  per wall-clock second, so loop-level regressions are visible independent
+  of workload mix;
+* trace **acquisition** — building each Fig-6 (app x input) row's trace in
+  Python vs mmap-loading it from a warm
+  :class:`~repro.trace.store.TraceStore`, the sweep's next biggest fixed
+  cost after the hot loop.  The store must be at least
+  :data:`STORE_SPEEDUP_FLOOR` x faster than rebuild.
 
 Run standalone to (re)write the ``BENCH_engine.json`` baseline at the repo
 root::
@@ -19,7 +26,9 @@ The pytest run also compares against a committed baseline when one exists
 """
 
 import json
+import os
 import random
+import tempfile
 import time
 from pathlib import Path
 
@@ -28,12 +37,17 @@ from repro.prefetchers import make_prefetcher
 from repro.rnr.api import RnRInterface
 from repro.sim.engine import SimulationEngine
 from repro.trace import AddressSpace, TraceBuilder
+from repro.trace.store import TraceStore, trace_key
 
 BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 
 #: Allowed slowdown vs the committed baseline before the bench fails
 #: (generous: CI machines vary; this catches order-of-magnitude slips).
 REGRESSION_TOLERANCE = 0.30
+
+#: Warm-store trace acquisition must beat in-process rebuild by at least
+#: this factor on the Fig-6 matrix (the tentpole's headline number).
+STORE_SPEEDUP_FLOOR = 5.0
 
 
 def build_trace(accesses=50_000, rnr=False, window=16, footprint=32_768):
@@ -92,11 +106,88 @@ def run_suite(repeats=3):
     }
 
 
-def write_baseline(results, path=BASELINE_PATH):
+def fig06_rows(scale):
+    """The Fig-6 (app, input) matrix the sweep acquires traces for."""
+    from repro.experiments.runner import APPS, inputs_for
+
+    return [
+        (app, input_name) for app in APPS for input_name in inputs_for(app)
+    ]
+
+
+def measure_trace_acquisition(scale=None, repeats=3):
+    """Trace build vs warm-store mmap load over the Fig-6 rows.
+
+    Builds every row's RnR trace once in-process (timed), populates a
+    throwaway :class:`TraceStore` with the results, then times ``repeats``
+    warm passes loading the whole matrix back from the store (mmap +
+    CRC verification + directive decode — the full cost a sweep worker
+    pays).  Returns entries/sec for both paths plus their ratio.
+    """
+    from repro.experiments.runner import ExperimentRunner
+
+    if scale is None:
+        scale = os.environ.get("REPRO_BENCH_SCALE", "bench")
+    runner = ExperimentRunner(scale=scale)
+    rows = fig06_rows(scale)
+    entries = 0
+    keys = []
+    with tempfile.TemporaryDirectory(prefix="rnr-bench-store-") as tmp:
+        store = TraceStore(tmp)
+        build_began = time.perf_counter()
+        for app, input_name in rows:
+            trace = runner.workload(app, input_name).build_trace(rnr=True)
+            entries += len(trace)
+            key = trace_key(
+                app=app,
+                input_name=input_name,
+                scale=scale,
+                iterations=runner.iterations,
+                seed=runner.seed,
+                window=runner.window_size,
+                rnr=True,
+            )
+            store.put(key, trace)
+            keys.append(key)
+        # put() happens inside the timed region in a real cold sweep too,
+        # but exclude it here so "build" is purely the Python rebuild cost
+        # the store saves on every warm run.
+        build_elapsed = time.perf_counter() - build_began
+
+        best_load = float("inf")
+        for _ in range(repeats):
+            began = time.perf_counter()
+            for key in keys:
+                loaded = store.get(key)
+                loaded.close()
+            best_load = min(best_load, time.perf_counter() - began)
+
+    build_rate = entries / build_elapsed
+    load_rate = entries / best_load
+    return {
+        "scale": scale,
+        "rows": len(rows),
+        "entries": entries,
+        "build_entries_per_second": build_rate,
+        "store_load_entries_per_second": load_rate,
+        "speedup": load_rate / build_rate,
+    }
+
+
+def write_baseline(results, trace_acquisition=None, path=BASELINE_PATH):
     payload = {
         "unit": "trace entries per second",
         "entries_per_second": {k: round(v, 1) for k, v in results.items()},
     }
+    if trace_acquisition is not None:
+        acq = dict(trace_acquisition)
+        for field in (
+            "build_entries_per_second",
+            "store_load_entries_per_second",
+        ):
+            acq[field] = round(acq[field], 1)
+        acq["speedup"] = round(acq["speedup"], 2)
+        payload["trace_acquisition"] = acq
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path
 
@@ -104,6 +195,13 @@ def write_baseline(results, path=BASELINE_PATH):
 def load_baseline(path=BASELINE_PATH):
     try:
         return json.loads(path.read_text())["entries_per_second"]
+    except (OSError, ValueError, KeyError):
+        return None
+
+
+def load_trace_acquisition_baseline(path=BASELINE_PATH):
+    try:
+        return json.loads(path.read_text())["trace_acquisition"]
     except (OSError, ValueError, KeyError):
         return None
 
@@ -142,6 +240,48 @@ def test_engine_rnr_entries_per_second(benchmark):
     benchmark.extra_info["entries_per_second"] = round(rate, 1)
 
 
+def test_trace_store_load_vs_rebuild(benchmark):
+    """Warm store loads must beat rebuilds by >= STORE_SPEEDUP_FLOOR.
+
+    Benchmarks one warm full-matrix load pass; the build-vs-load ratio is
+    taken from the same measurement the standalone run records.
+    """
+    acq = measure_trace_acquisition(repeats=1)
+    from repro.experiments.runner import ExperimentRunner
+
+    runner = ExperimentRunner(scale=acq["scale"])
+    with tempfile.TemporaryDirectory(prefix="rnr-bench-store-") as tmp:
+        store = TraceStore(tmp)
+        keys = []
+        for app, input_name in fig06_rows(acq["scale"]):
+            key = trace_key(
+                app=app,
+                input_name=input_name,
+                scale=acq["scale"],
+                iterations=runner.iterations,
+                seed=runner.seed,
+                window=runner.window_size,
+                rnr=True,
+            )
+            store.put(key, runner.workload(app, input_name).build_trace(rnr=True))
+            keys.append(key)
+
+        def load_all():
+            for key in keys:
+                store.get(key).close()
+
+        benchmark.pedantic(load_all, rounds=3, iterations=1)
+    load_rate = acq["entries"] / benchmark.stats.stats.min
+    benchmark.extra_info["store_load_entries_per_second"] = round(load_rate, 1)
+    speedup = load_rate / acq["build_entries_per_second"]
+    benchmark.extra_info["speedup_vs_rebuild"] = round(speedup, 2)
+    assert speedup >= STORE_SPEEDUP_FLOOR, (
+        f"warm trace-store load only {speedup:.1f}x faster than rebuild "
+        f"({load_rate:,.0f} vs {acq['build_entries_per_second']:,.0f} "
+        f"entries/s); floor is {STORE_SPEEDUP_FLOOR}x"
+    )
+
+
 def floor_report(results, baseline):
     """Lines comparing measured rates against the regression floor.
 
@@ -177,13 +317,42 @@ def floor_report(results, baseline):
     return lines
 
 
+def trace_acquisition_report(acq, baseline):
+    """Lines for the build-vs-store comparison (floor-report style)."""
+    lines = [
+        f"trace acquisition over {acq['rows']} Fig-6 rows "
+        f"({acq['entries']:,} entries, scale={acq['scale']}):",
+        f"   build: {acq['build_entries_per_second']:>12,.0f} entries/s",
+        f"    load: {acq['store_load_entries_per_second']:>12,.0f} entries/s "
+        f"({acq['speedup']:.1f}x; floor {STORE_SPEEDUP_FLOOR:.0f}x "
+        f"{'ok' if acq['speedup'] >= STORE_SPEEDUP_FLOOR else 'REGRESSION'})",
+    ]
+    if not baseline:
+        lines.append(
+            "    no trace_acquisition baseline in "
+            f"{BASELINE_PATH.name}; drift not checked, only the "
+            f"{STORE_SPEEDUP_FLOOR:.0f}x floor"
+        )
+    else:
+        old = baseline.get("speedup")
+        if old:
+            lines.append(
+                f"    speedup vs baseline: {acq['speedup'] / old:.2f}x "
+                f"(baseline {old:.1f}x)"
+            )
+    return lines
+
+
 def main():
     results = run_suite()
     for scenario, rate in results.items():
         print(f"{scenario:>8}: {rate:>12,.0f} trace entries/s")
     for line in floor_report(results, load_baseline()):
         print(line)
-    path = write_baseline(results)
+    acq = measure_trace_acquisition()
+    for line in trace_acquisition_report(acq, load_trace_acquisition_baseline()):
+        print(line)
+    path = write_baseline(results, acq)
     print(f"baseline written to {path}")
 
 

@@ -13,7 +13,10 @@ Figure names: fig01, fig06 ... fig14, record, hw.
 count) prewarms every requested figure's cell matrix across N worker
 processes before the reports render serially from the warm memo.
 ``--cache-dir DIR`` (default: ``RNR_CACHE_DIR``) persists finished cells
-on disk across invocations.
+on disk across invocations.  ``--trace-store DIR`` (default:
+``RNR_TRACE_STORE``) persists the recorded workload traces themselves: a
+sweep builds each trace at most once ever and every worker ``mmap``-loads
+the packed binary file instead of rebuilding the stream in Python.
 
 The sweep runs under supervision (:mod:`repro.experiments.supervise`):
 ``--cell-timeout`` bounds each cell's wall clock, ``--retries`` re-runs
@@ -50,6 +53,7 @@ from repro.experiments import (
 )
 from repro.experiments.runner import ExperimentRunner
 from repro.telemetry import config as telemetry_config
+from repro.trace import store as trace_store_mod
 
 FIGURES = {
     "fig01": fig01_scatter,
@@ -91,6 +95,14 @@ def main(argv=None) -> int:
         default=None,
         metavar="DIR",
         help="persistent cell cache directory (default: $RNR_CACHE_DIR, else off)",
+    )
+    parser.add_argument(
+        "--trace-store",
+        default=None,
+        metavar="DIR",
+        help="content-addressed binary trace store: each workload trace is "
+        "built at most once and mmap'd by every worker "
+        "(default: $RNR_TRACE_STORE, else off)",
     )
     parser.add_argument(
         "--cell-timeout",
@@ -178,6 +190,12 @@ def main(argv=None) -> int:
             cache_dir = diskcache.ensure_writable(cache_dir)
         except ValueError as exc:
             parser.error(str(exc))
+    trace_store_dir = args.trace_store or trace_store_mod.default_store_dir()
+    if trace_store_dir:
+        try:
+            trace_store_dir = diskcache.ensure_writable(trace_store_dir)
+        except ValueError as exc:
+            parser.error(str(exc))
 
     try:
         faults = faults_mod.faults_from_env()
@@ -200,6 +218,7 @@ def main(argv=None) -> int:
         cache_dir=cache_dir,
         lenient=not args.strict,
         telemetry=telemetry,
+        trace_store=trace_store_dir,
     )
     start = time.time()
 
@@ -242,6 +261,8 @@ def main(argv=None) -> int:
                 return 1
     if runner.cache is not None:
         print(f"[{runner.cache.describe()}]")
+    if runner.trace_store is not None:
+        print(f"[{runner.trace_store.describe()}]")
     if runner.telemetry is not None:
         print(f"[telemetry: {runner.telemetry.root}]")
     for name in names:

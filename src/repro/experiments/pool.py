@@ -5,7 +5,10 @@ cells fan out cleanly across a :class:`~concurrent.futures.ProcessPoolExecutor`
 (the trace-driven methodology of the paper's ChampSim harness, where every
 cell is an independent simulator invocation).  Specs are grouped by
 (app, input) before dispatch so each worker builds a workload's traces once
-and reuses them for every prefetcher column of that row.
+and reuses them for every prefetcher column of that row.  With a trace
+store configured (:mod:`repro.trace.store`), workers don't even build:
+they ``mmap`` the stored binary traces, and their store counters are
+rolled up into the coordinator's.
 
 Results are merged back into the coordinating
 :class:`~repro.experiments.runner.ExperimentRunner`'s memo dictionaries, so
@@ -35,23 +38,27 @@ from repro.experiments.runner import (
 JOBS_ENV = "RNR_JOBS"
 
 
+def _validate_jobs(value, source: str) -> int:
+    """Shared worker-count validator for the explicit-argument and
+    ``RNR_JOBS`` paths: must parse as an integer and be >= 1."""
+    try:
+        jobs = int(value)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"{source} must be a positive integer, got {value!r}"
+        ) from None
+    if jobs < 1:
+        raise ValueError(f"{source} must be >= 1, got {jobs}")
+    return jobs
+
+
 def resolve_jobs(jobs: Optional[int] = None) -> int:
     """Worker count: explicit argument > ``RNR_JOBS`` > ``os.cpu_count()``."""
     if jobs is not None:
-        if jobs < 1:
-            raise ValueError(f"jobs must be >= 1, got {jobs}")
-        return jobs
+        return _validate_jobs(jobs, "jobs")
     env = os.environ.get(JOBS_ENV, "").strip()
     if env:
-        try:
-            value = int(env)
-        except ValueError:
-            raise ValueError(
-                f"{JOBS_ENV} must be a positive integer, got {env!r}"
-            ) from None
-        if value < 1:
-            raise ValueError(f"{JOBS_ENV} must be >= 1, got {value}")
-        return value
+        return _validate_jobs(env, JOBS_ENV)
     return os.cpu_count() or 1
 
 
@@ -83,6 +90,7 @@ def _init_worker(
     seed: int,
     cache_dir,
     telemetry=None,
+    trace_store=None,
 ) -> None:
     global _WORKER_RUNNER
     _WORKER_RUNNER = ExperimentRunner(
@@ -93,12 +101,19 @@ def _init_worker(
         seed=seed,
         cache_dir=cache_dir,
         telemetry=telemetry,
+        trace_store=trace_store,
     )
 
 
-def _run_group(specs: Tuple[CellSpec, ...]) -> List[Tuple[CellSpec, CellResult]]:
+def _run_group(specs: Tuple[CellSpec, ...]):
+    """Simulate one (app, input) group; returns the (spec, result) pairs
+    plus this group's trace-store counter delta for coordinator roll-up."""
     assert _WORKER_RUNNER is not None, "pool worker used before initialization"
-    return [(spec, _WORKER_RUNNER.run_spec(spec)) for spec in specs]
+    store = _WORKER_RUNNER.trace_store
+    snapshot = store.counters() if store is not None else None
+    pairs = [(spec, _WORKER_RUNNER.run_spec(spec)) for spec in specs]
+    delta = store.counters_since(snapshot) if store is not None else None
+    return pairs, delta
 
 
 # ----------------------------------------------------------------------
@@ -178,6 +193,7 @@ def run_sweep(
 
     groups = _group_by_input(pending)
     cache_dir = runner.cache.root if runner.cache is not None else None
+    store_dir = runner.trace_store.root if runner.trace_store is not None else None
     init_args = (
         runner.scale,
         runner.iterations,
@@ -186,6 +202,7 @@ def run_sweep(
         runner.seed,
         cache_dir,
         runner.telemetry,
+        store_dir,
     )
     merged = 0
     with ProcessPoolExecutor(
@@ -193,8 +210,10 @@ def run_sweep(
         initializer=_init_worker,
         initargs=init_args,
     ) as executor:
-        for pairs in executor.map(_run_group, groups):
+        for pairs, store_delta in executor.map(_run_group, groups):
             for spec, result in pairs:
                 runner.merge_result(spec, result)
                 merged += 1
+            if store_delta is not None and runner.trace_store is not None:
+                runner.trace_store.merge_counters(store_delta)
     return merged

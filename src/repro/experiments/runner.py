@@ -32,6 +32,7 @@ from repro.sparse import datasets as matrix_datasets
 from repro.stats import SimStats
 from repro.telemetry.collector import TelemetryCollector
 from repro.telemetry.config import TelemetryConfig
+from repro.trace import store as trace_store_mod
 from repro.trace.trace import Trace
 from repro.workloads import HyperAnfWorkload, PageRankWorkload, SpCGWorkload
 from repro.workloads.base import Workload
@@ -105,6 +106,12 @@ class ExperimentRunner:
     (config, scale, seed, iterations, window, prefetcher, version) key —
     see :mod:`repro.experiments.diskcache`.
 
+    ``trace_store`` (or ``RNR_TRACE_STORE``) enables the content-addressed
+    binary trace store: each workload's recorded reference stream is built
+    at most once ever, written as a packed binary file, and mapped
+    zero-copy (``mmap``) by every later run and worker — see
+    :mod:`repro.trace.store`.
+
     ``lenient=True`` turns missing cells into degraded output instead of
     exceptions: a cell that the supervised sweep marked failed — or that
     fails while a figure renders — returns ``None`` from :meth:`run`, and
@@ -123,6 +130,7 @@ class ExperimentRunner:
         cache_dir: Optional[Union[str, Path]] = None,
         lenient: bool = False,
         telemetry: Optional[TelemetryConfig] = None,
+        trace_store: Optional[Union[str, Path]] = None,
     ):
         self.scale = scale
         self.iterations = iterations
@@ -135,6 +143,11 @@ class ExperimentRunner:
         if cache_dir is None:
             cache_dir = diskcache.default_cache_dir()
         self.cache = diskcache.DiskCellCache(cache_dir) if cache_dir else None
+        if trace_store is None:
+            trace_store = trace_store_mod.default_store_dir()
+        self.trace_store = (
+            trace_store_mod.TraceStore(trace_store) if trace_store else None
+        )
         self._workloads: Dict[Tuple, Workload] = {}
         self._traces: Dict[Tuple, Trace] = {}
         self._results: Dict[Tuple, CellResult] = {}
@@ -173,7 +186,20 @@ class ExperimentRunner:
         window = window_size if window_size is not None else self.window_size
         key = (app, input_name, rnr, window)
         if key not in self._traces:
-            self._traces[key] = self.workload(app, input_name, window).build_trace(rnr=rnr)
+            build = lambda: self.workload(app, input_name, window).build_trace(rnr=rnr)
+            if self.trace_store is not None:
+                store_key = trace_store_mod.trace_key(
+                    app=app,
+                    input_name=input_name,
+                    scale=self.scale,
+                    iterations=self.iterations,
+                    seed=self.seed,
+                    window=window,
+                    rnr=rnr,
+                )
+                self._traces[key] = self.trace_store.get_or_build(store_key, build)
+            else:
+                self._traces[key] = build()
         return self._traces[key]
 
     # ------------------------------------------------------------------
@@ -190,6 +216,13 @@ class ExperimentRunner:
             if isinstance(prefetcher, CompositePrefetcher)
             else [prefetcher]
         )
+        if any(
+            isinstance(child, (DropletPrefetcher, IMPPrefetcher))
+            for child in children
+        ):
+            # A store-served trace skips build_trace(), but these data
+            # callbacks still need the recorded address-space layout.
+            workload.ensure_layout()
         for child in children:
             if isinstance(child, DropletPrefetcher):
                 child.resolver = getattr(workload, "edge_line_values", None)

@@ -164,6 +164,10 @@ class SweepReport:
     retried: int = 0  # extra attempts beyond the first, across all cells
     duration: float = 0.0
     failures: List[CellFailure] = field(default_factory=list)
+    #: Aggregated trace-store counters (coordinator + every worker's
+    #: delta), or None when no store was configured.  ``builds == 0``
+    #: proves a warm-store sweep rebuilt nothing.
+    trace_store: Optional[Dict[str, int]] = None
 
     @property
     def ok(self) -> bool:
@@ -176,6 +180,14 @@ class SweepReport:
             f"{self.resumed} resumed, {self.retried} retries, "
             f"{len(self.failures)} failed in {self.duration:.1f}s"
         )
+        if self.trace_store is not None:
+            counters = self.trace_store
+            header += (
+                f"\ntrace store: {counters.get('hits', 0)} hits, "
+                f"{counters.get('misses', 0)} misses, "
+                f"{counters.get('builds', 0)} built, "
+                f"{counters.get('corrupt', 0)} corrupt"
+            )
         if not self.failures:
             return header
         lines = [header, "failed cells:"]
@@ -331,11 +343,13 @@ def _worker_main(conn, init_kwargs: dict, fault_plan: dict) -> None:
         runner.telemetry.heartbeat = _heartbeat
     else:
         current_cell = None
+    store = runner.trace_store
     try:
         while True:
             group = conn.recv()
             if group is None:
                 return
+            snapshot = store.counters() if store is not None else None
             for index, (spec, attempt) in enumerate(group):
                 if current_cell is not None:
                     current_cell["index"] = index
@@ -356,7 +370,11 @@ def _worker_main(conn, init_kwargs: dict, fault_plan: dict) -> None:
                     )
                 else:
                     conn.send(("ok", index, result, time.perf_counter() - began))
-            conn.send(("group_done",))
+            # The group's trace-store counter delta rides the completion
+            # message so the coordinator can aggregate across workers (a
+            # crashed worker's delta is lost with it — best effort).
+            delta = store.counters_since(snapshot) if store is not None else None
+            conn.send(("group_done", delta))
     except (EOFError, OSError, KeyboardInterrupt):
         return
 
@@ -492,6 +510,8 @@ def run_supervised_sweep(
 
     if not pending:
         report.duration = time.monotonic() - began
+        if runner.trace_store is not None:
+            report.trace_store = runner.trace_store.counters()
         if manifest is not None:
             manifest.save()
         return report
@@ -511,6 +531,9 @@ def run_supervised_sweep(
         seed=runner.seed,
         cache_dir=cache_dir,
         telemetry=runner.telemetry,
+        trace_store=(
+            runner.trace_store.root if runner.trace_store is not None else None
+        ),
     )
     fault_plan = dict(faults or {})
     workers: List[_Worker] = []
@@ -596,6 +619,12 @@ def run_supervised_sweep(
             if refresh:
                 worker.refresh_deadline(cell_timeout)
         elif tag == "group_done":
+            if (
+                len(message) > 1
+                and message[1] is not None
+                and runner.trace_store is not None
+            ):
+                runner.trace_store.merge_counters(message[1])
             worker.busy = False
             worker.group = []
             group_states.pop(id(worker), None)
@@ -730,6 +759,8 @@ def run_supervised_sweep(
                     pass
 
     report.duration = time.monotonic() - began
+    if runner.trace_store is not None:
+        report.trace_store = runner.trace_store.counters()
     save_manifest()
     if sweep_tel is not None:
         sweep_tel.write(report)

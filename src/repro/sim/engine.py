@@ -14,6 +14,7 @@ executes the original uninstrumented hot loops.
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Optional
 
 from repro.cache.cache import Cache
@@ -144,10 +145,19 @@ class SimulationEngine:
         The loop streams the trace's packed columns (kind, addr, pc, gap)
         and hoists every per-entry bound method into a local, so the
         steady-state cost per reference is the cache model itself rather
-        than attribute lookups and record-object construction.
+        than attribute lookups and record-object construction.  The
+        columns may equally be ``memoryview`` windows into an mmap'd
+        binary trace file (:class:`repro.trace.binfmt.MappedTrace`) — the
+        loop streams those straight from the OS page cache.  A str/Path
+        argument is loaded from disk (either trace format, sniffed).
         """
         if not isinstance(trace, Trace):
-            trace = Trace(trace)
+            if isinstance(trace, (str, Path)):
+                from repro.trace.binfmt import load_any
+
+                trace = load_any(trace)
+            else:
+                trace = Trace(trace)
         core = self.core
         prefetcher = self.prefetcher
         none_event = L2Event.NONE

@@ -97,6 +97,9 @@ class SweepTelemetry:
                     "retried": getattr(report, "retried", None),
                 }
             )
+            store_counters = getattr(report, "trace_store", None)
+            if store_counters is not None:
+                closing["trace_store"] = dict(store_counters)
         self._append(closing)
         export_mod.write_jsonl(self.out_dir / SWEEP_EVENTS_NAME, self.events)
 

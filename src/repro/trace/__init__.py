@@ -15,6 +15,8 @@ from repro.trace.record import (
 from repro.trace.trace import Trace
 from repro.trace.builder import TraceBuilder
 from repro.trace.address_space import AddressSpace, Region
+from repro.trace.binfmt import MappedTrace, TraceFormatError, load_any
+from repro.trace.store import TraceStore
 
 __all__ = [
     "AddressSpace",
@@ -22,8 +24,12 @@ __all__ = [
     "KIND_DIRECTIVE",
     "KIND_LOAD",
     "KIND_STORE",
+    "MappedTrace",
     "Region",
     "Trace",
     "TraceBuilder",
+    "TraceFormatError",
     "TraceRecord",
+    "TraceStore",
+    "load_any",
 ]

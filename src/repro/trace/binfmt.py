@@ -1,0 +1,318 @@
+"""Packed binary trace format with zero-copy mmap loading.
+
+``Trace.save``/``Trace.load`` round-trip JSON lines — readable and
+diff-friendly, but far too slow to serve as a cache for the sweep's
+trace-driven methodology, where every (app x input x prefetcher) cell
+replays the same reference stream.  This module dumps the trace's four
+packed ``array`` columns raw, framed the same way as the disk cell cache
+(magic + version + CRC32 + promised lengths, verified before use), plus a
+JSON side table for the directive payloads:
+
+===========  ========================================================
+offset 0     28-byte header: magic ``RNRT``, format version, flags,
+             entry count, directive-table byte length, payload CRC32
+offset 32    ``addr`` column  — ``n`` x u64, little-endian
+             ``pc``   column  — ``n`` x u64
+             ``gap``  column  — ``n`` x u64
+             ``kind`` column  — ``n`` x u8
+             directive table  — JSON ``[[op, [args...]], ...]``
+===========  ========================================================
+
+The u64 columns come first so every one is 8-byte aligned (the header is
+padded to 32 bytes), which lets :func:`read_trace` hand the simulation
+engine ``memoryview.cast`` windows straight into an ``mmap`` of the file:
+no parse, no copy, and N parallel sweep workers mapping the same trace
+share one physical copy in the OS page cache instead of N Python
+rebuilds.  The CRC is verified over the mapped view on every load, so a
+truncated or bit-flipped file raises :class:`TraceFormatError`
+deterministically instead of corrupting a simulation.
+
+Writes are atomic (temp file + ``os.replace``), so a killed sweep never
+leaves a half-written trace for the next run to trip over.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import os
+import struct
+import sys
+import tempfile
+import zlib
+from pathlib import Path
+from typing import Union
+
+from repro.trace.record import KIND_LOAD, KIND_STORE
+from repro.trace.trace import Trace
+
+#: File magic for the packed binary trace format.
+MAGIC = b"RNRT"
+
+#: Bumped when the on-disk layout changes; readers reject other versions.
+FORMAT_VERSION = 1
+
+#: Header: magic, version, flags, entry count, directive-table bytes, CRC32.
+_HEADER = struct.Struct("<4sHHQQI")
+
+#: Columns start here; the gap after the 28-byte header keeps every u64
+#: column 8-byte aligned for ``memoryview.cast``.
+_PAYLOAD_OFFSET = 32
+
+#: Flag bit 0: payload is little-endian (always set by this writer).
+_FLAG_LITTLE_ENDIAN = 1
+
+#: Bytes per entry across the four columns (3 x u64 + 1 x u8).
+_BYTES_PER_ENTRY = 25
+
+
+class TraceFormatError(RuntimeError):
+    """A binary trace file failed its framing/checksum verification."""
+
+
+def _expected_size(n_entries: int, dir_len: int) -> int:
+    return _PAYLOAD_OFFSET + n_entries * _BYTES_PER_ENTRY + dir_len
+
+
+class MappedTrace(Trace):
+    """A read-only :class:`Trace` whose columns are ``memoryview`` windows
+    into an ``mmap`` of a binary trace file.
+
+    ``iter_packed`` streams straight from the OS page cache; mutation
+    raises.  Hold a reference for as long as the trace is in use and call
+    :meth:`close` (or let the GC do it) when done.
+    """
+
+    __slots__ = ("_mmap", "_file", "_path")
+
+    def __init__(self, kinds, addrs, pcs, gaps, dirs, mm, fh, path):
+        # Deliberately not calling Trace.__init__: the columns are views,
+        # not fresh arrays.
+        self._kinds = kinds
+        self._addrs = addrs
+        self._pcs = pcs
+        self._gaps = gaps
+        self._dirs = dirs
+        self._mmap = mm
+        self._file = fh
+        self._path = path
+
+    # -- read-only ----------------------------------------------------------
+    def append_ref(self, kind, addr, pc, gap=0):
+        raise TypeError(f"mapped trace {self._path} is read-only")
+
+    def append_directive(self, op, args=(), gap=0):
+        raise TypeError(f"mapped trace {self._path} is read-only")
+
+    # ``memoryview`` has no ``count``; these summaries are cold paths, so
+    # one bytes copy of the 1-byte-per-entry kind column is fine.
+    @property
+    def num_loads(self) -> int:
+        return bytes(self._kinds).count(KIND_LOAD)
+
+    @property
+    def num_stores(self) -> int:
+        return bytes(self._kinds).count(KIND_STORE)
+
+    # -- lifecycle ----------------------------------------------------------
+    def materialize(self) -> Trace:
+        """An in-memory ``array``-backed copy (detached from the mmap)."""
+        from array import array
+
+        trace = Trace()
+        trace._kinds = array("B", bytes(self._kinds))
+        trace._addrs = array("Q", self._addrs)
+        trace._pcs = array("Q", self._pcs)
+        trace._gaps = array("Q", self._gaps)
+        trace._dirs = list(self._dirs)
+        return trace
+
+    def close(self) -> None:
+        """Release the column views and unmap the file."""
+        for name in ("_kinds", "_addrs", "_pcs", "_gaps"):
+            view = getattr(self, name, None)
+            if view is not None:
+                view.release()
+                setattr(self, name, None)
+        if self._mmap is not None:
+            self._mmap.close()
+            self._mmap = None
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __del__(self):  # pragma: no cover - GC ordering dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def _column_bytes(column) -> bytes:
+    """Raw little-endian bytes of one column (array or memoryview)."""
+    if sys.byteorder == "little" or getattr(column, "itemsize", 1) == 1:
+        return column.tobytes()
+    swapped = column[:]  # big-endian host: copy, then swap to LE on disk
+    swapped.byteswap()
+    return swapped.tobytes()
+
+
+def write_trace(trace: Trace, path: Union[str, Path]) -> Path:
+    """Write ``trace`` to ``path`` in the packed binary format, atomically.
+
+    Directive args must be JSON-serializable (the same constraint as the
+    JSON-lines debug format).
+    """
+    path = Path(path)
+    kinds, addrs, pcs, gaps = trace.packed_columns()
+    dirs_blob = json.dumps(
+        [[op, list(args)] for op, args in trace.directive_table()],
+        separators=(",", ":"),
+    ).encode()
+    parts = (
+        _column_bytes(addrs),
+        _column_bytes(pcs),
+        _column_bytes(gaps),
+        _column_bytes(kinds),
+        dirs_blob,
+    )
+    crc = 0
+    for part in parts:
+        crc = zlib.crc32(part, crc)
+    header = _HEADER.pack(
+        MAGIC, FORMAT_VERSION, _FLAG_LITTLE_ENDIAN, len(trace), len(dirs_blob),
+        crc & 0xFFFFFFFF,
+    )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=str(path.parent), prefix=".tmp-", suffix=".rnrt")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(header)
+            fh.write(b"\x00" * (_PAYLOAD_OFFSET - _HEADER.size))
+            for part in parts:
+                fh.write(part)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def _parse_directives(blob: bytes):
+    try:
+        table = json.loads(blob)
+        return [(op, tuple(args)) for op, args in table]
+    except (ValueError, TypeError) as exc:
+        raise TraceFormatError(f"directive table is not valid JSON: {exc}") from None
+
+
+def read_trace(path: Union[str, Path], map: bool = True) -> Trace:
+    """Load a binary trace, zero-copy via ``mmap`` when possible.
+
+    With ``map=True`` (and a little-endian host) the returned trace is a
+    :class:`MappedTrace` whose columns alias the OS page cache; otherwise
+    the columns are copied into fresh in-memory arrays.  Raises
+    :class:`TraceFormatError` for anything that fails the framing checks:
+    bad magic, unknown version, wrong length (truncation), or a CRC
+    mismatch (bit flips).
+    """
+    path = Path(path)
+    fh = open(path, "rb")
+    try:
+        head = fh.read(_PAYLOAD_OFFSET)
+        if len(head) < _PAYLOAD_OFFSET:
+            raise TraceFormatError(
+                f"{path}: shorter than the {_PAYLOAD_OFFSET}-byte header"
+            )
+        magic, version, flags, n_entries, dir_len, crc = _HEADER.unpack_from(head)
+        if magic != MAGIC:
+            raise TraceFormatError(f"{path}: bad magic {magic!r}")
+        if version != FORMAT_VERSION:
+            raise TraceFormatError(
+                f"{path}: format version {version} (reader supports {FORMAT_VERSION})"
+            )
+        if not flags & _FLAG_LITTLE_ENDIAN:
+            raise TraceFormatError(f"{path}: unknown byte order (flags={flags:#x})")
+        size = os.fstat(fh.fileno()).st_size
+        expected = _expected_size(n_entries, dir_len)
+        if size != expected:
+            raise TraceFormatError(
+                f"{path}: truncated/overlong: header promises {expected} bytes, "
+                f"file has {size}"
+            )
+        if map and sys.byteorder == "little":
+            return _read_mapped(path, fh, n_entries, dir_len, crc)
+        return _read_eager(path, fh, n_entries, dir_len, crc)
+    except BaseException:
+        fh.close()
+        raise
+
+
+def _read_mapped(path, fh, n_entries, dir_len, crc) -> MappedTrace:
+    mm = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+    try:
+        view = memoryview(mm)
+        payload = view[_PAYLOAD_OFFSET:]
+        if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+            payload.release()
+            view.release()
+            raise TraceFormatError(f"{path}: payload checksum mismatch")
+        payload.release()
+        col = n_entries * 8
+        off = _PAYLOAD_OFFSET
+        addrs = view[off : off + col].cast("Q")
+        pcs = view[off + col : off + 2 * col].cast("Q")
+        gaps = view[off + 2 * col : off + 3 * col].cast("Q")
+        koff = off + 3 * col
+        kinds = view[koff : koff + n_entries]
+        dirs = _parse_directives(bytes(view[koff + n_entries : koff + n_entries + dir_len]))
+        view.release()
+        return MappedTrace(kinds, addrs, pcs, gaps, dirs, mm, fh, path)
+    except BaseException:
+        mm.close()
+        raise
+
+
+def _read_eager(path, fh, n_entries, dir_len, crc) -> Trace:
+    from array import array
+
+    payload = fh.read()
+    fh.close()
+    if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+        raise TraceFormatError(f"{path}: payload checksum mismatch")
+    col = n_entries * 8
+    trace = Trace()
+    for name, lo in (("_addrs", 0), ("_pcs", col), ("_gaps", 2 * col)):
+        column = array("Q")
+        column.frombytes(payload[lo : lo + col])
+        if sys.byteorder != "little":
+            column.byteswap()
+        setattr(trace, name, column)
+    kinds = array("B")
+    kinds.frombytes(payload[3 * col : 3 * col + n_entries])
+    trace._kinds = kinds
+    trace._dirs = _parse_directives(payload[3 * col + n_entries : 3 * col + n_entries + dir_len])
+    return trace
+
+
+def is_binary_trace(path: Union[str, Path]) -> bool:
+    """True when ``path`` starts with the binary trace magic."""
+    try:
+        with open(path, "rb") as fh:
+            return fh.read(len(MAGIC)) == MAGIC
+    except OSError:
+        return False
+
+
+def load_any(path: Union[str, Path], map: bool = True) -> Trace:
+    """Load a trace file in either format, sniffing by magic.
+
+    Binary files go through :func:`read_trace` (mmap-backed by default);
+    anything else is treated as the JSON-lines debug format.
+    """
+    if is_binary_trace(path):
+        return read_trace(path, map=map)
+    return Trace.load(path)

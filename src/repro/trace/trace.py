@@ -114,6 +114,20 @@ class Trace:
         """The (op, args) payload for a packed directive entry."""
         return self._dirs[index]
 
+    def packed_columns(self):
+        """The four raw columns ``(kinds, addrs, pcs, gaps)``.
+
+        ``array`` objects for in-memory traces, ``memoryview`` windows for
+        mmap-backed ones (:class:`repro.trace.binfmt.MappedTrace`); either
+        way the binary writer can serialize them without materialising
+        entries.
+        """
+        return self._kinds, self._addrs, self._pcs, self._gaps
+
+    def directive_table(self) -> List[Tuple[str, tuple]]:
+        """The directive side table indexed by packed directive entries."""
+        return self._dirs
+
     # -- summaries ----------------------------------------------------------
     @property
     def num_loads(self) -> int:
@@ -151,8 +165,12 @@ class Trace:
                 yield Directive(op, args, gap)
 
     # -- persistence ----------------------------------------------------------
+    # JSON lines is the explicit *debug* format: readable, diff-friendly,
+    # and slow.  The packed binary format in :mod:`repro.trace.binfmt` is
+    # what the trace store uses; ``repro-trace convert`` moves between the
+    # two.
     def save(self, path: Union[str, Path]) -> None:
-        """Write the trace as JSON-lines (compact, diff-friendly)."""
+        """Write the trace as JSON-lines (the debug format)."""
         path = Path(path)
         dirs = self._dirs
         with path.open("w") as fh:

@@ -145,6 +145,22 @@ class Workload(abc.ABC):
         program initialising its arrays)."""
         self.builder.directive("phase.init")
 
+    def ensure_layout(self) -> None:
+        """Make the address-space layout and numpy state available without
+        emitting a trace.
+
+        When the trace store serves a recorded stream, :meth:`build_trace`
+        never runs, but the prefetcher data callbacks (DROPLET's
+        :meth:`edge_line_values`, IMP's :meth:`read_int`) still need the
+        region layout.  ``_allocate`` is deterministic — the same calls in
+        the same order as during recording — so the layout matches the
+        stored trace's addresses exactly.
+        """
+        if self.space is None:
+            self.space = AddressSpace()
+            self._arrays.clear()
+            self._allocate()
+
     # ------------------------------------------------------------------
     # Emission helpers
     # ------------------------------------------------------------------

@@ -42,6 +42,27 @@ class TestResolveJobs:
         with pytest.raises(ValueError):
             pool.resolve_jobs()
 
+    def test_rejects_zero_env(self, monkeypatch):
+        monkeypatch.setenv(pool.JOBS_ENV, "0")
+        with pytest.raises(ValueError, match="RNR_JOBS"):
+            pool.resolve_jobs()
+
+    def test_rejects_noninteger_env(self, monkeypatch):
+        monkeypatch.setenv(pool.JOBS_ENV, "many")
+        with pytest.raises(ValueError, match="positive integer"):
+            pool.resolve_jobs()
+
+    def test_rejects_noninteger_argument(self):
+        with pytest.raises(ValueError, match="positive integer"):
+            pool.resolve_jobs("abc")
+
+    def test_error_message_names_the_source(self, monkeypatch):
+        with pytest.raises(ValueError, match="jobs must be"):
+            pool.resolve_jobs(0)
+        monkeypatch.setenv(pool.JOBS_ENV, "0")
+        with pytest.raises(ValueError, match=pool.JOBS_ENV):
+            pool.resolve_jobs()
+
 
 class TestRunSweep:
     def test_parallel_matches_serial(self):

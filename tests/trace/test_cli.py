@@ -41,6 +41,45 @@ class TestDump:
         assert "LOAD" in out and "STORE" in out
 
 
+class TestConvert:
+    def test_jsonl_to_binary_and_back(self, trace_file, tmp_path, capsys):
+        from repro.trace.binfmt import is_binary_trace
+        from repro.trace.trace import Trace
+
+        bin_path = tmp_path / "t.rnrt"
+        assert main(["convert", str(trace_file), str(bin_path)]) == 0
+        assert is_binary_trace(bin_path)
+        assert "(bin)" in capsys.readouterr().out
+
+        back = tmp_path / "back.jsonl"
+        assert main(["convert", str(bin_path), str(back)]) == 0
+        assert "(json)" in capsys.readouterr().out
+        assert list(Trace.load(back)) == list(Trace.load(trace_file))
+
+    def test_explicit_format_overrides_suffix(self, trace_file, tmp_path):
+        from repro.trace.binfmt import is_binary_trace
+
+        dest = tmp_path / "t.jsonl"  # binary despite the suffix
+        assert main(["convert", str(trace_file), str(dest), "--format", "bin"]) == 0
+        assert is_binary_trace(dest)
+
+    def test_stats_reads_converted_binary(self, trace_file, tmp_path, capsys):
+        bin_path = tmp_path / "t.rnrt"
+        main(["convert", str(trace_file), str(bin_path)])
+        capsys.readouterr()
+        assert main(["stats", str(bin_path)]) == 0
+        out = capsys.readouterr().out
+        assert "loads:         1" in out
+        assert "stores:        1" in out
+
+    def test_diff_across_formats(self, trace_file, tmp_path, capsys):
+        bin_path = tmp_path / "t.rnrt"
+        main(["convert", str(trace_file), str(bin_path)])
+        capsys.readouterr()
+        assert main(["diff", str(trace_file), str(bin_path)]) == 0
+        assert "identical" in capsys.readouterr().out
+
+
 class TestDiff:
     def test_identical(self, trace_file, capsys):
         assert main(["diff", str(trace_file), str(trace_file)]) == 0
