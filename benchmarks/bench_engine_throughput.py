@@ -50,9 +50,9 @@ REGRESSION_TOLERANCE = 0.30
 STORE_SPEEDUP_FLOOR = 5.0
 
 
-def build_trace(accesses=50_000, rnr=False, window=16, footprint=32_768):
+def build_trace(accesses=50_000, rnr=False, window=16, footprint=32_768, seed=7):
     """A two-iteration pointer-chase-style trace (same shape as bench_simulator)."""
-    rng = random.Random(7)
+    rng = random.Random(seed)
     space = AddressSpace()
     array = space.alloc("x", footprint, 8)
     indices = [rng.randrange(footprint) for _ in range(accesses // 2)]
@@ -96,13 +96,42 @@ def measure_entries_per_second(trace, prefetcher_name=None, repeats=3):
     return best
 
 
+MULTICORE_CORES = 4
+
+
+def build_multicore_traces(cores=MULTICORE_CORES, accesses_per_core=20_000):
+    """One differently-seeded demand trace per core (SPMD-shaped load)."""
+    return [
+        build_trace(accesses=accesses_per_core, rnr=False, seed=7 + idx)
+        for idx in range(cores)
+    ]
+
+
+def measure_multicore_entries_per_second(repeats=3, cores=MULTICORE_CORES):
+    """Best-of-``repeats`` total trace entries/s through MulticoreEngine."""
+    from repro.sim.multicore import MulticoreEngine
+
+    config = SystemConfig.experiment(cores=cores)
+    traces = build_multicore_traces(cores)
+    entries = sum(len(trace) for trace in traces)
+    best = 0.0
+    for _ in range(repeats):
+        engine = MulticoreEngine(config)
+        began = time.perf_counter()
+        engine.run(traces)
+        elapsed = time.perf_counter() - began
+        best = max(best, entries / elapsed)
+    return best
+
+
 def run_suite(repeats=3):
-    """{scenario: entries/sec} for the demand and RnR replay paths."""
+    """{scenario: entries/sec} for the demand, RnR, and multicore paths."""
     demand = build_trace(rnr=False)
     rnr = build_trace(rnr=True)
     return {
         "demand": measure_entries_per_second(demand, None, repeats),
         "rnr": measure_entries_per_second(rnr, "rnr", repeats),
+        "multicore": measure_multicore_entries_per_second(repeats),
     }
 
 
@@ -238,6 +267,34 @@ def test_engine_rnr_entries_per_second(benchmark):
     )
     rate = entries / benchmark.stats.stats.min
     benchmark.extra_info["entries_per_second"] = round(rate, 1)
+    baseline = load_baseline()
+    if baseline and "rnr" in baseline:
+        floor = baseline["rnr"] * (1.0 - REGRESSION_TOLERANCE)
+        assert rate >= floor, (
+            f"rnr engine throughput regressed: {rate:.0f} entries/s vs "
+            f"baseline {baseline['rnr']:.0f} (floor {floor:.0f})"
+        )
+
+
+def test_engine_multicore_entries_per_second(benchmark):
+    """k-way-merge multicore scheduler throughput, with regression floor."""
+    from repro.sim.multicore import MulticoreEngine
+
+    config = SystemConfig.experiment(cores=MULTICORE_CORES)
+    traces = build_multicore_traces()
+    entries = sum(len(trace) for trace in traces)
+    benchmark.pedantic(
+        lambda: MulticoreEngine(config).run(traces), rounds=3, iterations=1
+    )
+    rate = entries / benchmark.stats.stats.min
+    benchmark.extra_info["entries_per_second"] = round(rate, 1)
+    baseline = load_baseline()
+    if baseline and "multicore" in baseline:
+        floor = baseline["multicore"] * (1.0 - REGRESSION_TOLERANCE)
+        assert rate >= floor, (
+            f"multicore throughput regressed: {rate:.0f} entries/s vs "
+            f"baseline {baseline['multicore']:.0f} (floor {floor:.0f})"
+        )
 
 
 def test_trace_store_load_vs_rebuild(benchmark):
@@ -343,14 +400,49 @@ def trace_acquisition_report(acq, baseline):
     return lines
 
 
+def delta_report(results, acq, baseline, acq_baseline):
+    """Per-section speedup/slowdown table vs the committed baseline.
+
+    Complements :func:`floor_report` (pass/fail only): every section of
+    ``BENCH_engine.json`` gets a baseline -> measured row with the ratio,
+    so a run that passes the floor but quietly lost 20 % is still visible.
+    """
+    rows = []
+    for scenario, rate in results.items():
+        old = (baseline or {}).get(scenario)
+        rows.append((scenario, old, rate))
+    if acq is not None:
+        for field, label in (
+            ("build_entries_per_second", "acq:build"),
+            ("store_load_entries_per_second", "acq:load"),
+        ):
+            rows.append((label, (acq_baseline or {}).get(field), acq[field]))
+    lines = ["section            baseline     measured    delta"]
+    for name, old, new in rows:
+        if old:
+            ratio = new / old
+            verdict = f"{ratio:.2f}x {'faster' if ratio >= 1.0 else 'SLOWER'}"
+            lines.append(
+                f"{name:<15} {old:>12,.0f} {new:>12,.0f}    {verdict}"
+            )
+        else:
+            lines.append(f"{name:<15} {'--':>12} {new:>12,.0f}    (new section)")
+    return lines
+
+
 def main():
     results = run_suite()
     for scenario, rate in results.items():
-        print(f"{scenario:>8}: {rate:>12,.0f} trace entries/s")
-    for line in floor_report(results, load_baseline()):
+        print(f"{scenario:>9}: {rate:>12,.0f} trace entries/s")
+    baseline = load_baseline()
+    for line in floor_report(results, baseline):
         print(line)
     acq = measure_trace_acquisition()
-    for line in trace_acquisition_report(acq, load_trace_acquisition_baseline()):
+    acq_baseline = load_trace_acquisition_baseline()
+    for line in trace_acquisition_report(acq, acq_baseline):
+        print(line)
+    print()
+    for line in delta_report(results, acq, baseline, acq_baseline):
         print(line)
     path = write_baseline(results, acq)
     print(f"baseline written to {path}")

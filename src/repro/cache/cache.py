@@ -63,6 +63,21 @@ class Cache:
         num_sets = self._num_sets
         return self._sets[line_addr % num_sets].get(line_addr // num_sets)
 
+    def demand_probe_state(self):
+        """``(sets, num_sets, dict_lru)`` for engine-side inlined probes.
+
+        The engine hot loops inline the L1 hit check as one dict probe:
+        ``sets[line_addr % num_sets].get(line_addr // num_sets)``.  The
+        contract the caller must uphold when ``dict_lru`` is True: a hit
+        must be promoted by deleting and re-inserting the key (insertion
+        order *is* recency order, see :meth:`lookup`).  When ``dict_lru``
+        is False a custom replacement policy is installed and callers
+        must go through :meth:`lookup` instead.  The ``sets`` list and
+        its dicts are mutated in place for the cache's whole lifetime
+        (never replaced), so hoisting them across a run is safe.
+        """
+        return self._sets, self._num_sets, self._dict_lru
+
     def fill(
         self,
         line_addr: int,
@@ -91,7 +106,21 @@ class Cache:
                 victim = lines.pop(victim_tag)
                 if on_evict is not None:
                     on_evict(victim_tag * num_sets + set_idx, victim)
-            line = CacheLine(tag, arrive)
+                # Recycle the victim object: a steady-state fill would
+                # otherwise allocate one CacheLine per miss (the single
+                # biggest allocation source in the demand hot loop).  No
+                # eviction handler retains the object — they only read
+                # its fields — so resetting it here is equivalent to
+                # constructing a fresh line.
+                line = victim
+                line.tag = tag
+                line.dirty = False
+                line.prefetched = False
+                line.pf_window = -1
+                line.arrive = arrive
+                line.lru = 0
+            else:
+                line = CacheLine(tag, arrive)
             lines[tag] = line
         else:
             if arrive < line.arrive:

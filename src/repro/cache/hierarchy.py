@@ -17,6 +17,7 @@ The hierarchy implements the paper's methodology:
 from __future__ import annotations
 
 from enum import Enum
+from heapq import heappop, heappush
 from typing import Callable, Optional
 
 from repro.cache.cache import Cache
@@ -69,6 +70,14 @@ class AccessResult:
         )
 
 
+# Hoisted enum members: L2Event.X in a hot function body is two dict
+# lookups per reference; these module-level bindings are one.
+_EVENT_NONE = L2Event.NONE
+_EVENT_HIT = L2Event.HIT
+_EVENT_PREFETCH_HIT = L2Event.PREFETCH_HIT
+_EVENT_MISS = L2Event.MISS
+
+
 # Classifier for prefetched lines evicted before use: (line_addr, pf_window)
 UnusedPrefetchClassifier = Callable[[int, int], None]
 
@@ -110,6 +119,37 @@ class CacheHierarchy:
         self._l1_latency = config.l1d.latency
         self._l2_latency = config.l2.latency
         self._llc_latency = config.llc.latency
+        # Demand hot-path state: one reusable result object (rewritten per
+        # access — callers must consume it before the next demand access)
+        # and prebound eviction callbacks (``self._evict_from_x`` at a call
+        # site builds a fresh bound method per fill; these are built once).
+        self._result = AccessResult(0, 0, _EVENT_NONE, 0)
+        self._on_evict_l1 = self._evict_from_l1
+        self._on_evict_l2 = self._evict_from_l2
+        self._on_evict_llc = self._evict_from_llc
+        # MSHR admission is inlined in _demand_miss (same arithmetic as
+        # MSHRFile.acquire/register).  The heap lists are mutated in
+        # place for the file's whole lifetime (reset() clears, never
+        # rebinds), so hoisting them here is safe; stall accounting and
+        # the telemetry hook stay on the MSHRFile and are only touched
+        # on the (bounded-occupancy) stall branch.
+        self._l1_mshr = self.l1.mshr
+        self._l2_mshr = self.l2.mshr
+        self._llc_mshr = self.llc.mshr
+        self._l1_mshr_heap = self._l1_mshr._completions
+        self._l2_mshr_heap = self._l2_mshr._completions
+        self._llc_mshr_heap = self._llc_mshr._completions
+        self._l1_mshr_entries = self._l1_mshr.entries
+        self._l2_mshr_entries = self._l2_mshr.entries
+        self._llc_mshr_entries = self._llc_mshr.entries
+        # L2/LLC set-dict probe state for the inlined lookups (see
+        # Cache.demand_probe_state for the promotion contract).
+        self._l2_sets, self._l2_nsets, self._l2_dict_lru = (
+            self.l2.demand_probe_state()
+        )
+        self._llc_sets, self._llc_nsets, self._llc_dict_lru = (
+            self.llc.demand_probe_state()
+        )
 
     # ------------------------------------------------------------------
     # Eviction handlers (dirty propagation + prefetch-bit accounting)
@@ -121,7 +161,7 @@ class CacheHierarchy:
         if resident is not None:
             resident.dirty = True
         else:
-            self.l2.fill(line_addr, arrive=0, dirty=True, on_evict=self._evict_from_l2)
+            self.l2.fill(line_addr, arrive=0, dirty=True, on_evict=self._on_evict_l2)
 
     def _evict_from_l2(self, line_addr: int, victim: CacheLine) -> None:
         if victim.prefetched:
@@ -136,7 +176,7 @@ class CacheHierarchy:
         if resident is not None:
             resident.dirty = True
         else:
-            self.llc.fill(line_addr, arrive=0, dirty=True, on_evict=self._evict_from_llc)
+            self.llc.fill(line_addr, arrive=0, dirty=True, on_evict=self._on_evict_llc)
 
     def _evict_from_llc(self, line_addr: int, victim: CacheLine) -> None:
         if victim.prefetched:
@@ -154,27 +194,36 @@ class CacheHierarchy:
     # Demand path
     # ------------------------------------------------------------------
     def load(self, address: int, cycle: int) -> AccessResult:
-        """Emit one load record."""
-        return self._demand(address, cycle, is_store=False)
+        """Emit one load record.
+
+        Returns a fresh :class:`AccessResult` the caller may keep.  The
+        engine hot loops bypass this wrapper and call :meth:`_demand` /
+        :meth:`demand_miss` directly, which reuse one result object.
+        """
+        r = self._demand(address, cycle, False)
+        return AccessResult(r.completion, r.latency, r.l2_event, r.line_addr)
 
     def store(self, address: int, cycle: int) -> AccessResult:
-        """Emit one store record."""
-        return self._demand(address, cycle, is_store=True)
+        """Emit one store record (fresh result object, see :meth:`load`)."""
+        r = self._demand(address, cycle, True)
+        return AccessResult(r.completion, r.latency, r.l2_event, r.line_addr)
 
     def _demand(self, address: int, cycle: int, is_store: bool) -> AccessResult:
-        # Hot path: every self.x.y chain that runs per access is hoisted
-        # into a local up front; the L1-hit exit pays only for what it uses.
-        line_addr = address // LINE_SIZE
-        stats = self.stats
-        l1 = self.l1
+        """One demand access; returns the hierarchy's *reusable* result.
 
-        if self.dtlb is not None and not self.dtlb.access(address):
+        The returned object is overwritten by the next demand access on
+        this hierarchy — consume it before then (the engine loops do).
+        """
+        line_addr = address // LINE_SIZE
+
+        dtlb = self.dtlb
+        if dtlb is not None and not dtlb.access(address):
             cycle += self.page_walk_cycles  # page-table walk before access
 
         # L1 --------------------------------------------------------------
-        l1_stats = stats.l1d
+        l1_stats = self.stats.l1d
         l1_stats.demand_accesses += 1
-        l1_line = l1.lookup(line_addr)
+        l1_line = self.l1.lookup(line_addr)
         at_l1 = cycle + self._l1_latency
         if l1_line is not None:
             l1_stats.demand_hits += 1
@@ -182,18 +231,72 @@ class CacheHierarchy:
             completion = arrive if arrive > at_l1 else at_l1
             if is_store:
                 l1_line.dirty = True
-            return AccessResult(completion, completion - cycle, L2Event.NONE, line_addr)
+            result = self._result
+            result.completion = completion
+            result.latency = completion - cycle
+            result.l2_event = _EVENT_NONE
+            result.line_addr = line_addr
+            return result
         l1_stats.demand_misses += 1
-        l1_issue = l1.mshr.acquire(at_l1)
+        return self._demand_miss(line_addr, cycle, at_l1, is_store)
+
+    def demand_miss(self, line_addr: int, cycle: int, is_store: bool) -> AccessResult:
+        """Fast-path entry for engine loops that probed (and missed) L1
+        inline themselves.
+
+        The caller has already done the L1 set-dict probe (see
+        :meth:`~repro.cache.cache.Cache.demand_probe_state`) and found no
+        resident line; this method accounts the miss and continues down
+        the L2/LLC/memory path.  Only valid when the hierarchy has no
+        D-TLB (the engine checks before choosing the inlined loop).
+        Returns the reusable result object, like :meth:`_demand`.
+        """
+        l1_stats = self.stats.l1d
+        l1_stats.demand_accesses += 1
+        l1_stats.demand_misses += 1
+        return self._demand_miss(line_addr, cycle, cycle + self._l1_latency, is_store)
+
+    def _demand_miss(
+        self, line_addr: int, cycle: int, at_l1: int, is_store: bool
+    ) -> AccessResult:
+        # Hot path: every self.x.y chain that runs per access is hoisted
+        # into a local up front, and the per-level MSHR admission and
+        # L2/LLC set-dict probes are inlined (identical arithmetic to
+        # MSHRFile.acquire/register and Cache.lookup); each exit pays
+        # only for what it uses.
+        stats = self.stats
+        l1 = self.l1
+        l1_heap = self._l1_mshr_heap
+        while l1_heap and l1_heap[0] <= at_l1:
+            heappop(l1_heap)
+        if len(l1_heap) >= self._l1_mshr_entries:
+            mshr = self._l1_mshr
+            delayed = heappop(l1_heap)
+            mshr.stalls += 1
+            if mshr.on_stall is not None:
+                mshr.on_stall(at_l1, delayed)
+            l1_issue = at_l1 if at_l1 > delayed else delayed
+        else:
+            l1_issue = at_l1
 
         # L2 --------------------------------------------------------------
         l2 = self.l2
         l2_stats = stats.l2
         l2_stats.demand_accesses += 1
-        l2_line = l2.lookup(line_addr)
+        if self._l2_dict_lru:
+            nsets = self._l2_nsets
+            l2_lines = self._l2_sets[line_addr % nsets]
+            l2_tag = line_addr // nsets
+            l2_line = l2_lines.get(l2_tag)
+            if l2_line is not None:
+                del l2_lines[l2_tag]
+                l2_lines[l2_tag] = l2_line
+        else:
+            l2_line = l2.lookup(line_addr)
         at_l2 = l1_issue + self._l2_latency
+        result = self._result
         if l2_line is not None:
-            event = L2Event.HIT
+            event = _EVENT_HIT
             arrive = l2_line.arrive
             completion = arrive if arrive > at_l2 else at_l2
             if l2_line.prefetched:
@@ -203,7 +306,7 @@ class CacheHierarchy:
                 # so it counts as useful/on-time per the paper's definition.
                 stats.prefetch.useful += 1
                 l2_stats.prefetch_hits += 1
-                event = L2Event.PREFETCH_HIT
+                event = _EVENT_PREFETCH_HIT
                 if arrive > at_l2:
                     l2_stats.late_prefetch_hits += 1
                 if self.tracer is not None:
@@ -213,17 +316,41 @@ class CacheHierarchy:
                 l2_line.prefetched = False
                 l2_line.pf_window = -1
             l2_stats.demand_hits += 1
-            l1.mshr.register(completion)
-            l1.fill(line_addr, completion, is_store, False, -1, self._evict_from_l1)
-            return AccessResult(completion, completion - cycle, event, line_addr)
+            heappush(l1_heap, completion)
+            l1.fill(line_addr, completion, is_store, False, -1, self._on_evict_l1)
+            result.completion = completion
+            result.latency = completion - cycle
+            result.l2_event = event
+            result.line_addr = line_addr
+            return result
         l2_stats.demand_misses += 1
 
         # LLC ---------------------------------------------------------------
         llc = self.llc
         llc_stats = stats.llc
-        issue = l2.mshr.acquire(at_l2)
+        l2_heap = self._l2_mshr_heap
+        while l2_heap and l2_heap[0] <= at_l2:
+            heappop(l2_heap)
+        if len(l2_heap) >= self._l2_mshr_entries:
+            mshr = self._l2_mshr
+            delayed = heappop(l2_heap)
+            mshr.stalls += 1
+            if mshr.on_stall is not None:
+                mshr.on_stall(at_l2, delayed)
+            issue = at_l2 if at_l2 > delayed else delayed
+        else:
+            issue = at_l2
         llc_stats.demand_accesses += 1
-        llc_line = llc.lookup(line_addr)
+        if self._llc_dict_lru:
+            nsets = self._llc_nsets
+            llc_lines = self._llc_sets[line_addr % nsets]
+            llc_tag = line_addr // nsets
+            llc_line = llc_lines.get(llc_tag)
+            if llc_line is not None:
+                del llc_lines[llc_tag]
+                llc_lines[llc_tag] = llc_line
+        else:
+            llc_line = llc.lookup(line_addr)
         at_llc = issue + self._llc_latency
         if llc_line is not None:
             llc_stats.demand_hits += 1
@@ -241,18 +368,31 @@ class CacheHierarchy:
                 llc_line.pf_window = -1
         else:
             llc_stats.demand_misses += 1
-            mem_issue = llc.mshr.acquire(at_llc)
-            completion = self.controller.read(
-                address, mem_issue, RequestKind.DEMAND
-            )
+            llc_heap = self._llc_mshr_heap
+            while llc_heap and llc_heap[0] <= at_llc:
+                heappop(llc_heap)
+            if len(llc_heap) >= self._llc_mshr_entries:
+                mshr = self._llc_mshr
+                delayed = heappop(llc_heap)
+                mshr.stalls += 1
+                if mshr.on_stall is not None:
+                    mshr.on_stall(at_llc, delayed)
+                mem_issue = at_llc if at_llc > delayed else delayed
+            else:
+                mem_issue = at_llc
+            completion = self.controller.read_demand(line_addr * LINE_SIZE, mem_issue)
             stats.traffic.demand_lines += 1
-            llc.mshr.register(completion)
-            llc.fill(line_addr, completion, False, False, -1, self._evict_from_llc)
-        l1.mshr.register(completion)
-        l2.mshr.register(completion)
-        l2.fill(line_addr, completion, False, False, -1, self._evict_from_l2)
-        l1.fill(line_addr, completion, is_store, False, -1, self._evict_from_l1)
-        return AccessResult(completion, completion - cycle, L2Event.MISS, line_addr)
+            heappush(llc_heap, completion)
+            llc.fill(line_addr, completion, False, False, -1, self._on_evict_llc)
+        heappush(l1_heap, completion)
+        heappush(l2_heap, completion)
+        l2.fill(line_addr, completion, False, False, -1, self._on_evict_l2)
+        l1.fill(line_addr, completion, is_store, False, -1, self._on_evict_l1)
+        result.completion = completion
+        result.latency = completion - cycle
+        result.l2_event = _EVENT_MISS
+        result.line_addr = line_addr
+        return result
 
     # ------------------------------------------------------------------
     # Prefetch path (fills into private L2, paper Section III)
@@ -301,7 +441,7 @@ class CacheHierarchy:
             completion = self.controller.read(line_addr * LINE_SIZE, mem_issue, kind)
             stats.traffic.prefetch_lines += 1
             self.llc.mshr.register(completion)
-            self.llc.fill(line_addr, arrive=completion, on_evict=self._evict_from_llc)
+            self.llc.fill(line_addr, arrive=completion, on_evict=self._on_evict_llc)
         if tracer is not None:
             tracer.on_prefetch_issued(line_addr, cycle, completion, pf_window, sent=True)
         self.l2.fill(
@@ -309,7 +449,7 @@ class CacheHierarchy:
             arrive=completion,
             prefetched=True,
             pf_window=pf_window,
-            on_evict=self._evict_from_l2,
+            on_evict=self._on_evict_l2,
         )
         self.stats.l2.prefetch_fills += 1
         return True
@@ -345,7 +485,7 @@ class CacheHierarchy:
             arrive=completion,
             prefetched=True,
             pf_window=pf_window,
-            on_evict=self._evict_from_llc,
+            on_evict=self._on_evict_llc,
         )
         return True
 

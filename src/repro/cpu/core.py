@@ -45,7 +45,11 @@ class Core:
         total = gap_instructions + self._gap_remainder
         self.cycle += total // self._width
         self._gap_remainder = total % self._width
-        self._drain_completed()
+        # _drain_completed inlined (one call per trace entry adds up).
+        pending = self._pending
+        cycle = self.cycle
+        while pending and pending[0][1] <= cycle:
+            pending.popleft()
 
     def _drain_completed(self) -> None:
         pending = self._pending
@@ -58,6 +62,39 @@ class Core:
         """The cycle at which the next memory reference can issue."""
         # Hot path: _drain_completed and _stall_for_structures inlined
         # (one call per memory reference each adds up).
+        pending = self._pending
+        cycle = self.cycle
+        while pending and pending[0][1] <= cycle:
+            pending.popleft()
+        if pending:
+            instructions = self.instructions
+            rob = self._rob
+            lsq = self._lsq
+            while pending:
+                oldest_instr, oldest_done = pending[0]
+                if instructions - oldest_instr < rob and len(pending) < lsq:
+                    break
+                if oldest_done > cycle:
+                    cycle = oldest_done
+                pending.popleft()
+            self.cycle = cycle
+        return cycle
+
+    def issue_after(self, gap_instructions: int) -> int:
+        """Fused ``advance(gap)`` + ``issue_cycle()`` (engine hot loops).
+
+        Every memory reference in a trace is preceded by a (possibly
+        zero) gap of non-memory instructions; fusing the two calls saves
+        a method dispatch per trace entry and shares one drain scan of
+        the pending-load deque instead of running it in both halves.
+        The arithmetic is identical to calling the two methods in
+        sequence.
+        """
+        if gap_instructions > 0:
+            self.instructions += gap_instructions
+            total = gap_instructions + self._gap_remainder
+            self.cycle += total // self._width
+            self._gap_remainder = total % self._width
         pending = self._pending
         cycle = self.cycle
         while pending and pending[0][1] <= cycle:

@@ -50,6 +50,7 @@ class MemoryController:
         self._outstanding_demand: list[float] = []
         # Pending (not yet drained) write addresses.
         self._write_queue: list[int] = []
+        self._read_queue = config.read_queue
         self._drain_high = max(1, int(config.write_queue * config.drain_high))
         self._drain_low = max(0, int(config.write_queue * config.drain_low))
         self.reads_serviced = 0
@@ -113,7 +114,7 @@ class MemoryController:
             heapq.heappop(reads)
         while demand and demand[0] <= now:
             heapq.heappop(demand)
-        if len(reads) < self._config.read_queue:
+        if len(reads) < self._read_queue:
             arrival = now
         else:
             arrival = max(now, reads[0])
@@ -123,6 +124,29 @@ class MemoryController:
         heapq.heappush(reads, float(completion))
         if kind is RequestKind.DEMAND:
             heapq.heappush(demand, float(completion))
+        self.reads_serviced += 1
+        return int(completion * ratio) + 1
+
+    def read_demand(self, address: int, core_cycle: int) -> int:
+        """Demand-read fast path: :meth:`read` with the kind checks and
+        prefetch-priority branches resolved at the call site (identical
+        timing for ``kind=DEMAND``).  One call per LLC demand miss."""
+        ratio = self._ratio
+        now = core_cycle / ratio
+        reads = self._outstanding_reads
+        demand = self._outstanding_demand
+        while reads and reads[0] <= now:
+            heapq.heappop(reads)
+        while demand and demand[0] <= now:
+            heapq.heappop(demand)
+        if len(reads) < self._read_queue:
+            arrival = now
+        else:
+            arrival = max(now, reads[0])
+        completion = self._dram.service(address, int(arrival), is_write=False)
+        completion_f = float(completion)
+        heapq.heappush(reads, completion_f)
+        heapq.heappush(demand, completion_f)
         self.reads_serviced += 1
         return int(completion * ratio) + 1
 

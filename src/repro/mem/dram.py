@@ -48,6 +48,21 @@ class DramBankModel:
         self._last_was_write = [False] * config.channels
         self.row_hits = 0
         self.row_conflicts = 0
+        # service() scalars, precomputed (one service call per DRAM
+        # transfer; each config attribute chase adds up).
+        timing = self._timing
+        self._tCL = timing.tCL
+        self._tRCD_tCL = timing.tRCD + timing.tCL
+        self._tRP_tRCD_tCL = timing.tRP + timing.tRCD + timing.tCL
+        self._tBURST = timing.tBURST
+        self._tWTR = timing.tWTR
+        self._tRTW = timing.tRTW
+        mapping = self._mapping
+        self._row_bytes = LINE_SIZE * mapping.lines_per_row
+        self._map_banks = mapping._banks
+        self._map_ranks = mapping._ranks
+        self._map_channels = mapping._channels
+        self._num_banks = len(self._banks)
 
     @property
     def mapping(self) -> AddressMapping:
@@ -77,40 +92,43 @@ class DramBankModel:
         ``arrival`` and the result are in memory-bus cycles.
         """
         # Hot path (one call per DRAM transfer): address decode and bank
-        # index inlined — same arithmetic as AddressMapping.locate.
-        timing = self._timing
-        mapping = self._mapping
-        frame = address // (LINE_SIZE * mapping.lines_per_row)
-        bank_no = frame % mapping._banks
-        frame //= mapping._banks
-        frame //= mapping._ranks
-        channel = frame % mapping._channels
-        row = frame // mapping._channels
-        banks = self._banks
-        bank = banks[(channel * self._banks_per_channel + bank_no) % len(banks)]
+        # index inlined — same arithmetic as AddressMapping.locate — and
+        # every timing/mapping scalar read from the precomputed attrs.
+        frame = address // self._row_bytes
+        bank_no = frame % self._map_banks
+        frame //= self._map_banks
+        frame //= self._map_ranks
+        channels = self._map_channels
+        channel = frame % channels
+        row = frame // channels
+        bank = self._banks[
+            (channel * self._banks_per_channel + bank_no) % self._num_banks
+        ]
 
-        start = max(arrival, bank.ready_at)
+        ready = bank.ready_at
+        start = arrival if arrival > ready else ready
         if bank.open_row == row:
-            access_latency = timing.tCL
+            access_latency = self._tCL
             self.row_hits += 1
         else:
-            if bank.open_row < 0:
-                access_latency = timing.tRCD + timing.tCL
-            else:
-                access_latency = timing.tRP + timing.tRCD + timing.tCL
+            access_latency = (
+                self._tRCD_tCL if bank.open_row < 0 else self._tRP_tRCD_tCL
+            )
             self.row_conflicts += 1
             bank.open_row = row
 
-        bus_free = self._bus_free_at[channel]
+        bus_free_at = self._bus_free_at
+        bus_free = bus_free_at[channel]
         data_ready = start + access_latency
         bus_start = data_ready if data_ready > bus_free else bus_free
-        if self._last_was_write[channel] != is_write and bus_free > 0:
-            bus_start += timing.tWTR if self._last_was_write[channel] else timing.tRTW
-        completion = bus_start + timing.tBURST
+        last_was_write = self._last_was_write
+        if last_was_write[channel] != is_write and bus_free > 0:
+            bus_start += self._tWTR if last_was_write[channel] else self._tRTW
+        completion = bus_start + self._tBURST
 
         # The bank is free to activate again once its CAS completes; the
         # queued data waits in the bank's output path for its bus slot.
         bank.ready_at = data_ready
-        self._bus_free_at[channel] = completion
-        self._last_was_write[channel] = is_write
+        bus_free_at[channel] = completion
+        last_was_write[channel] = is_write
         return completion

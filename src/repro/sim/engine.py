@@ -9,17 +9,38 @@ An optional telemetry :class:`~repro.telemetry.collector.Collector` can
 observe the run (interval counter sampling, phase/directive events,
 prefetch lifecycle tracing).  The default is the shared null collector:
 ``collector.enabled`` is checked once per run and the disabled path
-executes the original uninstrumented hot loops.
+executes the uninstrumented hot loops.
+
+Hot-loop structure (see docs/PERFORMANCE.md for the invariants):
+
+* ``run`` picks one of several specialized loops once per run — with or
+  without telemetry, with or without prefetcher hooks, and *fast* vs
+  *straight*;
+* the **fast** loops inline the L1-hit case: one set-dict probe plus the
+  dict-LRU promotion, core bookkeeping, and a deferred hit counter — no
+  ``CacheHierarchy`` call and no result-object traffic for the
+  overwhelming majority of references in cache-friendly workloads.  L1
+  hit/access counters accumulate in loop-local ints and are flushed into
+  ``SimStats`` at directives, sample points, and run end, so every
+  mid-run observer (phase accounting, the telemetry sampler) still sees
+  exact values;
+* the **straight** loops are the pre-fast-path code shape (everything
+  through ``CacheHierarchy.load``/``store``).  They are kept both as the
+  fallback for configurations the fast path cannot serve (a D-TLB, a
+  non-LRU L1 replacement policy) and as the golden reference: setting
+  ``RNR_STRAIGHT_ENGINE=1`` forces them, which the parity suite uses to
+  prove the fast loops produce bit-identical statistics.
 """
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 from typing import Optional
 
 from repro.cache.cache import Cache
 from repro.cache.hierarchy import CacheHierarchy, L2Event
-from repro.config import SystemConfig
+from repro.config import LINE_SIZE, SystemConfig
 from repro.cpu.core import Core
 from repro.mem.controller import MemoryController
 from repro.prefetchers.base import NullPrefetcher, Prefetcher
@@ -28,6 +49,9 @@ from repro.stats import PhaseStats, SimStats
 from repro.telemetry.collector import NULL_COLLECTOR, Collector
 from repro.trace.record import KIND_DIRECTIVE, KIND_LOAD
 from repro.trace.trace import Trace
+
+#: Environment flag forcing the straight-line (pre-fast-path) loops.
+STRAIGHT_ENGINE_ENV = "RNR_STRAIGHT_ENGINE"
 
 
 class SimulationEngine:
@@ -142,13 +166,13 @@ class SimulationEngine:
     def run(self, trace: Trace) -> SimStats:
         """Simulate the full trace; returns the accumulated statistics.
 
-        The loop streams the trace's packed columns (kind, addr, pc, gap)
-        and hoists every per-entry bound method into a local, so the
+        The loops stream the trace's packed columns (kind, addr, pc, gap)
+        and hoist every per-entry bound method into a local, so the
         steady-state cost per reference is the cache model itself rather
         than attribute lookups and record-object construction.  The
         columns may equally be ``memoryview`` windows into an mmap'd
         binary trace file (:class:`repro.trace.binfmt.MappedTrace`) — the
-        loop streams those straight from the OS page cache.  A str/Path
+        loops stream those straight from the OS page cache.  A str/Path
         argument is loaded from disk (either trace format, sniffed).
         """
         if not isinstance(trace, Trace):
@@ -158,6 +182,307 @@ class SimulationEngine:
                 trace = load_any(trace)
             else:
                 trace = Trace(trace)
+
+        collector = self.collector
+        prefetcher = self.prefetcher
+        hierarchy = self.hierarchy
+        ptype = type(prefetcher)
+        slim = (
+            ptype.on_access is Prefetcher.on_access
+            and ptype.on_l2_event is Prefetcher.on_l2_event
+        )
+        _, _, l1_dict_lru = hierarchy.l1.demand_probe_state()
+        fast = (
+            l1_dict_lru
+            and hierarchy.dtlb is None
+            and not os.environ.get(STRAIGHT_ENGINE_ENV)
+        )
+
+        if collector.enabled:
+            collector.on_run_begin(len(trace), self.stats, prefetcher.name)
+            if fast:
+                self._run_telemetry_fast(trace)
+            else:
+                self._run_telemetry(trace)
+        elif fast:
+            if slim:
+                self._run_slim_fast(trace)
+            else:
+                self._run_hooks_fast(trace)
+        elif slim:
+            self._run_slim(trace)
+        else:
+            self._run_hooks(trace)
+
+        final_cycle = self.core.finish()
+        prefetcher.finalize(final_cycle)
+        hierarchy.drain(final_cycle)
+        self.stats.instructions = self.core.instructions
+        self.stats.cycles = final_cycle
+        if collector.enabled:
+            collector.on_run_end(self.stats, final_cycle)
+        return self.stats
+
+    # ------------------------------------------------------------------
+    # Fast loops: inlined L1-hit handling + deferred hit counters
+    # ------------------------------------------------------------------
+    def _run_slim_fast(self, trace: Trace) -> None:
+        """No telemetry, base-class prefetcher hooks: the leanest loop.
+
+        An L1 hit costs one dict probe, the dict-LRU promotion, and core
+        bookkeeping; only misses enter the hierarchy (allocation-free via
+        the reusable result object).
+        """
+        core = self.core
+        issue_after = core.issue_after
+        advance = core.advance
+        retire_load = core.retire_load
+        retire_store = core.retire_store
+        hierarchy = self.hierarchy
+        demand_miss = hierarchy._demand_miss
+        sets, num_sets, _ = hierarchy.l1.demand_probe_state()
+        l1_latency = hierarchy.l1.config.latency
+        l1_stats = self.stats.l1d
+        handle_directive = self._handle_directive
+        directive_at = trace.directive_at
+        kind_directive = KIND_DIRECTIVE
+        kind_load = KIND_LOAD
+        line_size = LINE_SIZE
+        l1_hits = 0
+        l1_misses = 0
+
+        for kind, addr, pc, gap in trace.iter_packed():
+            if kind == kind_directive:
+                if gap:
+                    advance(gap)
+                if l1_hits or l1_misses:
+                    l1_stats.demand_accesses += l1_hits + l1_misses
+                    l1_stats.demand_hits += l1_hits
+                    l1_stats.demand_misses += l1_misses
+                    l1_hits = 0
+                    l1_misses = 0
+                op, args = directive_at(addr)
+                handle_directive(op, args, core.cycle)
+                continue
+            issue = issue_after(gap)
+            line_addr = addr // line_size
+            lines = sets[line_addr % num_sets]
+            tag = line_addr // num_sets
+            line = lines.get(tag)
+            if line is not None:
+                del lines[tag]
+                lines[tag] = line
+                l1_hits += 1
+                at_l1 = issue + l1_latency
+                arrive = line.arrive
+                completion = arrive if arrive > at_l1 else at_l1
+                if kind == kind_load:
+                    retire_load(completion)
+                else:
+                    line.dirty = True
+                    retire_store(completion)
+            else:
+                l1_misses += 1
+                if kind == kind_load:
+                    retire_load(
+                        demand_miss(
+                            line_addr, issue, issue + l1_latency, False
+                        ).completion
+                    )
+                else:
+                    retire_store(
+                        demand_miss(
+                            line_addr, issue, issue + l1_latency, True
+                        ).completion
+                    )
+
+        if l1_hits or l1_misses:
+            l1_stats.demand_accesses += l1_hits + l1_misses
+            l1_stats.demand_hits += l1_hits
+            l1_stats.demand_misses += l1_misses
+
+    def _run_hooks_fast(self, trace: Trace) -> None:
+        """No telemetry, real prefetcher hooks, inlined L1-hit handling.
+
+        ``on_access`` still fires for every reference (prefetchers train
+        on the full access stream); ``on_l2_event`` only fires when the
+        access actually reached the L2, which an L1 hit never does.
+        """
+        core = self.core
+        issue_after = core.issue_after
+        advance = core.advance
+        retire_load = core.retire_load
+        retire_store = core.retire_store
+        hierarchy = self.hierarchy
+        demand_miss = hierarchy._demand_miss
+        sets, num_sets, _ = hierarchy.l1.demand_probe_state()
+        l1_latency = hierarchy.l1.config.latency
+        l1_stats = self.stats.l1d
+        prefetcher = self.prefetcher
+        on_access = prefetcher.on_access
+        on_l2_event = prefetcher.on_l2_event
+        none_event = L2Event.NONE
+        handle_directive = self._handle_directive
+        directive_at = trace.directive_at
+        kind_directive = KIND_DIRECTIVE
+        kind_load = KIND_LOAD
+        line_size = LINE_SIZE
+        l1_hits = 0
+        l1_misses = 0
+
+        for kind, addr, pc, gap in trace.iter_packed():
+            if kind == kind_directive:
+                if gap:
+                    advance(gap)
+                if l1_hits or l1_misses:
+                    l1_stats.demand_accesses += l1_hits + l1_misses
+                    l1_stats.demand_hits += l1_hits
+                    l1_stats.demand_misses += l1_misses
+                    l1_hits = 0
+                    l1_misses = 0
+                op, args = directive_at(addr)
+                handle_directive(op, args, core.cycle)
+                continue
+            issue = issue_after(gap)
+            is_store = kind != kind_load
+            flagged = on_access(addr, pc, issue, is_store)
+            line_addr = addr // line_size
+            lines = sets[line_addr % num_sets]
+            tag = line_addr // num_sets
+            line = lines.get(tag)
+            if line is not None:
+                del lines[tag]
+                lines[tag] = line
+                l1_hits += 1
+                at_l1 = issue + l1_latency
+                arrive = line.arrive
+                completion = arrive if arrive > at_l1 else at_l1
+                if is_store:
+                    line.dirty = True
+                    retire_store(completion)
+                else:
+                    retire_load(completion)
+                continue
+            l1_misses += 1
+            result = demand_miss(line_addr, issue, issue + l1_latency, is_store)
+            completion = result.completion
+            if is_store:
+                retire_store(completion)
+            else:
+                retire_load(completion)
+            if result.l2_event is not none_event:
+                on_l2_event(
+                    result.line_addr, pc, issue, result.l2_event, flagged, completion
+                )
+
+        if l1_hits or l1_misses:
+            l1_stats.demand_accesses += l1_hits + l1_misses
+            l1_stats.demand_hits += l1_hits
+            l1_stats.demand_misses += l1_misses
+
+    def _run_telemetry_fast(self, trace: Trace) -> None:
+        """Telemetry loop with the inlined L1-hit fast path.
+
+        Same dispatch as :meth:`_run_hooks_fast` plus one cycle
+        comparison per entry for the interval sampler.  The deferred L1
+        counters are flushed *before* every sample so the sampler's
+        column sums still reconcile exactly with the final ``SimStats``.
+        """
+        collector = self.collector
+        core = self.core
+        issue_after = core.issue_after
+        advance = core.advance
+        retire_load = core.retire_load
+        retire_store = core.retire_store
+        hierarchy = self.hierarchy
+        demand_miss = hierarchy._demand_miss
+        sets, num_sets, _ = hierarchy.l1.demand_probe_state()
+        l1_latency = hierarchy.l1.config.latency
+        stats = self.stats
+        l1_stats = stats.l1d
+        prefetcher = self.prefetcher
+        on_access = prefetcher.on_access
+        on_l2_event = prefetcher.on_l2_event
+        maybe_sample = collector.maybe_sample
+        none_event = L2Event.NONE
+        handle_directive = self._handle_directive
+        directive_at = trace.directive_at
+        kind_directive = KIND_DIRECTIVE
+        kind_load = KIND_LOAD
+        line_size = LINE_SIZE
+        l1_hits = 0
+        l1_misses = 0
+
+        for kind, addr, pc, gap in trace.iter_packed():
+            if kind == kind_directive:
+                if gap:
+                    advance(gap)
+                if l1_hits or l1_misses:
+                    l1_stats.demand_accesses += l1_hits + l1_misses
+                    l1_stats.demand_hits += l1_hits
+                    l1_stats.demand_misses += l1_misses
+                    l1_hits = 0
+                    l1_misses = 0
+                op, args = directive_at(addr)
+                handle_directive(op, args, core.cycle)
+                continue
+            issue = issue_after(gap)
+            is_store = kind != kind_load
+            flagged = on_access(addr, pc, issue, is_store)
+            line_addr = addr // line_size
+            lines = sets[line_addr % num_sets]
+            tag = line_addr // num_sets
+            line = lines.get(tag)
+            if line is not None:
+                del lines[tag]
+                lines[tag] = line
+                l1_hits += 1
+                at_l1 = issue + l1_latency
+                arrive = line.arrive
+                completion = arrive if arrive > at_l1 else at_l1
+                if is_store:
+                    line.dirty = True
+                    retire_store(completion)
+                else:
+                    retire_load(completion)
+            else:
+                l1_misses += 1
+                result = demand_miss(line_addr, issue, issue + l1_latency, is_store)
+                completion = result.completion
+                if is_store:
+                    retire_store(completion)
+                else:
+                    retire_load(completion)
+                if result.l2_event is not none_event:
+                    on_l2_event(
+                        result.line_addr,
+                        pc,
+                        issue,
+                        result.l2_event,
+                        flagged,
+                        completion,
+                    )
+            if core.cycle >= collector.next_sample:
+                if l1_hits or l1_misses:
+                    l1_stats.demand_accesses += l1_hits + l1_misses
+                    l1_stats.demand_hits += l1_hits
+                    l1_stats.demand_misses += l1_misses
+                    l1_hits = 0
+                    l1_misses = 0
+                stats.instructions = core.instructions
+                maybe_sample(core.cycle)
+
+        if l1_hits or l1_misses:
+            l1_stats.demand_accesses += l1_hits + l1_misses
+            l1_stats.demand_hits += l1_hits
+            l1_stats.demand_misses += l1_misses
+
+    # ------------------------------------------------------------------
+    # Straight loops: the pre-fast-path code shape (golden reference)
+    # ------------------------------------------------------------------
+    def _run_telemetry(self, trace: Trace) -> None:
+        """Telemetry loop routing every access through load()/store()."""
+        collector = self.collector
         core = self.core
         prefetcher = self.prefetcher
         none_event = L2Event.NONE
@@ -171,90 +496,96 @@ class SimulationEngine:
         directive_at = trace.directive_at
         kind_directive = KIND_DIRECTIVE
         kind_load = KIND_LOAD
+        on_access = prefetcher.on_access
+        on_l2_event = prefetcher.on_l2_event
+        maybe_sample = collector.maybe_sample
+        stats = self.stats
+        for kind, addr, pc, gap in trace.iter_packed():
+            if gap:
+                advance(gap)
+            if kind == kind_directive:
+                op, args = directive_at(addr)
+                handle_directive(op, args, core.cycle)
+                continue
+            issue = issue_cycle()
+            if kind == kind_load:
+                flagged = on_access(addr, pc, issue, False)
+                result = load(addr, issue)
+                retire_load(result.completion)
+            else:
+                flagged = on_access(addr, pc, issue, True)
+                result = store(addr, issue)
+                retire_store(result.completion)
+            if result.l2_event is not none_event:
+                on_l2_event(
+                    result.line_addr, pc, issue, result.l2_event, flagged, result.completion
+                )
+            if core.cycle >= collector.next_sample:
+                stats.instructions = core.instructions
+                maybe_sample(core.cycle)
 
-        collector = self.collector
-        ptype = type(prefetcher)
-        if collector.enabled:
-            # Telemetry loop: same dispatch as the general loop plus one
-            # cycle comparison per entry for the interval sampler.  Only
-            # enabled collectors ever take this branch, so the two loops
-            # below stay exactly as fast as before telemetry existed.
-            collector.on_run_begin(len(trace), self.stats, prefetcher.name)
-            on_access = prefetcher.on_access
-            on_l2_event = prefetcher.on_l2_event
-            maybe_sample = collector.maybe_sample
-            stats = self.stats
-            for kind, addr, pc, gap in trace.iter_packed():
-                if gap:
-                    advance(gap)
-                if kind == kind_directive:
-                    op, args = directive_at(addr)
-                    handle_directive(op, args, core.cycle)
-                    continue
-                issue = issue_cycle()
-                if kind == kind_load:
-                    flagged = on_access(addr, pc, issue, False)
-                    result = load(addr, issue)
-                    retire_load(result.completion)
-                else:
-                    flagged = on_access(addr, pc, issue, True)
-                    result = store(addr, issue)
-                    retire_store(result.completion)
-                if result.l2_event is not none_event:
-                    on_l2_event(
-                        result.line_addr, pc, issue, result.l2_event, flagged, result.completion
-                    )
-                if core.cycle >= collector.next_sample:
-                    stats.instructions = core.instructions
-                    maybe_sample(core.cycle)
-        elif (
-            ptype.on_access is Prefetcher.on_access
-            and ptype.on_l2_event is Prefetcher.on_l2_event
-        ):
-            # Slim loop for prefetchers whose per-access hooks are the
-            # base no-ops (baseline / ideal runs): both hook dispatches
-            # and the L2-event plumbing drop out of the hot path.
-            for kind, addr, pc, gap in trace.iter_packed():
-                if gap:
-                    advance(gap)
-                if kind == kind_directive:
-                    op, args = directive_at(addr)
-                    handle_directive(op, args, core.cycle)
-                    continue
-                issue = issue_cycle()
-                if kind == kind_load:
-                    retire_load(load(addr, issue).completion)
-                else:
-                    retire_store(store(addr, issue).completion)
-        else:
-            on_access = prefetcher.on_access
-            on_l2_event = prefetcher.on_l2_event
-            for kind, addr, pc, gap in trace.iter_packed():
-                if gap:
-                    advance(gap)
-                if kind == kind_directive:
-                    op, args = directive_at(addr)
-                    handle_directive(op, args, core.cycle)
-                    continue
-                issue = issue_cycle()
-                if kind == kind_load:
-                    flagged = on_access(addr, pc, issue, False)
-                    result = load(addr, issue)
-                    retire_load(result.completion)
-                else:
-                    flagged = on_access(addr, pc, issue, True)
-                    result = store(addr, issue)
-                    retire_store(result.completion)
-                if result.l2_event is not none_event:
-                    on_l2_event(
-                        result.line_addr, pc, issue, result.l2_event, flagged, result.completion
-                    )
+    def _run_slim(self, trace: Trace) -> None:
+        """Straight loop for prefetchers whose per-access hooks are the
+        base no-ops (baseline / ideal runs): both hook dispatches and the
+        L2-event plumbing drop out."""
+        core = self.core
+        advance = core.advance
+        issue_cycle = core.issue_cycle
+        retire_load = core.retire_load
+        retire_store = core.retire_store
+        load = self.hierarchy.load
+        store = self.hierarchy.store
+        handle_directive = self._handle_directive
+        directive_at = trace.directive_at
+        kind_directive = KIND_DIRECTIVE
+        kind_load = KIND_LOAD
+        for kind, addr, pc, gap in trace.iter_packed():
+            if gap:
+                advance(gap)
+            if kind == kind_directive:
+                op, args = directive_at(addr)
+                handle_directive(op, args, core.cycle)
+                continue
+            issue = issue_cycle()
+            if kind == kind_load:
+                retire_load(load(addr, issue).completion)
+            else:
+                retire_store(store(addr, issue).completion)
 
-        final_cycle = core.finish()
-        prefetcher.finalize(final_cycle)
-        self.hierarchy.drain(final_cycle)
-        self.stats.instructions = core.instructions
-        self.stats.cycles = final_cycle
-        if collector.enabled:
-            collector.on_run_end(self.stats, final_cycle)
-        return self.stats
+    def _run_hooks(self, trace: Trace) -> None:
+        """Straight loop with prefetcher hook dispatch per access."""
+        core = self.core
+        prefetcher = self.prefetcher
+        none_event = L2Event.NONE
+        advance = core.advance
+        issue_cycle = core.issue_cycle
+        retire_load = core.retire_load
+        retire_store = core.retire_store
+        load = self.hierarchy.load
+        store = self.hierarchy.store
+        handle_directive = self._handle_directive
+        directive_at = trace.directive_at
+        kind_directive = KIND_DIRECTIVE
+        kind_load = KIND_LOAD
+        on_access = prefetcher.on_access
+        on_l2_event = prefetcher.on_l2_event
+        for kind, addr, pc, gap in trace.iter_packed():
+            if gap:
+                advance(gap)
+            if kind == kind_directive:
+                op, args = directive_at(addr)
+                handle_directive(op, args, core.cycle)
+                continue
+            issue = issue_cycle()
+            if kind == kind_load:
+                flagged = on_access(addr, pc, issue, False)
+                result = load(addr, issue)
+                retire_load(result.completion)
+            else:
+                flagged = on_access(addr, pc, issue, True)
+                result = store(addr, issue)
+                retire_store(result.completion)
+            if result.l2_event is not none_event:
+                on_l2_event(
+                    result.line_addr, pc, issue, result.l2_event, flagged, result.completion
+                )

@@ -6,18 +6,36 @@ the memory controller.  This engine interleaves the per-core traces in
 global time order: at every step the core with the smallest local clock
 consumes its next trace entry, so shared-resource contention (LLC
 capacity, DRAM banks/bus, write drains) is modelled in rough cycle order.
+
+Scheduling is a ``heapq`` k-way merge over ``(clock, core_idx)`` keys.
+Popping the minimum hands the winning core a *run*: it keeps consuming
+trace entries until its clock passes the runner-up's ``(clock, idx)``
+key, so the per-entry cost is one tuple comparison instead of a heap
+operation (let alone the O(cores) ``min()`` scan this replaces).  The
+``(clock, idx)`` ordering reproduces the previous scheduler's tie-break
+(lowest core index first) exactly, and a core that exhausts its trace is
+finished/drained immediately — in the same shared-controller order as
+the one-entry-at-a-time scheduler — so results are bit-identical.
+
+Per-core traces stream through ``iter_packed()`` and share the engine's
+inlined L1-hit fast path (see :mod:`repro.sim.engine`); a str/Path entry
+is loaded from disk, so store-served binary traces can be passed by path
+without materialising record objects.
 """
 
 from __future__ import annotations
 
+import heapq
+import os
+from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro.cache.cache import Cache
 from repro.cache.hierarchy import L2Event
-from repro.config import SystemConfig
+from repro.config import LINE_SIZE, SystemConfig
 from repro.mem.controller import MemoryController
 from repro.prefetchers.base import NullPrefetcher, Prefetcher
-from repro.sim.engine import SimulationEngine
+from repro.sim.engine import STRAIGHT_ENGINE_ENV, SimulationEngine
 from repro.stats import SimStats
 from repro.trace.record import KIND_DIRECTIVE, KIND_LOAD
 from repro.trace.trace import Trace
@@ -52,67 +70,244 @@ class MulticoreEngine:
         ]
 
     # ------------------------------------------------------------------
-    def run(self, traces: Sequence[Trace]) -> List[SimStats]:
-        """Interleave per-core traces by local core time."""
-        if len(traces) != len(self.engines):
-            raise ValueError(
-                f"need {len(self.engines)} traces, got {len(traces)}"
-            )
-        iterators = [iter(trace) for trace in traces]
-        pending = []
-        for idx, iterator in enumerate(iterators):
-            entry = next(iterator, None)
-            if entry is not None:
-                pending.append([0, idx, entry])
+    def run(self, traces: Sequence) -> List[SimStats]:
+        """Interleave per-core traces by local core time.
+
+        Each element of ``traces`` may be a :class:`Trace` (including a
+        mmap-backed :class:`~repro.trace.binfmt.MappedTrace`), a str/Path
+        to a trace file on disk, or an iterable of records.  A core whose
+        trace is empty never runs and keeps zeroed statistics.
+        """
+        engines = self.engines
+        if len(traces) != len(engines):
+            raise ValueError(f"need {len(engines)} traces, got {len(traces)}")
+        coerced: List[Trace] = []
+        for trace in traces:
+            if not isinstance(trace, Trace):
+                if isinstance(trace, (str, Path)):
+                    from repro.trace.binfmt import load_any
+
+                    trace = load_any(trace)
+                else:
+                    trace = Trace(trace)
+            coerced.append(trace)
 
         none_event = L2Event.NONE
-        while pending:
-            # Pick the core with the smallest local clock.
-            slot = min(pending, key=lambda item: item[0])
-            _, core_idx, entry = slot
-            engine = self.engines[core_idx]
+        kind_directive = KIND_DIRECTIVE
+        kind_load = KIND_LOAD
+        line_size = LINE_SIZE
+        straight = bool(os.environ.get(STRAIGHT_ENGINE_ENV))
+
+        # Per-core scheduler state, indexed by core number.  ``state``
+        # holds every per-entry binding hoisted once per core, so run
+        # consumption only rebinds locals when the scheduler actually
+        # switches cores.
+        iters: List = []
+        entries: List = []
+        hits: List[int] = []
+        misses: List[int] = []
+        state: List = []
+        heap: List = []
+        for idx, trace in enumerate(coerced):
+            if len(trace) == 0:
+                # A core with no trace never runs, never finishes, and
+                # keeps zeroed stats (matches the previous scheduler).
+                iters.append(None)
+                entries.append(None)
+                hits.append(0)
+                misses.append(0)
+                state.append(None)
+                continue
+            engine = engines[idx]
             core = engine.core
-
-            gap = entry.gap
-            if gap:
-                core.advance(gap)
-            if entry.kind == KIND_DIRECTIVE:
-                engine._handle_directive(entry.op, entry.args, core.cycle)
-            else:
-                issue = core.issue_cycle()
-                is_store = entry.kind != KIND_LOAD
-                flagged = engine.prefetcher.on_access(
-                    entry.addr, entry.pc, issue, is_store
+            hierarchy = engine.hierarchy
+            prefetcher = engine.prefetcher
+            ptype = type(prefetcher)
+            # Slim cores (base-class no-op hooks, e.g. NullPrefetcher)
+            # skip hook dispatch entirely; None marks them in the state.
+            slim = (
+                ptype.on_access is Prefetcher.on_access
+                and ptype.on_l2_event is Prefetcher.on_l2_event
+            )
+            sets, num_sets, dict_lru = hierarchy.l1.demand_probe_state()
+            fast = dict_lru and hierarchy.dtlb is None and not straight
+            it = trace.iter_packed()
+            it_next = it.__next__
+            state.append(
+                (
+                    core,
+                    engine,
+                    core.issue_after,
+                    core.advance,
+                    core.retire_load,
+                    core.retire_store,
+                    engine._handle_directive,
+                    trace.directive_at,
+                    hierarchy._demand_miss,
+                    hierarchy.load,
+                    hierarchy.store,
+                    None if slim else prefetcher.on_access,
+                    None if slim else prefetcher.on_l2_event,
+                    sets,
+                    num_sets,
+                    hierarchy.l1.config.latency,
+                    engine.stats.l1d,
+                    fast,
                 )
-                if is_store:
-                    result = engine.hierarchy.store(entry.addr, issue)
-                    core.retire_store(result.completion)
-                else:
-                    result = engine.hierarchy.load(entry.addr, issue)
-                    core.retire_load(result.completion)
-                if result.l2_event is not none_event:
-                    engine.prefetcher.on_l2_event(
-                        result.line_addr,
-                        entry.pc,
-                        issue,
-                        result.l2_event,
-                        flagged,
-                        result.completion,
-                    )
+            )
+            iters.append(it_next)
+            entries.append(it_next())
+            hits.append(0)
+            misses.append(0)
+            heap.append((0, idx))
 
-            nxt = next(iterators[core_idx], None)
-            if nxt is None:
-                pending.remove(slot)
-                final = core.finish()
-                engine.prefetcher.finalize(final)
-                engine.hierarchy.drain(final)
-                engine.stats.instructions = core.instructions
-                engine.stats.cycles = final
+        heapq.heapify(heap)
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+
+        while heap:
+            _, idx = heappop(heap)
+            (
+                core,
+                engine,
+                issue_after,
+                advance,
+                retire_load,
+                retire_store,
+                handle_directive,
+                directive_at,
+                demand_miss,
+                load,
+                store,
+                on_access,
+                on_l2_event,
+                sets,
+                num_sets,
+                l1_latency,
+                l1_stats,
+                fast,
+            ) = state[idx]
+            it_next = iters[idx]
+            entry = entries[idx]
+            l1_hits = hits[idx]
+            l1_misses = misses[idx]
+            if heap:
+                limit_clock, limit_idx = heap[0]
+                bounded = True
             else:
-                slot[0] = core.cycle
-                slot[2] = nxt
+                bounded = False
+            while True:
+                kind, addr, pc, gap = entry
+                if kind == kind_directive:
+                    if gap:
+                        advance(gap)
+                    if l1_hits or l1_misses:
+                        l1_stats.demand_accesses += l1_hits + l1_misses
+                        l1_stats.demand_hits += l1_hits
+                        l1_stats.demand_misses += l1_misses
+                        l1_hits = 0
+                        l1_misses = 0
+                    op, args = directive_at(addr)
+                    handle_directive(op, args, core.cycle)
+                elif fast:
+                    issue = issue_after(gap)
+                    is_store = kind != kind_load
+                    if on_access is not None:
+                        flagged = on_access(addr, pc, issue, is_store)
+                    line_addr = addr // line_size
+                    lines = sets[line_addr % num_sets]
+                    tag = line_addr // num_sets
+                    line = lines.get(tag)
+                    if line is not None:
+                        del lines[tag]
+                        lines[tag] = line
+                        l1_hits += 1
+                        at_l1 = issue + l1_latency
+                        arrive = line.arrive
+                        completion = arrive if arrive > at_l1 else at_l1
+                        if is_store:
+                            line.dirty = True
+                            retire_store(completion)
+                        else:
+                            retire_load(completion)
+                    else:
+                        l1_misses += 1
+                        result = demand_miss(
+                            line_addr, issue, issue + l1_latency, is_store
+                        )
+                        completion = result.completion
+                        if is_store:
+                            retire_store(completion)
+                        else:
+                            retire_load(completion)
+                        if (
+                            on_l2_event is not None
+                            and result.l2_event is not none_event
+                        ):
+                            on_l2_event(
+                                result.line_addr,
+                                pc,
+                                issue,
+                                result.l2_event,
+                                flagged,
+                                completion,
+                            )
+                else:
+                    issue = issue_after(gap)
+                    is_store = kind != kind_load
+                    flagged = (
+                        on_access(addr, pc, issue, is_store)
+                        if on_access is not None
+                        else False
+                    )
+                    if is_store:
+                        result = store(addr, issue)
+                        retire_store(result.completion)
+                    else:
+                        result = load(addr, issue)
+                        retire_load(result.completion)
+                    if (
+                        on_l2_event is not None
+                        and result.l2_event is not none_event
+                    ):
+                        on_l2_event(
+                            result.line_addr,
+                            pc,
+                            issue,
+                            result.l2_event,
+                            flagged,
+                            result.completion,
+                        )
 
-        return [engine.stats for engine in self.engines]
+                try:
+                    entry = it_next()
+                except StopIteration:
+                    # Trace exhausted: finish immediately — the drain
+                    # order against the shared controller is part of
+                    # the simulated result.
+                    if l1_hits or l1_misses:
+                        l1_stats.demand_accesses += l1_hits + l1_misses
+                        l1_stats.demand_hits += l1_hits
+                        l1_stats.demand_misses += l1_misses
+                    final = core.finish()
+                    engine.prefetcher.finalize(final)
+                    engine.hierarchy.drain(final)
+                    engine.stats.instructions = core.instructions
+                    engine.stats.cycles = final
+                    state[idx] = None
+                    iters[idx] = None
+                    entries[idx] = None
+                    break
+                if bounded:
+                    c = core.cycle
+                    if c > limit_clock or (c == limit_clock and idx > limit_idx):
+                        entries[idx] = entry
+                        hits[idx] = l1_hits
+                        misses[idx] = l1_misses
+                        heappush(heap, (c, idx))
+                        break
+
+        return [eng.stats for eng in engines]
 
     def aggregate(self) -> SimStats:
         """Merged statistics across cores (cycles = slowest core)."""

@@ -1,0 +1,136 @@
+"""Golden parity: the fast engine loops are bit-identical to the straight ones.
+
+The inlined L1-hit fast path, the allocation-free miss path, and the
+k-way-merge multicore scheduler are pure speedups — every ``SimStats``
+field must match the straight-line reference loops exactly.  The straight
+loops are forced with the ``RNR_STRAIGHT_ENGINE`` env flag (see
+``repro.sim.engine``), so this suite pins the contract that keeps the two
+implementations interchangeable:
+
+* every registry prefetcher, fast vs straight, on one fixed seeded
+  RnR-instrumented trace: ``SimStats.as_dict()`` equality;
+* a 1-core :class:`MulticoreEngine` vs a plain :class:`SimulationEngine`
+  on the same trace: exact equality (the merge scheduler degenerates to
+  the single-core loop);
+* an N-core run, fast vs straight: exact equality (scheduling order and
+  shared-controller contention are part of the simulated result).
+"""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.prefetchers import PREFETCHERS, make_prefetcher
+from repro.rnr.api import RnRInterface
+from repro.sim.engine import STRAIGHT_ENGINE_ENV, SimulationEngine
+from repro.sim.multicore import MulticoreEngine
+from repro.trace import AddressSpace, TraceBuilder
+
+ACCESSES = 6_000
+FOOTPRINT = 16_384
+CORES = 4
+
+
+def build_parity_trace(seed=7, accesses=ACCESSES, rnr=True, window=4):
+    """Fixed seeded two-iteration trace with RnR directives (bench shape)."""
+    import random
+
+    rng = random.Random(seed)
+    space = AddressSpace()
+    array = space.alloc("x", FOOTPRINT, 8)
+    indices = [rng.randrange(FOOTPRINT) for _ in range(accesses // 2)]
+    builder = TraceBuilder()
+    interface = RnRInterface(builder, space, default_window=window)
+    if rnr:
+        interface.init()
+        interface.addr_base.set(array)
+        interface.addr_base.enable(array)
+    for iteration in range(2):
+        if rnr:
+            if iteration == 0:
+                interface.prefetch_state.start()
+            else:
+                interface.prefetch_state.replay()
+        builder.iter_begin(iteration)
+        for index in indices:
+            builder.work(5)
+            if index % 7 == 0:
+                builder.store(array.addr(index), pc=0x200)
+            else:
+                builder.load(array.addr(index), pc=0x100)
+        builder.iter_end(iteration)
+    if rnr:
+        interface.prefetch_state.end()
+        interface.end()
+    return builder.build()
+
+
+@pytest.fixture(scope="module")
+def rnr_trace():
+    return build_parity_trace()
+
+
+def run_single(trace, prefetcher_name, straight, monkeypatch):
+    if straight:
+        monkeypatch.setenv(STRAIGHT_ENGINE_ENV, "1")
+    else:
+        monkeypatch.delenv(STRAIGHT_ENGINE_ENV, raising=False)
+    prefetcher = make_prefetcher(prefetcher_name) if prefetcher_name else None
+    engine = SimulationEngine(SystemConfig.experiment(), prefetcher)
+    engine.run(trace)
+    return engine.stats.as_dict()
+
+
+class TestFastVsStraight:
+    @pytest.mark.parametrize("name", sorted(PREFETCHERS))
+    def test_registry_prefetcher_parity(self, name, rnr_trace, monkeypatch):
+        fast = run_single(rnr_trace, name, straight=False,
+                          monkeypatch=monkeypatch)
+        straight = run_single(rnr_trace, name, straight=True,
+                              monkeypatch=monkeypatch)
+        assert fast == straight
+
+    def test_no_prefetcher_parity(self, rnr_trace, monkeypatch):
+        fast = run_single(rnr_trace, None, straight=False,
+                          monkeypatch=monkeypatch)
+        straight = run_single(rnr_trace, None, straight=True,
+                              monkeypatch=monkeypatch)
+        assert fast == straight
+
+
+class TestMulticoreParity:
+    @pytest.mark.parametrize("name", [None, "rnr", "stream"])
+    def test_one_core_matches_single_engine(self, name, rnr_trace,
+                                            monkeypatch):
+        monkeypatch.delenv(STRAIGHT_ENGINE_ENV, raising=False)
+        config = SystemConfig.experiment(cores=1)
+        prefetcher = make_prefetcher(name) if name else None
+        multi = MulticoreEngine(
+            config, prefetchers=[prefetcher] if prefetcher else None
+        )
+        (multi_stats,) = multi.run([rnr_trace])
+
+        single_pf = make_prefetcher(name) if name else None
+        single = SimulationEngine(config, single_pf)
+        single.run(rnr_trace)
+        assert multi_stats.as_dict() == single.stats.as_dict()
+
+    def run_multicore(self, traces, straight, monkeypatch):
+        if straight:
+            monkeypatch.setenv(STRAIGHT_ENGINE_ENV, "1")
+        else:
+            monkeypatch.delenv(STRAIGHT_ENGINE_ENV, raising=False)
+        config = SystemConfig.experiment(cores=CORES)
+        prefetchers = [make_prefetcher("rnr") for _ in range(CORES)]
+        engine = MulticoreEngine(config, prefetchers=prefetchers)
+        return [stats.as_dict() for stats in engine.run(traces)]
+
+    def test_n_core_fast_vs_straight(self, monkeypatch):
+        traces = [
+            build_parity_trace(seed=7 + idx, accesses=3_000)
+            for idx in range(CORES)
+        ]
+        fast = self.run_multicore(traces, straight=False,
+                                  monkeypatch=monkeypatch)
+        straight = self.run_multicore(traces, straight=True,
+                                      monkeypatch=monkeypatch)
+        assert fast == straight

@@ -20,8 +20,10 @@ from pathlib import Path
 import pytest
 
 from repro.config import SystemConfig
+from repro.prefetchers import make_prefetcher
 from repro.sim.engine import SimulationEngine
-from repro.telemetry.collector import NullCollector
+from repro.telemetry.collector import NullCollector, TelemetryCollector
+from repro.telemetry.config import TelemetryConfig
 from repro.trace import AddressSpace, TraceBuilder
 
 BASELINE_PATH = Path(__file__).resolve().parents[2] / "BENCH_engine.json"
@@ -48,14 +50,15 @@ def build_trace(accesses=30_000, footprint=32_768):
     return builder.build()
 
 
-def _one_rate(trace, collector, config, entries):
-    engine = SimulationEngine(config, collector=collector)
+def _one_rate(trace, collector, config, entries, prefetcher_name=None):
+    prefetcher = make_prefetcher(prefetcher_name) if prefetcher_name else None
+    engine = SimulationEngine(config, prefetcher, collector=collector)
     began = time.perf_counter()
     engine.run(trace)
     return entries / (time.perf_counter() - began)
 
 
-def best_rates(trace, repeats=5):
+def best_rates(trace, repeats=5, prefetcher_name=None):
     """Interleaved best-of-``repeats`` (default, null) entries/second.
 
     Alternating the two variants within each round keeps slow drift
@@ -66,9 +69,13 @@ def best_rates(trace, repeats=5):
     entries = len(trace)
     best_default = best_null = 0.0
     for _ in range(repeats):
-        best_default = max(best_default, _one_rate(trace, None, config, entries))
+        best_default = max(
+            best_default,
+            _one_rate(trace, None, config, entries, prefetcher_name),
+        )
         best_null = max(
-            best_null, _one_rate(trace, NullCollector(), config, entries)
+            best_null,
+            _one_rate(trace, NullCollector(), config, entries, prefetcher_name),
         )
     return best_default, best_null
 
@@ -102,3 +109,47 @@ def test_null_collector_is_free():
         f"{rate:.0f} entries/s vs committed {baseline['demand']:.0f} "
         f"(floor {floor:.0f})"
     )
+
+
+def test_null_collector_is_free_on_hooks_loop():
+    """Same paired guard on the hooks fast loop (non-slim prefetcher):
+    the inlined L1-hit path with prefetcher hooks must not grow a
+    telemetry branch either."""
+    trace = build_trace(accesses=20_000)
+    best_rates(trace, repeats=1, prefetcher_name="rnr")
+    for attempt in range(3):
+        default_rate, null_rate = best_rates(trace, prefetcher_name="rnr")
+        ratio = null_rate / default_rate
+        if ratio >= 1.0 - PAIRED_TOLERANCE:
+            break
+    assert ratio >= 1.0 - PAIRED_TOLERANCE, (
+        f"explicit NullCollector is {100 * (1 - ratio):.1f}% slower than the "
+        f"default engine on the hooks loop ({null_rate:.0f} vs "
+        f"{default_rate:.0f} entries/s)"
+    )
+
+
+@pytest.mark.parametrize("prefetcher_name", [None, "rnr"])
+def test_sampler_totals_reconcile_with_deferred_flushes(prefetcher_name):
+    """The fast loops defer L1 hit/miss accounting in loop locals; every
+    sample point must see flushed counters, so the sampler's column sums
+    reconcile *exactly* with the end-of-run totals."""
+    trace = build_trace(accesses=8_000)
+    collector = TelemetryCollector(
+        TelemetryConfig(out_dir=None, sample_interval=500)
+    )
+    prefetcher = make_prefetcher(prefetcher_name) if prefetcher_name else None
+    engine = SimulationEngine(
+        SystemConfig.experiment(), prefetcher, collector=collector
+    )
+    engine.run(trace)
+    assert len(collector.sampler.rows) > 5  # actually sampled mid-run
+    totals = collector.sampler.totals()
+    final = engine.stats.flat_counters()
+    assert totals == final
+    # The deferred counters specifically: nonzero and exactly reconciled.
+    assert totals["l1d.demand_accesses"] == (
+        engine.stats.l1d.demand_hits + engine.stats.l1d.demand_misses
+    )
+    assert totals["l1d.demand_hits"] > 0
+    assert totals["l1d.demand_misses"] > 0
