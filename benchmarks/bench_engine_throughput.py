@@ -5,7 +5,11 @@ hot paths and reports comparable single numbers:
 
 * ``SimulationEngine.run`` + ``Trace`` iteration — trace entries consumed
   per wall-clock second, so loop-level regressions are visible independent
-  of workload mix;
+  of workload mix.  The columnar backend (``--engine vector``) is timed on
+  a locality-shaped trace (an L1-resident hot set with a cold tail — the
+  stream shape vectorization exists for) against the fast scalar loops on
+  the same trace, plus an epoch-cap sensitivity sweep
+  (``RNR_VECTOR_EPOCH`` 1k/8k/64k);
 * trace **acquisition** — building each Fig-6 (app x input) row's trace in
   Python vs mmap-loading it from a warm
   :class:`~repro.trace.store.TraceStore`, the sweep's next biggest fixed
@@ -49,6 +53,13 @@ REGRESSION_TOLERANCE = 0.30
 #: this factor on the Fig-6 matrix (the tentpole's headline number).
 STORE_SPEEDUP_FLOOR = 5.0
 
+#: The vector backend must beat the committed scalar ``demand`` baseline
+#: by at least this factor on the locality trace (acceptance criterion).
+VECTOR_SPEEDUP_FLOOR = 3.0
+
+#: Epoch caps for the vector batch-size sensitivity sweep.
+VECTOR_EPOCH_SWEEP = (1024, 8192, 65536)
+
 
 def build_trace(accesses=50_000, rnr=False, window=16, footprint=32_768, seed=7):
     """A two-iteration pointer-chase-style trace (same shape as bench_simulator)."""
@@ -79,7 +90,37 @@ def build_trace(accesses=50_000, rnr=False, window=16, footprint=32_768, seed=7)
     return builder.build()
 
 
-def measure_entries_per_second(trace, prefetcher_name=None, repeats=3):
+def build_locality_trace(accesses=200_000, hot_lines=24, cold_every=650,
+                         seed=7):
+    """A hot-set demand trace: the shape the vector backend is for.
+
+    ``hot_lines`` cache lines fit in the experiment L1 (32 lines), so the
+    steady state is long L1-hit runs broken by a cold random miss every
+    ``cold_every`` accesses — the laminar/turbulent mix of a cache-
+    friendly workload's inner loop, unlike :func:`build_trace`'s random
+    footprint which misses L1 almost every access.
+    """
+    rng = random.Random(seed)
+    space = AddressSpace()
+    hot = space.alloc("hot", hot_lines * 8, 8)
+    cold = space.alloc("cold", 262_144, 8)
+    builder = TraceBuilder()
+    n_hot = hot_lines * 8
+    builder.iter_begin(0)
+    for i in range(accesses):
+        builder.work(5)
+        if i % cold_every == cold_every - 1:
+            builder.load(cold.addr(rng.randrange(262_144)), pc=0x300)
+        elif i % 11 == 0:
+            builder.store(hot.addr((i * 5) % n_hot), pc=0x200)
+        else:
+            builder.load(hot.addr((i * 3) % n_hot), pc=0x100)
+    builder.iter_end(0)
+    return builder.build()
+
+
+def measure_entries_per_second(trace, prefetcher_name=None, repeats=3,
+                               engine=None):
     """Best-of-``repeats`` trace entries consumed per second."""
     config = SystemConfig.experiment()
     entries = len(trace)
@@ -88,12 +129,32 @@ def measure_entries_per_second(trace, prefetcher_name=None, repeats=3):
         prefetcher = (
             make_prefetcher(prefetcher_name) if prefetcher_name else None
         )
-        engine = SimulationEngine(config, prefetcher)
+        sim = SimulationEngine(config, prefetcher, engine=engine)
         began = time.perf_counter()
-        engine.run(trace)
+        sim.run(trace)
         elapsed = time.perf_counter() - began
         best = max(best, entries / elapsed)
     return best
+
+
+def measure_vector_epoch_sensitivity(trace, repeats=3):
+    """{epoch cap: entries/s} for the vector backend across batch sizes."""
+    from repro.sim.vector import VECTOR_EPOCH_ENV
+
+    rates = {}
+    saved = os.environ.get(VECTOR_EPOCH_ENV)
+    try:
+        for epoch in VECTOR_EPOCH_SWEEP:
+            os.environ[VECTOR_EPOCH_ENV] = str(epoch)
+            rates[str(epoch)] = measure_entries_per_second(
+                trace, None, repeats, engine="vector"
+            )
+    finally:
+        if saved is None:
+            os.environ.pop(VECTOR_EPOCH_ENV, None)
+        else:
+            os.environ[VECTOR_EPOCH_ENV] = saved
+    return rates
 
 
 MULTICORE_CORES = 4
@@ -125,14 +186,31 @@ def measure_multicore_entries_per_second(repeats=3, cores=MULTICORE_CORES):
 
 
 def run_suite(repeats=3):
-    """{scenario: entries/sec} for the demand, RnR, and multicore paths."""
+    """{scenario: entries/sec} for the demand, RnR, multicore, and
+    (numpy permitting) vector paths.
+
+    ``vector`` and ``vector_scalar_ref`` run the *same* locality trace
+    through the columnar and fast scalar backends, so their ratio is the
+    vectorization win uncontaminated by trace shape.
+    """
+    from repro.sim.vector import HAVE_NUMPY
+
     demand = build_trace(rnr=False)
     rnr = build_trace(rnr=True)
-    return {
+    results = {
         "demand": measure_entries_per_second(demand, None, repeats),
         "rnr": measure_entries_per_second(rnr, "rnr", repeats),
         "multicore": measure_multicore_entries_per_second(repeats),
     }
+    if HAVE_NUMPY:
+        locality = build_locality_trace()
+        results["vector"] = measure_entries_per_second(
+            locality, None, repeats, engine="vector"
+        )
+        results["vector_scalar_ref"] = measure_entries_per_second(
+            locality, None, repeats, engine="fast"
+        )
+    return results
 
 
 def fig06_rows(scale):
@@ -203,11 +281,16 @@ def measure_trace_acquisition(scale=None, repeats=3):
     }
 
 
-def write_baseline(results, trace_acquisition=None, path=BASELINE_PATH):
+def write_baseline(results, trace_acquisition=None, path=BASELINE_PATH,
+                   vector_epochs=None):
     payload = {
         "unit": "trace entries per second",
         "entries_per_second": {k: round(v, 1) for k, v in results.items()},
     }
+    if vector_epochs:
+        payload["vector_epoch_sensitivity"] = {
+            k: round(v, 1) for k, v in vector_epochs.items()
+        }
     if trace_acquisition is not None:
         acq = dict(trace_acquisition)
         for field in (
@@ -294,6 +377,38 @@ def test_engine_multicore_entries_per_second(benchmark):
         assert rate >= floor, (
             f"multicore throughput regressed: {rate:.0f} entries/s vs "
             f"baseline {baseline['multicore']:.0f} (floor {floor:.0f})"
+        )
+
+
+def test_engine_vector_entries_per_second(benchmark):
+    """Columnar backend: >= VECTOR_SPEEDUP_FLOOR x the scalar demand
+    baseline on the locality trace, with its own regression floor."""
+    import pytest
+
+    pytest.importorskip("numpy")
+    trace = build_locality_trace()
+    config = SystemConfig.experiment()
+    entries = len(trace)
+    benchmark.pedantic(
+        lambda: SimulationEngine(config, engine="vector").run(trace),
+        rounds=3,
+        iterations=1,
+    )
+    rate = entries / benchmark.stats.stats.min
+    benchmark.extra_info["entries_per_second"] = round(rate, 1)
+    baseline = load_baseline()
+    if baseline and "demand" in baseline:
+        floor = baseline["demand"] * VECTOR_SPEEDUP_FLOOR
+        assert rate >= floor, (
+            f"vector backend only {rate:.0f} entries/s; acceptance floor is "
+            f"{VECTOR_SPEEDUP_FLOOR}x the scalar demand baseline "
+            f"({baseline['demand']:.0f} -> {floor:.0f})"
+        )
+    if baseline and "vector" in baseline:
+        floor = baseline["vector"] * (1.0 - REGRESSION_TOLERANCE)
+        assert rate >= floor, (
+            f"vector throughput regressed: {rate:.0f} entries/s vs "
+            f"baseline {baseline['vector']:.0f} (floor {floor:.0f})"
         )
 
 
@@ -433,7 +548,14 @@ def delta_report(results, acq, baseline, acq_baseline):
 def main():
     results = run_suite()
     for scenario, rate in results.items():
-        print(f"{scenario:>9}: {rate:>12,.0f} trace entries/s")
+        print(f"{scenario:>17}: {rate:>12,.0f} trace entries/s")
+    vector_epochs = None
+    if "vector" in results:
+        vector_epochs = measure_vector_epoch_sensitivity(build_locality_trace())
+        for epoch, rate in vector_epochs.items():
+            print(f"  vector epoch {epoch:>6}: {rate:>12,.0f} entries/s")
+        win = results["vector"] / results["vector_scalar_ref"]
+        print(f"vector vs scalar on the locality trace: {win:.2f}x")
     baseline = load_baseline()
     for line in floor_report(results, baseline):
         print(line)
@@ -444,7 +566,7 @@ def main():
     print()
     for line in delta_report(results, acq, baseline, acq_baseline):
         print(line)
-    path = write_baseline(results, acq)
+    path = write_baseline(results, acq, vector_epochs=vector_epochs)
     print(f"baseline written to {path}")
 
 

@@ -1,0 +1,74 @@
+"""Columnar export of one cache level's set state (vector backend).
+
+The dict-of-``CacheLine`` sets in :class:`repro.cache.cache.Cache` stay
+the *authoritative* state — every fill, eviction, and LRU promotion
+happens there.  :class:`L1Mirror` maintains a numpy shadow of just the
+fields the vectorized probe needs:
+
+* ``tags[num_sets, ways]``  — resident tag per way slot, ``-1`` = empty;
+* ``arrive[num_sets, ways]`` — fill-completion cycle per slot;
+* ``refs[num_sets][ways]``  — the live :class:`CacheLine` objects, so
+  per-entry effects that cannot be expressed as array math (store dirty
+  bits) can still be applied to the real lines.
+
+Way slots are an arbitrary stable assignment (dict iteration order at
+sync time), *not* recency order: dict-LRU promotions reorder the dict
+without changing membership, so a promotion never invalidates the
+mirror.  Only membership or ``arrive`` changes do, and both can only
+happen through a fill or invalidation — the vector engine resyncs the
+single affected set after each scalar-handled miss
+(:meth:`L1Mirror.resync_set`) and rebuilds wholesale after bulk
+invalidation such as ``os.switch`` (:meth:`L1Mirror.rebuild`).
+"""
+
+from __future__ import annotations
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised via repro.sim.vector
+    np = None
+
+
+class L1Mirror:
+    """Numpy shadow of a :class:`~repro.cache.cache.Cache`'s sets."""
+
+    __slots__ = ("_sets", "num_sets", "ways", "tags", "arrive", "refs")
+
+    def __init__(self, cache):
+        if np is None:  # pragma: no cover - vector backend gates on numpy
+            raise RuntimeError("L1Mirror requires numpy")
+        sets, num_sets, dict_lru = cache.demand_probe_state()
+        if not dict_lru:
+            raise ValueError(
+                f"{cache.config.name}: columnar mirror requires dict-LRU "
+                "replacement"
+            )
+        self._sets = sets
+        self.num_sets = num_sets
+        self.ways = cache.config.ways
+        self.tags = np.full((num_sets, self.ways), -1, dtype=np.int64)
+        self.arrive = np.zeros((num_sets, self.ways), dtype=np.int64)
+        self.refs = [[None] * self.ways for _ in range(num_sets)]
+        self.rebuild()
+
+    def rebuild(self) -> None:
+        """Resync every set from the authoritative dicts."""
+        self.tags.fill(-1)
+        for set_idx in range(self.num_sets):
+            self.resync_set(set_idx)
+
+    def resync_set(self, set_idx: int) -> None:
+        """Resync one set row after its membership (possibly) changed."""
+        row_tags = self.tags[set_idx]
+        row_arrive = self.arrive[set_idx]
+        row_refs = self.refs[set_idx]
+        slot = 0
+        for tag, line in self._sets[set_idx].items():
+            row_tags[slot] = tag
+            row_arrive[slot] = line.arrive
+            row_refs[slot] = line
+            slot += 1
+        while slot < self.ways:
+            row_tags[slot] = -1
+            row_refs[slot] = None
+            slot += 1

@@ -30,6 +30,7 @@ anyway, with failed cells shown as ``-`` and a footnote.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -52,6 +53,8 @@ from repro.experiments import (
     supervise,
 )
 from repro.experiments.runner import ExperimentRunner
+from repro.sim import vector as vector_backend
+from repro.sim.backend import ENGINE_BACKENDS, ENGINE_ENV, resolve_engine_backend
 from repro.telemetry import config as telemetry_config
 from repro.trace import store as trace_store_mod
 
@@ -83,6 +86,13 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--scale", default="bench", choices=("bench", "test"))
     parser.add_argument("--window", type=int, default=16, help="RnR window size")
+    parser.add_argument(
+        "--engine",
+        default=None,
+        metavar="BACKEND",
+        help="simulation engine backend: "
+        f"{', '.join(ENGINE_BACKENDS)} (default: ${ENGINE_ENV}, else fast)",
+    )
     parser.add_argument(
         "--jobs",
         type=int,
@@ -203,6 +213,7 @@ def main(argv=None) -> int:
     except ValueError as exc:
         parser.error(str(exc))
     try:
+        engine_backend = resolve_engine_backend(args.engine)
         cell_timeout = supervise.resolve_cell_timeout(args.cell_timeout)
         jobs = pool.resolve_jobs(args.jobs)
         policy = supervise.RetryPolicy(retries=args.retries)
@@ -211,6 +222,15 @@ def main(argv=None) -> int:
         )
     except ValueError as exc:
         parser.error(str(exc))
+
+    if engine_backend == "vector" and not vector_backend.HAVE_NUMPY:
+        parser.error(
+            "--engine vector requires numpy (pip install repro[fast]); "
+            "use --engine fast for the pure-python loops"
+        )
+    # Sweep workers are separate processes; the environment variable is how
+    # the chosen backend reaches every SimulationEngine they construct.
+    os.environ[ENGINE_ENV] = engine_backend
 
     runner = ExperimentRunner(
         scale=args.scale,

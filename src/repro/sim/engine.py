@@ -27,14 +27,26 @@ Hot-loop structure (see docs/PERFORMANCE.md for the invariants):
 * the **straight** loops are the pre-fast-path code shape (everything
   through ``CacheHierarchy.load``/``store``).  They are kept both as the
   fallback for configurations the fast path cannot serve (a D-TLB, a
-  non-LRU L1 replacement policy) and as the golden reference: setting
-  ``RNR_STRAIGHT_ENGINE=1`` forces them, which the parity suite uses to
-  prove the fast loops produce bit-identical statistics.
+  non-LRU L1 replacement policy) and as the golden reference: selecting
+  the ``straight`` backend (``--engine straight`` / ``RNR_ENGINE`` /
+  the legacy ``RNR_STRAIGHT_ENGINE=1`` alias) forces them, which the
+  parity suite uses to prove the other backends produce bit-identical
+  statistics;
+* the **vector** backend (:mod:`repro.sim.vector`, ``--engine vector``)
+  consumes hit runs in batched numpy epochs and spills everything else
+  to the scalar machinery.  It needs numpy (the ``fast`` packaging
+  extra) — without it a vector run warns once and degrades to the fast
+  scalar loops — and serves only telemetry-free runs whose prefetcher
+  keeps the base ``on_access`` hook; anything else silently falls back
+  to the scalar loops with identical statistics.
+
+Backend selection is shared with the CLI and the multicore engine
+through :func:`repro.sim.backend.resolve_engine_backend`.
 """
 
 from __future__ import annotations
 
-import os
+import warnings
 from pathlib import Path
 from typing import Optional
 
@@ -44,14 +56,24 @@ from repro.config import LINE_SIZE, SystemConfig
 from repro.cpu.core import Core
 from repro.mem.controller import MemoryController
 from repro.prefetchers.base import NullPrefetcher, Prefetcher
+from repro.sim import vector as vector_backend
+from repro.sim.backend import (
+    ENGINE_ENV,
+    STRAIGHT_ENGINE_ENV,
+    resolve_engine_backend,
+)
 from repro.sim.os_model import apply_switch
 from repro.stats import PhaseStats, SimStats
 from repro.telemetry.collector import NULL_COLLECTOR, Collector
 from repro.trace.record import KIND_DIRECTIVE, KIND_LOAD
 from repro.trace.trace import Trace
 
-#: Environment flag forcing the straight-line (pre-fast-path) loops.
-STRAIGHT_ENGINE_ENV = "RNR_STRAIGHT_ENGINE"
+__all__ = [
+    "ENGINE_ENV",
+    "STRAIGHT_ENGINE_ENV",
+    "SimulationEngine",
+    "resolve_engine_backend",
+]
 
 
 class SimulationEngine:
@@ -65,7 +87,14 @@ class SimulationEngine:
         controller: Optional[MemoryController] = None,
         prefetch_fill_level: str = "l2",
         collector: Optional[Collector] = None,
+        engine: Optional[str] = None,
     ):
+        # Backend choice: explicit argument wins; None defers to the
+        # RNR_ENGINE / RNR_STRAIGHT_ENGINE environment at run() time.
+        # Validate eagerly so a typo fails at construction, not mid-sweep.
+        self._engine_choice = (
+            resolve_engine_backend(engine) if engine is not None else None
+        )
         self.config = config
         self.stats = SimStats()
         self.controller = (
@@ -191,12 +220,32 @@ class SimulationEngine:
             ptype.on_access is Prefetcher.on_access
             and ptype.on_l2_event is Prefetcher.on_l2_event
         )
+        backend = resolve_engine_backend(self._engine_choice)
         _, _, l1_dict_lru = hierarchy.l1.demand_probe_state()
         fast = (
             l1_dict_lru
             and hierarchy.dtlb is None
-            and not os.environ.get(STRAIGHT_ENGINE_ENV)
+            and backend != "straight"
         )
+        vector = False
+        if backend == "vector":
+            if not vector_backend.HAVE_NUMPY:
+                warnings.warn(
+                    "numpy is not installed (pip install repro[fast]); "
+                    "engine backend 'vector' falling back to the fast "
+                    "scalar loops",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            else:
+                # Telemetry, an overridden on_access hook, or a config
+                # outside the stall-safety inequality falls back to the
+                # scalar loops (same statistics, no vector speedup).
+                vector = (
+                    fast
+                    and not collector.enabled
+                    and vector_backend.vector_supported(self, slim)
+                )
 
         if collector.enabled:
             collector.on_run_begin(len(trace), self.stats, prefetcher.name)
@@ -204,6 +253,8 @@ class SimulationEngine:
                 self._run_telemetry_fast(trace)
             else:
                 self._run_telemetry(trace)
+        elif vector:
+            vector_backend.run_vector(self, trace)
         elif fast:
             if slim:
                 self._run_slim_fast(trace)

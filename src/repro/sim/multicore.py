@@ -26,7 +26,6 @@ without materialising record objects.
 from __future__ import annotations
 
 import heapq
-import os
 from pathlib import Path
 from typing import List, Optional, Sequence
 
@@ -35,7 +34,7 @@ from repro.cache.hierarchy import L2Event
 from repro.config import LINE_SIZE, SystemConfig
 from repro.mem.controller import MemoryController
 from repro.prefetchers.base import NullPrefetcher, Prefetcher
-from repro.sim.engine import STRAIGHT_ENGINE_ENV, SimulationEngine
+from repro.sim.engine import SimulationEngine, resolve_engine_backend
 from repro.stats import SimStats
 from repro.trace.record import KIND_DIRECTIVE, KIND_LOAD
 from repro.trace.trace import Trace
@@ -96,7 +95,10 @@ class MulticoreEngine:
         kind_directive = KIND_DIRECTIVE
         kind_load = KIND_LOAD
         line_size = LINE_SIZE
-        straight = bool(os.environ.get(STRAIGHT_ENGINE_ENV))
+        # The merge scheduler interleaves per-entry across cores, so the
+        # batched vector backend does not apply here; ``vector`` resolves
+        # to the fast merge loops (single-core runs get the columnar path).
+        straight = resolve_engine_backend() == "straight"
 
         # Per-core scheduler state, indexed by core number.  ``state``
         # holds every per-entry binding hoisted once per core, so run

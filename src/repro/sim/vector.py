@@ -1,0 +1,582 @@
+"""Numpy-columnar execution backend (``--engine vector``).
+
+The scalar engine loops (:mod:`repro.sim.engine`) pay an irreducible
+per-entry interpreter cost even on a pure L1-hit stream.  This backend
+removes it for the entries where the simulation is *laminar* — runs of
+consecutive L1 hits whose timing is closed-form — and spills everything
+else to the exact scalar machinery, so the statistics stay bit-identical
+to the ``straight`` reference (the golden-parity suite asserts it).
+
+Execution model
+---------------
+
+The trace's packed columns are wrapped in zero-copy numpy views
+(:meth:`repro.trace.trace.Trace.numpy_columns`) and consumed in
+**epochs**: directive boundaries split the trace, and an epoch cap
+(``RNR_VECTOR_EPOCH``, default 8192) bounds each probe batch.  Within an
+epoch the backend alternates between:
+
+* **vector segments** — probe a window of entries against the L1 tag
+  matrix (:class:`repro.cache.columnar.L1Mirror`) with one vectorized
+  compare, take the leading all-hit prefix, and retire it with array
+  arithmetic: with ``U_i = cumsum(gap+1)``, issue/retire cycles are
+  ``C0 + (U_i - 1 + R0)//width`` / ``C0 + (U_i + R0)//width`` and every
+  hit completes at ``issue + l1_latency`` — *provided* no pending-load
+  stall interrupts the run.  The possible interrupts are enumerated
+  exactly (see ``_cut_for_pending``): for each pre-segment pending load
+  the first index where it would trigger a ROB/LSQ stall is computed
+  with ``searchsorted``, and the segment is cut just before the earliest
+  one.  Newly-appended hit loads can never stall a segment themselves
+  (their completion is ``l1_latency`` cycles out, so at most
+  ``(l1_latency + 2) * width`` instructions separate the oldest
+  incomplete load from retirement — far below ROB/LSQ size; the
+  eligibility check enforces the inequality).  Hits on lines whose fill
+  is still in flight (``arrive > at_l1``) end the segment too: their
+  completion is data-dependent, so the boundary entry is replayed
+  through the real ``Core.issue_after``.
+* **scalar spill** — the boundary entry (miss, in-flight hit, or stall
+  trigger) runs the exact fast-loop body: ``Core.issue_after``,
+  dict probe/promotion, ``CacheHierarchy._demand_miss``, prefetcher
+  ``on_l2_event``.  Misses resync the one affected L1 mirror row.
+
+After each vector segment the dict-LRU promotions are applied to the
+authoritative set dicts (each distinct line once, in last-touch order —
+the same end state as per-entry promotion), store dirty bits are set on
+the real lines, the pending-load deque is reconciled (drained fronts
+popped, surviving new loads appended), and the core's cycle/instruction
+counters are written back — so the scalar code between segments sees
+exactly the state it would have under per-entry execution.
+
+Deferred statistics: vector hits accumulate in loop-local counters and
+flush into ``SimStats`` at epoch boundaries (directives and run end),
+the same contract the fast scalar loops already use.
+
+Turbulence fallback: when the observed hit-run length collapses (miss-
+dominated phases), probing overhead would make vectorization *slower*
+than the scalar loop, so the backend processes doubling scalar bursts
+(mirror marked stale, rebuilt on re-entry) and re-probes periodically —
+worst case it degrades to fast-scalar speed plus a periodic probe.
+
+Eligibility: no telemetry collector, no D-TLB, dict-LRU L1, a
+prefetcher whose ``on_access`` is the base no-op (all L2-trained
+prefetchers qualify; ``on_l2_event`` fires only from the scalar miss
+spill), and the ``(l1_latency + 2) * width < min(rob, lsq)`` stall-
+safety inequality.  Ineligible runs fall back to the fast scalar loops
+— same statistics, no vector speedup.
+"""
+
+from __future__ import annotations
+
+import os
+
+try:
+    import numpy as np
+except ImportError:  # the 'fast' packaging extra is not installed
+    np = None
+
+from repro.cache.columnar import L1Mirror
+from repro.cache.hierarchy import L2Event
+from repro.config import LINE_SIZE
+from repro.trace.record import KIND_DIRECTIVE, KIND_LOAD
+
+#: True when the columnar backend can actually run (numpy importable).
+HAVE_NUMPY = np is not None
+
+#: Environment variable bounding entries per probe batch (epoch cap).
+VECTOR_EPOCH_ENV = "RNR_VECTOR_EPOCH"
+
+#: Default epoch cap: large enough to amortize probe setup, small enough
+#: that the working arrays stay cache-resident.
+DEFAULT_EPOCH = 8192
+
+#: Floor for the epoch cap; below this the batch bookkeeping dominates.
+MIN_EPOCH = 64
+
+#: EMA hit-run length below which the backend switches to scalar bursts.
+_TURBULENT_RUN = 8.0
+
+#: Initial scalar-burst length; doubles while turbulence persists.
+_BURST_START = 1024
+_BURST_MAX = 32768
+
+
+def resolve_vector_epoch(epoch=None) -> int:
+    """Epoch cap: explicit argument > ``RNR_VECTOR_EPOCH`` > default.
+
+    Shares the :func:`repro.sim.backend.resolve_engine_backend` shape:
+    one validator for both sources, rejecting non-integers and values
+    below :data:`MIN_EPOCH`.
+    """
+    source = "epoch"
+    if epoch is None:
+        env = os.environ.get(VECTOR_EPOCH_ENV, "").strip()
+        if not env:
+            return DEFAULT_EPOCH
+        epoch, source = env, VECTOR_EPOCH_ENV
+    try:
+        value = int(epoch)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"{source} must be an integer >= {MIN_EPOCH}, got {epoch!r}"
+        ) from None
+    if value < MIN_EPOCH:
+        raise ValueError(f"{source} must be >= {MIN_EPOCH}, got {value}")
+    return value
+
+
+def vector_supported(engine, slim: bool) -> bool:
+    """Can this run take the vector path (beyond the ``fast`` checks)?
+
+    ``slim`` is the engine's "``on_access`` and ``on_l2_event`` are the
+    base no-ops" flag; vector additionally tolerates an overridden
+    ``on_l2_event`` (it only fires from the scalar miss spill), but not
+    an overridden ``on_access`` (it would need to fire per entry).
+    """
+    if not HAVE_NUMPY:
+        return False
+    from repro.prefetchers.base import Prefetcher
+
+    ptype = type(engine.prefetcher)
+    if not (slim or ptype.on_access is Prefetcher.on_access):
+        return False
+    core_cfg = engine.config.core
+    l1_latency = engine.hierarchy.l1.config.latency
+    # Stall-safety inequality: loads appended *within* a hit run retire
+    # l1_latency cycles after issue, so the live span of segment-local
+    # pending loads is bounded by (l1_latency + 2) * width instructions;
+    # it must stay clear of the ROB/LSQ limits for the closed-form
+    # timing to be exact (it is, by a wide margin, for every shipped
+    # SystemConfig preset).  l1_latency >= 2 guarantees a hit completion
+    # always lands after its own retirement (every hit load pends).
+    if l1_latency < 2:
+        return False
+    limit = min(core_cfg.rob_entries, core_cfg.lsq_entries)
+    return (l1_latency + 2) * core_cfg.width < limit
+
+
+def run_vector(engine, trace) -> None:
+    """Execute ``trace`` on ``engine`` with the columnar backend.
+
+    The caller (``SimulationEngine.run``) has already verified
+    :func:`vector_supported`; this replaces only the per-entry loop —
+    run finalization (core drain, prefetcher finalize, hierarchy drain)
+    stays in the caller.
+    """
+    _VectorRun(engine, trace).run()
+
+
+class _VectorRun:
+    """One trace execution's columnar state and hybrid loop."""
+
+    def __init__(self, engine, trace):
+        self.engine = engine
+        self.trace = trace
+        self.core = engine.core
+        self.hierarchy = engine.hierarchy
+        core_cfg = engine.config.core
+        self.width = core_cfg.width
+        self.rob = core_cfg.rob_entries
+        self.lsq = core_cfg.lsq_entries
+        self.l1_latency = self.hierarchy.l1.config.latency
+        self.sets, self.num_sets, _ = self.hierarchy.l1.demand_probe_state()
+        self.mirror = L1Mirror(self.hierarchy.l1)
+        self.epoch = resolve_vector_epoch()
+
+        # Zero-copy u64/u8 views plus int64 working columns (one pass of
+        # array casts up front; no per-entry Python objects after this).
+        kinds_np, addrs_np, _pcs_np, gaps_np = trace.numpy_columns()
+        self.kinds_np = kinds_np
+        self.line_col = (addrs_np // LINE_SIZE).astype(np.int64)
+        self.set_col = self.line_col % self.num_sets
+        self.tag_col = self.line_col // self.num_sets
+        self.gap_col = gaps_np.astype(np.int64)
+        self.load_col = kinds_np == KIND_LOAD
+
+        # Scalar-access columns (python ints per index, no numpy boxing).
+        self.kinds, self.addrs, self.pcs, self.gaps = trace.packed_columns()
+
+        prefetcher = engine.prefetcher
+        from repro.prefetchers.base import Prefetcher
+
+        if type(prefetcher).on_l2_event is Prefetcher.on_l2_event:
+            self.on_l2_event = None
+        else:
+            self.on_l2_event = prefetcher.on_l2_event
+
+        # Deferred L1 counters (flushed at directives and run end).
+        self.l1_hits = 0
+        self.l1_misses = 0
+
+        # Mirror freshness + turbulence state.  ``run_ema`` tracks the
+        # mean *completed* hit-run length (miss to miss); ``cur_run`` is
+        # the in-progress run, which can span several probe batches and
+        # stall-cut boundaries.
+        self.stale = True
+        self.run_ema = float(self.epoch)
+        self.cur_run = 0
+        self.burst = _BURST_START
+
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        n = len(self.kinds_np)
+        directive_positions = np.flatnonzero(
+            self.kinds_np == KIND_DIRECTIVE
+        ).tolist()
+        start = 0
+        for pos in directive_positions:
+            self._run_span(start, pos)
+            self._directive(pos)
+            start = pos + 1
+        self._run_span(start, n)
+        self._flush_l1()
+
+    def _flush_l1(self) -> None:
+        if self.l1_hits or self.l1_misses:
+            l1_stats = self.engine.stats.l1d
+            l1_stats.demand_accesses += self.l1_hits + self.l1_misses
+            l1_stats.demand_hits += self.l1_hits
+            l1_stats.demand_misses += self.l1_misses
+            self.l1_hits = 0
+            self.l1_misses = 0
+
+    def _directive(self, index: int) -> None:
+        core = self.core
+        gap = self.gaps[index]
+        if gap:
+            core.advance(gap)
+        self._flush_l1()
+        op, args = self.trace.directive_at(self.addrs[index])
+        self.engine._handle_directive(op, args, core.cycle)
+        # os.switch rewrites L1 membership wholesale; any directive is
+        # rare enough that an unconditional rebuild-on-reentry is cheap.
+        self.stale = True
+
+    # ------------------------------------------------------------------
+    def _run_span(self, start: int, end: int) -> None:
+        """Consume the directive-free range [start, end)."""
+        pos = start
+        while pos < end:
+            if self.run_ema < _TURBULENT_RUN:
+                self.cur_run = 0
+                burst_end = min(end, pos + self.burst)
+                self._run_scalar_burst(pos, burst_end)
+                pos = burst_end
+                self.burst = min(self.burst * 2, _BURST_MAX)
+                continue
+            pos = self._vector_step(pos, end)
+
+    def _vector_step(self, pos: int, end: int) -> int:
+        """One probe batch starting at ``pos``; returns the new position."""
+        if self.stale:
+            self.mirror.rebuild()
+            self.stale = False
+        # Probe window: sized from the run-length EMA, but at least double
+        # the in-progress run so a run longer than the EMA suggests ramps
+        # up geometrically (O(log run) probes) instead of being chopped
+        # into EMA-sized segments that multiply fixed per-segment costs.
+        window = int(2.0 * self.run_ema) + 8
+        if self.cur_run and 2 * self.cur_run > window:
+            window = 2 * self.cur_run
+        if window > self.epoch:
+            window = self.epoch
+        if window > end - pos:
+            window = end - pos
+        set_slice = self.set_col[pos : pos + window]
+        tag_slice = self.tag_col[pos : pos + window]
+        eq = self.mirror.tags[set_slice] == tag_slice[:, None]
+        hit = eq.any(axis=1)
+        if hit.all():
+            prefix = window
+        else:
+            prefix = int(np.argmin(hit))
+        if prefix == 0:
+            # Miss (or empty-set probe) at the head: the run ended.  Fold
+            # it into the EMA, then take the exact scalar path.
+            self._note_run(self.cur_run)
+            self.cur_run = 0
+            self._scalar_entry(pos)
+            return pos + 1
+        ways = eq[:prefix].argmax(axis=1)
+        # Hit execution never changes L1 membership, so one probe's hit
+        # prefix stays valid across segment cuts: consume all of it,
+        # alternating closed-form segments with exact scalar replays of
+        # the cut boundaries (in-flight-line hits and pending-load stall
+        # triggers), without re-probing the remainder.
+        done = 0
+        while done < prefix:
+            done += self._vector_segment(
+                pos + done,
+                prefix - done,
+                set_slice[done:prefix],
+                ways[done:],
+            )
+            if done < prefix:
+                self._scalar_entry(pos + done)
+                done += 1
+        self.cur_run += prefix
+        return pos + prefix
+
+    def _note_run(self, run: int) -> None:
+        self.run_ema = 0.8 * self.run_ema + 0.2 * run
+        if run >= _TURBULENT_RUN:
+            self.burst = _BURST_START
+
+    # ------------------------------------------------------------------
+    def _vector_segment(self, pos, prefix, set_slice, ways) -> int:
+        """Retire hit entries [pos, pos+e) in closed form; returns e."""
+        core = self.core
+        width = self.width
+        cycle0 = core.cycle
+        instr0 = core.instructions
+        rem0 = core._gap_remainder
+
+        unit = self.gap_col[pos : pos + prefix] + 1
+        consumed_instr = np.cumsum(unit)  # U_i: instrs through entry i
+        pre = consumed_instr - 1  # instrs retired when entry i issues
+        issue_cycle = cycle0 + (pre + rem0) // width
+        at_l1 = issue_cycle + self.l1_latency
+        load_slice = self.load_col[pos : pos + prefix]
+        arrive = self.mirror.arrive[set_slice, ways]
+
+        # Cut 1: first load hitting a line whose fill is still in flight
+        # (completion = arrive, not at_l1 — data-dependent, spill it).
+        far = np.flatnonzero((arrive > at_l1) & load_slice)
+        e = int(far[0]) if far.size else prefix
+
+        # Cut 2: first entry where a pre-segment pending load triggers a
+        # ROB/LSQ stall in Core.issue_after.
+        cut = self._cut_for_pending(
+            consumed_instr, issue_cycle, load_slice, cycle0, instr0, e
+        )
+        if cut < e:
+            e = cut
+        if e == 0:
+            return 0
+
+        # -- apply the segment ------------------------------------------
+        end_cycle = int(cycle0 + (consumed_instr[e - 1] + rem0) // width)
+        core.cycle = end_cycle
+        core.instructions = instr0 + int(consumed_instr[e - 1])
+        core._gap_remainder = int((consumed_instr[e - 1] + rem0) % width)
+        self.l1_hits += e
+
+        # Pending-load reconciliation: drain completed fronts exactly as
+        # the per-entry loop would have (front-pop is confluent under a
+        # nondecreasing cycle), then append the segment's loads that are
+        # still incomplete at end_cycle.  While an older entry survives
+        # at the front, *no* new load can drain, so all must be kept.
+        pending = core._pending
+        while pending and pending[0][1] <= end_cycle:
+            pending.popleft()
+        load_idx = np.flatnonzero(load_slice[:e])
+        if load_idx.size:
+            completions = at_l1[load_idx]
+            retire_instr = instr0 + consumed_instr[load_idx]
+            if pending:
+                keep = 0  # blocked behind the surviving front: keep all
+            else:
+                keep = int(np.searchsorted(completions, end_cycle, side="right"))
+            if keep < load_idx.size:
+                pending.extend(
+                    zip(
+                        retire_instr[keep:].tolist(),
+                        completions[keep:].tolist(),
+                    )
+                )
+
+        # Store dirty bits on the real lines (hits never change
+        # membership, so mirror way slots are valid for the whole batch).
+        store_idx = np.flatnonzero(~load_slice[:e])
+        if store_idx.size:
+            refs = self.mirror.refs
+            sets_l = set_slice
+            for j in store_idx.tolist():
+                refs[sets_l[j]][ways[j]].dirty = True
+
+        # Dict-LRU promotions: each distinct line once, in last-touch
+        # order — the same final recency order as per-entry promotion.
+        touched = self.line_col[pos : pos + e]
+        distinct, first_in_rev = np.unique(touched[::-1], return_index=True)
+        lines_by_last_touch = distinct[np.argsort(-first_in_rev)]
+        sets = self.sets
+        num_sets = self.num_sets
+        for line_addr in lines_by_last_touch.tolist():
+            lines = sets[line_addr % num_sets]
+            tag = line_addr // num_sets
+            line = lines.pop(tag)
+            lines[tag] = line
+        return e
+
+    def _cut_for_pending(
+        self, consumed_instr, issue_cycle, load_slice, cycle0, instr0, limit
+    ) -> int:
+        """First segment index where ``Core.issue_after`` would stall.
+
+        Walks the pre-segment pending deque front to back.  Entry ``k``
+        becomes the deque front once entries ``0..k-1`` have drained
+        (``front_start``), and drains itself at the first index whose
+        issue cycle reaches its completion.  While it is the front, a
+        stall triggers at the first index where the ROB span reaches
+        ``rob_entries`` or the LSQ occupancy — the surviving old entries
+        plus every new load so far (none can drain past an older front)
+        — reaches ``lsq_entries``.  Both thresholds are monotone in the
+        index, so each is one ``searchsorted``.  Once all pre-segment
+        entries have drained, segment-local loads cannot stall (the
+        eligibility inequality), so no further cut exists.
+        """
+        pending = self.core._pending
+        while pending and pending[0][1] <= cycle0:
+            pending.popleft()
+        if not pending:
+            return limit
+        loads_cum = np.cumsum(load_slice)
+        n_old = len(pending)
+        front_start = 0
+        for k, (old_instr, old_done) in enumerate(pending):
+            drain = int(np.searchsorted(issue_cycle, old_done, side="left"))
+            if drain < front_start:
+                drain = front_start
+            if front_start >= limit:
+                return limit
+            # ROB: first i with (instr0 + U_i - 1) - old_instr >= rob.
+            rob_cut = int(
+                np.searchsorted(
+                    consumed_instr,
+                    self.rob + old_instr - instr0 + 1,
+                    side="left",
+                )
+            )
+            # LSQ: occupancy at issue of entry i is (n_old - k) surviving
+            # old entries + loads appended in [0, i): first i with
+            # loads_cum[i-1] >= lsq - (n_old - k).
+            need = self.lsq - (n_old - k)
+            if need <= 0:
+                lsq_cut = 0
+            else:
+                lsq_cut = int(np.searchsorted(loads_cum, need, side="left")) + 1
+            trigger = rob_cut if rob_cut < lsq_cut else lsq_cut
+            if trigger < front_start:
+                trigger = front_start
+            if trigger < drain and trigger < limit:
+                return trigger
+            front_start = drain
+        return limit
+
+    # ------------------------------------------------------------------
+    # Scalar spill (exact fast-loop body, one entry)
+    # ------------------------------------------------------------------
+    def _scalar_entry(self, index: int) -> None:
+        core = self.core
+        kind = self.kinds[index]
+        addr = self.addrs[index]
+        issue = core.issue_after(self.gaps[index])
+        line_addr = addr // LINE_SIZE
+        set_idx = line_addr % self.num_sets
+        lines = self.sets[set_idx]
+        tag = line_addr // self.num_sets
+        line = lines.get(tag)
+        if line is not None:
+            del lines[tag]
+            lines[tag] = line
+            self.l1_hits += 1
+            at_l1 = issue + self.l1_latency
+            arrive = line.arrive
+            completion = arrive if arrive > at_l1 else at_l1
+            if kind == KIND_LOAD:
+                core.retire_load(completion)
+            else:
+                line.dirty = True
+                core.retire_store(completion)
+            return
+        self.l1_misses += 1
+        is_store = kind != KIND_LOAD
+        result = self.hierarchy._demand_miss(
+            line_addr, issue, issue + self.l1_latency, is_store
+        )
+        completion = result.completion
+        if is_store:
+            core.retire_store(completion)
+        else:
+            core.retire_load(completion)
+        if self.on_l2_event is not None and result.l2_event is not L2Event.NONE:
+            # flagged=False: vector eligibility requires the base
+            # (always-False) on_access hook.
+            self.on_l2_event(
+                result.line_addr,
+                self.pcs[index],
+                issue,
+                result.l2_event,
+                False,
+                completion,
+            )
+        if not self.stale:
+            self.mirror.resync_set(set_idx)
+
+    def _run_scalar_burst(self, start: int, end: int) -> None:
+        """Miss-heavy stretch: run the fast-loop body entry by entry.
+
+        The mirror is marked stale for the whole burst (one rebuild on
+        re-entry beats per-miss resyncs), and consecutive-hit runs feed
+        the EMA so the loop knows when the stream turns laminar again.
+        """
+        self.stale = True
+        core = self.core
+        issue_after = core.issue_after
+        retire_load = core.retire_load
+        retire_store = core.retire_store
+        demand_miss = self.hierarchy._demand_miss
+        on_l2_event = self.on_l2_event
+        none_event = L2Event.NONE
+        sets = self.sets
+        num_sets = self.num_sets
+        l1_latency = self.l1_latency
+        kind_load = KIND_LOAD
+        line_size = LINE_SIZE
+        l1_hits = 0
+        l1_misses = 0
+        run = 0
+        for index in range(start, end):
+            kind = self.kinds[index]
+            addr = self.addrs[index]
+            issue = issue_after(self.gaps[index])
+            line_addr = addr // line_size
+            lines = sets[line_addr % num_sets]
+            tag = line_addr // num_sets
+            line = lines.get(tag)
+            if line is not None:
+                del lines[tag]
+                lines[tag] = line
+                l1_hits += 1
+                run += 1
+                at_l1 = issue + l1_latency
+                arrive = line.arrive
+                completion = arrive if arrive > at_l1 else at_l1
+                if kind == kind_load:
+                    retire_load(completion)
+                else:
+                    line.dirty = True
+                    retire_store(completion)
+                continue
+            l1_misses += 1
+            self._note_run(run)
+            run = 0
+            is_store = kind != kind_load
+            result = demand_miss(line_addr, issue, issue + l1_latency, is_store)
+            completion = result.completion
+            if is_store:
+                retire_store(completion)
+            else:
+                retire_load(completion)
+            if on_l2_event is not None and result.l2_event is not none_event:
+                on_l2_event(
+                    result.line_addr,
+                    self.pcs[index],
+                    issue,
+                    result.l2_event,
+                    False,
+                    completion,
+                )
+        if run:
+            self._note_run(run)
+        self.l1_hits += l1_hits
+        self.l1_misses += l1_misses

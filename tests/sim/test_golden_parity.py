@@ -1,14 +1,19 @@
-"""Golden parity: the fast engine loops are bit-identical to the straight ones.
+"""Golden parity: every engine backend is bit-identical to the straight one.
 
-The inlined L1-hit fast path, the allocation-free miss path, and the
-k-way-merge multicore scheduler are pure speedups — every ``SimStats``
-field must match the straight-line reference loops exactly.  The straight
-loops are forced with the ``RNR_STRAIGHT_ENGINE`` env flag (see
-``repro.sim.engine``), so this suite pins the contract that keeps the two
+The inlined L1-hit fast path, the allocation-free miss path, the
+k-way-merge multicore scheduler, and the numpy-columnar vector backend
+are pure speedups — every ``SimStats`` field must match the straight-line
+reference loops exactly.  Backends are forced through the shared resolver
+(``--engine`` / ``RNR_ENGINE`` / legacy ``RNR_STRAIGHT_ENGINE``; see
+``repro.sim.backend``), so this suite pins the contract that keeps the
 implementations interchangeable:
 
-* every registry prefetcher, fast vs straight, on one fixed seeded
-  RnR-instrumented trace: ``SimStats.as_dict()`` equality;
+* every registry prefetcher, fast vs straight AND vector vs straight, on
+  one fixed seeded RnR-instrumented trace: ``SimStats.as_dict()``
+  equality;
+* vector epoch boundary edges: a directive landing mid-epoch, a
+  telemetry sample point landing mid-epoch, and a trace shorter than one
+  epoch;
 * a 1-core :class:`MulticoreEngine` vs a plain :class:`SimulationEngine`
   on the same trace: exact equality (the merge scheduler degenerates to
   the single-core loop);
@@ -21,9 +26,16 @@ import pytest
 from repro.config import SystemConfig
 from repro.prefetchers import PREFETCHERS, make_prefetcher
 from repro.rnr.api import RnRInterface
-from repro.sim.engine import STRAIGHT_ENGINE_ENV, SimulationEngine
+from repro.sim import vector as vector_backend
+from repro.sim.engine import ENGINE_ENV, STRAIGHT_ENGINE_ENV, SimulationEngine
 from repro.sim.multicore import MulticoreEngine
+from repro.telemetry.collector import TelemetryCollector
+from repro.telemetry.config import TelemetryConfig
 from repro.trace import AddressSpace, TraceBuilder
+
+requires_numpy = pytest.mark.skipif(
+    not vector_backend.HAVE_NUMPY, reason="vector backend requires numpy"
+)
 
 ACCESSES = 6_000
 FOOTPRINT = 16_384
@@ -64,18 +76,70 @@ def build_parity_trace(seed=7, accesses=ACCESSES, rnr=True, window=4):
     return builder.build()
 
 
+def build_locality_trace(seed=3, accesses=ACCESSES, rnr=True, window=4,
+                         hot_lines=24, cold_every=400):
+    """Seeded trace with an L1-resident hot set plus a cold-miss tail.
+
+    The random ``build_parity_trace`` stream is nearly all L1 misses, so
+    the vector backend's turbulence fallback handles it in scalar bursts.
+    This shape — long hit runs over ``hot_lines`` resident lines broken by
+    periodic cold misses — is what actually drives the columnar segment
+    path (closed-form hit timing, deferred LRU promotions, pending-queue
+    reconciliation, ROB/LSQ stall cuts).
+    """
+    import random
+
+    rng = random.Random(seed)
+    space = AddressSpace()
+    hot = space.alloc("hot", hot_lines * 8, 8)
+    cold = space.alloc("cold", 32_768, 8)
+    builder = TraceBuilder()
+    interface = RnRInterface(builder, space, default_window=window)
+    if rnr:
+        interface.init()
+        interface.addr_base.set(hot)
+        interface.addr_base.enable(hot)
+    n_hot = hot_lines * 8
+    for iteration in range(2):
+        if rnr:
+            if iteration == 0:
+                interface.prefetch_state.start()
+            else:
+                interface.prefetch_state.replay()
+        builder.iter_begin(iteration)
+        for i in range(accesses // 2):
+            builder.work(rng.randrange(7))
+            if i % cold_every == cold_every - 1:
+                builder.load(cold.addr(rng.randrange(32_768)), pc=0x300)
+            elif i % 11 == 0:
+                builder.store(hot.addr((i * 5) % n_hot), pc=0x200)
+            else:
+                builder.load(hot.addr((i * 3) % n_hot), pc=0x100)
+        builder.iter_end(iteration)
+    if rnr:
+        interface.prefetch_state.end()
+        interface.end()
+    return builder.build()
+
+
 @pytest.fixture(scope="module")
 def rnr_trace():
     return build_parity_trace()
 
 
-def run_single(trace, prefetcher_name, straight, monkeypatch):
-    if straight:
-        monkeypatch.setenv(STRAIGHT_ENGINE_ENV, "1")
-    else:
-        monkeypatch.delenv(STRAIGHT_ENGINE_ENV, raising=False)
+@pytest.fixture(scope="module")
+def locality_trace():
+    return build_locality_trace()
+
+
+def run_single(trace, prefetcher_name, backend, monkeypatch, collector=None):
+    """One single-core run with ``backend`` forced through ``RNR_ENGINE``."""
+    monkeypatch.delenv(STRAIGHT_ENGINE_ENV, raising=False)
+    monkeypatch.setenv(ENGINE_ENV, backend)
     prefetcher = make_prefetcher(prefetcher_name) if prefetcher_name else None
-    engine = SimulationEngine(SystemConfig.experiment(), prefetcher)
+    engine = SimulationEngine(
+        SystemConfig.experiment(), prefetcher, collector=collector
+    )
     engine.run(trace)
     return engine.stats.as_dict()
 
@@ -83,18 +147,94 @@ def run_single(trace, prefetcher_name, straight, monkeypatch):
 class TestFastVsStraight:
     @pytest.mark.parametrize("name", sorted(PREFETCHERS))
     def test_registry_prefetcher_parity(self, name, rnr_trace, monkeypatch):
-        fast = run_single(rnr_trace, name, straight=False,
-                          monkeypatch=monkeypatch)
-        straight = run_single(rnr_trace, name, straight=True,
-                              monkeypatch=monkeypatch)
+        fast = run_single(rnr_trace, name, "fast", monkeypatch)
+        straight = run_single(rnr_trace, name, "straight", monkeypatch)
         assert fast == straight
 
     def test_no_prefetcher_parity(self, rnr_trace, monkeypatch):
-        fast = run_single(rnr_trace, None, straight=False,
-                          monkeypatch=monkeypatch)
-        straight = run_single(rnr_trace, None, straight=True,
-                              monkeypatch=monkeypatch)
+        fast = run_single(rnr_trace, None, "fast", monkeypatch)
+        straight = run_single(rnr_trace, None, "straight", monkeypatch)
         assert fast == straight
+
+
+@requires_numpy
+class TestVectorVsStraight:
+    """The columnar backend is a pure speedup: vector == straight, always.
+
+    Prefetchers whose ``on_access`` hook is overridden are ineligible for
+    vectorization and silently fall back to the fast loops (already pinned
+    against straight above), so these cases double as fallback parity.
+    """
+
+    @pytest.mark.parametrize("name", sorted(PREFETCHERS))
+    def test_registry_prefetcher_parity(self, name, rnr_trace, monkeypatch):
+        vector = run_single(rnr_trace, name, "vector", monkeypatch)
+        straight = run_single(rnr_trace, name, "straight", monkeypatch)
+        assert vector == straight
+
+    def test_no_prefetcher_parity(self, rnr_trace, monkeypatch):
+        vector = run_single(rnr_trace, None, "vector", monkeypatch)
+        straight = run_single(rnr_trace, None, "straight", monkeypatch)
+        assert vector == straight
+
+    @pytest.mark.parametrize("name", [None] + sorted(PREFETCHERS))
+    def test_locality_trace_parity(self, name, locality_trace, monkeypatch):
+        # Long L1-hit runs: the shape the columnar segment path is for.
+        vector = run_single(locality_trace, name, "vector", monkeypatch)
+        straight = run_single(locality_trace, name, "straight", monkeypatch)
+        assert vector == straight
+
+    def test_locality_trace_actually_vectorizes(self, locality_trace,
+                                                monkeypatch):
+        # Guard against a silent fall-back-to-scalar regression: on the
+        # hit-run trace the segment path must consume the bulk of the
+        # entries, not just pass parity by never engaging.
+        counts = {"vectorized": 0}
+        orig = vector_backend._VectorRun._vector_segment
+
+        def counting_segment(self, *args, **kwargs):
+            consumed = orig(self, *args, **kwargs)
+            counts["vectorized"] += consumed
+            return consumed
+
+        monkeypatch.setattr(
+            vector_backend._VectorRun, "_vector_segment", counting_segment
+        )
+        # ``stream`` keeps the base ``on_access`` hook, so it is
+        # vector-eligible (``rnr`` records through on_access and is not).
+        run_single(locality_trace, "stream", "vector", monkeypatch)
+        assert counts["vectorized"] > len(locality_trace) // 2
+
+    @pytest.mark.parametrize("epoch", ["64", "256", "1000000"])
+    def test_directive_mid_epoch(self, epoch, rnr_trace, monkeypatch):
+        # The RnR trace embeds directives every ``window`` accesses; tiny
+        # epochs put many epoch flushes between directives, the huge one
+        # puts every directive mid-epoch.  Either way: exact parity.
+        monkeypatch.setenv(vector_backend.VECTOR_EPOCH_ENV, epoch)
+        vector = run_single(rnr_trace, "rnr", "vector", monkeypatch)
+        monkeypatch.delenv(vector_backend.VECTOR_EPOCH_ENV)
+        straight = run_single(rnr_trace, "rnr", "straight", monkeypatch)
+        assert vector == straight
+
+    def test_trace_shorter_than_one_epoch(self, monkeypatch):
+        trace = build_parity_trace(seed=11, accesses=120)
+        vector = run_single(trace, "stream", "vector", monkeypatch)
+        straight = run_single(trace, "stream", "straight", monkeypatch)
+        assert vector == straight
+
+    def test_sample_point_mid_epoch(self, rnr_trace, monkeypatch, tmp_path):
+        # Telemetry sample points land between epoch boundaries; the
+        # vector backend defers to the instrumented scalar loops whenever
+        # a collector is enabled, so stats (and samples) stay exact.
+        def collected(backend, sub):
+            collector = TelemetryCollector(
+                TelemetryConfig(out_dir=str(tmp_path / sub), sample_interval=2000)
+            )
+            return run_single(
+                rnr_trace, "rnr", backend, monkeypatch, collector=collector
+            )
+
+        assert collected("vector", "vec") == collected("straight", "ref")
 
 
 class TestMulticoreParity:

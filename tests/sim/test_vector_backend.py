@@ -1,0 +1,196 @@
+"""Engine backend selection and the vector backend's fallback contract.
+
+Covers the shared resolver (``--engine`` / ``RNR_ENGINE`` / legacy
+``RNR_STRAIGHT_ENGINE``), the epoch-cap validator, the numpy-optional
+behavior (warn-and-fall-back for library use, clean CLI error for
+``--engine vector``), eligibility fallback for prefetchers that hook
+``on_access``, and the mmap-backed trace path through the columnar
+engine.  Exact statistics parity lives in ``test_golden_parity``.
+"""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.prefetchers import make_prefetcher
+from repro.sim import vector as vector_backend
+from repro.sim.backend import (
+    ENGINE_BACKENDS,
+    ENGINE_ENV,
+    STRAIGHT_ENGINE_ENV,
+    resolve_engine_backend,
+)
+from repro.sim.engine import SimulationEngine
+from tests.sim.test_golden_parity import build_locality_trace, build_parity_trace
+
+requires_numpy = pytest.mark.skipif(
+    not vector_backend.HAVE_NUMPY, reason="vector backend requires numpy"
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_engine_env(monkeypatch):
+    monkeypatch.delenv(ENGINE_ENV, raising=False)
+    monkeypatch.delenv(STRAIGHT_ENGINE_ENV, raising=False)
+    monkeypatch.delenv(vector_backend.VECTOR_EPOCH_ENV, raising=False)
+
+
+class TestResolveEngineBackend:
+    def test_default_is_fast(self):
+        assert resolve_engine_backend() == "fast"
+
+    @pytest.mark.parametrize("name", ENGINE_BACKENDS)
+    def test_explicit_argument(self, name):
+        assert resolve_engine_backend(name) == name
+
+    def test_explicit_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV, "straight")
+        assert resolve_engine_backend("vector") == "vector"
+
+    def test_env_variable(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV, "vector")
+        assert resolve_engine_backend() == "vector"
+
+    def test_env_beats_legacy_alias(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV, "fast")
+        monkeypatch.setenv(STRAIGHT_ENGINE_ENV, "1")
+        assert resolve_engine_backend() == "fast"
+
+    def test_legacy_alias_still_forces_straight(self, monkeypatch):
+        # Any non-empty value, matching the historical bool() parse.
+        monkeypatch.setenv(STRAIGHT_ENGINE_ENV, "yes")
+        assert resolve_engine_backend() == "straight"
+
+    def test_unknown_argument_rejected(self):
+        with pytest.raises(ValueError, match="fast.*straight.*vector"):
+            resolve_engine_backend("bogus")
+
+    def test_unknown_env_rejected(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV, "warp")
+        with pytest.raises(ValueError, match=ENGINE_ENV):
+            resolve_engine_backend()
+
+    def test_engine_constructor_validates_eagerly(self):
+        with pytest.raises(ValueError, match="bogus"):
+            SimulationEngine(SystemConfig.tiny(), None, engine="bogus")
+
+
+class TestResolveVectorEpoch:
+    def test_default(self):
+        assert vector_backend.resolve_vector_epoch() == vector_backend.DEFAULT_EPOCH
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(vector_backend.VECTOR_EPOCH_ENV, "256")
+        assert vector_backend.resolve_vector_epoch() == 256
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(vector_backend.VECTOR_EPOCH_ENV, "256")
+        assert vector_backend.resolve_vector_epoch(1024) == 1024
+
+    @pytest.mark.parametrize("bad", ["8k", "", "12.5"])
+    def test_non_integer_env_rejected(self, bad, monkeypatch):
+        monkeypatch.setenv(vector_backend.VECTOR_EPOCH_ENV, bad or " ")
+        if not bad:  # whitespace-only means unset, not an error
+            assert (
+                vector_backend.resolve_vector_epoch()
+                == vector_backend.DEFAULT_EPOCH
+            )
+        else:
+            with pytest.raises(ValueError, match=vector_backend.VECTOR_EPOCH_ENV):
+                vector_backend.resolve_vector_epoch()
+
+    def test_below_floor_rejected(self):
+        with pytest.raises(ValueError, match=str(vector_backend.MIN_EPOCH)):
+            vector_backend.resolve_vector_epoch(vector_backend.MIN_EPOCH - 1)
+
+
+def run_stats(trace, engine_choice, prefetcher=None):
+    engine = SimulationEngine(
+        SystemConfig.experiment(), prefetcher, engine=engine_choice
+    )
+    engine.run(trace)
+    return engine.stats.as_dict()
+
+
+class TestNumpyOptional:
+    def test_missing_numpy_warns_and_falls_back(self, monkeypatch):
+        trace = build_parity_trace(accesses=600)
+        reference = run_stats(trace, "fast")
+        monkeypatch.setattr(vector_backend, "HAVE_NUMPY", False)
+        with pytest.warns(RuntimeWarning, match="repro\\[fast\\]"):
+            stats = run_stats(trace, "vector")
+        assert stats == reference
+
+    @requires_numpy
+    def test_present_numpy_does_not_warn(self, recwarn, monkeypatch):
+        trace = build_parity_trace(accesses=600)
+        run_stats(trace, "vector")
+        assert not [w for w in recwarn if w.category is RuntimeWarning]
+
+
+@requires_numpy
+class TestEligibilityFallback:
+    def test_on_access_prefetcher_skips_vector_path(self, monkeypatch):
+        # ``rnr`` records through ``on_access``; the columnar probe would
+        # skip those hook calls, so the run must use the fast loops.
+        entered = {"n": 0}
+        orig = vector_backend.run_vector
+
+        def counting_run(engine, trace):
+            entered["n"] += 1
+            return orig(engine, trace)
+
+        monkeypatch.setattr(vector_backend, "run_vector", counting_run)
+        trace = build_locality_trace(accesses=600)
+        run_stats(trace, "vector", make_prefetcher("rnr"))
+        assert entered["n"] == 0
+        run_stats(trace, "vector", make_prefetcher("stream"))
+        assert entered["n"] == 1
+
+    def test_empty_and_tiny_traces(self):
+        from repro.trace import Trace
+
+        assert run_stats(Trace(), "vector") == run_stats(Trace(), "straight")
+        tiny = build_locality_trace(accesses=4)
+        assert run_stats(tiny, "vector") == run_stats(tiny, "straight")
+
+
+@requires_numpy
+class TestMappedTraceVector:
+    def test_vector_on_mmap_trace_matches_straight(self, tmp_path):
+        from repro.trace import binfmt
+
+        trace = build_locality_trace(accesses=2_000)
+        path = binfmt.write_trace(trace, tmp_path / "locality.rnrt")
+        mapped = binfmt.read_trace(path)
+        try:
+            assert isinstance(mapped, binfmt.MappedTrace)
+            vector = run_stats(mapped, "vector", make_prefetcher("stream"))
+        finally:
+            mapped.close()
+        straight = run_stats(trace, "straight", make_prefetcher("stream"))
+        assert vector == straight
+
+
+class TestExperimentsCli:
+    # The experiments CLI imports the workload stack, which needs numpy.
+    def _main(self):
+        pytest.importorskip("numpy")
+        from repro.experiments.__main__ import main
+
+        return main
+
+    def test_unknown_engine_is_a_clean_cli_error(self, capsys):
+        main = self._main()
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fig01", "--scale", "test", "--engine", "warp"])
+        assert excinfo.value.code == 2
+        assert "must be one of" in capsys.readouterr().err
+
+    def test_vector_without_numpy_is_a_clean_cli_error(self, capsys,
+                                                       monkeypatch):
+        main = self._main()
+        monkeypatch.setattr(vector_backend, "HAVE_NUMPY", False)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fig01", "--scale", "test", "--engine", "vector"])
+        assert excinfo.value.code == 2
+        assert "repro[fast]" in capsys.readouterr().err
