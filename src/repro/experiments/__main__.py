@@ -24,7 +24,15 @@ transiently failed cells with backoff, and a JSON manifest written next to
 the cell cache lets ``--resume`` skip already-finished cells.  By default
 (``--strict``) any permanently failed cell makes the run exit non-zero
 after printing the failure report; ``--lenient`` renders the figures
-anyway, with failed cells shown as ``-`` and a footnote.
+anyway, with failed cells shown as ``-`` and a footnote.  An interrupted
+sweep (SIGINT/SIGTERM) drains gracefully, flushes the manifest, and
+exits with status 130.
+
+``python -m repro.experiments fabric {serve,work,sweep}`` runs the same
+cell matrix on the distributed sweep fabric — a TCP coordinator with
+lease-based dispatch, heartbeat liveness, worker quarantine, and
+fabric-level chaos testing (see :mod:`repro.experiments.fabric` and
+``docs/FABRIC.md``).
 """
 
 from __future__ import annotations
@@ -74,6 +82,13 @@ FIGURES = {
 
 
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "fabric":
+        # Distributed sweep fabric: coordinator + worker agents over TCP
+        # (serve / work / sweep subcommands — see docs/FABRIC.md).
+        from repro.experiments.fabric.cli import fabric_main
+
+        return fabric_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the paper's evaluation figures.",
@@ -270,6 +285,10 @@ def main(argv=None) -> int:
                 faults=faults,
             )
             print(f"[{report.render()}]")
+            if report.interrupted:
+                # Graceful drain already flushed the manifest; a distinct
+                # status lets wrappers tell "stopped" from "failed".
+                return supervise.INTERRUPT_EXIT_STATUS
             if report.failures and args.strict:
                 print(
                     "strict mode: failing because "

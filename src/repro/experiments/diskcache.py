@@ -36,12 +36,15 @@ import struct
 import tempfile
 import zlib
 from pathlib import Path
-from typing import Optional, Union
+from typing import Dict, Optional, Union
 
 import repro
 
 #: Environment variable naming the default cache directory.
 CACHE_DIR_ENV = "RNR_CACHE_DIR"
+
+#: Counter names reported by :meth:`DiskCellCache.counters`.
+COUNTER_NAMES = ("hits", "misses", "stores", "corrupt", "races")
 
 #: Bumped when the on-disk entry format (not the simulated model) changes.
 #: v2: framed entries (magic + CRC32 + length before the pickle payload).
@@ -131,6 +134,7 @@ class DiskCellCache:
         self.misses = 0
         self.stores = 0
         self.corrupt = 0
+        self.races = 0
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.pkl"
@@ -189,26 +193,63 @@ class DiskCellCache:
 
     def put(self, key: str, result) -> None:
         """Store ``result`` under ``key`` atomically, framed with a
-        header (magic + CRC32 + length) that :meth:`get` verifies."""
+        header (magic + CRC32 + length) that :meth:`get` verifies.
+
+        Publication is **first-winner**: the complete entry is staged in
+        a temp file, then hard-linked to its final name, so two workers
+        racing on the same key leave exactly one valid framed entry (the
+        loser counts a ``race`` and discards its copy) and a reader can
+        never observe a torn file.
+        """
         payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
         header = _HEADER.pack(_MAGIC, zlib.crc32(payload) & 0xFFFFFFFF, len(payload))
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp_name = tempfile.mkstemp(
-            dir=str(path.parent), prefix=".tmp-", suffix=".pkl"
+            dir=str(path.parent), prefix=".tmp-", suffix=".staged"
         )
         try:
             with os.fdopen(fd, "wb") as fh:
                 fh.write(header)
                 fh.write(payload)
-            os.replace(tmp_name, path)
-        except BaseException:
             try:
-                os.unlink(tmp_name)
+                os.link(tmp_name, path)
+            except FileExistsError:
+                # A concurrent writer published first; identical key means
+                # identical content, so the first winner stands.
+                self.races += 1
+                return
             except OSError:
-                pass
-            raise
+                # Filesystem without hard links: fall back to the atomic
+                # (last-winner) rename — still never torn.
+                os.replace(tmp_name, path)
+                tmp_name = None
+        finally:
+            if tmp_name is not None:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
         self.stores += 1
+
+    # ------------------------------------------------------------------
+    def counters(self) -> Dict[str, int]:
+        """Current counter values (hits/misses/stores/corrupt/races)."""
+        return {name: getattr(self, name) for name in COUNTER_NAMES}
+
+    def merge_counters(self, delta: Dict[str, int]) -> None:
+        """Fold another process's counter delta into this cache's totals
+        (the sweep/fabric coordinator aggregates worker counters here)."""
+        for name in COUNTER_NAMES:
+            setattr(self, name, getattr(self, name) + int(delta.get(name, 0)))
+
+    def counters_since(self, snapshot: Dict[str, int]) -> Dict[str, int]:
+        """Counter delta accumulated since ``snapshot`` (from
+        :meth:`counters`)."""
+        return {
+            name: getattr(self, name) - int(snapshot.get(name, 0))
+            for name in COUNTER_NAMES
+        }
 
     # ------------------------------------------------------------------
     def entries(self):
@@ -238,5 +279,6 @@ class DiskCellCache:
             f"cell cache at {self.root}: {len(paths)} entries, "
             f"{total / 1024:.0f} KiB "
             f"(session: {self.hits} hits, {self.misses} misses, "
-            f"{self.stores} stores, {self.corrupt} corrupt)"
+            f"{self.stores} stores, {self.corrupt} corrupt, "
+            f"{self.races} races)"
         )

@@ -1,0 +1,280 @@
+"""Fabric worker agent: lease work over TCP, simulate, stream results.
+
+One agent process connects to the coordinator, introduces itself
+(``hello``), builds an :class:`~repro.experiments.runner.ExperimentRunner`
+from the identity carried by the ``welcome`` reply, and then loops:
+
+    request -> lease (simulate the cell, heartbeating) -> result -> request
+
+until it is told to ``drain``.  The agent is deliberately stateless
+between cells — all scheduling, retry, and failure policy lives in the
+coordinator — which is what makes agents killable at any instant: the
+coordinator reclaims the lease and re-dispatches, and a late result from
+the killed attempt is dropped by dedup.
+
+Robustness on the agent side is purely about the transport:
+
+* replies are awaited with a timeout; a silent coordinator (dropped
+  ``request`` or dropped reply) is handled by re-sending the request —
+  the coordinator's lease re-offer makes that idempotent;
+* while a cell simulates (in a worker thread), the event loop keeps
+  sending ``tel`` heartbeats so the coordinator's liveness horizon never
+  fires on a merely-slow cell;
+* chaos faults (``worker-die``, ``worker-slow``, ``late-result``) are
+  self-inflicted here exactly once per incarnation-0 agent, so tests and
+  the CI smoke get deterministic fault coverage; ``drop-msg``/``dup-msg``
+  are applied by the :class:`~repro.experiments.fabric.protocol.ChaosLink`
+  on both directions of the connection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time
+from typing import Optional
+
+from repro.experiments import faults as faults_mod
+from repro.experiments.fabric import protocol
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.supervise import cell_id
+
+#: Exit status of a worker killed by the ``worker-die`` chaos fault
+#: (mirrors SIGKILL's shell status, making logs read like a real OOM kill).
+CHAOS_DEATH_STATUS = 137
+
+#: Exit status when the coordinator connection dropped unexpectedly:
+#: the babysitter respawns us (bumped incarnation) — unlike a clean
+#: drain (0), which ends the slot.
+RESPAWN_EXIT_STATUS = 3
+
+#: How long to wait for a coordinator reply before re-sending the
+#: request, in heartbeat intervals.  Must stay well under the
+#: coordinator's liveness horizon (``liveness_beats``, default 5): every
+#: re-request refreshes our liveness, so a few dropped messages in a row
+#: never get us declared dead while idle.
+_REPLY_PATIENCE_BEATS = 1.0
+
+
+class FabricAgent:
+    """One worker process's connection to the fabric coordinator."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        slot: Optional[int] = None,
+        incarnation: int = 0,
+    ):
+        self.host = host
+        self.port = port
+        self.slot = slot
+        self.incarnation = incarnation
+        self.name = f"w{slot}.{incarnation}" if slot is not None else "w?"
+        self.runner: Optional[ExperimentRunner] = None
+        self.plan = faults_mod.FaultPlan({})
+        self.chaos = faults_mod.FabricChaos()
+        self.lease_s = 120.0
+        self.heartbeat_s = 2.0
+        self._link: Optional[protocol.ChaosLink] = None
+        self._reader: Optional[asyncio.StreamReader] = None
+        # One-shot chaos flags (incarnation 0 only, so the respawned
+        # incarnation completes the work).
+        self._chaos_died = False
+        self._late_result_done = False
+
+    # ------------------------------------------------------------------
+    async def run(self) -> int:
+        """Connect, work until drained; returns a process exit status."""
+        try:
+            reader, writer = await asyncio.open_connection(self.host, self.port)
+        except OSError as exc:
+            print(f"fabric agent: cannot reach coordinator: {exc}", flush=True)
+            return 1
+        self._reader = reader
+        # The link starts chaos-free: hello must always arrive.  Chaos is
+        # armed from the welcome payload below.
+        self._link = protocol.ChaosLink(writer)
+        try:
+            await self._link.send(
+                {"type": "hello", "slot": self.slot, "incarnation": self.incarnation}
+            )
+            welcome = await asyncio.wait_for(
+                protocol.read_message(reader), timeout=30.0
+            )
+            if welcome.get("type") != "welcome":
+                print(
+                    f"fabric agent: expected welcome, got "
+                    f"{welcome.get('type')!r}",
+                    flush=True,
+                )
+                return 1
+            self._configure(welcome)
+            return await self._work_loop()
+        except (asyncio.IncompleteReadError, ConnectionResetError, OSError):
+            # Coordinator connection lost without a drain — it may have
+            # declared us dead (liveness false positive) or restarted.
+            # Nothing to clean up (committed cells are on disk); exit
+            # with the respawn status so the babysitter replaces us.
+            return RESPAWN_EXIT_STATUS
+        except asyncio.TimeoutError:
+            print("fabric agent: no welcome from coordinator", flush=True)
+            return 1
+        finally:
+            await self._link.close()
+
+    def _configure(self, welcome: dict) -> None:
+        self.name = welcome.get("worker", self.name)
+        self.lease_s = float(welcome.get("lease_s", self.lease_s))
+        self.heartbeat_s = float(welcome.get("heartbeat_s", self.heartbeat_s))
+        kwargs = dict(welcome.get("runner") or {})
+        self.runner = ExperimentRunner(**kwargs)
+        self.plan = faults_mod.FaultPlan(dict(welcome.get("faults") or {}))
+        self.chaos = faults_mod.FabricChaos.from_dict(welcome.get("chaos") or {})
+        # Arm outgoing chaos now that the handshake is done; the seed is
+        # derived from the worker identity so runs are reproducible.
+        chaos_seed = self.chaos.seed * 7919 + (self.slot or 0) * 31 + self.incarnation
+        self._link.chaos = self.chaos
+        self._link.reseed(chaos_seed)
+
+    # ------------------------------------------------------------------
+    async def _work_loop(self) -> int:
+        patience = self.heartbeat_s * _REPLY_PATIENCE_BEATS
+        await self._link.send({"type": "request"})
+        while True:
+            try:
+                message = await asyncio.wait_for(
+                    protocol.read_message(self._reader), timeout=patience
+                )
+            except asyncio.TimeoutError:
+                # Dropped request or dropped reply: re-ask.  The
+                # coordinator re-offers our unexpired lease, grants fresh
+                # work, or answers idle/drain — all idempotent.
+                await self._link.send({"type": "request"})
+                continue
+            kind = message.get("type")
+            if kind == "lease":
+                await self._run_lease(message)
+                await self._link.send({"type": "request"})
+            elif kind == "idle":
+                await asyncio.sleep(float(message.get("poll_s", self.heartbeat_s)))
+                await self._link.send({"type": "request"})
+            elif kind == "drain":
+                # goodbye is not chaos-eligible, so the coordinator sees
+                # a clean exit whenever the connection survives.
+                await self._link.send({"type": "goodbye"})
+                return 0
+            # Anything else (duplicated frames of past replies) is stale:
+            # ignore and keep reading — a fresh reply is on the way.
+
+    async def _run_lease(self, lease: dict) -> None:
+        spec = lease["spec"]
+        name = lease.get("cell", cell_id(spec))
+        attempt = int(lease.get("attempt", 1))
+        runner = self.runner
+        store = runner.trace_store
+        cache = runner.cache
+        store_before = store.counters() if store is not None else None
+        cache_before = cache.counters() if cache is not None else None
+
+        if self.chaos.worker_slow > 0:
+            # A slow worker is still a live worker: sleep in heartbeat
+            # steps so the chaos stretches leases, not liveness (frozen
+            # processes are worker-die's job).
+            slept = 0.0
+            while slept < self.chaos.worker_slow:
+                step = min(self.heartbeat_s, self.chaos.worker_slow - slept)
+                await asyncio.sleep(step)
+                slept += step
+                await self._heartbeat(name, {"note": "worker-slow"})
+        if self.chaos.worker_die and self.incarnation == 0 and not self._chaos_died:
+            # Die holding the lease, after proving liveness once: the
+            # coordinator must detect the lost connection, charge the
+            # kill, reclaim, and re-dispatch to our replacement.
+            self._chaos_died = True
+            await self._heartbeat(name, {"note": "pre-death"})
+            os._exit(CHAOS_DEATH_STATUS)
+
+        loop = asyncio.get_running_loop()
+        began = time.perf_counter()
+
+        def _simulate():
+            self.plan.fire(name, attempt)
+            return runner.run_spec(spec)
+
+        task = loop.run_in_executor(None, _simulate)
+        try:
+            while True:
+                done, _ = await asyncio.wait({task}, timeout=self.heartbeat_s)
+                if done:
+                    break
+                await self._heartbeat(name, {"elapsed_s": round(
+                    time.perf_counter() - began, 3)})
+            result = task.result()
+        except BaseException as exc:  # noqa: BLE001 — reported, not hidden
+            await self._link.send(
+                {
+                    "type": "error",
+                    "cell": name,
+                    "exc": type(exc).__name__,
+                    "message": f"{type(exc).__name__}: {exc}"[:500],
+                    "duration": time.perf_counter() - began,
+                    "store_delta": (
+                        store.counters_since(store_before)
+                        if store is not None
+                        else None
+                    ),
+                    "cache_delta": (
+                        cache.counters_since(cache_before)
+                        if cache is not None
+                        else None
+                    ),
+                }
+            )
+            return
+
+        if (
+            self.chaos.late_result
+            and self.incarnation == 0
+            and not self._late_result_done
+        ):
+            # Hold the finished result past our own lease: the
+            # coordinator reclaims and re-dispatches, then must drop this
+            # late duplicate on arrival (exactly-once commit).
+            self._late_result_done = True
+            deadline = self.lease_s * 1.5
+            slept = 0.0
+            while slept < deadline:
+                await self._heartbeat(name, {"note": "late-result hold"})
+                step = min(self.heartbeat_s, deadline - slept)
+                await asyncio.sleep(step)
+                slept += step
+
+        await self._link.send(
+            {
+                "type": "result",
+                "cell": name,
+                "result": result,
+                "duration": time.perf_counter() - began,
+                "store_delta": (
+                    store.counters_since(store_before) if store is not None else None
+                ),
+                "cache_delta": (
+                    cache.counters_since(cache_before) if cache is not None else None
+                ),
+            }
+        )
+
+    async def _heartbeat(self, cell: str, payload: dict) -> None:
+        try:
+            await self._link.send({"type": "tel", "cell": cell, "payload": payload})
+        except (ConnectionResetError, OSError):
+            pass
+
+
+def run_agent(
+    host: str, port: int, slot: Optional[int] = None, incarnation: int = 0
+) -> int:
+    """Synchronous entry point for ``repro-experiments fabric work``."""
+    agent = FabricAgent(host, port, slot=slot, incarnation=incarnation)
+    return asyncio.run(agent.run())

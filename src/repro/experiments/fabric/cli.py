@@ -1,0 +1,455 @@
+"""CLI for the distributed sweep fabric.
+
+Three subcommands under ``python -m repro.experiments fabric``:
+
+* ``serve`` — run the coordinator alone and print the bound address;
+  workers on other hosts join with ``work --connect HOST:PORT``;
+* ``work`` — run one worker agent against a coordinator;
+* ``sweep`` — the single-box convenience: coordinator plus ``--workers N``
+  local agent subprocesses, babysat (a dead agent is respawned with its
+  incarnation bumped) until the sweep drains.
+
+Exit status: 0 when every cell committed, 1 when cells failed
+permanently (poison/lost/deterministic error), and
+:data:`~repro.experiments.supervise.INTERRUPT_EXIT_STATUS` when the
+sweep was interrupted (SIGINT/SIGTERM) after a graceful drain — the
+manifest is flushed and ``--resume`` continues it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import os
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+import repro
+from repro.experiments import diskcache, faults as faults_mod, supervise
+from repro.experiments.fabric.agent import run_agent
+from repro.experiments.fabric.coordinator import Coordinator, FabricConfig
+from repro.experiments.runner import CellSpec, ExperimentRunner
+from repro.sim.backend import ENGINE_BACKENDS, ENGINE_ENV, resolve_engine_backend
+from repro.telemetry import config as telemetry_config
+from repro.trace import store as trace_store_mod
+
+#: A worker slot is respawned at most this many times before the
+#: babysitter gives up on it (the coordinator's poison/lost bounds keep
+#: the sweep finishing regardless).
+MAX_RESPAWNS = 4
+
+
+def _worker_env() -> dict:
+    """Environment for agent subprocesses: inherit everything (engine
+    backend, cache/store/telemetry vars) and make ``repro`` importable
+    even when the parent got it from ``sys.path`` manipulation."""
+    env = dict(os.environ)
+    package_root = str(Path(repro.__file__).resolve().parent.parent)
+    existing = env.get("PYTHONPATH", "")
+    parts = [package_root] + ([existing] if existing else [])
+    env["PYTHONPATH"] = os.pathsep.join(parts)
+    return env
+
+
+async def _babysit_worker(
+    host: str, port: int, slot: int, env: dict, done: asyncio.Event
+) -> None:
+    """Keep one worker slot alive: spawn the agent, and if its process
+    dies without a clean drain (exit 0), respawn it with the incarnation
+    bumped so chaos one-shots (``worker-die``) don't repeat."""
+    incarnation = 0
+    while incarnation <= MAX_RESPAWNS and not done.is_set():
+        proc = await asyncio.create_subprocess_exec(
+            sys.executable,
+            "-m",
+            "repro.experiments",
+            "fabric",
+            "work",
+            "--connect",
+            f"{host}:{port}",
+            "--slot",
+            str(slot),
+            "--incarnation",
+            str(incarnation),
+            env=env,
+        )
+        try:
+            code = await proc.wait()
+        except asyncio.CancelledError:
+            try:
+                proc.terminate()
+                await asyncio.wait_for(proc.wait(), timeout=5)
+            except (ProcessLookupError, asyncio.TimeoutError):
+                try:
+                    proc.kill()
+                except ProcessLookupError:
+                    pass
+                await proc.wait()
+            raise
+        if code == 0 or done.is_set():
+            return
+        incarnation += 1
+
+
+async def _run_fabric_sweep(
+    runner: ExperimentRunner,
+    specs: List[CellSpec],
+    workers: int,
+    config: Optional[FabricConfig] = None,
+    policy: Optional[supervise.RetryPolicy] = None,
+    manifest_path=None,
+    resume: bool = False,
+    cell_faults: Optional[dict] = None,
+    chaos: Optional[faults_mod.FabricChaos] = None,
+    host: str = "127.0.0.1",
+    install_signal_handlers: bool = True,
+) -> supervise.SweepReport:
+    coordinator = Coordinator(
+        runner,
+        specs,
+        config=config,
+        policy=policy,
+        manifest_path=manifest_path,
+        resume=resume,
+        cell_faults=cell_faults,
+        chaos=chaos,
+        host=host,
+        install_signal_handlers=install_signal_handlers,
+    )
+    await coordinator.start()
+    done = asyncio.Event()
+    env = _worker_env()
+    babysitters = [
+        asyncio.ensure_future(
+            _babysit_worker(coordinator.host, coordinator.port, slot, env, done)
+        )
+        for slot in range(workers)
+    ]
+    async def _watch_fleet():
+        # If every slot exhausts its respawn budget while cells remain,
+        # nothing can make progress: drain instead of hanging forever.
+        await asyncio.gather(*babysitters, return_exceptions=True)
+        if not done.is_set():
+            coordinator.abandon()
+
+    watcher = asyncio.ensure_future(_watch_fleet())
+    try:
+        report = await coordinator.serve()
+    finally:
+        done.set()
+        watcher.cancel()
+        for task in babysitters:
+            task.cancel()
+        await asyncio.gather(watcher, *babysitters, return_exceptions=True)
+    return report
+
+
+def run_local_sweep(
+    runner: ExperimentRunner,
+    specs: List[CellSpec],
+    workers: int = 2,
+    config: Optional[FabricConfig] = None,
+    policy: Optional[supervise.RetryPolicy] = None,
+    manifest_path=None,
+    resume: bool = False,
+    cell_faults: Optional[dict] = None,
+    chaos: Optional[faults_mod.FabricChaos] = None,
+    install_signal_handlers: bool = True,
+) -> supervise.SweepReport:
+    """Python API for a single-box fabric sweep (what ``fabric sweep``
+    runs; tests drive chaos scenarios through this)."""
+    return asyncio.run(
+        _run_fabric_sweep(
+            runner,
+            specs,
+            workers,
+            config=config,
+            policy=policy,
+            manifest_path=manifest_path,
+            resume=resume,
+            cell_faults=cell_faults,
+            chaos=chaos,
+            install_signal_handlers=install_signal_handlers,
+        )
+    )
+
+
+# ----------------------------------------------------------------------
+# Argument parsing
+# ----------------------------------------------------------------------
+def _add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "figures",
+        nargs="*",
+        metavar="FIG",
+        help="figures whose cell matrices to sweep (default: all)",
+    )
+    parser.add_argument("--scale", default="bench", choices=("bench", "test"))
+    parser.add_argument("--window", type=int, default=16, help="RnR window size")
+    parser.add_argument(
+        "--engine",
+        default=None,
+        metavar="BACKEND",
+        help=f"simulation engine backend: {', '.join(ENGINE_BACKENDS)} "
+        f"(default: ${ENGINE_ENV}, else fast); propagated to every worker",
+    )
+    parser.add_argument("--cache-dir", default=None, metavar="DIR")
+    parser.add_argument("--trace-store", default=None, metavar="DIR")
+    parser.add_argument("--telemetry-dir", default=None, metavar="DIR")
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help="re-attempts for transiently failed cells (default: 1)",
+    )
+    parser.add_argument("--resume", action="store_true")
+    parser.add_argument("--manifest", default=None, metavar="PATH")
+    parser.add_argument(
+        "--inject-fault",
+        action="append",
+        default=[],
+        metavar="SPEC",
+        help="chaos: CELL=KIND[:N] cell faults "
+        f"({', '.join(faults_mod.FAULT_KINDS)}) or bare fabric kinds "
+        f"({', '.join(faults_mod.FABRIC_FAULT_KINDS)})",
+    )
+    parser.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="seed for the chaos drop/dup coin flips (reproducible runs)",
+    )
+    parser.add_argument(
+        "--lease",
+        type=float,
+        default=FabricConfig.lease_seconds,
+        metavar="SECONDS",
+        help="cell lease duration before reclaim "
+        f"(default: {FabricConfig.lease_seconds})",
+    )
+    parser.add_argument(
+        "--heartbeat",
+        type=float,
+        default=FabricConfig.heartbeat_seconds,
+        metavar="SECONDS",
+        help="worker heartbeat interval "
+        f"(default: {FabricConfig.heartbeat_seconds})",
+    )
+    parser.add_argument(
+        "--liveness-beats",
+        type=float,
+        default=FabricConfig.liveness_beats,
+        metavar="N",
+        help="missed heartbeat intervals before a worker is declared dead "
+        f"(default: {FabricConfig.liveness_beats})",
+    )
+    parser.add_argument(
+        "--bench-after",
+        type=int,
+        default=FabricConfig.bench_after,
+        metavar="N",
+        help="consecutive failures before a worker is benched "
+        f"(default: {FabricConfig.bench_after})",
+    )
+    parser.add_argument(
+        "--poison-after",
+        type=int,
+        default=FabricConfig.poison_after,
+        metavar="N",
+        help="distinct workers a cell may kill before it is poisoned "
+        f"(default: {FabricConfig.poison_after})",
+    )
+    parser.add_argument(
+        "--max-reclaims",
+        type=int,
+        default=FabricConfig.max_reclaims,
+        metavar="N",
+        help="lease reclaims before a cell is failed as lost "
+        f"(default: {FabricConfig.max_reclaims})",
+    )
+    parser.add_argument("--host", default="127.0.0.1", metavar="ADDR")
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        metavar="PORT",
+        help="TCP port to bind (default: ephemeral, printed at startup)",
+    )
+
+
+def _resolve_sweep(parser: argparse.ArgumentParser, args) -> tuple:
+    """Shared serve/sweep setup: runner, specs, config, faults."""
+    from repro.experiments.__main__ import FIGURES
+
+    names = args.figures or list(FIGURES)
+    unknown = [n for n in names if n not in FIGURES]
+    if unknown:
+        parser.error(f"unknown figures: {', '.join(unknown)}")
+
+    cache_dir = args.cache_dir or diskcache.default_cache_dir()
+    if cache_dir:
+        try:
+            cache_dir = diskcache.ensure_writable(cache_dir)
+        except ValueError as exc:
+            parser.error(str(exc))
+    trace_store_dir = args.trace_store or trace_store_mod.default_store_dir()
+    if trace_store_dir:
+        try:
+            trace_store_dir = diskcache.ensure_writable(trace_store_dir)
+        except ValueError as exc:
+            parser.error(str(exc))
+
+    try:
+        env_faults = faults_mod.faults_from_env()
+        specs_mixed = list(args.inject_fault)
+        cell_faults, chaos = faults_mod.split_fault_specs(specs_mixed)
+        env_faults.update(cell_faults)
+        cell_faults = env_faults
+        chaos.seed = args.chaos_seed
+        engine_backend = resolve_engine_backend(args.engine)
+        policy = supervise.RetryPolicy(retries=args.retries)
+        telemetry = telemetry_config.resolve_config(args.telemetry_dir, None, None)
+        config = FabricConfig(
+            lease_seconds=args.lease,
+            heartbeat_seconds=args.heartbeat,
+            liveness_beats=args.liveness_beats,
+            bench_after=args.bench_after,
+            poison_after=args.poison_after,
+            max_reclaims=args.max_reclaims,
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
+
+    # Worker agents are separate processes; the environment variable is
+    # how the chosen backend reaches every engine they construct.
+    os.environ[ENGINE_ENV] = engine_backend
+
+    runner = ExperimentRunner(
+        scale=args.scale,
+        window_size=args.window,
+        cache_dir=cache_dir,
+        telemetry=telemetry,
+        trace_store=trace_store_dir,
+    )
+    specs: List[CellSpec] = []
+    for name in names:
+        module = FIGURES.get(name)
+        if module is not None and hasattr(module, "specs"):
+            specs.extend(module.specs(runner))
+    return runner, specs, config, policy, cell_faults, chaos
+
+
+def _report_status(report: supervise.SweepReport) -> int:
+    print(f"[{report.render()}]")
+    if report.interrupted:
+        return supervise.INTERRUPT_EXIT_STATUS
+    return 0 if not report.failures else 1
+
+
+# ----------------------------------------------------------------------
+def _cmd_serve(parser: argparse.ArgumentParser, args) -> int:
+    runner, specs, config, policy, cell_faults, chaos = _resolve_sweep(parser, args)
+
+    async def _serve() -> supervise.SweepReport:
+        coordinator = Coordinator(
+            runner,
+            specs,
+            config=config,
+            policy=policy,
+            manifest_path=args.manifest,
+            resume=args.resume,
+            cell_faults=cell_faults,
+            chaos=chaos,
+            host=args.host,
+            port=args.port,
+        )
+        await coordinator.start()
+        print(
+            f"[fabric: serving {len(specs)} cells on "
+            f"{coordinator.host}:{coordinator.port} — join with "
+            f"`python -m repro.experiments fabric work "
+            f"--connect {coordinator.host}:{coordinator.port}`]",
+            flush=True,
+        )
+        return await coordinator.serve()
+
+    return _report_status(asyncio.run(_serve()))
+
+
+def _cmd_sweep(parser: argparse.ArgumentParser, args) -> int:
+    runner, specs, config, policy, cell_faults, chaos = _resolve_sweep(parser, args)
+    report = run_local_sweep(
+        runner,
+        specs,
+        workers=args.workers,
+        config=config,
+        policy=policy,
+        manifest_path=args.manifest,
+        resume=args.resume,
+        cell_faults=cell_faults,
+        chaos=chaos,
+    )
+    if runner.cache is not None:
+        print(f"[{runner.cache.describe()}]")
+    if runner.trace_store is not None:
+        print(f"[{runner.trace_store.describe()}]")
+    return _report_status(report)
+
+
+def _cmd_work(parser: argparse.ArgumentParser, args) -> int:
+    host, sep, port = args.connect.rpartition(":")
+    if not sep or not host:
+        parser.error(f"--connect needs HOST:PORT, got {args.connect!r}")
+    try:
+        port_number = int(port)
+    except ValueError:
+        parser.error(f"--connect port must be an integer, got {port!r}")
+    return run_agent(host, port_number, slot=args.slot, incarnation=args.incarnation)
+
+
+def fabric_main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments fabric",
+        description="Distributed sweep fabric: lease-based coordinator "
+        "+ worker agents with liveness, quarantine, and chaos testing.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser(
+        "serve", help="run the coordinator; workers join with `work --connect`"
+    )
+    _add_sweep_arguments(serve)
+
+    sweep = sub.add_parser(
+        "sweep", help="coordinator plus N babysat local worker agents"
+    )
+    _add_sweep_arguments(sweep)
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="local worker agent processes to spawn (default: 2)",
+    )
+
+    work = sub.add_parser("work", help="run one worker agent")
+    work.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="coordinator address (printed by serve/sweep)",
+    )
+    work.add_argument("--slot", type=int, default=None, metavar="N")
+    work.add_argument("--incarnation", type=int, default=0, metavar="K")
+
+    args = parser.parse_args(argv)
+    if args.command == "serve":
+        return _cmd_serve(parser, args)
+    if args.command == "sweep":
+        if args.workers < 1:
+            parser.error(f"--workers must be >= 1, got {args.workers}")
+        return _cmd_sweep(parser, args)
+    return _cmd_work(parser, args)

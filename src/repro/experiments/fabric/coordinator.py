@@ -1,0 +1,723 @@
+"""Fabric coordinator: lease table, liveness, quarantine, dedup, drain.
+
+The coordinator is split in two layers so the robustness rules are
+directly unit-testable:
+
+* :class:`FabricState` — a pure, clock-injected state machine.  Every
+  handler takes ``now`` and returns the messages to send; it owns the
+  lease table, the per-worker liveness and circuit-breaker records, the
+  poison/lost bookkeeping, the idempotent commit set, and the manifest.
+  No sockets, no tasks, no wall clock.
+* :class:`Coordinator` — the asyncio TCP server that feeds it: one
+  reader task per worker connection, a periodic reaper tick, signal
+  handlers for graceful drain, and the final report.
+
+Robustness rules (see ``docs/FABRIC.md`` for the failure taxonomy):
+
+* a cell is **leased** to exactly one worker with an expiry; an expired
+  lease is reclaimed and the cell re-queued (the original run may still
+  finish — its late result is dropped by dedup);
+* any message from a worker refreshes its **liveness**; a worker silent
+  longer than ``liveness_beats`` heartbeat intervals is declared dead
+  and its leases are reclaimed immediately (connection loss does the
+  same without waiting);
+* a worker whose process dies while holding a lease charges a **kill**
+  to that cell; a cell with ``poison_after`` kills from distinct workers
+  is marked *poison* and fails permanently (degraded ``-`` figure cell);
+* a worker failing ``bench_after`` consecutive cells is **benched**: its
+  next request is answered with ``drain`` and it gets no more leases;
+* a committed cell is committed **exactly once** — duplicate and late
+  results (reclaim + original both finishing, duplicated frames) are
+  dropped by the commit set;
+* a cell reclaimed ``max_reclaims`` times without any result is failed
+  as *lost* rather than looping forever under pathological chaos.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Tuple, Union
+
+from repro.experiments import faults as faults_mod
+from repro.experiments.fabric import protocol
+from repro.experiments.pool import pending_specs
+from repro.experiments.runner import CellSpec, ExperimentRunner
+from repro.experiments.supervise import (
+    CellFailure,
+    FailureKind,
+    RetryPolicy,
+    SweepManifest,
+    SweepReport,
+    cell_id,
+    classify_exception,
+    default_manifest_path,
+    runner_fingerprint,
+)
+from repro.telemetry.sweep import SweepTelemetry
+
+#: Default TCP bind for the coordinator.
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 0  # ephemeral; the bound port is reported
+
+
+@dataclass
+class FabricConfig:
+    """Timing and robustness thresholds of one fabric sweep."""
+
+    #: Seconds a worker owns a cell before the lease can be reclaimed.
+    lease_seconds: float = 120.0
+    #: Interval of worker liveness heartbeats.
+    heartbeat_seconds: float = 2.0
+    #: Heartbeat intervals of silence before a worker is declared dead.
+    liveness_beats: float = 5.0
+    #: Consecutive cell failures before a worker is benched (quarantined).
+    bench_after: int = 3
+    #: Distinct workers a cell may kill before it is marked poison.
+    poison_after: int = 3
+    #: Lease reclaims (without any result) before a cell is failed lost.
+    max_reclaims: int = 8
+
+    def __post_init__(self):
+        if self.lease_seconds <= 0:
+            raise ValueError(f"lease_seconds must be > 0, got {self.lease_seconds}")
+        if self.heartbeat_seconds <= 0:
+            raise ValueError(
+                f"heartbeat_seconds must be > 0, got {self.heartbeat_seconds}"
+            )
+        for name in ("liveness_beats", "bench_after", "poison_after", "max_reclaims"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1, got {getattr(self, name)}")
+
+    @property
+    def liveness_seconds(self) -> float:
+        return self.heartbeat_seconds * self.liveness_beats
+
+
+class _Cell:
+    """Coordinator-side bookkeeping for one pending cell."""
+
+    __slots__ = ("spec", "name", "dispatches", "failures", "elapsed", "kills", "reclaims")
+
+    def __init__(self, spec: CellSpec):
+        self.spec = spec
+        self.name = cell_id(spec)
+        self.dispatches = 0  # lease grants (the attempt number fed to faults)
+        self.failures = 0  # explicit error reports (retry-policy budget)
+        self.elapsed = 0.0
+        self.kills: Set[str] = set()  # distinct workers that died holding it
+        self.reclaims = 0  # lease expiries with no result
+
+
+@dataclass
+class _Lease:
+    cell: _Cell
+    worker: str
+    expires: float
+    attempt: int
+
+
+@dataclass
+class _WorkerRecord:
+    name: str
+    incarnation: int = 0
+    last_seen: float = 0.0
+    consecutive_failures: int = 0
+    benched: bool = False
+    dead: bool = False
+    leases: Set[str] = field(default_factory=set)  # cell names
+
+
+class FabricState:
+    """The coordinator's pure state machine (clock injected as ``now``).
+
+    Handlers return a list of ``(worker_name, message)`` pairs for the
+    I/O layer to deliver; all state transitions happen synchronously
+    inside the handler, so the invariants hold no matter how the network
+    interleaves.
+    """
+
+    def __init__(
+        self,
+        runner: ExperimentRunner,
+        specs: List[CellSpec],
+        config: Optional[FabricConfig] = None,
+        policy: Optional[RetryPolicy] = None,
+        manifest: Optional[SweepManifest] = None,
+        telemetry: Optional[SweepTelemetry] = None,
+        cell_faults: Optional[dict] = None,
+        chaos: Optional[faults_mod.FabricChaos] = None,
+    ):
+        self.runner = runner
+        self.config = config if config is not None else FabricConfig()
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.manifest = manifest
+        self.telemetry = telemetry
+        self.cell_faults = dict(cell_faults or {})
+        self.chaos = chaos if chaos is not None else faults_mod.FabricChaos()
+        self.report = SweepReport()
+
+        specs = list(specs)
+        pending = pending_specs(runner, specs)
+        self.report.skipped = len(specs) - len(pending)
+        if manifest is not None:
+            self.report.manifest_corrupt = manifest.corrupt
+            done = manifest.done_cells()
+            still = []
+            for spec in pending:
+                if cell_id(spec) in done:
+                    self.report.resumed += 1
+                else:
+                    still.append(spec)
+            pending = still
+
+        self.cells: Dict[str, _Cell] = {}
+        self.queue: List[str] = []  # ready cell names, FIFO
+        for spec in pending:
+            cell = _Cell(spec)
+            if cell.name not in self.cells:  # pending_specs already dedups
+                self.cells[cell.name] = cell
+                self.queue.append(cell.name)
+        self.delayed: List[Tuple[float, str]] = []  # (due, cell name)
+        self.leases: Dict[str, _Lease] = {}  # cell name -> lease
+        self.workers: Dict[str, _WorkerRecord] = {}
+        self.committed: Set[str] = set()
+        self.failed: Set[str] = set()
+        self.draining = False
+        self._next_worker = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        """Every cell is resolved (committed or permanently failed)."""
+        return len(self.committed) + len(self.failed) >= len(self.cells)
+
+    def outstanding(self) -> int:
+        return len(self.cells) - len(self.committed) - len(self.failed)
+
+    def begin_drain(self) -> None:
+        """Stop granting leases; workers drain on their next request."""
+        self.draining = True
+
+    # ------------------------------------------------------------------
+    # Message handlers.  Each returns [(worker_name, message), ...].
+    # ------------------------------------------------------------------
+    def on_hello(self, message: dict, now: float) -> Tuple[str, List[tuple]]:
+        """Register a worker; returns (assigned_name, replies)."""
+        slot = message.get("slot")
+        incarnation = int(message.get("incarnation", 0))
+        if slot is None:
+            slot = self._next_worker
+            self._next_worker += 1
+        name = f"w{slot}.{incarnation}"
+        while name in self.workers and not self.workers[name].dead:
+            name += "+"  # reconnect under a name still marked live
+        record = _WorkerRecord(name=name, incarnation=incarnation, last_seen=now)
+        self.workers[name] = record
+        if self.telemetry is not None:
+            self.telemetry.worker_joined(name, incarnation)
+        cache = self.runner.cache
+        store = self.runner.trace_store
+        welcome = {
+            "type": "welcome",
+            "worker": name,
+            "lease_s": self.config.lease_seconds,
+            "heartbeat_s": self.config.heartbeat_seconds,
+            "runner": dict(
+                scale=self.runner.scale,
+                iterations=self.runner.iterations,
+                window_size=self.runner.window_size,
+                config=self.runner.config,
+                seed=self.runner.seed,
+                cache_dir=cache.root if cache is not None else None,
+                trace_store=store.root if store is not None else None,
+                telemetry=self.runner.telemetry,
+            ),
+            "faults": self.cell_faults,
+            "chaos": self.chaos.to_dict(),
+        }
+        return name, [(name, welcome)]
+
+    def on_request(self, worker: str, now: float) -> List[tuple]:
+        record = self._touch(worker, now)
+        if record is None:
+            return [(worker, {"type": "drain"})]
+        if record.benched or record.dead or self.draining or self.done:
+            return [(worker, {"type": "drain"})]
+        # Re-offer an existing unexpired lease first: if the original
+        # lease message was lost in transit, the worker re-requests and
+        # must get the same cell/attempt back (idempotent offer).
+        for cell_name in sorted(record.leases):
+            lease = self.leases.get(cell_name)
+            if lease is not None and lease.worker == worker and lease.expires > now:
+                return [(worker, self._lease_message(lease))]
+        self._promote_delayed(now)
+        while self.queue:
+            cell_name = self.queue.pop(0)
+            cell = self.cells[cell_name]
+            if cell_name in self.committed or cell_name in self.failed:
+                continue
+            cell.dispatches += 1
+            lease = _Lease(
+                cell=cell,
+                worker=worker,
+                expires=now + self.config.lease_seconds,
+                attempt=cell.dispatches,
+            )
+            self.leases[cell_name] = lease
+            record.leases.add(cell_name)
+            if self.telemetry is not None:
+                self.telemetry.lease_granted(
+                    worker, cell_name, lease.attempt, self.config.lease_seconds
+                )
+            return [(worker, self._lease_message(lease))]
+        return [(worker, {"type": "idle", "poll_s": self.config.heartbeat_seconds})]
+
+    def on_heartbeat(self, worker: str, message: dict, now: float) -> List[tuple]:
+        self._touch(worker, now)
+        if self.telemetry is not None:
+            cell = message.get("cell") or ""
+            self.telemetry.cell_heartbeat(worker, cell, dict(message.get("payload") or {}))
+        return []
+
+    def on_result(self, worker: str, message: dict, now: float) -> List[tuple]:
+        record = self._touch(worker, now)
+        cell_name = message["cell"]
+        duration = float(message.get("duration", 0.0))
+        self._merge_deltas(message)
+        if record is not None:
+            record.consecutive_failures = 0
+        cell = self.cells.get(cell_name)
+        if cell is None or cell_name in self.committed or cell_name in self.failed:
+            # Late (post-reclaim double finish) or duplicated frame: the
+            # first commit stands, idempotently.
+            self.report.deduped += 1
+            if self.telemetry is not None:
+                self.telemetry.result_deduped(worker, cell_name)
+            return []
+        self._release(cell_name)
+        cell.elapsed += duration
+        self.committed.add(cell_name)
+        self.runner.merge_result(cell.spec, message["result"])
+        self.report.simulated += 1
+        if self.telemetry is not None:
+            self.telemetry.cell_finished(
+                worker, cell_name, "done", cell.dispatches, duration
+            )
+        if self.manifest is not None:
+            self.manifest.mark_done(cell_name, cell.dispatches, cell.elapsed)
+            self.manifest.save()
+        return []
+
+    def on_error(self, worker: str, message: dict, now: float) -> List[tuple]:
+        record = self._touch(worker, now)
+        cell_name = message["cell"]
+        duration = float(message.get("duration", 0.0))
+        self._merge_deltas(message)
+        cell = self.cells.get(cell_name)
+        if cell is None or cell_name in self.committed or cell_name in self.failed:
+            self.report.deduped += 1
+            return []
+        self._release(cell_name)
+        kind = classify_exception(message.get("exc", ""))
+        text = message.get("message", "")
+        cell.failures += 1
+        cell.elapsed += duration
+        if self.telemetry is not None:
+            self.telemetry.cell_finished(
+                worker, cell_name, "failed", cell.dispatches, duration, text
+            )
+        replies: List[tuple] = []
+        if record is not None and not record.benched:
+            record.consecutive_failures += 1
+            if record.consecutive_failures >= self.config.bench_after:
+                # Circuit breaker: this worker is poisoning everything it
+                # touches (bad host, torn local state) — drain it.
+                record.benched = True
+                self.report.benched_workers += 1
+                if self.telemetry is not None:
+                    self.telemetry.worker_benched(worker, record.consecutive_failures)
+                replies.append((worker, {"type": "drain"}))
+        retryable = kind in FailureKind.TRANSIENT
+        if retryable and cell.failures < self.policy.max_attempts:
+            self.report.retried += 1
+            self.delayed.append(
+                (now + self.policy.delay(cell.failures + 1), cell_name)
+            )
+        else:
+            self._fail(cell, kind, text)
+        return replies
+
+    def on_goodbye(self, worker: str, now: float) -> List[tuple]:
+        record = self.workers.get(worker)
+        if record is not None and not record.dead:
+            record.dead = True
+            # A clean goodbye with leases still held should not happen
+            # (agents finish in-flight work first); requeue defensively
+            # without charging a kill.
+            for cell_name in list(record.leases):
+                self._reclaim(cell_name, "goodbye", now, charge_kill=False)
+        return []
+
+    def on_disconnect(self, worker: Optional[str], now: float,
+                      reason: str = "connection lost") -> None:
+        """A worker's TCP connection dropped (or liveness expired)."""
+        if worker is None:
+            return
+        record = self.workers.get(worker)
+        if record is None or record.dead:
+            return
+        record.dead = True
+        if self.draining:
+            # Expected teardown (drain/goodbye): requeue quietly, no kill
+            # charge, not a death for the report.
+            for cell_name in list(record.leases):
+                self._reclaim(cell_name, "drain", now, charge_kill=False)
+            return
+        self.report.dead_workers += 1
+        if self.telemetry is not None:
+            self.telemetry.worker_dead(worker, reason)
+        for cell_name in list(record.leases):
+            self._reclaim(cell_name, reason, now, charge_kill=True)
+
+    def handle(self, worker: Optional[str], message: dict, now: float) -> List[tuple]:
+        """Dispatch one non-hello message from an identified worker."""
+        kind = message.get("type")
+        if kind == "request":
+            return self.on_request(worker, now)
+        if kind == "tel":
+            return self.on_heartbeat(worker, message, now)
+        if kind == "result":
+            return self.on_result(worker, message, now)
+        if kind == "error":
+            return self.on_error(worker, message, now)
+        if kind == "goodbye":
+            return self.on_goodbye(worker, now)
+        return []
+
+    # ------------------------------------------------------------------
+    def tick(self, now: float) -> List[str]:
+        """Periodic reaper: expired leases and silent workers.
+
+        Returns the names of workers declared dead this tick so the I/O
+        layer can close their connections.
+        """
+        for cell_name, lease in list(self.leases.items()):
+            if lease.expires <= now:
+                # The worker may still be computing — keep it alive, but
+                # take the cell back.  If its late result arrives after a
+                # replacement commits, dedup drops it.
+                self._reclaim(cell_name, "lease expired", now, charge_kill=False)
+        newly_dead = []
+        horizon = self.config.liveness_seconds
+        for record in self.workers.values():
+            if record.dead:
+                continue
+            if now - record.last_seen > horizon:
+                newly_dead.append(record.name)
+        for name in newly_dead:
+            self.on_disconnect(
+                name, now, reason=f"missed heartbeats for {horizon:.1f}s"
+            )
+        self._promote_delayed(now)
+        return newly_dead
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _lease_message(self, lease: _Lease) -> dict:
+        return {
+            "type": "lease",
+            "cell": lease.cell.name,
+            "spec": lease.cell.spec,
+            "attempt": lease.attempt,
+            "lease_s": self.config.lease_seconds,
+        }
+
+    def _touch(self, worker: str, now: float) -> Optional[_WorkerRecord]:
+        record = self.workers.get(worker)
+        if record is not None and not record.dead:
+            record.last_seen = now
+            return record
+        return None
+
+    def _promote_delayed(self, now: float) -> None:
+        due = [name for when, name in self.delayed if when <= now]
+        if due:
+            self.delayed = [(when, name) for when, name in self.delayed if when > now]
+            self.queue.extend(due)
+
+    def _release(self, cell_name: str) -> None:
+        """Drop any lease on ``cell_name`` (commit, failure, reclaim)."""
+        lease = self.leases.pop(cell_name, None)
+        if lease is not None:
+            record = self.workers.get(lease.worker)
+            if record is not None:
+                record.leases.discard(cell_name)
+
+    def _reclaim(
+        self, cell_name: str, reason: str, now: float, charge_kill: bool
+    ) -> None:
+        lease = self.leases.get(cell_name)
+        if lease is None:
+            return
+        worker = lease.worker
+        self._release(cell_name)
+        cell = lease.cell
+        self.report.reclaimed += 1
+        if self.telemetry is not None:
+            self.telemetry.lease_reclaimed(worker, cell_name, reason)
+        if cell_name in self.committed or cell_name in self.failed:
+            return
+        if charge_kill:
+            cell.kills.add(worker)
+            if len(cell.kills) >= self.config.poison_after:
+                self._fail(
+                    cell,
+                    FailureKind.POISON,
+                    f"killed {len(cell.kills)} distinct workers: "
+                    f"{', '.join(sorted(cell.kills))}",
+                )
+                if self.telemetry is not None:
+                    self.telemetry.cell_poisoned(cell_name, len(cell.kills))
+                return
+        else:
+            cell.reclaims += 1
+            if cell.reclaims >= self.config.max_reclaims:
+                self._fail(
+                    cell,
+                    FailureKind.LOST,
+                    f"lease reclaimed {cell.reclaims} times with no result "
+                    "(worker too slow or messages lost)",
+                )
+                return
+        # Requeue at the BACK: under worker-die chaos every fresh worker
+        # dies on its first cell, so a front-requeued cell would collect
+        # one kill per respawn and poison itself; spreading reclaims
+        # across the queue disperses the kills.
+        self.queue.append(cell_name)
+
+    def _fail(self, cell: _Cell, kind: str, message: str) -> None:
+        self.failed.add(cell.name)
+        attempts = max(cell.dispatches, 1)
+        self.report.failures.append(
+            CellFailure(cell.name, kind, attempts, message, cell.elapsed)
+        )
+        self.runner.mark_failed(cell.spec, f"{kind}: {message}")
+        if self.manifest is not None:
+            self.manifest.mark_failed(cell.name, kind, message, attempts, cell.elapsed)
+            self.manifest.save()
+
+    def _merge_deltas(self, message: dict) -> None:
+        """Fold a worker's cache/store counter deltas into the runner's."""
+        store_delta = message.get("store_delta")
+        if store_delta and self.runner.trace_store is not None:
+            self.runner.trace_store.merge_counters(store_delta)
+        cache_delta = message.get("cache_delta")
+        if cache_delta and self.runner.cache is not None:
+            self.runner.cache.merge_counters(cache_delta)
+
+
+# ----------------------------------------------------------------------
+# Asyncio server
+# ----------------------------------------------------------------------
+class Coordinator:
+    """TCP server around :class:`FabricState`.
+
+    Usage::
+
+        coordinator = Coordinator(runner, specs, config=..., chaos=...)
+        await coordinator.start()          # binds; .port is now known
+        report = await coordinator.serve() # until done/drained
+    """
+
+    def __init__(
+        self,
+        runner: ExperimentRunner,
+        specs: List[CellSpec],
+        config: Optional[FabricConfig] = None,
+        policy: Optional[RetryPolicy] = None,
+        manifest_path: Optional[Union[str, Path]] = None,
+        resume: bool = False,
+        cell_faults: Optional[dict] = None,
+        chaos: Optional[faults_mod.FabricChaos] = None,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+        install_signal_handlers: bool = True,
+    ):
+        manifest_path = (
+            Path(manifest_path) if manifest_path else default_manifest_path(runner)
+        )
+        fingerprint = runner_fingerprint(runner)
+        if manifest_path is not None and resume:
+            manifest = SweepManifest.load(manifest_path, fingerprint)
+        elif manifest_path is not None:
+            manifest = SweepManifest(manifest_path, fingerprint)
+        else:
+            manifest = None
+        telemetry = (
+            SweepTelemetry(runner.telemetry.root)
+            if runner.telemetry is not None
+            else None
+        )
+        self.state = FabricState(
+            runner,
+            specs,
+            config=config,
+            policy=policy,
+            manifest=manifest,
+            telemetry=telemetry,
+            cell_faults=cell_faults,
+            chaos=chaos,
+        )
+        self.runner = runner
+        self.host = host
+        self.port = port
+        self.install_signal_handlers = install_signal_handlers
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._links: Dict[str, protocol.ChaosLink] = {}
+        self._finished = asyncio.Event()
+        self._began = time.monotonic()
+        self._chaos_serial = 0
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        if self.state.done:
+            self._finished.set()
+
+    async def serve(self) -> SweepReport:
+        """Run until every cell is resolved (or drain), then report."""
+        if self._server is None:
+            await self.start()
+        loop = asyncio.get_running_loop()
+        if self.install_signal_handlers:
+            import signal as signal_mod
+
+            for signum in (signal_mod.SIGINT, signal_mod.SIGTERM):
+                try:
+                    loop.add_signal_handler(signum, self._on_signal)
+                except (NotImplementedError, RuntimeError):
+                    pass
+        ticker = asyncio.ensure_future(self._ticker())
+        try:
+            await self._finished.wait()
+        finally:
+            ticker.cancel()
+            await self._shutdown()
+        return self._finish_report()
+
+    def _on_signal(self) -> None:
+        # Graceful drain: stop leasing, flush the manifest, report
+        # interrupted.  Already-committed cells stay committed; --resume
+        # continues from the manifest.
+        self.state.begin_drain()
+        self.state.report.interrupted = True
+        self._finished.set()
+
+    def abandon(self) -> None:
+        """Drain because no workers are left to make progress (the whole
+        fleet died past its respawn budget).  Same contract as a signal:
+        manifest flushed, report interrupted, --resume continues."""
+        if self._finished.is_set():
+            return
+        self._on_signal()
+
+    async def _ticker(self) -> None:
+        interval = max(
+            0.05,
+            min(self.state.config.heartbeat_seconds, self.state.config.lease_seconds)
+            / 2.0,
+        )
+        while True:
+            await asyncio.sleep(interval)
+            dead = self.state.tick(time.monotonic())
+            for name in dead:
+                link = self._links.pop(name, None)
+                if link is not None:
+                    await link.close()
+            self._check_done()
+
+    def _check_done(self) -> None:
+        if self.state.done:
+            self._finished.set()
+
+    def _chaos_seed(self) -> int:
+        self._chaos_serial += 1
+        return self.state.chaos.seed * 1000003 + self._chaos_serial
+
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        """One worker connection: hello handshake, then message pump."""
+        link = protocol.ChaosLink(writer, self.state.chaos, seed=self._chaos_seed())
+        name: Optional[str] = None
+        try:
+            while True:
+                try:
+                    message = await protocol.read_message(reader)
+                except (
+                    asyncio.IncompleteReadError,
+                    ConnectionResetError,
+                    protocol.ProtocolError,
+                    OSError,
+                ):
+                    break
+                now = time.monotonic()
+                if message.get("type") == "hello" and name is None:
+                    name, replies = self.state.on_hello(message, now)
+                    self._links[name] = link
+                else:
+                    replies = self.state.handle(name, message, now)
+                for target, reply in replies:
+                    target_link = self._links.get(target, link)
+                    try:
+                        await target_link.send(reply)
+                    except (ConnectionResetError, OSError):
+                        pass
+                self._check_done()
+                if self._finished.is_set() and self.state.draining:
+                    break
+        finally:
+            self.state.on_disconnect(name, time.monotonic())
+            if name is not None:
+                self._links.pop(name, None)
+            await link.close()
+            self._check_done()
+
+    async def _shutdown(self) -> None:
+        """Drain every live worker and close the server."""
+        self.state.begin_drain()
+        for name, link in list(self._links.items()):
+            try:
+                await link.send({"type": "drain"})
+            except (ConnectionResetError, OSError):
+                pass
+        if self._server is not None:
+            self._server.close()
+            try:
+                await self._server.wait_closed()
+            except Exception:
+                pass
+        # Give agents a beat to see the drain and exit cleanly.
+        await asyncio.sleep(0)
+        for link in list(self._links.values()):
+            await link.close()
+        self._links.clear()
+
+    def _finish_report(self) -> SweepReport:
+        report = self.state.report
+        report.duration = time.monotonic() - self._began
+        if self.runner.trace_store is not None:
+            report.trace_store = self.runner.trace_store.counters()
+        if self.runner.cache is not None:
+            report.cell_cache = self.runner.cache.counters()
+        if self.state.manifest is not None:
+            self.state.manifest.save()
+        if self.state.telemetry is not None:
+            self.state.telemetry.write(report)
+        return report

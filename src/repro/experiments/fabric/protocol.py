@@ -1,0 +1,160 @@
+"""Wire protocol of the sweep fabric, with chaos injection.
+
+Messages are plain dicts with a ``"type"`` key, pickled and framed with
+the same discipline as the disk caches: a magic, the payload CRC32, and
+the payload length, verified before unpickling so a torn or corrupted
+TCP stream surfaces as a :class:`ProtocolError` instead of a partial
+unpickle.  Pickle is appropriate because the fabric is a trusted,
+same-codebase cluster transport (messages carry
+:class:`~repro.experiments.runner.CellSpec`/``CellResult`` and
+:class:`~repro.config.SystemConfig` objects) — the coordinator should
+only ever be bound to interfaces you trust, exactly like
+``multiprocessing``'s own pickle pipes.
+
+Message vocabulary (see ``docs/FABRIC.md`` for the full protocol):
+
+================  =======================  ==================================
+type              direction                meaning
+================  =======================  ==================================
+``hello``         worker -> coordinator    join: slot/incarnation/pid
+``welcome``       coordinator -> worker    assigned name + runner identity
+``request``       worker -> coordinator    ask for (or re-ask for) work
+``lease``         coordinator -> worker    one cell, attempt, lease expiry
+``idle``          coordinator -> worker    nothing leasable right now
+``tel``           worker -> coordinator    heartbeat (liveness + telemetry)
+``result``        worker -> coordinator    finished cell + counter deltas
+``error``         worker -> coordinator    cell raised (name, message)
+``drain``         coordinator -> worker    finish in-flight work, then exit
+``goodbye``       worker -> coordinator    clean exit notification
+================  =======================  ==================================
+
+:class:`ChaosLink` implements the transport half of the fabric chaos
+plan: ``drop-msg:<p>`` and ``dup-msg:<p>`` apply to the *chaos-eligible*
+message types only — the join handshake and the drain/goodbye shutdown
+path are exempt so chaos proves robustness of the steady state rather
+than making startup/shutdown itself nondeterministic.  The coin flips
+use a dedicated seeded RNG so a chaos run is reproducible.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pickle
+import random
+import struct
+import zlib
+from typing import Optional
+
+from repro.experiments.faults import FabricChaos
+
+#: Frame header: magic, CRC32 of the payload, payload length.
+MAGIC = b"RNRW"
+_HEADER = struct.Struct("<4sIQ")
+
+#: Refuse frames above this size (a corrupted length field would
+#: otherwise make ``readexactly`` wait forever for garbage gigabytes).
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+#: Message types the chaos link may drop or duplicate.  Everything else
+#: (handshake, drain/goodbye) is delivered reliably.
+CHAOS_ELIGIBLE = frozenset({"request", "lease", "idle", "tel", "result", "error"})
+
+
+class ProtocolError(RuntimeError):
+    """A frame failed its magic/length/CRC verification."""
+
+
+def encode(message: dict) -> bytes:
+    """Frame one message: header (magic, crc, length) + pickled payload."""
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    return _HEADER.pack(MAGIC, zlib.crc32(payload) & 0xFFFFFFFF, len(payload)) + payload
+
+
+def decode(header: bytes, payload: bytes) -> dict:
+    """Verify and unpickle one frame read off the wire."""
+    magic, crc, length = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad frame magic {magic!r}")
+    if len(payload) != length:
+        raise ProtocolError(f"frame promises {length} bytes, got {len(payload)}")
+    if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+        raise ProtocolError("frame checksum mismatch")
+    message = pickle.loads(payload)
+    if not isinstance(message, dict) or "type" not in message:
+        raise ProtocolError("frame payload is not a typed message")
+    return message
+
+
+def header_length(header: bytes) -> int:
+    """Validated payload length of a frame header (pre-read check)."""
+    magic, _, length = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad frame magic {magic!r}")
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame length {length} exceeds {MAX_FRAME_BYTES}")
+    return length
+
+
+HEADER_SIZE = _HEADER.size
+
+
+async def read_message(reader: asyncio.StreamReader) -> dict:
+    """Read one framed message (raises ``IncompleteReadError`` at EOF)."""
+    header = await reader.readexactly(HEADER_SIZE)
+    payload = await reader.readexactly(header_length(header))
+    return decode(header, payload)
+
+
+class ChaosLink:
+    """Chaos-aware message sender for one fabric connection.
+
+    Wraps a ``StreamWriter`` and applies the transport half of a
+    :class:`~repro.experiments.faults.FabricChaos` plan to every send.
+    With no chaos configured it is a plain framed sender.
+    """
+
+    def __init__(
+        self,
+        writer: asyncio.StreamWriter,
+        chaos: Optional[FabricChaos] = None,
+        seed: int = 0,
+    ):
+        self.writer = writer
+        self.chaos = chaos if chaos is not None else FabricChaos()
+        self._rng = random.Random(seed)
+        self.dropped = 0
+        self.duplicated = 0
+
+    def reseed(self, seed: int) -> None:
+        """Restart the chaos RNG (agents arm chaos after the handshake,
+        seeded by their assigned identity for reproducibility)."""
+        self._rng = random.Random(seed)
+
+    def copies(self, message_type: str) -> int:
+        """How many copies of this message to put on the wire (0 = drop)."""
+        if message_type not in CHAOS_ELIGIBLE:
+            return 1
+        if self.chaos.drop_msg and self._rng.random() < self.chaos.drop_msg:
+            self.dropped += 1
+            return 0
+        if self.chaos.dup_msg and self._rng.random() < self.chaos.dup_msg:
+            self.duplicated += 1
+            return 2
+        return 1
+
+    async def send(self, message: dict) -> None:
+        """Send ``message`` (possibly dropped/duplicated under chaos)."""
+        copies = self.copies(message.get("type", ""))
+        if copies == 0:
+            return
+        frame = encode(message)
+        for _ in range(copies):
+            self.writer.write(frame)
+        await self.writer.drain()
+
+    async def close(self) -> None:
+        try:
+            self.writer.close()
+            await self.writer.wait_closed()
+        except (OSError, asyncio.CancelledError):
+            pass

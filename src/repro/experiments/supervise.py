@@ -61,15 +61,26 @@ _POLL_SECONDS = 0.02
 
 
 class FailureKind:
-    """The sweep failure taxonomy."""
+    """The sweep failure taxonomy (shared with the fabric)."""
 
     TIMEOUT = "timeout"
     CRASH = "crash"
     ERROR = "error"  # deterministic: the cell's workload raised
     CACHE_CORRUPTION = "cache-corruption"
+    #: Fabric only: the cell killed too many distinct workers.
+    POISON = "poison"
+    #: Fabric only: the cell's lease was reclaimed too many times without
+    #: any result arriving (e.g. pathological message loss).
+    LOST = "lost"
 
     #: Kinds worth retrying — the environment may have misbehaved.
     TRANSIENT = frozenset({TIMEOUT, CRASH, CACHE_CORRUPTION})
+
+
+#: Exit status for a sweep stopped by SIGINT/SIGTERM after a graceful
+#: drain (manifest flushed; ``--resume`` continues it).  Distinct from 0
+#: (complete) and 1 (cells failed permanently).
+INTERRUPT_EXIT_STATUS = 130
 
 
 def classify_exception(exc_type_name: str) -> str:
@@ -168,10 +179,29 @@ class SweepReport:
     #: delta), or None when no store was configured.  ``builds == 0``
     #: proves a warm-store sweep rebuilt nothing.
     trace_store: Optional[Dict[str, int]] = None
+    #: Aggregated cell-cache counters, or None when no cache was
+    #: configured.  ``races`` counts concurrent-writer publishes that
+    #: lost the first-winner rename (safe; surfaced for observability).
+    cell_cache: Optional[Dict[str, int]] = None
+    #: The sweep was stopped by SIGINT/SIGTERM; the manifest was flushed
+    #: and ``--resume`` continues from it.
+    interrupted: bool = False
+    #: ``--resume`` found the manifest present but unreadable (truncated
+    #: or corrupt JSON); the affected cells were restarted from scratch.
+    manifest_corrupt: bool = False
+    # ----- fabric counters (zero for single-box supervised sweeps) -----
+    #: Duplicate/late results dropped by idempotent commit dedup.
+    deduped: int = 0
+    #: Leases reclaimed (expiry or worker death) and re-dispatched.
+    reclaimed: int = 0
+    #: Workers declared dead (connection lost or missed heartbeats).
+    dead_workers: int = 0
+    #: Workers drained by the consecutive-failure circuit breaker.
+    benched_workers: int = 0
 
     @property
     def ok(self) -> bool:
-        return not self.failures
+        return not self.failures and not self.interrupted
 
     def render(self) -> str:
         """The structured end-of-sweep failure report."""
@@ -180,13 +210,37 @@ class SweepReport:
             f"{self.resumed} resumed, {self.retried} retries, "
             f"{len(self.failures)} failed in {self.duration:.1f}s"
         )
+        if self.interrupted:
+            header += "\nsweep interrupted: manifest flushed, --resume continues it"
+        if self.manifest_corrupt:
+            header += (
+                "\nmanifest was corrupt: previous progress discarded, "
+                "affected cells restarted"
+            )
+        if self.deduped or self.reclaimed or self.dead_workers or self.benched_workers:
+            header += (
+                f"\nfabric: {self.reclaimed} leases reclaimed, "
+                f"{self.deduped} duplicate results dropped, "
+                f"{self.dead_workers} dead workers, "
+                f"{self.benched_workers} benched workers"
+            )
         if self.trace_store is not None:
             counters = self.trace_store
             header += (
                 f"\ntrace store: {counters.get('hits', 0)} hits, "
                 f"{counters.get('misses', 0)} misses, "
                 f"{counters.get('builds', 0)} built, "
-                f"{counters.get('corrupt', 0)} corrupt"
+                f"{counters.get('corrupt', 0)} corrupt, "
+                f"{counters.get('races', 0)} races"
+            )
+        if self.cell_cache is not None:
+            counters = self.cell_cache
+            header += (
+                f"\ncell cache: {counters.get('hits', 0)} hits, "
+                f"{counters.get('misses', 0)} misses, "
+                f"{counters.get('stores', 0)} stores, "
+                f"{counters.get('corrupt', 0)} corrupt, "
+                f"{counters.get('races', 0)} races"
             )
         if not self.failures:
             return header
@@ -218,16 +272,35 @@ class SweepManifest:
         self.path = Path(path)
         self.fingerprint = fingerprint
         self.cells: Dict[str, dict] = {}
+        #: The file existed but could not be parsed (truncated mid-JSON,
+        #: bit-flipped, ...).  Progress is discarded and the affected
+        #: cells restart; callers surface this on the sweep report.
+        self.corrupt = False
 
     # ------------------------------------------------------------------
     @classmethod
     def load(cls, path: Union[str, Path], fingerprint: str = "") -> "SweepManifest":
         """Load ``path`` if it exists and matches ``fingerprint``; else a
-        fresh manifest bound to the same path."""
+        fresh manifest bound to the same path.
+
+        A file that exists but cannot be parsed (e.g. cut mid-JSON) marks
+        the returned manifest ``corrupt`` — progress is lost, but the
+        sweep restarts the affected cells instead of raising.
+        """
         manifest = cls(path, fingerprint)
         try:
-            payload = json.loads(Path(path).read_text())
-        except (OSError, ValueError):
+            text = Path(path).read_text()
+        except FileNotFoundError:
+            return manifest
+        except (OSError, UnicodeDecodeError):
+            # Unreadable or undecodable bytes where a manifest should be:
+            # same recovery as cut JSON below.
+            manifest.corrupt = True
+            return manifest
+        try:
+            payload = json.loads(text)
+        except ValueError:
+            manifest.corrupt = True
             return manifest
         if not isinstance(payload, dict) or payload.get("format") != MANIFEST_FORMAT:
             return manifest
@@ -418,25 +491,38 @@ class _Worker:
         except OSError:
             pass
         self.proc.join(timeout=5)
+        self._reap()
+
+    def _reap(self) -> None:
+        """Last-resort teardown: escalate terminate -> kill until the
+        process is actually gone, then close the pipe.  ``join(timeout)``
+        alone can return with the process still alive (a zombie once the
+        supervisor exits); this never leaves one behind."""
+        if self.proc.is_alive():
+            try:
+                self.proc.terminate()
+            except OSError:
+                pass
+            self.proc.join(timeout=2)
+        if self.proc.is_alive():
+            try:
+                self.proc.kill()
+            except OSError:
+                pass
+            self.proc.join(timeout=5)
         try:
             self.conn.close()
         except OSError:
             pass
 
     def stop(self) -> None:
-        """Polite shutdown for an idle worker."""
+        """Polite shutdown for an idle worker, escalating if it lingers."""
         try:
             self.conn.send(None)
         except (OSError, BrokenPipeError):
             pass
         self.proc.join(timeout=5)
-        if self.proc.is_alive():
-            self.kill()
-        else:
-            try:
-                self.conn.close()
-            except OSError:
-                pass
+        self._reap()
 
 
 # ----------------------------------------------------------------------
@@ -490,6 +576,7 @@ def run_supervised_sweep(
     fingerprint = runner_fingerprint(runner)
     if manifest_path is not None and resume:
         manifest = SweepManifest.load(manifest_path, fingerprint)
+        report.manifest_corrupt = manifest.corrupt
     elif manifest_path is not None:
         manifest = SweepManifest(manifest_path, fingerprint)
     else:
@@ -512,6 +599,8 @@ def run_supervised_sweep(
         report.duration = time.monotonic() - began
         if runner.trace_store is not None:
             report.trace_store = runner.trace_store.counters()
+        if runner.cache is not None:
+            report.cell_cache = runner.cache.counters()
         if manifest is not None:
             manifest.save()
         return report
@@ -654,6 +743,20 @@ def run_supervised_sweep(
         group_states[id(worker)] = batch
         return True
 
+    # SIGTERM (systemd stop, container eviction, fabric drain) behaves
+    # like Ctrl-C: stop dispatching, reap workers, flush the manifest,
+    # and report interrupted so the CLI can exit with a distinct status.
+    import signal as signal_mod
+
+    def _sigterm(_signum, _frame):
+        raise KeyboardInterrupt
+
+    previous_sigterm = None
+    try:
+        previous_sigterm = signal_mod.signal(signal_mod.SIGTERM, _sigterm)
+    except ValueError:
+        pass  # not the main thread; SIGTERM stays at its default
+
     try:
         while ready or delayed or any(w.busy for w in workers):
             now = time.monotonic()
@@ -745,10 +848,21 @@ def run_supervised_sweep(
                         worker.conn.close()
                     except OSError:
                         pass
+    except KeyboardInterrupt:
+        # Graceful drain: everything already committed stays committed
+        # (the manifest is flushed after every event); lingering workers
+        # are escalation-reaped in the finally block, and the caller sees
+        # a distinct interrupted report instead of a traceback.
+        report.interrupted = True
     finally:
+        if previous_sigterm is not None:
+            try:
+                signal_mod.signal(signal_mod.SIGTERM, previous_sigterm)
+            except ValueError:
+                pass
         for worker in workers:
             if worker.alive():
-                if worker.busy:
+                if worker.busy or report.interrupted:
                     worker.kill()
                 else:
                     worker.stop()
@@ -761,6 +875,8 @@ def run_supervised_sweep(
     report.duration = time.monotonic() - began
     if runner.trace_store is not None:
         report.trace_store = runner.trace_store.counters()
+    if runner.cache is not None:
+        report.cell_cache = runner.cache.counters()
     save_manifest()
     if sweep_tel is not None:
         sweep_tel.write(report)

@@ -46,8 +46,38 @@ def _fail(path: Path, reason: str) -> CheckFailure:
 # ----------------------------------------------------------------------
 # Individual validators
 # ----------------------------------------------------------------------
-def check_events_jsonl(path: Path, require_cycle: bool = True) -> int:
-    """Validate one JSONL event log; returns the event count."""
+#: Required fields per sweep-event kind (``sweep-events.jsonl``).  The
+#: ``lease.*`` / ``worker.*`` / poison / dedup kinds are emitted by the
+#: distributed fabric; the ``cell.*`` kinds by both supervision layers.
+#: Unknown kinds are tolerated (forward compatibility), but a known kind
+#: missing one of its fields is a schema violation.
+SWEEP_EVENT_FIELDS = {
+    "cell.start": ("worker", "cell", "attempt"),
+    "cell.heartbeat": ("worker", "cell"),
+    "cell.done": ("worker", "cell", "attempt", "duration_s"),
+    "cell.failed": ("worker", "cell", "attempt", "duration_s"),
+    "cell.timeout": ("worker", "cell", "attempt", "duration_s"),
+    "cell.crash": ("worker", "cell", "attempt", "duration_s"),
+    "cell.poison": ("cell", "kills"),
+    "lease.grant": ("worker", "cell", "attempt", "lease_s"),
+    "lease.reclaim": ("worker", "cell", "reason"),
+    "worker.hello": ("worker",),
+    "worker.dead": ("worker", "reason"),
+    "worker.benched": ("worker", "failures"),
+    "result.dedup": ("worker", "cell"),
+    "sweep.end": ("heartbeats",),
+}
+
+
+def check_events_jsonl(
+    path: Path, require_cycle: bool = True, sweep_schema: bool = False
+) -> int:
+    """Validate one JSONL event log; returns the event count.
+
+    ``sweep_schema=True`` additionally checks every known sweep-event
+    kind (cell lifecycle, fabric lease/liveness/quarantine/dedup events)
+    for its required fields.
+    """
     count = 0
     for number, line in enumerate(path.read_text().splitlines(), start=1):
         if not line.strip():
@@ -61,6 +91,14 @@ def check_events_jsonl(path: Path, require_cycle: bool = True) -> int:
         stamp = "cycle" if require_cycle else "t"
         if stamp not in event or not isinstance(event[stamp], (int, float)):
             raise _fail(path, f"line {number}: missing numeric {stamp!r} timestamp")
+        if sweep_schema:
+            for field in SWEEP_EVENT_FIELDS.get(event["ev"], ()):
+                if field not in event:
+                    raise _fail(
+                        path,
+                        f"line {number}: {event['ev']} event missing "
+                        f"required field {field!r}",
+                    )
         count += 1
     return count
 
@@ -178,7 +216,7 @@ def check_tree(root: Path, expect: List[str]) -> str:
     sweep_events = root / SWEEP_EVENTS_NAME
     swept = False
     if sweep_events.exists():
-        check_events_jsonl(sweep_events, require_cycle=False)
+        check_events_jsonl(sweep_events, require_cycle=False, sweep_schema=True)
         swept = True
     sweep_trace = root / SWEEP_TRACE_NAME
     if sweep_trace.exists():

@@ -46,7 +46,7 @@ from repro.trace.trace import Trace
 TRACE_STORE_ENV = "RNR_TRACE_STORE"
 
 #: Counter names reported by :meth:`TraceStore.counters`.
-COUNTER_NAMES = ("hits", "misses", "builds", "stores", "corrupt")
+COUNTER_NAMES = ("hits", "misses", "builds", "stores", "corrupt", "races")
 
 
 def default_store_dir() -> Optional[Path]:
@@ -98,6 +98,7 @@ class TraceStore:
         self.builds = 0
         self.stores = 0
         self.corrupt = 0
+        self.races = 0
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.rnrt"
@@ -128,10 +129,35 @@ class TraceStore:
         return trace
 
     def put(self, key: str, trace: Trace) -> Path:
-        """Publish ``trace`` under ``key`` (atomic; last writer wins)."""
-        path = binfmt.write_trace(trace, self._path(key))
-        self.stores += 1
-        return path
+        """Publish ``trace`` under ``key`` (atomic; **first** writer wins).
+
+        The trace is written completely to a staging file first, then
+        hard-linked to its final name: two workers racing on the same
+        cold key leave exactly one valid CRC-framed entry (the loser
+        counts a ``race`` and drops its copy), and a concurrent reader
+        can never map a torn file.  Same key means same content, so
+        which copy survives is immaterial.
+        """
+        final = self._path(key)
+        # ``.staged`` keeps the staging file out of the ``*.rnrt`` globs
+        # of :meth:`entries`.
+        staged = final.with_name(f".pub-{os.getpid()}-{final.name}.staged")
+        binfmt.write_trace(trace, staged)
+        try:
+            os.link(staged, final)
+            self.stores += 1
+        except FileExistsError:
+            self.races += 1
+        except OSError:
+            # Filesystem without hard links: atomic last-winner rename.
+            os.replace(staged, final)
+            self.stores += 1
+            return final
+        try:
+            os.unlink(staged)
+        except OSError:
+            pass
+        return final
 
     def get_or_build(self, key: str, build: Callable[[], Trace]) -> Trace:
         """The stored trace, or ``build()``'s result published to the store.
@@ -194,5 +220,6 @@ class TraceStore:
             f"trace store at {self.root}: {len(paths)} traces, "
             f"{total / 1024:.0f} KiB "
             f"(session: {self.hits} hits, {self.misses} misses, "
-            f"{self.builds} built, {self.corrupt} corrupt)"
+            f"{self.builds} built, {self.corrupt} corrupt, "
+            f"{self.races} races)"
         )

@@ -1,0 +1,275 @@
+"""End-to-end fabric sweeps: real coordinator, real agent subprocesses.
+
+The headline invariant, asserted under every chaos plan: the fabric
+completes **every non-poison cell exactly once** — no lost cells, no
+duplicate commits — proven by the sweep report, the manifest, and the
+disk-cache counters.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.fabric.cli import run_local_sweep
+from repro.experiments.fabric.coordinator import FabricConfig
+from repro.experiments.faults import FabricChaos
+from repro.experiments.runner import CellSpec, ExperimentRunner
+from repro.experiments.supervise import (
+    INTERRUPT_EXIT_STATUS,
+    MANIFEST_NAME,
+    SweepManifest,
+    cell_id,
+    runner_fingerprint,
+)
+
+SPECS = [
+    CellSpec("pagerank", "urand", "baseline"),
+    CellSpec("pagerank", "urand", "nextline"),
+    CellSpec("pagerank", "amazon", "baseline"),
+    CellSpec("spcg", "bbmat", "baseline"),
+]
+
+#: Test-scale fabric timing: fast heartbeats, lease long enough that a
+#: test-scale cell (well under a second) never expires it by accident.
+FAST = FabricConfig(lease_seconds=30.0, heartbeat_seconds=0.25)
+
+
+def _runner(tmp_path, **kwargs):
+    kwargs.setdefault("cache_dir", tmp_path / "cache")
+    kwargs.setdefault("trace_store", tmp_path / "store")
+    return ExperimentRunner(scale="test", **kwargs)
+
+
+def _sweep(runner, specs=SPECS, workers=2, config=FAST, **kwargs):
+    kwargs.setdefault("install_signal_handlers", False)
+    return run_local_sweep(runner, list(specs), workers=workers, config=config, **kwargs)
+
+
+def _manifest_cells(runner):
+    manifest = SweepManifest.load(
+        runner.cache.root / MANIFEST_NAME, runner_fingerprint(runner)
+    )
+    return manifest.cells
+
+
+class TestCleanSweep:
+    def test_all_cells_commit_exactly_once(self, tmp_path):
+        runner = _runner(tmp_path)
+        report = _sweep(runner)
+        assert report.simulated == len(SPECS)
+        assert not report.failures and report.ok
+        # Every result was merged: figures can render with no simulation.
+        for spec in SPECS:
+            assert runner.run_spec(spec) is not None
+        cells = _manifest_cells(runner)
+        assert sorted(cells) == sorted(cell_id(s) for s in SPECS)
+        assert all(entry["status"] == "done" for entry in cells.values())
+
+    def test_second_sweep_is_fully_warm(self, tmp_path):
+        first = _runner(tmp_path)
+        _sweep(first)
+        second = _runner(tmp_path)
+        report = _sweep(second, resume=True)
+        # Nothing simulated, nothing rebuilt: warm cache + manifest.
+        assert report.simulated == 0
+        assert report.skipped + report.resumed == len(SPECS)
+        assert report.cell_cache["stores"] == 0
+        assert report.trace_store["builds"] == 0
+
+
+class TestChaos:
+    def test_worker_die_and_message_loss_exactly_once(self, tmp_path):
+        runner = _runner(tmp_path)
+        report = _sweep(
+            runner,
+            workers=3,
+            chaos=FabricChaos(worker_die=True, drop_msg=0.2, dup_msg=0.2, seed=7),
+        )
+        # Exactly once: every cell committed, none lost, none duplicated.
+        assert report.simulated == len(SPECS)
+        assert not report.failures
+        # All three incarnation-0 workers died mid-lease and were
+        # respawned; their cells were reclaimed and re-dispatched.
+        assert report.dead_workers >= 3
+        assert report.reclaimed >= 3
+        cells = _manifest_cells(runner)
+        assert sorted(cells) == sorted(cell_id(s) for s in SPECS)
+        assert all(entry["status"] == "done" for entry in cells.values())
+
+    def test_late_results_absorbed_exactly_once(self, tmp_path):
+        runner = _runner(tmp_path)
+        report = _sweep(
+            runner,
+            specs=SPECS[:2],
+            workers=2,
+            config=FabricConfig(lease_seconds=1.0, heartbeat_seconds=0.2),
+            chaos=FabricChaos(late_result=True, seed=3),
+        )
+        # Every result outlived its lease: the cells were reclaimed and
+        # re-queued, yet each landed exactly one commit — either the late
+        # original was absorbed or the replacement's commit deduped it.
+        assert report.simulated == 2
+        assert not report.failures
+        assert report.reclaimed >= 2
+        cells = _manifest_cells(runner)
+        assert all(entry["status"] == "done" for entry in cells.values())
+
+    def test_duplicated_result_frames_deduped(self, tmp_path):
+        runner = _runner(tmp_path)
+        report = _sweep(
+            runner,
+            workers=2,
+            chaos=FabricChaos(dup_msg=1.0, seed=5),
+        )
+        # Every frame is delivered twice; the second copy of each result
+        # must be dropped by dedup, never committed twice.
+        assert report.simulated == len(SPECS)
+        assert not report.failures
+        assert report.deduped >= 1
+
+    def test_poison_cell_fails_without_sinking_the_sweep(self, tmp_path):
+        runner = _runner(tmp_path, lenient=True)
+        victim = cell_id(SPECS[1])
+        report = _sweep(
+            runner,
+            workers=2,
+            config=FabricConfig(
+                lease_seconds=30.0, heartbeat_seconds=0.25, poison_after=2
+            ),
+            cell_faults={victim: ("crash", None)},
+        )
+        # The crashing cell killed two distinct workers and was benched
+        # as poison; every other cell still committed exactly once.
+        assert report.simulated == len(SPECS) - 1
+        [failure] = report.failures
+        assert failure.kind == "poison"
+        assert failure.cell == victim
+        assert report.dead_workers >= 2
+        # Degraded-figure machinery: the poisoned cell renders as '-'.
+        assert runner.run_spec(SPECS[1]) is None
+        assert runner.missing_note()
+        cells = _manifest_cells(runner)
+        assert cells[victim]["status"] == "failed"
+        assert cells[victim]["kind"] == "poison"
+
+
+class TestTelemetry:
+    def test_fabric_sweep_telemetry_tree_validates(self, tmp_path):
+        from repro.telemetry.check import check_tree
+        from repro.telemetry.config import TelemetryConfig
+
+        runner = _runner(
+            tmp_path, telemetry=TelemetryConfig(out_dir=tmp_path / "tel")
+        )
+        report = _sweep(runner, specs=SPECS[:2])
+        assert report.simulated == 2
+        # The coordinator's sweep-events.jsonl (fabric schema) and the
+        # workers' per-cell trees all pass repro.telemetry.check.
+        summary = check_tree(tmp_path / "tel", [])
+        assert "sweep telemetry present" in summary
+        events = (tmp_path / "tel" / "sweep-events.jsonl").read_text()
+        assert '"worker.hello"' in events
+        assert '"lease.grant"' in events
+
+
+class TestResume:
+    def test_partial_sweep_resumes_without_rebuilds(self, tmp_path):
+        # Phase 1: half the matrix commits (simulating a killed sweep
+        # whose manifest and caches survived).
+        first = _runner(tmp_path)
+        _sweep(first, specs=SPECS[:2])
+        # Phase 2: the full matrix resumes — only the missing half runs.
+        second = _runner(tmp_path)
+        report = _sweep(second, resume=True)
+        assert report.simulated == 2
+        assert report.skipped + report.resumed == 2
+        assert not report.failures
+        # Zero rebuilt cached cells: nothing already on disk was redone.
+        assert report.cell_cache["stores"] == 2
+        cells = _manifest_cells(second)
+        assert sorted(cells) == sorted(cell_id(s) for s in SPECS)
+
+
+class TestGracefulInterrupt:
+    def _popen_sweep(self, tmp_path, *extra):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(Path(__file__).resolve().parents[3] / "src"),
+             env.get("PYTHONPATH", "")]
+        )
+        return subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.experiments", "fabric", "sweep",
+                "fig13",
+                "--scale", "test",
+                "--workers", "1",
+                "--heartbeat", "0.25",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--trace-store", str(tmp_path / "store"),
+                *extra,
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+
+    def test_sigterm_drains_and_resume_completes(self, tmp_path):
+        manifest_path = tmp_path / "cache" / MANIFEST_NAME
+        # worker-slow paces the single worker so the signal lands
+        # mid-sweep, after at least one cell committed.
+        proc = self._popen_sweep(tmp_path, "--inject-fault", "worker-slow:1.5")
+        try:
+            deadline = time.time() + 120
+            while time.time() < deadline:
+                if manifest_path.exists():
+                    try:
+                        payload = json.loads(manifest_path.read_text())
+                    except ValueError:
+                        payload = {}
+                    if any(
+                        entry.get("status") == "done"
+                        for entry in payload.get("cells", {}).values()
+                    ):
+                        break
+                if proc.poll() is not None:
+                    pytest.fail(
+                        f"sweep finished before it could be interrupted:\n"
+                        f"{proc.stdout.read()}"
+                    )
+                time.sleep(0.1)
+            else:
+                pytest.fail("no cell committed within the deadline")
+            proc.send_signal(signal.SIGTERM)
+            out, _ = proc.communicate(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == INTERRUPT_EXIT_STATUS, out
+        assert "sweep interrupted" in out
+        # The manifest survived the drain as valid JSON with progress.
+        payload = json.loads(manifest_path.read_text())
+        done = [
+            cell
+            for cell, entry in payload["cells"].items()
+            if entry["status"] == "done"
+        ]
+        assert done
+        # ... and --resume (no chaos) finishes the rest, re-running none
+        # of the committed cells.
+        proc = self._popen_sweep(tmp_path, "--resume")
+        out, _ = proc.communicate(timeout=180)
+        assert proc.returncode == 0, out
+        runner = _runner(tmp_path)
+        cells = _manifest_cells(runner)
+        assert all(entry["status"] == "done" for entry in cells.values())
+        # Cells committed before the interrupt were not re-run on resume.
+        assert all(entry == payload["cells"][cell]
+                   for cell, entry in cells.items() if cell in done)

@@ -1,0 +1,153 @@
+"""Fabric wire protocol: framing, verification, chaos link."""
+
+import asyncio
+import struct
+
+import pytest
+
+from repro.experiments.fabric import protocol
+from repro.experiments.faults import FabricChaos
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        message = {"type": "lease", "cell": "a/b/c", "attempt": 2}
+        frame = protocol.encode(message)
+        header, payload = frame[: protocol.HEADER_SIZE], frame[protocol.HEADER_SIZE:]
+        assert protocol.header_length(header) == len(payload)
+        assert protocol.decode(header, payload) == message
+
+    def test_bad_magic_rejected(self):
+        frame = protocol.encode({"type": "request"})
+        header = b"XXXX" + frame[4: protocol.HEADER_SIZE]
+        with pytest.raises(protocol.ProtocolError, match="magic"):
+            protocol.header_length(header)
+        with pytest.raises(protocol.ProtocolError, match="magic"):
+            protocol.decode(header, frame[protocol.HEADER_SIZE:])
+
+    def test_flipped_payload_bit_rejected(self):
+        frame = protocol.encode({"type": "result", "cell": "x"})
+        payload = bytearray(frame[protocol.HEADER_SIZE:])
+        payload[0] ^= 0x40
+        with pytest.raises(protocol.ProtocolError, match="checksum"):
+            protocol.decode(frame[: protocol.HEADER_SIZE], bytes(payload))
+
+    def test_truncated_payload_rejected(self):
+        frame = protocol.encode({"type": "result", "cell": "x"})
+        with pytest.raises(protocol.ProtocolError, match="bytes"):
+            protocol.decode(
+                frame[: protocol.HEADER_SIZE], frame[protocol.HEADER_SIZE: -1]
+            )
+
+    def test_absurd_length_rejected_before_read(self):
+        # A corrupted length field must fail fast, not readexactly() 2^60
+        # bytes that will never arrive.
+        header = struct.Struct("<4sIQ").pack(protocol.MAGIC, 0, 2**60)
+        with pytest.raises(protocol.ProtocolError, match="exceeds"):
+            protocol.header_length(header)
+
+    def test_untyped_payload_rejected(self):
+        import pickle
+        import zlib
+
+        payload = pickle.dumps(["not", "a", "dict"])
+        header = struct.Struct("<4sIQ").pack(
+            protocol.MAGIC, zlib.crc32(payload) & 0xFFFFFFFF, len(payload)
+        )
+        with pytest.raises(protocol.ProtocolError, match="typed"):
+            protocol.decode(header, payload)
+
+
+class _FakeWriter:
+    """Captures frames instead of writing to a socket."""
+
+    def __init__(self):
+        self.chunks = []
+
+    def write(self, data):
+        self.chunks.append(data)
+
+    async def drain(self):
+        pass
+
+    def close(self):
+        pass
+
+    async def wait_closed(self):
+        pass
+
+
+def _sent_messages(writer):
+    stream = b"".join(writer.chunks)
+    messages = []
+    while stream:
+        header = stream[: protocol.HEADER_SIZE]
+        length = protocol.header_length(header)
+        end = protocol.HEADER_SIZE + length
+        messages.append(protocol.decode(header, stream[protocol.HEADER_SIZE: end]))
+        stream = stream[end:]
+    return messages
+
+
+class TestChaosLink:
+    def _send_all(self, link, messages):
+        async def _run():
+            for message in messages:
+                await link.send(message)
+
+        asyncio.run(_run())
+
+    def test_no_chaos_is_transparent(self):
+        writer = _FakeWriter()
+        link = protocol.ChaosLink(writer)
+        sent = [{"type": "tel", "n": i} for i in range(20)]
+        self._send_all(link, sent)
+        assert _sent_messages(writer) == sent
+        assert link.dropped == 0 and link.duplicated == 0
+
+    def test_drop_probability_applies(self):
+        writer = _FakeWriter()
+        link = protocol.ChaosLink(writer, FabricChaos(drop_msg=0.5), seed=3)
+        self._send_all(link, [{"type": "tel", "n": i} for i in range(200)])
+        delivered = len(_sent_messages(writer))
+        assert link.dropped == 200 - delivered
+        assert 40 < delivered < 160  # ~50% with seeded slack
+
+    def test_dup_sends_two_copies(self):
+        writer = _FakeWriter()
+        link = protocol.ChaosLink(writer, FabricChaos(dup_msg=0.5), seed=3)
+        self._send_all(link, [{"type": "tel", "n": i} for i in range(100)])
+        assert len(_sent_messages(writer)) == 100 + link.duplicated
+        assert link.duplicated > 10
+
+    def test_handshake_and_shutdown_exempt(self):
+        writer = _FakeWriter()
+        link = protocol.ChaosLink(writer, FabricChaos(drop_msg=0.999999), seed=1)
+        sent = [
+            {"type": "hello", "slot": 0},
+            {"type": "welcome"},
+            {"type": "drain"},
+            {"type": "goodbye"},
+        ]
+        self._send_all(link, sent)
+        assert _sent_messages(writer) == sent
+
+    def test_seeded_runs_reproduce(self):
+        batch = [{"type": "request", "n": i} for i in range(50)]
+        outcomes = []
+        for _ in range(2):
+            writer = _FakeWriter()
+            link = protocol.ChaosLink(writer, FabricChaos(drop_msg=0.3), seed=42)
+            self._send_all(link, batch)
+            outcomes.append([m["n"] for m in _sent_messages(writer)])
+        assert outcomes[0] == outcomes[1]
+
+    def test_reseed_restarts_the_stream(self):
+        writer_a, writer_b = _FakeWriter(), _FakeWriter()
+        link_a = protocol.ChaosLink(writer_a, FabricChaos(drop_msg=0.4), seed=1)
+        link_b = protocol.ChaosLink(writer_b, FabricChaos(drop_msg=0.4), seed=999)
+        link_b.reseed(1)
+        batch = [{"type": "idle", "n": i} for i in range(50)]
+        self._send_all(link_a, batch)
+        self._send_all(link_b, batch)
+        assert _sent_messages(writer_a) == _sent_messages(writer_b)

@@ -1,0 +1,171 @@
+"""Graceful interrupt and manifest-damage recovery for supervised sweeps.
+
+A sweep killed mid-flight must drain cleanly — workers reaped, manifest
+flushed as valid JSON, distinct exit status — and ``--resume`` must pick
+up exactly where it stopped.  A manifest damaged harder than that
+(truncated mid-write by a power cut) must be reported and discarded, not
+crash the resume.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import supervise
+from repro.experiments.runner import CellSpec, ExperimentRunner
+from repro.experiments.supervise import (
+    INTERRUPT_EXIT_STATUS,
+    RetryPolicy,
+    run_supervised_sweep,
+)
+
+SPECS = [
+    CellSpec("pagerank", "urand", "baseline"),
+    CellSpec("pagerank", "urand", "nextline"),
+    CellSpec("pagerank", "amazon", "baseline"),
+    CellSpec("spcg", "bbmat", "baseline"),
+]
+
+FAST = RetryPolicy(retries=1, backoff=0.01, jitter=0.0)
+
+
+class TestTruncatedManifest:
+    def _complete_sweep(self, tmp_path):
+        manifest_path = tmp_path / "manifest.json"
+        runner = ExperimentRunner(scale="test", cache_dir=tmp_path / "cache1")
+        report = run_supervised_sweep(
+            runner, SPECS, jobs=1, policy=FAST, manifest_path=manifest_path
+        )
+        assert report.simulated == len(SPECS)
+        return manifest_path
+
+    def test_resume_against_truncated_manifest_restarts_cells(self, tmp_path):
+        manifest_path = self._complete_sweep(tmp_path)
+        # Cut the file mid-JSON, as a crash mid-write (without the atomic
+        # replace) or a torn copy would.
+        text = manifest_path.read_text()
+        manifest_path.write_text(text[: len(text) // 2])
+        runner = ExperimentRunner(scale="test", cache_dir=tmp_path / "cache2")
+        report = run_supervised_sweep(
+            runner,
+            SPECS,
+            jobs=1,
+            policy=FAST,
+            manifest_path=manifest_path,
+            resume=True,
+        )
+        # Corruption is surfaced, progress discarded, every cell re-run —
+        # and nothing raised.
+        assert report.manifest_corrupt
+        assert "manifest was corrupt" in report.render()
+        assert report.resumed == 0
+        assert report.simulated == len(SPECS)
+        assert not report.failures
+        # The rewritten manifest is whole again.
+        payload = json.loads(manifest_path.read_text())
+        assert len(payload["cells"]) == len(SPECS)
+
+    def test_resume_against_binary_garbage_restarts_cells(self, tmp_path):
+        manifest_path = self._complete_sweep(tmp_path)
+        manifest_path.write_bytes(b"\x00\xff\x13garbage")
+        runner = ExperimentRunner(scale="test", cache_dir=tmp_path / "cache2")
+        report = run_supervised_sweep(
+            runner,
+            SPECS,
+            jobs=1,
+            policy=FAST,
+            manifest_path=manifest_path,
+            resume=True,
+        )
+        assert report.manifest_corrupt
+        assert report.simulated == len(SPECS)
+        assert not report.failures
+
+
+class TestInterruptedSweepCLI:
+    """Kill `repro.experiments` mid-sweep; it must drain and resume."""
+
+    def _popen(self, tmp_path, *extra):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(Path(__file__).resolve().parents[2] / "src"),
+             env.get("PYTHONPATH", "")]
+        )
+        return subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.experiments", "fig13",
+                "--scale", "test",
+                "--jobs", "2",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--trace-store", str(tmp_path / "store"),
+                "--manifest", str(tmp_path / "manifest.json"),
+                *extra,
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+
+    def _wait_for_done_cell(self, proc, manifest_path, deadline_s=180):
+        deadline = time.time() + deadline_s
+        while time.time() < deadline:
+            if manifest_path.exists():
+                try:
+                    payload = json.loads(manifest_path.read_text())
+                except ValueError:
+                    payload = {}
+                if any(
+                    entry.get("status") == "done"
+                    for entry in payload.get("cells", {}).values()
+                ):
+                    return payload
+            if proc.poll() is not None:
+                pytest.fail(
+                    "sweep finished before it could be interrupted:\n"
+                    + proc.stdout.read()
+                )
+            time.sleep(0.1)
+        pytest.fail("no cell committed within the deadline")
+
+    def test_sigterm_exits_130_and_resume_completes(self, tmp_path):
+        manifest_path = tmp_path / "manifest.json"
+        proc = self._popen(tmp_path)
+        try:
+            self._wait_for_done_cell(proc, manifest_path)
+            proc.send_signal(signal.SIGTERM)
+            out, _ = proc.communicate(timeout=120)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == INTERRUPT_EXIT_STATUS, out
+        assert "sweep interrupted" in out
+        # The drain left a valid manifest with real progress, and no
+        # orphaned worker processes holding the caches open.
+        payload = json.loads(manifest_path.read_text())
+        done = {
+            cell
+            for cell, entry in payload["cells"].items()
+            if entry["status"] == "done"
+        }
+        assert done
+        # --resume finishes the matrix without re-running the done cells.
+        proc = self._popen(tmp_path, "--resume")
+        out, _ = proc.communicate(timeout=600)
+        assert proc.returncode == 0, out
+        final = json.loads(manifest_path.read_text())
+        assert all(
+            entry["status"] == "done" for entry in final["cells"].values()
+        )
+        assert all(final["cells"][cell] == payload["cells"][cell] for cell in done)
+        # Cells committed before the interrupt come back warm from the
+        # disk cache (or resumed from the manifest) — never re-simulated.
+        total = len(final["cells"])
+        assert f"sweep: {total - len(done)} simulated" in out

@@ -83,6 +83,7 @@ class TestStoreCounters:
         again.close()
         assert store.counters() == {
             "hits": 1, "misses": 1, "builds": 1, "stores": 1, "corrupt": 0,
+            "races": 0,
         }
 
     def test_corrupt_entry_rebuilds_and_counts(self, tmp_path):

@@ -1,0 +1,76 @@
+"""Fabric lease/liveness/quarantine events against the sweep schema."""
+
+import json
+
+import pytest
+
+from repro.telemetry.check import CheckFailure, check_events_jsonl, check_tree
+from repro.telemetry.sweep import SWEEP_EVENTS_NAME, SweepTelemetry
+
+
+def _emit_fabric_story(tel):
+    """One worker joins, leases, dies; the cell is reclaimed, poisoned
+    after re-kills, and a late duplicate result is dropped."""
+    tel.worker_joined("w0.0", incarnation=0)
+    tel.lease_granted("w0.0", "pagerank/urand/rnr", 1, 120.0)
+    tel.cell_heartbeat("w0.0", "pagerank/urand/rnr", {"elapsed_s": 1.5})
+    tel.worker_dead("w0.0", "connection lost")
+    tel.lease_reclaimed("w0.0", "pagerank/urand/rnr", "connection lost")
+    tel.worker_joined("w0.1", incarnation=1)
+    tel.worker_benched("w0.1", 3)
+    tel.cell_poisoned("pagerank/urand/rnr", 3)
+    tel.result_deduped("w0.1", "pagerank/urand/rnr")
+
+
+def test_fabric_events_pass_sweep_schema(tmp_path):
+    tel = SweepTelemetry(tmp_path)
+    _emit_fabric_story(tel)
+    tel.write()
+    path = tmp_path / SWEEP_EVENTS_NAME
+    count = check_events_jsonl(path, require_cycle=False, sweep_schema=True)
+    assert count == 10  # 9 story events + sweep.end
+    kinds = [
+        json.loads(line)["ev"] for line in path.read_text().splitlines()
+    ]
+    for kind in (
+        "worker.hello",
+        "lease.grant",
+        "lease.reclaim",
+        "worker.dead",
+        "worker.benched",
+        "cell.poison",
+        "result.dedup",
+    ):
+        assert kind in kinds
+
+
+def test_missing_required_field_fails_check(tmp_path):
+    path = tmp_path / SWEEP_EVENTS_NAME
+    path.write_text(
+        json.dumps({"ev": "lease.grant", "t": 1.0, "worker": "w0.0"}) + "\n"
+    )
+    with pytest.raises(CheckFailure, match="lease.grant.*'cell'"):
+        check_events_jsonl(path, require_cycle=False, sweep_schema=True)
+
+
+def test_unknown_event_kind_tolerated(tmp_path):
+    # Forward compatibility: new emitters must not break old checkers.
+    path = tmp_path / SWEEP_EVENTS_NAME
+    path.write_text(json.dumps({"ev": "fabric.someday", "t": 1.0}) + "\n")
+    assert check_events_jsonl(path, require_cycle=False, sweep_schema=True) == 1
+
+
+def test_check_tree_applies_sweep_schema(tmp_path):
+    tel = SweepTelemetry(tmp_path)
+    _emit_fabric_story(tel)
+    tel.write()
+    summary = check_tree(tmp_path, [])
+    assert "sweep telemetry present" in summary
+    # A fabric event stripped of a required field must fail the tree scan.
+    path = tmp_path / SWEEP_EVENTS_NAME
+    events = [json.loads(line) for line in path.read_text().splitlines()]
+    for event in events:
+        event.pop("cell", None)
+    path.write_text("\n".join(json.dumps(event) for event in events) + "\n")
+    with pytest.raises(CheckFailure):
+        check_tree(tmp_path, [])
