@@ -1,0 +1,280 @@
+"""Results-server load benchmark: figure rendering, memoization, 304s,
+and high-concurrency readers during a streaming sweep.
+
+Four scenarios over a server seeded with synthetic Fig-6 cells (the
+serving subsystem never simulates, so neither does its bench):
+
+* ``cold_figure`` — every request re-renders the figure from the cell
+  cache (the memo is cleared between requests);
+* ``warm_figure`` — the memoized path: LRU hit, body reused, only the
+  cheap fingerprint probe runs;
+* ``conditional_304`` — conditional GET with the current ETag: no body
+  moves at all;
+* ``concurrent_readers`` — :data:`CONCURRENT_READERS` keep-alive
+  connections hammering figure/listing/health endpoints while a
+  committer streams held-out cells into the same cache directory,
+  exactly like dashboards polling a live sweep.
+
+Each scenario reports requests/second and p99 latency.  Two floors are
+enforced: the warm path must beat the cold path by at least
+:data:`WARM_SPEEDUP_FLOOR` x (the memo's reason to exist), and the
+concurrent scenario must complete with zero 5xx responses.
+
+Run standalone to (re)write the ``BENCH_serve.json`` baseline at the
+repo root::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py
+
+or through pytest-benchmark with the rest of the harness::
+
+    pytest benchmarks/bench_serve.py
+"""
+
+import asyncio
+import json
+import tempfile
+import time
+from pathlib import Path
+
+from repro.experiments import fig06_speedup
+from repro.serve import synthetic
+from repro.serve.client import AsyncClient
+from repro.serve.server import ResultsServer
+from repro.serve.state import ServeState
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+
+#: The memoized figure path must beat the render-every-time path by at
+#: least this factor (acceptance criterion).
+WARM_SPEEDUP_FLOOR = 10.0
+
+#: Allowed slowdown vs the committed baseline before the bench fails
+#: (generous: CI machines vary; this catches order-of-magnitude slips).
+REGRESSION_TOLERANCE = 0.30
+
+#: Keep-alive readers in the streaming-sweep scenario.
+CONCURRENT_READERS = 256
+
+#: Requests each concurrent reader issues.
+READER_REQUESTS = 8
+
+#: Single-connection request counts per scenario.
+COLD_REQUESTS = 15
+WARM_REQUESTS = 400
+COND_REQUESTS = 600
+
+#: Watcher poll for the bench server: fast, so commit visibility isn't
+#: the bottleneck being measured.
+POLL_INTERVAL = 0.02
+
+FIGURE_PATH = "/api/figures/fig06"
+
+
+def _percentile(samples, fraction):
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(len(ordered) * fraction))
+    return ordered[index]
+
+
+def _summarize(latencies, elapsed):
+    return {
+        "requests": len(latencies),
+        "requests_per_second": len(latencies) / elapsed,
+        "p50_ms": _percentile(latencies, 0.50) * 1000.0,
+        "p99_ms": _percentile(latencies, 0.99) * 1000.0,
+    }
+
+
+async def _bench_single_connection(server, requests, etag=None, before=None):
+    """Latency per request on one keep-alive connection.
+
+    ``before`` (if given) runs before each request, outside the timed
+    region — the cold scenario uses it to clear the figure memo.
+    """
+    client = AsyncClient(server.host, server.port)
+    latencies = []
+    try:
+        began = time.perf_counter()
+        for _ in range(requests):
+            if before is not None:
+                before()
+            started = time.perf_counter()
+            response = await client.get(FIGURE_PATH, etag=etag)
+            latencies.append(time.perf_counter() - started)
+            expected = 304 if etag is not None else 200
+            assert response.status == expected, response.status
+        elapsed = time.perf_counter() - began
+    finally:
+        await client.aclose()
+    return _summarize(latencies, elapsed)
+
+
+async def _bench_concurrent_readers(server, state, held_out):
+    """CONCURRENT_READERS keep-alive connections vs a streaming sweep."""
+    latencies = []
+    statuses = []
+
+    async def reader(index):
+        client = AsyncClient(server.host, server.port)
+        last_etag = None
+        try:
+            for round_no in range(READER_REQUESTS):
+                if index % 3 == 0 and round_no % 4 == 3:
+                    path = "/api/cells" if index % 2 else "/healthz"
+                    conditional = None
+                else:
+                    path = FIGURE_PATH
+                    conditional = last_etag
+                started = time.perf_counter()
+                response = await client.get(path, etag=conditional)
+                latencies.append(time.perf_counter() - started)
+                statuses.append(response.status)
+                if path == FIGURE_PATH and response.status == 200:
+                    last_etag = response.etag
+        finally:
+            await client.aclose()
+
+    async def committer():
+        loop = asyncio.get_event_loop()
+        for spec in held_out:
+            await loop.run_in_executor(
+                None, synthetic.seed_cells, state.make_runner(), [spec]
+            )
+            await asyncio.sleep(POLL_INTERVAL)
+
+    began = time.perf_counter()
+    await asyncio.gather(
+        committer(), *(reader(i) for i in range(CONCURRENT_READERS))
+    )
+    elapsed = time.perf_counter() - began
+    summary = _summarize(latencies, elapsed)
+    summary["readers"] = CONCURRENT_READERS
+    summary["server_5xx"] = sum(1 for s in statuses if s >= 500)
+    summary["status_counts"] = {
+        str(code): statuses.count(code) for code in sorted(set(statuses))
+    }
+    return summary
+
+
+async def _run_scenarios():
+    with tempfile.TemporaryDirectory(prefix="rnr-bench-serve-") as tmp:
+        state = ServeState(
+            cache_dir=Path(tmp) / "cells", poll_interval=POLL_INTERVAL
+        )
+        runner = state.make_runner()
+        specs = fig06_speedup.specs(runner)
+        held_out = specs[-8:]
+        synthetic.seed_cells(runner, specs, skip=held_out)
+        server = ResultsServer(state)
+        await server.start()
+        try:
+            warmup = AsyncClient(server.host, server.port)
+            first = await warmup.get(FIGURE_PATH)
+            assert first.status == 200
+            await warmup.aclose()
+
+            cold = await _bench_single_connection(
+                server, COLD_REQUESTS, before=state.figures.clear
+            )
+            warm = await _bench_single_connection(server, WARM_REQUESTS)
+            probe = AsyncClient(server.host, server.port)
+            current = await probe.get(FIGURE_PATH)
+            await probe.aclose()
+            conditional = await _bench_single_connection(
+                server, COND_REQUESTS, etag=current.etag
+            )
+            concurrent = await _bench_concurrent_readers(server, state, held_out)
+        finally:
+            await server.aclose()
+    return {
+        "cold_figure": cold,
+        "warm_figure": warm,
+        "conditional_304": conditional,
+        "concurrent_readers": concurrent,
+    }
+
+
+def run_suite():
+    """All four scenarios; returns the results dict."""
+    return asyncio.run(_run_scenarios())
+
+
+def write_baseline(results, path=BASELINE_PATH):
+    payload = {"unit": "requests per second / milliseconds", "scenarios": {}}
+    for name, summary in results.items():
+        rounded = {}
+        for key, value in summary.items():
+            rounded[key] = round(value, 3) if isinstance(value, float) else value
+        payload["scenarios"][name] = rounded
+    payload["warm_over_cold_speedup"] = round(
+        results["warm_figure"]["requests_per_second"]
+        / results["cold_figure"]["requests_per_second"],
+        2,
+    )
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_baseline(path=BASELINE_PATH):
+    try:
+        return json.loads(path.read_text())["scenarios"]
+    except (OSError, ValueError, KeyError):
+        return None
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points
+# ----------------------------------------------------------------------
+def test_serve_load(benchmark):
+    """One full pass of the four scenarios, with the two hard floors and
+    a soft regression check against the committed baseline."""
+    results = {}
+
+    def run():
+        results.update(run_suite())
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    cold_rps = results["cold_figure"]["requests_per_second"]
+    warm_rps = results["warm_figure"]["requests_per_second"]
+    speedup = warm_rps / cold_rps
+    benchmark.extra_info["cold_rps"] = round(cold_rps, 1)
+    benchmark.extra_info["warm_rps"] = round(warm_rps, 1)
+    benchmark.extra_info["warm_over_cold"] = round(speedup, 2)
+    benchmark.extra_info["concurrent_rps"] = round(
+        results["concurrent_readers"]["requests_per_second"], 1
+    )
+
+    assert speedup >= WARM_SPEEDUP_FLOOR, (
+        f"figure memo buys only {speedup:.1f}x over re-rendering "
+        f"(floor {WARM_SPEEDUP_FLOOR}x): warm {warm_rps:.0f} rps vs "
+        f"cold {cold_rps:.0f} rps"
+    )
+    assert results["concurrent_readers"]["server_5xx"] == 0
+
+    baseline = load_baseline()
+    if baseline and "warm_figure" in baseline:
+        floor = baseline["warm_figure"]["requests_per_second"] * (
+            1.0 - REGRESSION_TOLERANCE
+        )
+        assert warm_rps >= floor, (
+            f"warm serve throughput regressed: {warm_rps:.0f} rps vs "
+            f"baseline {baseline['warm_figure']['requests_per_second']:.0f} "
+            f"(floor {floor:.0f})"
+        )
+
+
+if __name__ == "__main__":
+    suite = run_suite()
+    for name, summary in suite.items():
+        print(
+            f"{name:>20}: {summary['requests_per_second']:>9.1f} rps   "
+            f"p50 {summary['p50_ms']:.2f} ms   p99 {summary['p99_ms']:.2f} ms"
+        )
+    speedup = (
+        suite["warm_figure"]["requests_per_second"]
+        / suite["cold_figure"]["requests_per_second"]
+    )
+    print(f"{'warm/cold':>20}: {speedup:.1f}x (floor {WARM_SPEEDUP_FLOOR}x)")
+    print(f"{'5xx':>20}: {suite['concurrent_readers']['server_5xx']}")
+    print(f"wrote {write_baseline(suite)}")

@@ -274,16 +274,20 @@ def main(argv=None) -> int:
             if module is not None and hasattr(module, "specs"):
                 specs.extend(module.specs(runner))
         if specs:
-            report = supervise.run_supervised_sweep(
-                runner,
-                specs,
-                jobs=jobs,
-                cell_timeout=cell_timeout,
-                policy=policy,
-                manifest_path=args.manifest,
-                resume=args.resume,
-                faults=faults,
-            )
+            try:
+                report = supervise.run_supervised_sweep(
+                    runner,
+                    specs,
+                    jobs=jobs,
+                    cell_timeout=cell_timeout,
+                    policy=policy,
+                    manifest_path=args.manifest,
+                    resume=args.resume,
+                    faults=faults,
+                )
+            except supervise.ManifestVersionError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
             print(f"[{report.render()}]")
             if report.interrupted:
                 # Graceful drain already flushed the manifest; a distinct

@@ -376,22 +376,31 @@ def _cmd_serve(parser: argparse.ArgumentParser, args) -> int:
         )
         return await coordinator.serve()
 
-    return _report_status(asyncio.run(_serve()))
+    try:
+        report = asyncio.run(_serve())
+    except supervise.ManifestVersionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return _report_status(report)
 
 
 def _cmd_sweep(parser: argparse.ArgumentParser, args) -> int:
     runner, specs, config, policy, cell_faults, chaos = _resolve_sweep(parser, args)
-    report = run_local_sweep(
-        runner,
-        specs,
-        workers=args.workers,
-        config=config,
-        policy=policy,
-        manifest_path=args.manifest,
-        resume=args.resume,
-        cell_faults=cell_faults,
-        chaos=chaos,
-    )
+    try:
+        report = run_local_sweep(
+            runner,
+            specs,
+            workers=args.workers,
+            config=config,
+            policy=policy,
+            manifest_path=args.manifest,
+            resume=args.resume,
+            cell_faults=cell_faults,
+            chaos=chaos,
+        )
+    except supervise.ManifestVersionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if runner.cache is not None:
         print(f"[{runner.cache.describe()}]")
     if runner.trace_store is not None:

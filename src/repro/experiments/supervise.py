@@ -50,14 +50,29 @@ from repro.telemetry.sweep import SweepTelemetry
 #: Environment variable providing the default per-cell timeout (seconds).
 CELL_TIMEOUT_ENV = "RNR_CELL_TIMEOUT"
 
-#: Manifest schema version.
+#: Manifest file-framing version (the wrapper layout around the payload).
 MANIFEST_FORMAT = 1
+
+#: Manifest cell-schema version, stamped into every saved manifest.
+#: Bump when the meaning/shape of per-cell entries changes.
+MANIFEST_SCHEMA_VERSION = 2
+
+#: Schema versions this build can resume from.  Version 1 manifests
+#: (written before the stamp existed) carry no ``schema_version`` key.
+SUPPORTED_MANIFEST_SCHEMAS = frozenset({1, MANIFEST_SCHEMA_VERSION})
 
 #: Default manifest file name (placed next to the cell cache entries).
 MANIFEST_NAME = "sweep-manifest.json"
 
 #: Supervisor poll interval in seconds (timeout/death detection latency).
 _POLL_SECONDS = 0.02
+
+
+class ManifestVersionError(RuntimeError):
+    """A sweep manifest carries a schema version this build does not
+    understand (e.g. written by a newer release).  Raised on ``--resume``
+    so the mismatch fails with one actionable line instead of silently
+    discarding — or misreading — recorded progress."""
 
 
 class FailureKind:
@@ -285,7 +300,11 @@ class SweepManifest:
 
         A file that exists but cannot be parsed (e.g. cut mid-JSON) marks
         the returned manifest ``corrupt`` — progress is lost, but the
-        sweep restarts the affected cells instead of raising.
+        sweep restarts the affected cells instead of raising.  A manifest
+        that parses but carries an unsupported ``schema_version`` raises
+        :class:`ManifestVersionError`: unlike corruption, the file is
+        intact and probably authoritative (written by a newer build), so
+        silently discarding it would be wrong.
         """
         manifest = cls(path, fingerprint)
         try:
@@ -302,7 +321,20 @@ class SweepManifest:
         except ValueError:
             manifest.corrupt = True
             return manifest
-        if not isinstance(payload, dict) or payload.get("format") != MANIFEST_FORMAT:
+        if not isinstance(payload, dict):
+            manifest.corrupt = True
+            return manifest
+        schema = payload.get(
+            "schema_version", 1 if payload.get("format") == MANIFEST_FORMAT else None
+        )
+        if schema not in SUPPORTED_MANIFEST_SCHEMAS:
+            raise ManifestVersionError(
+                f"sweep manifest {path} has schema_version {schema!r}; this "
+                f"build supports {sorted(SUPPORTED_MANIFEST_SCHEMAS)}. "
+                "It was probably written by a newer release — upgrade, or "
+                "delete the manifest to restart the sweep from the cache."
+            )
+        if payload.get("format") != MANIFEST_FORMAT:
             return manifest
         if fingerprint and payload.get("fingerprint") not in ("", fingerprint):
             return manifest
@@ -317,6 +349,7 @@ class SweepManifest:
         """Write the manifest atomically (temp file + ``os.replace``)."""
         payload = {
             "format": MANIFEST_FORMAT,
+            "schema_version": MANIFEST_SCHEMA_VERSION,
             "fingerprint": self.fingerprint,
             "updated": time.strftime("%Y-%m-%dT%H:%M:%S"),
             "cells": self.cells,

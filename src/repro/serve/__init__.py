@@ -1,0 +1,31 @@
+"""Results-serving HTTP subsystem (``repro-serve``).
+
+The sweep machinery — disk cell cache, binary trace store, telemetry —
+produces everything a dashboard needs, but until now the only reader was
+the sweep CLI itself.  This package turns those artifacts into a
+high-concurrency read-path service built on stdlib ``asyncio`` streams
+(no new dependency):
+
+* :mod:`repro.serve.http` — minimal HTTP/1.1 request/response plumbing
+  with strong-ETag conditional GET support;
+* :mod:`repro.serve.state` — the read-only view over the cache, trace
+  store, and telemetry directory: a cache-only runner that never
+  simulates, a polling cache watcher that detects mid-sweep commits,
+  and the content-hash-keyed figure memo (LRU + single-flight);
+* :mod:`repro.serve.app` — the route table and handlers;
+* :mod:`repro.serve.server` — the asyncio keep-alive connection loop;
+* :mod:`repro.serve.client` — a tiny keep-alive client used by the
+  tests, the load bench, and CI smoke checks;
+* :mod:`repro.serve.cli` — the ``repro-serve`` entry point.
+
+Every response carries a strong ETag derived from the content hashes the
+stores already compute, so conditional GETs return 304 and a mid-sweep
+cell commit flips the affected figures' ETags within one watcher poll.
+See ``docs/SERVING.md``.
+"""
+
+from repro.serve.app import ServeApp
+from repro.serve.server import ResultsServer
+from repro.serve.state import CacheOnlyRunner, ServeState
+
+__all__ = ["CacheOnlyRunner", "ResultsServer", "ServeApp", "ServeState"]

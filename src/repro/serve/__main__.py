@@ -1,0 +1,8 @@
+"""``python -m repro.serve`` — same as the ``repro-serve`` script."""
+
+import sys
+
+from repro.serve.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

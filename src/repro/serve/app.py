@@ -1,0 +1,566 @@
+"""Route table and handlers for the results service.
+
+Endpoints (all GET/HEAD, all JSON unless noted):
+
+* ``/``                      — service index
+* ``/healthz``               — liveness + generation
+* ``/api/stats``             — server, cache, store, and memo counters
+* ``/api/manifest``          — the sweep manifest, verbatim
+* ``/api/cells``             — cell-cache listing (key, bytes, mtime)
+* ``/api/cells/<key>``       — one unpickled cell as JSON (immutable)
+* ``/api/figures``           — figure index
+* ``/api/figures/<name>``    — rendered figure (text; ``?format=json``
+  wraps it; ``?strict=1`` refuses partial renders with 424)
+* ``/api/telemetry``         — telemetry file index
+* ``/api/telemetry/<path>``  — one telemetry file (``?format=json``
+  converts CSV rows / JSONL lines into a JSON array)
+* ``/api/traces``            — trace-store listing
+* ``/api/traces/<key>``      — raw binary trace blob, streamed zero-copy
+  from the mmap-backed store (immutable)
+
+ETag discipline: content-addressed resources (cells, traces) use their
+key — immutable, cache-forever; figures use the hash of the cell-hash
+set they consume (see :mod:`repro.serve.state`); files use a content
+sha256 revalidated by stat.  Every representation answers conditional
+GETs with 304.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import mmap
+import os
+import string
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, Optional, Tuple
+
+import repro
+from repro.serve import http
+from repro.serve.http import (
+    Request,
+    Response,
+    error_response,
+    etag_matches,
+    json_response,
+    not_modified,
+    quote_etag,
+    text_response,
+)
+from repro.serve.state import MemoEntry, ServeState
+
+#: Cache-Control for content-addressed (hence immutable) resources.
+IMMUTABLE = "public, max-age=31536000, immutable"
+
+#: Chunk size for streamed trace blobs.
+STREAM_CHUNK = 1 << 20
+
+_HEX = set(string.hexdigits.lower())
+
+
+def _figure_modules() -> Dict[str, object]:
+    # Imported lazily: repro.experiments.__main__ pulls in every figure
+    # module, which the http/state layers don't need at import time.
+    from repro.experiments.__main__ import FIGURES
+
+    return dict(FIGURES)
+
+
+def _is_key(value: str) -> bool:
+    return 8 <= len(value) <= 64 and all(ch in _HEX for ch in value)
+
+
+def _json_number(text: str):
+    try:
+        return int(text)
+    except ValueError:
+        try:
+            return float(text)
+        except ValueError:
+            return text
+
+
+class ServeApp:
+    """Dispatches parsed requests to handlers; shared across connections."""
+
+    def __init__(self, state: ServeState):
+        self.state = state
+        self.figure_modules = _figure_modules()
+        # One render thread: figure assembly is pure-Python (GIL-bound
+        # anyway), a single worker keeps the shared cache counters free
+        # of data races, and the per-figure locks below collapse request
+        # stampedes to one render each.
+        self._render_pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve-render"
+        )
+        self._flights: Dict[tuple, asyncio.Lock] = {}
+        self._cells_listing: Optional[Tuple[int, bytes, str]] = None
+        self._traces_listing: Optional[Tuple[int, bytes, str]] = None
+        self.requests = 0
+        self.status_counts: Dict[int, int] = {}
+
+    def close(self) -> None:
+        self._render_pool.shutdown(wait=False)
+
+    # ------------------------------------------------------------------
+    async def dispatch(self, request: Request) -> Response:
+        self.requests += 1
+        response = await self._route(request)
+        self.status_counts[response.status] = (
+            self.status_counts.get(response.status, 0) + 1
+        )
+        return response
+
+    async def _route(self, request: Request) -> Response:
+        if request.method not in ("GET", "HEAD"):
+            response = error_response(405, f"{request.method} not supported")
+            response.headers.append(("Allow", "GET, HEAD"))
+            return response
+        path = request.path.rstrip("/") or "/"
+        if path == "/":
+            return self._index()
+        if path == "/healthz":
+            return json_response(
+                {"ok": True, "generation": self.state.generation()}
+            )
+        if path == "/api/stats":
+            return self._stats()
+        if path == "/api/manifest":
+            return self._manifest(request)
+        if path == "/api/cells":
+            return self._cells(request)
+        if path.startswith("/api/cells/"):
+            return self._cell(request, path[len("/api/cells/"):])
+        if path == "/api/figures":
+            return self._figures_index()
+        if path.startswith("/api/figures/"):
+            return await self._figure(request, path[len("/api/figures/"):])
+        if path == "/api/telemetry":
+            return self._telemetry_index()
+        if path.startswith("/api/telemetry/"):
+            return self._telemetry_file(request, path[len("/api/telemetry/"):])
+        if path == "/api/traces":
+            return self._traces(request)
+        if path.startswith("/api/traces/"):
+            return self._trace_blob(request, path[len("/api/traces/"):])
+        return error_response(404, f"no route for {request.path}")
+
+    # ------------------------------------------------------------------
+    def _index(self) -> Response:
+        return json_response(
+            {
+                "service": "repro-serve",
+                "version": repro.__version__,
+                "endpoints": [
+                    "/healthz",
+                    "/api/stats",
+                    "/api/manifest",
+                    "/api/cells",
+                    "/api/cells/<key>",
+                    "/api/figures",
+                    "/api/figures/<name>",
+                    "/api/telemetry",
+                    "/api/telemetry/<path>",
+                    "/api/traces",
+                    "/api/traces/<key>",
+                ],
+            }
+        )
+
+    def _stats(self) -> Response:
+        state = self.state
+        payload = {
+            "uptime_s": round(max(0.0, __import__("time").time() - state.started), 3),
+            "requests": self.requests,
+            "responses": {str(k): v for k, v in sorted(self.status_counts.items())},
+            "generation": state.generation(),
+            "figure_memo": state.figures.stats(),
+            "cell_cache": state.cache.stats() if state.cache else None,
+            "trace_store": state.store.stats() if state.store else None,
+        }
+        return json_response(payload)
+
+    # ------------------------------------------------------------------
+    def _manifest(self, request: Request) -> Response:
+        path = self.state.manifest_path()
+        if path is None:
+            return error_response(503, "no cell cache configured")
+        etag = self.state.file_etag(path)
+        if etag is None:
+            return error_response(404, f"no sweep manifest at {path}")
+        quoted = quote_etag(etag)
+        if etag_matches(request.header("if-none-match"), quoted):
+            return not_modified(quoted)
+        try:
+            body = path.read_bytes()
+        except OSError:
+            return error_response(404, f"no sweep manifest at {path}")
+        response = Response(
+            200,
+            [("Content-Type", "application/json; charset=utf-8"),
+             ("ETag", quoted), ("Cache-Control", "no-cache")],
+            body,
+        )
+        return response
+
+    # ------------------------------------------------------------------
+    def _cells(self, request: Request) -> Response:
+        if self.state.cache is None:
+            return error_response(503, "no cell cache configured")
+        generation = self.state.generation()
+        listing = self._cells_listing
+        if listing is None or listing[0] != generation:
+            cells = [
+                {"key": e.key, "bytes": e.size, "mtime_ns": e.mtime_ns}
+                for e in self.state.cache.iter_cells()
+            ]
+            body = json_response({"generation": generation, "cells": cells}).body
+            etag = http.quote_etag(
+                __import__("hashlib").sha256(body).hexdigest()[:32]
+            )
+            listing = (generation, body, etag)
+            self._cells_listing = listing
+        _, body, etag = listing
+        if etag_matches(request.header("if-none-match"), etag):
+            return not_modified(etag)
+        return Response(
+            200,
+            [("Content-Type", "application/json; charset=utf-8"),
+             ("ETag", etag), ("Cache-Control", "no-cache")],
+            body,
+        )
+
+    def _cell(self, request: Request, key: str) -> Response:
+        if self.state.cache is None:
+            return error_response(503, "no cell cache configured")
+        if not _is_key(key):
+            return error_response(400, f"malformed cell key {key!r}")
+        if key not in self.state.cache:
+            return error_response(404, f"no cell {key}")
+        quoted = quote_etag(key)
+        if etag_matches(request.header("if-none-match"), quoted):
+            # Content-addressed: the key IS the content hash, so a match
+            # answers without touching the disk at all.
+            return not_modified(quoted, IMMUTABLE)
+        result = self.state.cache.get(key)
+        if result is None:
+            return error_response(404, f"no cell {key}")
+        return json_response(
+            {"key": key, "cell": self._cell_payload(result)},
+            etag=quoted,
+            cache_control=IMMUTABLE,
+        )
+
+    @staticmethod
+    def _cell_payload(result) -> dict:
+        stats = getattr(result, "stats", None)
+        if stats is not None and hasattr(stats, "as_dict"):
+            return {
+                "app": getattr(result, "app", None),
+                "input": getattr(result, "input_name", None),
+                "prefetcher": getattr(result, "prefetcher", None),
+                "input_bytes": getattr(result, "input_bytes", None),
+                "stats": stats.as_dict(),
+            }
+        if isinstance(result, (dict, list, str, int, float, bool)) or result is None:
+            return {"value": result}
+        return {"repr": repr(result)}
+
+    # ------------------------------------------------------------------
+    def _figures_index(self) -> Response:
+        return json_response(
+            {
+                "figures": sorted(self.figure_modules) + ["hw"],
+                "formats": ["txt", "json"],
+                "query": {"format": "txt|json", "strict": "0|1"},
+            }
+        )
+
+    def _flight_lock(self, key: tuple) -> asyncio.Lock:
+        lock = self._flights.get(key)
+        if lock is None:
+            lock = self._flights[key] = asyncio.Lock()
+        return lock
+
+    async def _figure(self, request: Request, name: str) -> Response:
+        fmt = request.query.get("format", "txt")
+        if fmt not in ("txt", "json"):
+            return error_response(400, f"unknown format {fmt!r} (txt or json)")
+        strict = request.query.get("strict", "0") in ("1", "true", "yes")
+        if name == "hw":
+            return self._hw_figure(request, fmt)
+        module = self.figure_modules.get(name)
+        if module is None:
+            return error_response(404, f"unknown figure {name!r}")
+        if self.state.cache is None:
+            return error_response(503, "no cell cache configured")
+
+        state = self.state
+        generation = state.generation()
+        memo_key = (name, fmt)
+        entry = state.figures.get(memo_key)
+        if entry is not None and entry.generation == generation:
+            etag, missing = entry.etag, entry.missing
+        else:
+            fingerprint = state.fingerprint_at(name, module, fmt, generation)
+            etag, missing = fingerprint.etag, list(fingerprint.missing)
+            if entry is not None:
+                if entry.etag == etag:
+                    entry.generation = generation
+                else:
+                    state.figures.drop(memo_key)
+                    entry = None
+        quoted = quote_etag(etag)
+        if etag_matches(request.header("if-none-match"), quoted):
+            return not_modified(quoted)
+        if strict and missing:
+            return json_response(
+                {
+                    "error": "Failed Dependency",
+                    "status": 424,
+                    "figure": name,
+                    "detail": f"{len(missing)} cell(s) not in the cache; "
+                    "run the sweep or drop strict=1 for a degraded render",
+                    "missing": list(missing),
+                },
+                status=424,
+            )
+        if entry is None:
+            lock = self._flight_lock(memo_key)
+            async with lock:
+                # Revalidate against the CURRENT fingerprint, not the one
+                # computed before the lock wait: when a sweep commit flips
+                # the ETag mid-queue, every waiter would otherwise
+                # re-render against its own stale view — hundreds of
+                # serialized renders instead of one per flip.
+                generation = state.generation()
+                fingerprint = state.fingerprint_at(name, module, fmt, generation)
+                etag, missing = fingerprint.etag, list(fingerprint.missing)
+                entry = state.figures.get(memo_key)
+                if entry is not None and entry.etag == etag:
+                    entry.generation = generation
+                    state.figures.hits += 1
+                else:
+                    body, content_type = await asyncio.get_event_loop().run_in_executor(
+                        self._render_pool,
+                        self._render_figure,
+                        name,
+                        module,
+                        fmt,
+                        etag,
+                        generation,
+                        list(missing),
+                    )
+                    entry = MemoEntry(etag, body, content_type, list(missing), generation)
+                    state.figures.put(memo_key, entry)
+                    state.figures.misses += 1
+        else:
+            state.figures.hits += 1
+        entry.hits += 1
+        return Response(
+            200,
+            [("Content-Type", entry.content_type),
+             ("ETag", quote_etag(entry.etag)), ("Cache-Control", "no-cache")],
+            entry.body,
+        )
+
+    def _render_figure(self, name, module, fmt, etag, generation, missing):
+        """Assemble one figure from cached cells (render thread)."""
+        runner = self.state.make_runner(lenient=True)
+        text = module.report(runner)
+        if fmt == "txt":
+            return text.encode(), "text/plain; charset=utf-8"
+        payload = {
+            "figure": name,
+            "etag": etag,
+            "generation": generation,
+            "missing": sorted(missing),
+            "body": text,
+        }
+        return (
+            json_response(payload).body,
+            "application/json; charset=utf-8",
+        )
+
+    def _hw_figure(self, request: Request, fmt: str) -> Response:
+        from repro.experiments import hw_overhead
+
+        cores_text = request.query.get("cores", "4")
+        try:
+            cores = int(cores_text)
+        except ValueError:
+            return error_response(400, f"cores must be an integer, got {cores_text!r}")
+        if not 1 <= cores <= 1024:
+            return error_response(400, f"cores out of range: {cores}")
+        etag = __import__("hashlib").sha256(
+            f"hw:{repro.__version__}:{cores}:{fmt}".encode()
+        ).hexdigest()[:32]
+        quoted = quote_etag(etag)
+        if etag_matches(request.header("if-none-match"), quoted):
+            return not_modified(quoted)
+        text = hw_overhead.report(cores=cores)
+        if fmt == "txt":
+            return text_response(text, etag=quoted)
+        return json_response(
+            {"figure": "hw", "etag": etag, "missing": [], "body": text},
+            etag=quoted,
+        )
+
+    # ------------------------------------------------------------------
+    def _telemetry_index(self) -> Response:
+        if self.state.telemetry_root is None:
+            return error_response(503, "no telemetry directory configured")
+        files = [
+            {"path": rel, "bytes": size, "mtime_ns": mtime}
+            for rel, size, mtime in self.state.telemetry_files()
+        ]
+        return json_response(
+            {"root": str(self.state.telemetry_root), "files": files}
+        )
+
+    def _telemetry_file(self, request: Request, relpath: str) -> Response:
+        if self.state.telemetry_root is None:
+            return error_response(503, "no telemetry directory configured")
+        path = self.state.resolve_telemetry(relpath)
+        if path is None:
+            return error_response(403, f"refusing to serve {relpath!r}")
+        etag = self.state.file_etag(path)
+        if etag is None:
+            return error_response(404, f"no telemetry file {relpath!r}")
+        fmt = request.query.get("format", "raw")
+        if fmt not in ("raw", "json"):
+            return error_response(400, f"unknown format {fmt!r} (raw or json)")
+        tagged = quote_etag(f"{etag}-{fmt}" if fmt != "raw" else etag)
+        if etag_matches(request.header("if-none-match"), tagged):
+            return not_modified(tagged)
+        try:
+            body = path.read_bytes()
+        except OSError:
+            return error_response(404, f"no telemetry file {relpath!r}")
+        if fmt == "json":
+            converted = self._convert_telemetry(path.suffix, body)
+            if converted is None:
+                return error_response(
+                    400, f"cannot convert {path.suffix} to json"
+                )
+            return json_response(converted, etag=tagged)
+        content_type = {
+            ".json": "application/json; charset=utf-8",
+            ".jsonl": "application/x-ndjson; charset=utf-8",
+            ".csv": "text/csv; charset=utf-8",
+        }[path.suffix]
+        return Response(
+            200,
+            [("Content-Type", content_type), ("ETag", tagged),
+             ("Cache-Control", "no-cache")],
+            body,
+        )
+
+    @staticmethod
+    def _convert_telemetry(suffix: str, body: bytes):
+        import csv
+        import io
+        import json as json_mod
+
+        text = body.decode("utf-8", errors="replace")
+        if suffix == ".jsonl":
+            rows = []
+            for line in text.splitlines():
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rows.append(json_mod.loads(line))
+                except ValueError:
+                    rows.append({"raw": line})
+            return rows
+        if suffix == ".csv":
+            reader = csv.DictReader(io.StringIO(text))
+            return [
+                {key: _json_number(value) for key, value in row.items()}
+                for row in reader
+            ]
+        if suffix == ".json":
+            try:
+                return json_mod.loads(text)
+            except ValueError:
+                return None
+        return None
+
+    # ------------------------------------------------------------------
+    def _traces(self, request: Request) -> Response:
+        if self.state.store is None:
+            return error_response(503, "no trace store configured")
+        generation = (
+            self.state.store_watcher.generation()
+            if self.state.store_watcher
+            else 0
+        )
+        listing = self._traces_listing
+        if listing is None or listing[0] != generation:
+            traces = [
+                {"key": e.key, "bytes": e.size, "mtime_ns": e.mtime_ns}
+                for e in self.state.store.iter_traces()
+            ]
+            body = json_response({"generation": generation, "traces": traces}).body
+            etag = quote_etag(
+                __import__("hashlib").sha256(body).hexdigest()[:32]
+            )
+            listing = (generation, body, etag)
+            self._traces_listing = listing
+        _, body, etag = listing
+        if etag_matches(request.header("if-none-match"), etag):
+            return not_modified(etag)
+        return Response(
+            200,
+            [("Content-Type", "application/json; charset=utf-8"),
+             ("ETag", etag), ("Cache-Control", "no-cache")],
+            body,
+        )
+
+    def _trace_blob(self, request: Request, key: str) -> Response:
+        if self.state.store is None:
+            return error_response(503, "no trace store configured")
+        if not _is_key(key):
+            return error_response(400, f"malformed trace key {key!r}")
+        path = self.state.store.entry_path(key)
+        try:
+            size = path.stat().st_size
+        except OSError:
+            return error_response(404, f"no trace {key}")
+        quoted = quote_etag(key)
+        if etag_matches(request.header("if-none-match"), quoted):
+            return not_modified(quoted, IMMUTABLE)
+
+        def stream():
+            return _blob_chunks(path, size)
+
+        return Response(
+            200,
+            [("Content-Type", "application/octet-stream"),
+             ("ETag", quoted), ("Cache-Control", IMMUTABLE),
+             ("Content-Length", str(size))],
+            stream=stream,
+            content_length=size,
+        )
+
+
+async def _blob_chunks(path, size):
+    """Yield mmap-backed memoryview windows over the blob — the same
+    zero-copy discipline as the trace store's readers: no chunk is ever
+    materialized as a fresh Python bytes object."""
+    if size == 0:
+        return
+    with open(path, "rb") as fh:
+        mm = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+    view = memoryview(mm)
+    try:
+        for offset in range(0, size, STREAM_CHUNK):
+            yield view[offset:offset + STREAM_CHUNK]
+    finally:
+        view.release()
+        try:
+            mm.close()
+        except BufferError:
+            # The transport is still draining the final chunks; the map
+            # is released when those buffers are, via refcounting.
+            pass

@@ -1,0 +1,118 @@
+"""The ``repro-serve`` command-line entry point.
+
+Example — serve a sweep's cache, traces, and telemetry on port 8080::
+
+    repro-serve --cache-dir results/cells --trace-store results/traces \\
+        --telemetry-dir results/telemetry --port 8080 --scale paper
+
+The runner parameters (``--scale``/``--window``/``--seed``/
+``--iterations``) must match the sweep that filled the cache: they are
+baked into every cell's content hash, so a mismatch makes every figure
+render cold rather than serving wrong numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import logging
+import sys
+from typing import List, Optional
+
+from repro.serve.server import ResultsServer
+from repro.serve.state import (
+    DEFAULT_FIGURE_MEMO,
+    DEFAULT_POLL_INTERVAL,
+    ServeState,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Serve sweep results, figures, telemetry, and traces "
+        "over HTTP (read-only; never simulates).",
+    )
+    parser.add_argument(
+        "--cache-dir", help="disk cell cache directory (enables "
+        "/api/manifest, /api/cells, /api/figures)"
+    )
+    parser.add_argument(
+        "--trace-store", help="trace store directory (enables /api/traces)"
+    )
+    parser.add_argument(
+        "--telemetry-dir", help="telemetry directory (enables /api/telemetry)"
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=8732,
+        help="listening port; 0 picks a free one (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--scale", default="bench",
+        help="input scale the sweep ran at (default: %(default)s)",
+    )
+    parser.add_argument("--window", type=int, default=16)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--iterations", type=int, default=3)
+    parser.add_argument(
+        "--poll-interval", type=float, default=DEFAULT_POLL_INTERVAL,
+        help="seconds between cache-directory freshness scans "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--figure-memo", type=int, default=DEFAULT_FIGURE_MEMO,
+        help="rendered-figure LRU capacity (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--log-level", default="info",
+        choices=["debug", "info", "warning", "error"],
+    )
+    return parser
+
+
+async def _serve(args: argparse.Namespace) -> int:
+    state = ServeState(
+        cache_dir=args.cache_dir,
+        trace_store=args.trace_store,
+        telemetry_dir=args.telemetry_dir,
+        scale=args.scale,
+        window=args.window,
+        seed=args.seed,
+        iterations=args.iterations,
+        poll_interval=args.poll_interval,
+        figure_memo_size=args.figure_memo,
+    )
+    server = ResultsServer(state, host=args.host, port=args.port)
+    await server.start()
+    print(f"repro-serve listening on {server.address}", flush=True)
+    try:
+        await server.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await server.aclose()
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    logging.basicConfig(
+        level=getattr(logging, args.log_level.upper()),
+        format="%(asctime)s %(name)s %(levelname)s %(message)s",
+    )
+    if not (args.cache_dir or args.trace_store or args.telemetry_dir):
+        print(
+            "error: nothing to serve — provide at least one of --cache-dir, "
+            "--trace-store, --telemetry-dir",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        return asyncio.run(_serve(args))
+    except KeyboardInterrupt:
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,208 @@
+"""A tiny keep-alive HTTP client for tests, benchmarks, and CI smoke.
+
+Speaks just enough HTTP/1.1 to exercise the server: GET/HEAD over a
+persistent connection, conditional GETs via ``If-None-Match``, and
+Content-Length-framed bodies (the only framing the server emits).  Both
+an async flavor (for in-loop load generation) and a synchronous
+socket flavor (for CI scripts without an event loop) are provided.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+
+@dataclass
+class ClientResponse:
+    """One response as the client saw it."""
+
+    status: int
+    headers: Dict[str, str]  # keys lowercased
+    body: bytes
+
+    @property
+    def etag(self) -> Optional[str]:
+        return self.headers.get("etag")
+
+    def json(self):
+        return json.loads(self.body.decode("utf-8"))
+
+
+def _build_request(
+    method: str, path: str, host: str, headers: Optional[Dict[str, str]]
+) -> bytes:
+    lines = [f"{method} {path} HTTP/1.1", f"Host: {host}"]
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+def _parse_head(blob: bytes) -> Tuple[int, Dict[str, str]]:
+    lines = blob.decode("latin-1").split("\r\n")
+    status = int(lines[0].split()[1])
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return status, headers
+
+
+class AsyncClient:
+    """One keep-alive connection; reconnects transparently if the server
+    closed it (e.g. after a 4xx)."""
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def _connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+
+    async def aclose(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+        self._reader = self._writer = None
+
+    async def request(
+        self,
+        path: str,
+        method: str = "GET",
+        headers: Optional[Dict[str, str]] = None,
+        etag: Optional[str] = None,
+    ) -> ClientResponse:
+        headers = dict(headers or {})
+        if etag is not None:
+            headers["If-None-Match"] = etag
+        payload = _build_request(method, path, f"{self.host}:{self.port}", headers)
+        for attempt in (0, 1):
+            if self._writer is None:
+                await self._connect()
+            assert self._reader is not None and self._writer is not None
+            try:
+                self._writer.write(payload)
+                await self._writer.drain()
+                return await self._read_response(method)
+            except (
+                ConnectionResetError,
+                BrokenPipeError,
+                asyncio.IncompleteReadError,
+                OSError,
+            ):
+                await self.aclose()
+                if attempt:
+                    raise
+        raise RuntimeError("unreachable")
+
+    async def get(self, path: str, etag: Optional[str] = None) -> ClientResponse:
+        return await self.request(path, etag=etag)
+
+    async def _read_response(self, method: str) -> ClientResponse:
+        assert self._reader is not None
+        blob = await self._reader.readuntil(b"\r\n\r\n")
+        status, headers = _parse_head(blob)
+        length = int(headers.get("content-length", "0") or 0)
+        body = b""
+        if method != "HEAD" and status != 304 and length:
+            body = await self._reader.readexactly(length)
+        if headers.get("connection", "").lower() == "close":
+            await self.aclose()
+        return ClientResponse(status, headers, body)
+
+
+class SyncClient:
+    """Blocking flavor of :class:`AsyncClient`, for scripts."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._buffer = b""
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+        self._sock = None
+        self._buffer = b""
+
+    def _connect(self) -> None:
+        self._sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+
+    def request(
+        self,
+        path: str,
+        method: str = "GET",
+        headers: Optional[Dict[str, str]] = None,
+        etag: Optional[str] = None,
+    ) -> ClientResponse:
+        headers = dict(headers or {})
+        if etag is not None:
+            headers["If-None-Match"] = etag
+        payload = _build_request(method, path, f"{self.host}:{self.port}", headers)
+        for attempt in (0, 1):
+            if self._sock is None:
+                self._connect()
+            assert self._sock is not None
+            try:
+                self._sock.sendall(payload)
+                return self._read_response(method)
+            except (ConnectionResetError, BrokenPipeError, OSError, EOFError):
+                self.close()
+                if attempt:
+                    raise
+        raise RuntimeError("unreachable")
+
+    def get(self, path: str, etag: Optional[str] = None) -> ClientResponse:
+        return self.request(path, etag=etag)
+
+    # ------------------------------------------------------------------
+    def _read_until(self, marker: bytes) -> bytes:
+        assert self._sock is not None
+        while marker not in self._buffer:
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                raise EOFError("connection closed mid-response")
+            self._buffer += chunk
+        blob, _, rest = self._buffer.partition(marker)
+        self._buffer = rest
+        return blob + marker
+
+    def _read_exactly(self, length: int) -> bytes:
+        assert self._sock is not None
+        while len(self._buffer) < length:
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                raise EOFError("connection closed mid-body")
+            self._buffer += chunk
+        body, self._buffer = self._buffer[:length], self._buffer[length:]
+        return body
+
+    def _read_response(self, method: str) -> ClientResponse:
+        blob = self._read_until(b"\r\n\r\n")
+        status, headers = _parse_head(blob)
+        length = int(headers.get("content-length", "0") or 0)
+        body = b""
+        if method != "HEAD" and status != 304 and length:
+            body = self._read_exactly(length)
+        if headers.get("connection", "").lower() == "close":
+            self.close()
+        return ClientResponse(status, headers, body)

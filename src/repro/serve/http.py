@@ -1,0 +1,260 @@
+"""Minimal HTTP/1.1 plumbing over asyncio streams.
+
+Only what the results service needs, implemented on the stdlib so the
+server adds no dependency: GET/HEAD request parsing with header and size
+limits, keep-alive bookkeeping, strong-ETag conditional-GET matching,
+and a :class:`Response` that carries either an in-memory body or a
+zero-copy stream factory (used for mmap-backed trace blobs).
+
+Deliberately not implemented: request bodies (every endpoint is a read),
+chunked transfer (Content-Length is always known), TLS (front with a
+real proxy if you need it), and HTTP/2.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import AsyncIterator, Callable, Dict, List, Optional, Tuple
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+#: Upper bound on request line + headers; beyond this the request is 431.
+MAX_HEADER_BYTES = 16 * 1024
+
+#: Reasons for every status the service emits.
+STATUS_REASONS = {
+    200: "OK",
+    304: "Not Modified",
+    400: "Bad Request",
+    403: "Forbidden",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    424: "Failed Dependency",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class BadRequestError(Exception):
+    """The request could not be parsed; ``status`` picks the response."""
+
+    def __init__(self, message: str, status: int = 400):
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class Request:
+    """One parsed request."""
+
+    method: str
+    target: str
+    path: str
+    query: Dict[str, str]
+    headers: Dict[str, str]  # keys lowercased
+    version: str
+
+    def header(self, name: str, default: str = "") -> str:
+        return self.headers.get(name.lower(), default)
+
+    @property
+    def keep_alive(self) -> bool:
+        connection = self.header("connection").lower()
+        if self.version == "HTTP/1.0":
+            return connection == "keep-alive"
+        return connection != "close"
+
+
+@dataclass
+class Response:
+    """One response: headers plus either ``body`` bytes or a ``stream``
+    factory producing bytes-like chunks (with ``content_length`` set)."""
+
+    status: int = 200
+    headers: List[Tuple[str, str]] = field(default_factory=list)
+    body: bytes = b""
+    stream: Optional[Callable[[], AsyncIterator[bytes]]] = None
+    content_length: Optional[int] = None
+
+    def header(self, name: str) -> Optional[str]:
+        wanted = name.lower()
+        for key, value in self.headers:
+            if key.lower() == wanted:
+                return value
+        return None
+
+    @property
+    def etag(self) -> Optional[str]:
+        return self.header("ETag")
+
+
+# ----------------------------------------------------------------------
+# Parsing
+# ----------------------------------------------------------------------
+async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+    """Parse one request off ``reader``.
+
+    Returns None on a clean EOF before any byte arrived (client closed a
+    keep-alive connection); raises :class:`BadRequestError` on anything
+    malformed or oversized.
+    """
+    try:
+        blob = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise BadRequestError("truncated request") from None
+    except asyncio.LimitOverrunError:
+        raise BadRequestError("request headers too large", status=431) from None
+    if len(blob) > MAX_HEADER_BYTES:
+        raise BadRequestError("request headers too large", status=431)
+
+    head, _, _ = blob.partition(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split()
+    if len(parts) != 3:
+        raise BadRequestError(f"malformed request line {lines[0]!r}")
+    method, target, version = parts
+    if version not in ("HTTP/1.0", "HTTP/1.1"):
+        raise BadRequestError(f"unsupported protocol {version!r}")
+
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        name, sep, value = line.partition(":")
+        if not sep or not name.strip():
+            raise BadRequestError(f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    if headers.get("transfer-encoding"):
+        raise BadRequestError("request bodies are not accepted", status=413)
+    if int(headers.get("content-length", "0") or 0):
+        raise BadRequestError("request bodies are not accepted", status=413)
+
+    split = urlsplit(target)
+    path = unquote(split.path)
+    query = dict(parse_qsl(split.query, keep_blank_values=True))
+    return Request(method.upper(), target, path, query, headers, version)
+
+
+# ----------------------------------------------------------------------
+# ETag matching
+# ----------------------------------------------------------------------
+def quote_etag(value: str) -> str:
+    """A strong entity tag for ``value`` (already a content hash)."""
+    return f'"{value}"'
+
+
+def etag_matches(if_none_match: str, etag: str) -> bool:
+    """RFC 7232 ``If-None-Match`` evaluation against one strong ETag.
+
+    ``*`` matches anything; weak-comparison (a ``W/`` prefixed candidate
+    equal to the strong tag) matches too, as the RFC specifies for
+    ``If-None-Match``.
+    """
+    if not if_none_match or not etag:
+        return False
+    if if_none_match.strip() == "*":
+        return True
+    for candidate in if_none_match.split(","):
+        candidate = candidate.strip()
+        if candidate.startswith("W/"):
+            candidate = candidate[2:]
+        if candidate == etag:
+            return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# Response builders
+# ----------------------------------------------------------------------
+def _base_headers(
+    content_type: str,
+    etag: Optional[str] = None,
+    cache_control: Optional[str] = None,
+) -> List[Tuple[str, str]]:
+    headers = [("Content-Type", content_type)]
+    if etag is not None:
+        headers.append(("ETag", etag))
+        headers.append(("Cache-Control", cache_control or "no-cache"))
+    return headers
+
+
+def json_response(
+    payload,
+    status: int = 200,
+    etag: Optional[str] = None,
+    cache_control: Optional[str] = None,
+) -> Response:
+    body = (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode()
+    return Response(
+        status,
+        _base_headers("application/json; charset=utf-8", etag, cache_control),
+        body,
+    )
+
+
+def text_response(
+    text: str,
+    status: int = 200,
+    etag: Optional[str] = None,
+    cache_control: Optional[str] = None,
+    content_type: str = "text/plain; charset=utf-8",
+) -> Response:
+    return Response(
+        status, _base_headers(content_type, etag, cache_control), text.encode()
+    )
+
+
+def error_response(status: int, message: str) -> Response:
+    return json_response(
+        {"error": STATUS_REASONS.get(status, "Error"), "status": status,
+         "detail": message},
+        status=status,
+    )
+
+
+def not_modified(etag: str, cache_control: Optional[str] = None) -> Response:
+    """A 304 carrying the ETag (and caching policy) of the current
+    representation, as conditional GET requires."""
+    headers = [("ETag", etag), ("Cache-Control", cache_control or "no-cache")]
+    return Response(304, headers)
+
+
+# ----------------------------------------------------------------------
+# Writing
+# ----------------------------------------------------------------------
+async def write_response(
+    writer: asyncio.StreamWriter,
+    request: Optional[Request],
+    response: Response,
+    keep_alive: bool,
+) -> None:
+    """Serialize ``response`` (honoring HEAD and 304 body suppression)."""
+    reason = STATUS_REASONS.get(response.status, "Unknown")
+    suppress_body = response.status == 304 or (
+        request is not None and request.method == "HEAD"
+    )
+    if response.stream is not None:
+        length = response.content_length or 0
+    else:
+        length = len(response.body)
+    lines = [f"HTTP/1.1 {response.status} {reason}"]
+    seen = {key.lower() for key, _ in response.headers}
+    for key, value in response.headers:
+        lines.append(f"{key}: {value}")
+    if "content-length" not in seen and response.status != 304:
+        lines.append(f"Content-Length: {length}")
+    lines.append(f"Connection: {'keep-alive' if keep_alive else 'close'}")
+    writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1"))
+    if not suppress_body:
+        if response.stream is not None:
+            async for chunk in response.stream():
+                writer.write(chunk)
+                await writer.drain()
+        elif response.body:
+            writer.write(response.body)
+    await writer.drain()

@@ -1,0 +1,125 @@
+"""The asyncio connection loop wrapping :class:`~repro.serve.app.ServeApp`.
+
+One task per connection, requests served in order on each keep-alive
+connection.  Handler failures never tear the process down: anything a
+handler raises becomes a 500 and the connection keeps going; anything
+the parser rejects becomes a 4xx and the connection closes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+from typing import Optional, Set, Tuple
+
+from repro.serve.app import ServeApp
+from repro.serve.http import (
+    BadRequestError,
+    error_response,
+    read_request,
+    write_response,
+)
+from repro.serve.state import ServeState
+
+log = logging.getLogger("repro.serve")
+
+
+class ResultsServer:
+    """Owns the listening socket and the per-connection tasks."""
+
+    def __init__(self, state: ServeState, host: str = "127.0.0.1", port: int = 0):
+        self.state = state
+        self.app = ServeApp(state)
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._conn_tasks: Set["asyncio.Task"] = set()
+        self.connections = 0
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start accepting; returns the bound (host, port)."""
+        # Backlog sized for connection storms: dashboards reconnecting
+        # after a deploy open hundreds of sockets in the same tick, and
+        # an overflowing accept queue turns into 1s+ SYN-retransmit
+        # latency spikes rather than errors.
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port, backlog=1024
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        log.info("serving on http://%s:%d", self.host, self.port)
+        return self.host, self.port
+
+    @property
+    def address(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def aclose(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        pending = [task for task in self._conn_tasks if not task.done()]
+        for task in pending:
+            task.cancel()
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+        self.app.close()
+
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.connections += 1
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except BadRequestError as exc:
+                    response = error_response(exc.status, str(exc))
+                    await write_response(writer, None, response, keep_alive=False)
+                    break
+                if request is None:
+                    break
+                keep_alive = request.keep_alive
+                try:
+                    response = await self.app.dispatch(request)
+                except asyncio.CancelledError:
+                    raise
+                except Exception:
+                    log.exception(
+                        "handler failed for %s %s", request.method, request.path
+                    )
+                    response = error_response(500, "internal error; see server log")
+                    self.app.status_counts[500] = (
+                        self.app.status_counts.get(500, 0) + 1
+                    )
+                await write_response(writer, request, response, keep_alive)
+                if not keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            pass  # client went away mid-exchange; nothing to salvage
+        except asyncio.CancelledError:
+            # Server shutdown.  Absorbed rather than re-raised: for a
+            # connection handler "cancelled" means "close the socket",
+            # which the finally below does, and a task that ends in the
+            # cancelled state trips asyncio.streams' completion callback.
+            pass
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError, asyncio.CancelledError):
+                pass

@@ -1,0 +1,417 @@
+"""Read-side state for the results service.
+
+Three pieces, all correct-by-construction around content hashes:
+
+* :class:`CacheOnlyRunner` — an :class:`ExperimentRunner` that **never
+  simulates**: a cell is either unpickled from the disk cache or reported
+  missing (lenient → ``-`` degradation, strict → error), so a request can
+  never trigger hours of simulation;
+* :class:`DirWatcher` — bounded-rate mtime/size polling over a store
+  directory, deriving a monotonically increasing *generation*; fabric
+  workers committing cells mid-sweep bump the generation within one poll
+  interval, which is what invalidates memoized figures;
+* :class:`FigureMemo` — an LRU of rendered figure responses keyed by the
+  set of cell content hashes each figure consumed.  The ETag is derived
+  from exactly that set (plus figure identity and package version), so a
+  memo entry is valid if and only if its ETag still matches — re-derived
+  cheaply with per-key existence checks whenever the generation moved.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from collections import OrderedDict
+from pathlib import Path
+from typing import Dict, List, NamedTuple, Optional, Tuple, Union
+
+import repro
+from repro.experiments.diskcache import DiskCellCache
+from repro.experiments.runner import CellFailedError, ExperimentRunner
+from repro.experiments.supervise import MANIFEST_NAME, cell_id
+from repro.trace.store import TraceStore
+
+#: Default seconds between directory rescans (the invalidation latency
+#: ceiling for mid-sweep commits).
+DEFAULT_POLL_INTERVAL = 0.25
+
+#: Default number of rendered figure responses kept in the LRU.
+DEFAULT_FIGURE_MEMO = 64
+
+#: File suffixes the telemetry endpoints will serve.
+TELEMETRY_SUFFIXES = (".json", ".jsonl", ".csv")
+
+
+class CacheOnlyRunner(ExperimentRunner):
+    """An :class:`ExperimentRunner` restricted to the disk cache.
+
+    :meth:`run` consults the in-memory memo and the cell cache only; a
+    cold cell is recorded in ``failed_cells`` (reason ``cold: ...``) and
+    degrades exactly like a sweep-failed cell — ``None`` when lenient,
+    :class:`CellFailedError` when strict — so the figure modules' existing
+    strict/lenient machinery applies unchanged to serving.
+
+    ``shared_cache`` lets the server reuse one :class:`DiskCellCache`
+    instance across renders so hit/miss counters accumulate where
+    ``/api/stats`` can report them.
+    """
+
+    def __init__(self, *args, shared_cache: Optional[DiskCellCache] = None, **kwargs):
+        super().__init__(*args, **kwargs)
+        if shared_cache is not None:
+            self.cache = shared_cache
+        #: ``(disk_key, present)`` per cache probe, in consultation order.
+        self.consumed: List[Tuple[str, bool]] = []
+
+    def run(self, app, input_name, prefetcher, mode=None, window_size=None):
+        window = window_size if window_size is not None else self.window_size
+        key = (app, input_name, prefetcher, mode, window)
+        if key in self._results:
+            return self._results[key]
+        cached = None
+        disk_key = None
+        if self.cache is not None:
+            disk_key = self._cell_key(app, input_name, prefetcher, mode, window)
+            cached = self.cache.get(disk_key)
+            self.consumed.append((disk_key, cached is not None))
+        if cached is not None:
+            self._results[key] = cached
+            self.failed_cells.pop(key, None)
+            return cached
+        self.failed_cells[key] = "cold: cell not in cache"
+        if self.lenient:
+            return None
+        raise CellFailedError(
+            f"cell {app}/{input_name}/{prefetcher} is not in the cache at "
+            f"{self.cache.root if self.cache is not None else '<none>'}; "
+            "run the sweep (or use lenient mode for a degraded figure)"
+        )
+
+
+class DirWatcher:
+    """Generation counter over one store directory.
+
+    ``generation()`` rescans at most once per ``poll_interval`` seconds:
+    it stats every file two levels deep (the cache/store layout) plus the
+    root's own files (the sweep manifest), and bumps the generation when
+    anything changed — name, size, or mtime.  Callers key memo validity
+    on the returned generation; between polls the answer is served from
+    the previous scan, which bounds the stat load under thousands of
+    concurrent readers no matter the request rate.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        poll_interval: float = DEFAULT_POLL_INTERVAL,
+        clock=time.monotonic,
+    ):
+        self.root = Path(root)
+        self.poll_interval = poll_interval
+        self._clock = clock
+        self._generation = 0
+        self._fingerprint: Optional[tuple] = None
+        self._last_poll: Optional[float] = None
+        self.scans = 0
+
+    def _scan(self) -> tuple:
+        items = []
+        try:
+            top = sorted(os.scandir(self.root), key=lambda e: e.name)
+        except OSError:
+            return ()
+        for entry in top:
+            try:
+                if entry.is_dir(follow_symlinks=False):
+                    for sub in os.scandir(entry.path):
+                        try:
+                            stat = sub.stat(follow_symlinks=False)
+                        except OSError:
+                            continue
+                        items.append((sub.path, stat.st_size, stat.st_mtime_ns))
+                else:
+                    stat = entry.stat(follow_symlinks=False)
+                    items.append((entry.path, stat.st_size, stat.st_mtime_ns))
+            except OSError:
+                continue
+        items.sort()
+        return tuple(items)
+
+    def generation(self, force: bool = False) -> int:
+        now = self._clock()
+        if (
+            not force
+            and self._last_poll is not None
+            and now - self._last_poll < self.poll_interval
+        ):
+            return self._generation
+        self._last_poll = now
+        self.scans += 1
+        fingerprint = self._scan()
+        if fingerprint != self._fingerprint:
+            self._fingerprint = fingerprint
+            self._generation += 1
+        return self._generation
+
+
+class FigureFingerprint(NamedTuple):
+    """What one figure's representation would be built from right now."""
+
+    etag: str  # unquoted content hash
+    missing: Tuple[str, ...]  # human-readable cell ids not in the cache
+    consumed: int  # cells the figure draws on
+    present: int  # cells currently in the cache
+
+
+class MemoEntry:
+    """One rendered figure response held in the LRU."""
+
+    __slots__ = ("etag", "body", "content_type", "missing", "generation", "hits")
+
+    def __init__(self, etag, body, content_type, missing, generation):
+        self.etag = etag
+        self.body = body
+        self.content_type = content_type
+        self.missing = missing
+        self.generation = generation
+        self.hits = 0
+
+
+class FigureMemo:
+    """LRU of rendered figures keyed by (figure, format).
+
+    An entry is only served when its ETag equals the fingerprint ETag
+    re-derived from the cell hashes currently on disk, so correctness
+    never depends on the LRU: eviction costs a re-render, nothing else.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_FIGURE_MEMO):
+        if capacity < 1:
+            raise ValueError(f"figure memo capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[tuple, MemoEntry]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def get(self, key: tuple) -> Optional[MemoEntry]:
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+        return entry
+
+    def put(self, key: tuple, entry: MemoEntry) -> None:
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def drop(self, key: tuple) -> None:
+        if self._entries.pop(key, None) is not None:
+            self.invalidations += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "entries": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+        }
+
+
+class ServeState:
+    """Everything the route handlers read: stores, watchers, memo.
+
+    The runner parameters (``scale``/``window``/``seed``/``iterations``/
+    ``config``) must match the sweep that filled the cache — they are part
+    of every cell's content hash, so a mismatch simply renders every cell
+    as missing rather than serving wrong numbers.
+    """
+
+    def __init__(
+        self,
+        cache_dir: Optional[Union[str, Path]] = None,
+        trace_store: Optional[Union[str, Path]] = None,
+        telemetry_dir: Optional[Union[str, Path]] = None,
+        scale: str = "bench",
+        window: int = 16,
+        seed: int = 0,
+        iterations: int = 3,
+        config=None,
+        poll_interval: float = DEFAULT_POLL_INTERVAL,
+        figure_memo_size: int = DEFAULT_FIGURE_MEMO,
+    ):
+        if cache_dir is None and trace_store is None and telemetry_dir is None:
+            raise ValueError(
+                "nothing to serve: provide at least one of cache_dir, "
+                "trace_store, telemetry_dir"
+            )
+        self.scale = scale
+        self.window = window
+        self.seed = seed
+        self.iterations = iterations
+        self.config = config
+        self.started = time.time()
+        self.cache = DiskCellCache(cache_dir) if cache_dir else None
+        self.store = TraceStore(trace_store) if trace_store else None
+        self.telemetry_root = (
+            Path(telemetry_dir).resolve() if telemetry_dir else None
+        )
+        self.cache_watcher = (
+            DirWatcher(self.cache.root, poll_interval) if self.cache else None
+        )
+        self.store_watcher = (
+            DirWatcher(self.store.root, poll_interval) if self.store else None
+        )
+        self.figures = FigureMemo(figure_memo_size)
+        #: path -> (size, mtime_ns, sha256) for served telemetry/manifest
+        #: files; revalidated by stat, recomputed when the file moved on.
+        self._file_etags: Dict[Path, Tuple[int, int, str]] = {}
+        #: (figure, fmt) -> (generation, fingerprint): see fingerprint_at.
+        self._fingerprints: Dict[
+            Tuple[str, str], Tuple[int, FigureFingerprint]
+        ] = {}
+
+    # ------------------------------------------------------------------
+    def make_runner(self, lenient: bool = True) -> CacheOnlyRunner:
+        """A fresh cache-only runner (no cross-request memo: warmness
+        comes from the figure LRU, staleness from nowhere)."""
+        kwargs = {}
+        if self.config is not None:
+            kwargs["config"] = self.config
+        return CacheOnlyRunner(
+            scale=self.scale,
+            iterations=self.iterations,
+            window_size=self.window,
+            seed=self.seed,
+            cache_dir=self.cache.root if self.cache is not None else None,
+            lenient=lenient,
+            shared_cache=self.cache,
+            **kwargs,
+        )
+
+    def generation(self) -> int:
+        return self.cache_watcher.generation() if self.cache_watcher else 0
+
+    # ------------------------------------------------------------------
+    def figure_fingerprint(self, name: str, module, fmt: str) -> FigureFingerprint:
+        """The ETag (and missing set) of ``name`` as it would render now.
+
+        Derived from the disk-cache content hashes of every cell the
+        figure's ``specs()`` enumerate, each tagged present/absent by a
+        cheap existence probe — no unpickling, no rendering.  Any cell
+        commit or eviction flips the hash, which is the entire
+        invalidation story.
+        """
+        runner = self.make_runner()
+        pairs = []
+        missing = []
+        present = 0
+        specs = module.specs(runner) if hasattr(module, "specs") else []
+        for spec in specs:
+            key = runner.cache_key_for(spec)
+            here = self.cache is not None and key in self.cache
+            pairs.append((key, here))
+            if here:
+                present += 1
+            else:
+                missing.append(cell_id(spec))
+        payload = {
+            "figure": name,
+            "format": fmt,
+            "version": repro.__version__,
+            "scale": self.scale,
+            "window": self.window,
+            "cells": sorted(pairs),
+        }
+        blob = json.dumps(payload, sort_keys=True).encode()
+        etag = hashlib.sha256(blob).hexdigest()[:32]
+        return FigureFingerprint(etag, tuple(missing), len(pairs), present)
+
+    def fingerprint_at(
+        self, name: str, module, fmt: str, generation: int
+    ) -> FigureFingerprint:
+        """:meth:`figure_fingerprint` memoized on the watcher generation.
+
+        Key probes cost ~100 hashes per figure; under hundreds of
+        concurrent readers every request would otherwise recompute them
+        on the event loop each time a sweep commit bumps the generation.
+        One entry per (figure, format) suffices — an older generation's
+        fingerprint is never asked for again.
+        """
+        memo_key = (name, fmt)
+        cached = self._fingerprints.get(memo_key)
+        if cached is not None and cached[0] == generation:
+            return cached[1]
+        fingerprint = self.figure_fingerprint(name, module, fmt)
+        self._fingerprints[memo_key] = (generation, fingerprint)
+        return fingerprint
+
+    # ------------------------------------------------------------------
+    def manifest_path(self) -> Optional[Path]:
+        if self.cache is None:
+            return None
+        return self.cache.root / MANIFEST_NAME
+
+    def file_etag(self, path: Path) -> Optional[str]:
+        """Strong ETag for a served file: sha256 of its content, cached
+        by ``(size, mtime_ns)`` so steady files hash once and growing
+        files (a mid-sweep ``sweep-events.jsonl``) re-hash per change."""
+        try:
+            stat = path.stat()
+        except OSError:
+            return None
+        cached = self._file_etags.get(path)
+        if cached is not None and cached[0] == stat.st_size and cached[1] == stat.st_mtime_ns:
+            return cached[2]
+        digest = hashlib.sha256()
+        try:
+            with open(path, "rb") as fh:
+                for chunk in iter(lambda: fh.read(1 << 20), b""):
+                    digest.update(chunk)
+        except OSError:
+            return None
+        etag = digest.hexdigest()[:32]
+        self._file_etags[path] = (stat.st_size, stat.st_mtime_ns, etag)
+        return etag
+
+    def telemetry_files(self) -> List[Tuple[str, int, int]]:
+        """(relpath, size, mtime_ns) of every servable telemetry file."""
+        if self.telemetry_root is None or not self.telemetry_root.is_dir():
+            return []
+        out = []
+        for path in sorted(self.telemetry_root.rglob("*")):
+            if not path.is_file() or path.suffix not in TELEMETRY_SUFFIXES:
+                continue
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            out.append(
+                (path.relative_to(self.telemetry_root).as_posix(), stat.st_size,
+                 stat.st_mtime_ns)
+            )
+        return out
+
+    def resolve_telemetry(self, relpath: str) -> Optional[Path]:
+        """Map a request path onto a telemetry file, refusing traversal
+        out of the telemetry root and non-data suffixes."""
+        if self.telemetry_root is None:
+            return None
+        candidate = (self.telemetry_root / relpath).resolve()
+        try:
+            candidate.relative_to(self.telemetry_root)
+        except ValueError:
+            return None
+        if candidate.suffix not in TELEMETRY_SUFFIXES:
+            return None
+        return candidate

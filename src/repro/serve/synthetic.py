@@ -1,0 +1,95 @@
+"""Deterministic synthetic cells for serve tests, benches, and CI smoke.
+
+The serving subsystem is a pure read path: it must work against any
+cache the sweep machinery produced, but its tests and load benchmarks
+should not pay for real simulations.  This module fabricates
+:class:`~repro.experiments.runner.CellResult` objects whose counters are
+a pure function of the cell identity (sha256 of the disk-cache key), so
+two processes seeding the same spec always agree byte-for-byte and every
+figure module can render from them without noticing the difference.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, List, Optional, Tuple
+
+from repro.experiments.runner import CellResult, CellSpec, ExperimentRunner
+from repro.stats import SimStats
+
+
+def synthetic_stats(key: str) -> SimStats:
+    """A fully-populated :class:`SimStats` derived from ``key`` alone."""
+    digest = hashlib.sha256(f"synthetic:{key}".encode()).digest()
+
+    def pick(index: int, lo: int, hi: int) -> int:
+        word = int.from_bytes(digest[4 * index:4 * index + 4], "big")
+        return lo + word % (hi - lo)
+
+    stats = SimStats(
+        instructions=pick(0, 5_000_000, 50_000_000),
+        cycles=pick(1, 10_000_000, 100_000_000),
+    )
+    for level, base in ((stats.l1d, 2), (stats.l2, 4), (stats.llc, 6)):
+        level.demand_accesses = pick(base, 100_000, 2_000_000)
+        level.demand_misses = pick(base + 1, 1_000, level.demand_accesses // 4)
+        level.demand_hits = level.demand_accesses - level.demand_misses
+    issued = pick(0, 10_000, 400_000)
+    useful = pick(1, 1_000, max(2_000, issued // 2))
+    stats.prefetch.issued = issued
+    stats.prefetch.useful = min(useful, issued)
+    stats.prefetch.late = pick(2, 0, max(1, issued // 10))
+    stats.prefetch.early = pick(3, 0, max(1, issued // 20))
+    stats.traffic.demand_lines = stats.l2.demand_misses
+    stats.traffic.prefetch_lines = issued
+    stats.traffic.writeback_lines = pick(4, 100, 50_000)
+    stats.traffic.metadata_read_lines = pick(5, 0, 10_000)
+    stats.traffic.metadata_write_lines = pick(6, 0, 10_000)
+    stats.rnr.sequence_entries = pick(7, 1_000, 200_000)
+    stats.rnr.division_entries = pick(0, 100, 20_000)
+    stats.rnr.windows_recorded = pick(1, 10, 2_000)
+    return stats
+
+
+def synthetic_result(spec: CellSpec, key: str) -> CellResult:
+    """One synthetic cell for ``spec`` stored under disk key ``key``."""
+    return CellResult(
+        app=spec.app,
+        input_name=spec.input_name,
+        prefetcher=spec.prefetcher,
+        stats=synthetic_stats(key),
+        input_bytes=1 << 20,
+    )
+
+
+def seed_cells(
+    runner: ExperimentRunner,
+    specs: Iterable[CellSpec],
+    skip: Optional[Iterable[CellSpec]] = None,
+) -> List[Tuple[CellSpec, str]]:
+    """Commit a synthetic cell for every spec (minus ``skip``) into the
+    runner's disk cache; returns the ``(spec, disk_key)`` pairs seeded.
+
+    ``skip`` lets tests leave chosen cells cold to exercise lenient
+    degradation, strict 424s, and mid-sweep ETag flips.
+    """
+    if runner.cache is None:
+        raise ValueError("runner has no disk cache to seed")
+    skipped = set(skip or ())
+    seeded: List[Tuple[CellSpec, str]] = []
+    for spec in specs:
+        if spec in skipped:
+            continue
+        key = runner.cache_key_for(spec)
+        runner.cache.put(key, synthetic_result(spec, key))
+        seeded.append((spec, key))
+    return seeded
+
+
+def seed_figure(
+    runner: ExperimentRunner,
+    module,
+    skip: Optional[Iterable[CellSpec]] = None,
+) -> List[Tuple[CellSpec, str]]:
+    """Seed every cell one figure module's ``specs(runner)`` declares."""
+    return seed_cells(runner, module.specs(runner), skip=skip)

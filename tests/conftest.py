@@ -27,6 +27,7 @@ if importlib.util.find_spec("numpy") is None:
         "sparse/*",
         "workloads/*",
         "experiments/*",
+        "serve/*",
     ]
     collect_ignore = [
         "prefetchers/test_imp.py",

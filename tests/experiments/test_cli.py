@@ -41,6 +41,27 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["fig13", "--cell-timeout", "-3"])
 
+    def test_future_manifest_schema_exits_2(self, tmp_path, capsys):
+        import json
+
+        from repro.experiments import supervise
+
+        manifest = tmp_path / "sweep-manifest.json"
+        manifest.write_text(json.dumps({
+            "format": supervise.MANIFEST_FORMAT,
+            "schema_version": supervise.MANIFEST_SCHEMA_VERSION + 7,
+            "fingerprint": "whatever",
+            "cells": {},
+        }))
+        code = main([
+            "fig01", "--scale", "test", "--resume",
+            "--cache-dir", str(tmp_path / "cells"),
+            "--manifest", str(manifest),
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "schema" in err and "upgrade" in err
+
 
 class TestChaos:
     """End-to-end: an injected failing cell degrades under --lenient and

@@ -1,9 +1,13 @@
-"""Concurrent writers racing the disk cache and the trace store.
+"""Concurrent writers — and readers — racing the disk cache and the
+trace store.
 
 Fabric workers on a shared filesystem can finish the same cell at the
 same instant (lease reclaim + late finish).  The stores must stay
 first-winner: exactly one process's entry lands, every loser counts a
-race, and a reader never sees a torn or truncated entry.
+race, and a reader never sees a torn or truncated entry.  The results
+server adds a second population: read-only processes polling the same
+directories while cells commit, which must only ever observe "absent"
+or "whole" — never a partial frame.
 """
 
 import multiprocessing
@@ -74,6 +78,66 @@ class TestCellCacheRace:
         staged = [p for p in tmp_path.rglob("*") if ".staged" in p.name]
         assert staged == []
         assert "races" in reader.describe()
+
+
+def _race_cache_reader(root, keys, barrier, stop, results):
+    """Hammer ``get`` across every key until told to stop; report any
+    torn observation (corrupt counter) and how many whole reads landed."""
+    cache = diskcache.DiskCellCache(root)
+    whole = 0
+    barrier.wait()
+    while not stop.is_set():
+        for key in keys:
+            value = cache.get(key)
+            if value is not None:
+                assert value["answer"] == 42, "torn entry served"
+                whole += 1
+    results.put((os.getpid(), whole, cache.corrupt))
+
+
+def _commit_cells(root, keys, barrier, stop):
+    cache = diskcache.DiskCellCache(root)
+    barrier.wait()
+    for key in keys:
+        cache.put(key, {"writer": os.getpid(), "answer": 42})
+    stop.set()
+
+
+class TestReadersRacingWriter:
+    """Readers polling the cache directory while a writer commits."""
+
+    READERS = 4
+
+    def test_readers_never_see_torn_data(self, tmp_path):
+        keys = [f"{i:02d}" + "c" * 14 for i in range(24)]
+        barrier = multiprocessing.Barrier(self.READERS + 1)
+        stop = multiprocessing.Event()
+        results = multiprocessing.Queue()
+        readers = [
+            multiprocessing.Process(
+                target=_race_cache_reader,
+                args=(tmp_path, keys, barrier, stop, results),
+            )
+            for _ in range(self.READERS)
+        ]
+        writer = multiprocessing.Process(
+            target=_commit_cells, args=(tmp_path, keys, barrier, stop)
+        )
+        for proc in readers + [writer]:
+            proc.start()
+        for proc in readers + [writer]:
+            proc.join(timeout=60)
+            assert proc.exitcode == 0
+        observations = [results.get(timeout=10) for _ in range(self.READERS)]
+        # Every committed cell reads back whole, and no reader ever saw
+        # a torn frame (the CRC would have counted it as corrupt).
+        for _, _, corrupt in observations:
+            assert corrupt == 0
+        follower = diskcache.DiskCellCache(tmp_path)
+        for key in keys:
+            value = follower.get(key)
+            assert value is not None and value["answer"] == 42
+        assert follower.corrupt == 0
 
 
 class TestTraceStoreRace:

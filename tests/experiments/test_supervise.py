@@ -149,6 +149,45 @@ class TestManifest:
         assert leftovers == []
         assert json.loads(path.read_text())["format"] == supervise.MANIFEST_FORMAT
 
+    def test_save_stamps_schema_version(self, tmp_path):
+        path = tmp_path / "m.json"
+        manifest = SweepManifest(path, "abc")
+        manifest.save()
+        payload = json.loads(path.read_text())
+        assert payload["schema_version"] == supervise.MANIFEST_SCHEMA_VERSION
+        assert SweepManifest.load(path, "abc").cells == {}
+
+    def test_legacy_manifest_without_schema_version_loads(self, tmp_path):
+        # PR-7-era manifests carry only "format": 1; they map to schema 1.
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps({
+            "format": supervise.MANIFEST_FORMAT,
+            "fingerprint": "abc",
+            "cells": {"a/x/rnr": {"status": "done", "attempts": 1,
+                                  "duration": 0.1}},
+        }))
+        loaded = SweepManifest.load(path, "abc")
+        assert loaded.done_cells() == {"a/x/rnr"}
+
+    def test_unknown_schema_version_is_rejected(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps({
+            "format": supervise.MANIFEST_FORMAT,
+            "schema_version": supervise.MANIFEST_SCHEMA_VERSION + 1,
+            "fingerprint": "abc",
+            "cells": {},
+        }))
+        with pytest.raises(supervise.ManifestVersionError, match="newer release"):
+            SweepManifest.load(path, "abc")
+
+    def test_missing_schema_and_format_is_rejected(self, tmp_path):
+        # A manifest that names neither key is from an unknowable future
+        # (or another tool entirely): refuse rather than guess.
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps({"fingerprint": "abc", "cells": {}}))
+        with pytest.raises(supervise.ManifestVersionError):
+            SweepManifest.load(path, "abc")
+
     def test_fingerprint_tracks_runner_identity(self):
         a = runner_fingerprint(ExperimentRunner(scale="test"))
         b = runner_fingerprint(ExperimentRunner(scale="test"))

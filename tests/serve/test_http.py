@@ -1,0 +1,189 @@
+"""Unit tests for the HTTP plumbing (no sockets)."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.serve import http
+from repro.serve.http import (
+    BadRequestError,
+    Request,
+    Response,
+    error_response,
+    etag_matches,
+    json_response,
+    not_modified,
+    quote_etag,
+    read_request,
+    text_response,
+    write_response,
+)
+
+
+def _parse(blob: bytes):
+    async def run():
+        reader = asyncio.StreamReader()
+        reader.feed_data(blob)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(run())
+
+
+class TestReadRequest:
+    def test_basic_get(self):
+        request = _parse(b"GET /api/cells?limit=5&x= HTTP/1.1\r\nHost: h\r\n\r\n")
+        assert request.method == "GET"
+        assert request.path == "/api/cells"
+        assert request.query == {"limit": "5", "x": ""}
+        assert request.header("host") == "h"
+        assert request.keep_alive
+
+    def test_percent_decoding(self):
+        request = _parse(b"GET /api/telemetry/a%20b.csv HTTP/1.1\r\n\r\n")
+        assert request.path == "/api/telemetry/a b.csv"
+
+    def test_clean_eof_returns_none(self):
+        assert _parse(b"") is None
+
+    def test_truncated_request_raises(self):
+        with pytest.raises(BadRequestError):
+            _parse(b"GET / HTTP/1.1\r\n")
+
+    def test_malformed_request_line(self):
+        with pytest.raises(BadRequestError):
+            _parse(b"GET/HTTP/1.1\r\n\r\n")
+
+    def test_unsupported_protocol(self):
+        with pytest.raises(BadRequestError):
+            _parse(b"GET / HTTP/2\r\n\r\n")
+
+    def test_request_body_rejected(self):
+        with pytest.raises(BadRequestError) as exc:
+            _parse(b"GET / HTTP/1.1\r\nContent-Length: 4\r\n\r\nbody")
+        assert exc.value.status == 413
+
+    def test_transfer_encoding_rejected(self):
+        with pytest.raises(BadRequestError) as exc:
+            _parse(b"GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+        assert exc.value.status == 413
+
+    def test_oversized_headers_rejected(self):
+        filler = b"X-Pad: " + b"a" * http.MAX_HEADER_BYTES + b"\r\n"
+        with pytest.raises(BadRequestError) as exc:
+            _parse(b"GET / HTTP/1.1\r\n" + filler + b"\r\n")
+        assert exc.value.status == 431
+
+    def test_http10_defaults_to_close(self):
+        request = _parse(b"GET / HTTP/1.0\r\n\r\n")
+        assert not request.keep_alive
+        request = _parse(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+        assert request.keep_alive
+
+    def test_http11_connection_close(self):
+        request = _parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+        assert not request.keep_alive
+
+
+class TestEtagMatching:
+    def test_exact_match(self):
+        assert etag_matches('"abc"', '"abc"')
+
+    def test_no_match(self):
+        assert not etag_matches('"abc"', '"def"')
+        assert not etag_matches("", '"abc"')
+        assert not etag_matches('"abc"', "")
+
+    def test_star_matches_anything(self):
+        assert etag_matches("*", '"anything"')
+
+    def test_comma_list(self):
+        assert etag_matches('"aaa", "bbb", "ccc"', '"bbb"')
+
+    def test_weak_comparison(self):
+        assert etag_matches('W/"abc"', '"abc"')
+
+    def test_quote_etag(self):
+        assert quote_etag("abc") == '"abc"'
+
+
+class TestResponses:
+    def test_json_response_roundtrip(self):
+        response = json_response({"b": 2, "a": 1}, etag='"x"')
+        assert response.status == 200
+        assert response.header("ETag") == '"x"'
+        assert response.header("Cache-Control") == "no-cache"
+        assert b'"a": 1' in response.body
+
+    def test_error_response_shape(self):
+        response = error_response(404, "nope")
+        assert response.status == 404
+        assert b"Not Found" in response.body
+
+    def test_not_modified_carries_etag(self):
+        response = not_modified('"x"', "immutable")
+        assert response.status == 304
+        assert response.etag == '"x"'
+        assert response.header("Cache-Control") == "immutable"
+
+
+def _render(request, response, keep_alive=True) -> bytes:
+    async def run():
+        transport_chunks = []
+
+        class FakeWriter:
+            def write(self, data):
+                transport_chunks.append(bytes(data))
+
+            async def drain(self):
+                pass
+
+        await write_response(FakeWriter(), request, response, keep_alive)
+        return b"".join(transport_chunks)
+
+    return asyncio.run(run())
+
+
+class TestWriteResponse:
+    def _request(self, method="GET"):
+        return Request(method, "/", "/", {}, {}, "HTTP/1.1")
+
+    def test_body_and_content_length(self):
+        blob = _render(self._request(), text_response("hi"))
+        assert b"HTTP/1.1 200 OK\r\n" in blob
+        assert b"Content-Length: 2" in blob
+        assert blob.endswith(b"hi")
+
+    def test_head_suppresses_body(self):
+        blob = _render(self._request("HEAD"), text_response("hi"))
+        assert b"Content-Length: 2" in blob
+        assert not blob.endswith(b"hi")
+
+    def test_304_has_no_body_or_length(self):
+        blob = _render(self._request(), not_modified('"x"'))
+        assert b"304 Not Modified" in blob
+        assert b"Content-Length" not in blob
+
+    def test_connection_header(self):
+        assert b"Connection: keep-alive" in _render(self._request(), text_response("a"))
+        assert b"Connection: close" in _render(
+            self._request(), text_response("a"), keep_alive=False
+        )
+
+    def test_streamed_body(self):
+        async def chunks():
+            yield b"abc"
+            yield memoryview(b"defg")
+
+        response = Response(
+            200,
+            [("Content-Type", "application/octet-stream"),
+             ("Content-Length", "7")],
+            stream=lambda: chunks(),
+            content_length=7,
+        )
+        blob = _render(self._request(), response)
+        assert blob.endswith(b"abcdefg")
+        assert blob.count(b"Content-Length") == 1

@@ -1,0 +1,474 @@
+"""End-to-end tests over a live server: routes, conditional GET, memo
+behavior, streaming, and the high-concurrency acceptance scenario —
+256 keep-alive readers against a cache a sweep is committing into."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.experiments import fig01_scatter, fig06_speedup
+from repro.experiments.supervise import MANIFEST_NAME
+from repro.serve import synthetic
+from repro.serve.client import AsyncClient, SyncClient
+from repro.serve.server import ResultsServer
+from repro.serve.state import ServeState
+from repro.trace.binfmt import KIND_LOAD, Trace
+from repro.trace.store import TraceStore
+
+#: Watcher poll used by every test server: fast enough that a committed
+#: cell is visible within one short sleep.
+POLL = 0.02
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class Env:
+    """One served environment: temp cache/store/telemetry + the server."""
+
+    def __init__(self, tmp_path, **state_kwargs):
+        self.root = tmp_path
+        self.cache_dir = tmp_path / "cells"
+        self.store_dir = tmp_path / "traces"
+        self.telemetry_dir = tmp_path / "telemetry"
+        self.telemetry_dir.mkdir(exist_ok=True)
+        kwargs = dict(
+            cache_dir=self.cache_dir,
+            trace_store=self.store_dir,
+            telemetry_dir=self.telemetry_dir,
+            poll_interval=POLL,
+        )
+        kwargs.update(state_kwargs)
+        self.state = ServeState(**kwargs)
+        self.server = ResultsServer(self.state)
+
+    def seed_figure(self, module, skip=None):
+        return synthetic.seed_figure(self.state.make_runner(), module, skip=skip)
+
+    async def __aenter__(self):
+        host, port = await self.server.start()
+        self.client = AsyncClient(host, port)
+        return self
+
+    async def __aexit__(self, *exc):
+        await self.client.aclose()
+        await self.server.aclose()
+
+
+class TestRoutes:
+    def test_index_and_healthz(self, tmp_path):
+        async def main():
+            async with Env(tmp_path) as env:
+                r = await env.client.get("/")
+                assert r.status == 200
+                assert "/api/figures" in r.json()["endpoints"]
+                r = await env.client.get("/healthz")
+                assert r.status == 200 and r.json()["ok"]
+
+        run(main())
+
+    def test_unknown_route_404(self, tmp_path):
+        async def main():
+            async with Env(tmp_path) as env:
+                assert (await env.client.get("/api/nope")).status == 404
+
+        run(main())
+
+    def test_method_not_allowed(self, tmp_path):
+        async def main():
+            async with Env(tmp_path) as env:
+                r = await env.client.request("/api/cells", method="POST")
+                assert r.status == 405
+                assert r.headers["allow"] == "GET, HEAD"
+
+        run(main())
+
+    def test_bad_request_closes_connection(self, tmp_path):
+        async def main():
+            async with Env(tmp_path) as env:
+                reader, writer = await asyncio.open_connection(
+                    env.server.host, env.server.port
+                )
+                writer.write(b"NONSENSE\r\n\r\n")
+                await writer.drain()
+                head = await reader.readuntil(b"\r\n\r\n")
+                assert b"400 Bad Request" in head
+                assert b"Connection: close" in head
+                writer.close()
+
+        run(main())
+
+    def test_manifest_roundtrip(self, tmp_path):
+        async def main():
+            async with Env(tmp_path) as env:
+                assert (await env.client.get("/api/manifest")).status == 404
+                manifest = env.cache_dir / MANIFEST_NAME
+                manifest.parent.mkdir(parents=True, exist_ok=True)
+                manifest.write_text('{"schema_version": 2, "cells": {}}')
+                r = await env.client.get("/api/manifest")
+                assert r.status == 200
+                assert r.json()["schema_version"] == 2
+                assert (
+                    await env.client.get("/api/manifest", etag=r.etag)
+                ).status == 304
+
+        run(main())
+
+
+class TestCells:
+    def test_listing_and_conditional(self, tmp_path):
+        async def main():
+            async with Env(tmp_path) as env:
+                env.seed_figure(fig01_scatter)
+                r = await env.client.get("/api/cells")
+                assert r.status == 200
+                assert len(r.json()["cells"]) == 7
+                assert (await env.client.get("/api/cells", etag=r.etag)).status == 304
+
+        run(main())
+
+    def test_single_cell_immutable(self, tmp_path):
+        async def main():
+            async with Env(tmp_path) as env:
+                (_, key), = env.seed_figure(
+                    fig01_scatter,
+                    skip=fig01_scatter.specs(env.state.make_runner())[1:],
+                )
+                r = await env.client.get(f"/api/cells/{key}")
+                assert r.status == 200
+                assert "immutable" in r.headers["cache-control"]
+                payload = r.json()["cell"]
+                assert payload["app"] == "pagerank"
+                assert payload["stats"]["instructions"] > 0
+                assert (
+                    await env.client.get(f"/api/cells/{key}", etag=r.etag)
+                ).status == 304
+
+        run(main())
+
+    def test_unknown_and_malformed_keys(self, tmp_path):
+        async def main():
+            async with Env(tmp_path) as env:
+                assert (await env.client.get("/api/cells/" + "0" * 64)).status == 404
+                assert (await env.client.get("/api/cells/../etc")).status == 400
+
+        run(main())
+
+
+class TestFigures:
+    def test_render_memo_and_304(self, tmp_path):
+        async def main():
+            async with Env(tmp_path) as env:
+                env.seed_figure(fig01_scatter)
+                r1 = await env.client.get("/api/figures/fig01")
+                assert r1.status == 200 and r1.etag
+                assert b"pagerank" in r1.body
+                r2 = await env.client.get("/api/figures/fig01")
+                assert r2.status == 200 and r2.body == r1.body
+                stats = (await env.client.get("/api/stats")).json()
+                assert stats["figure_memo"]["hits"] >= 1
+                assert stats["figure_memo"]["misses"] == 1
+                assert (
+                    await env.client.get("/api/figures/fig01", etag=r1.etag)
+                ).status == 304
+
+        run(main())
+
+    def test_lenient_partial_render(self, tmp_path):
+        async def main():
+            async with Env(tmp_path) as env:
+                specs = fig01_scatter.specs(env.state.make_runner())
+                env.seed_figure(fig01_scatter, skip=specs[-1:])
+                r = await env.client.get("/api/figures/fig01?format=json")
+                assert r.status == 200
+                assert len(r.json()["missing"]) == 1
+
+        run(main())
+
+    def test_strict_424_lists_missing(self, tmp_path):
+        async def main():
+            async with Env(tmp_path) as env:
+                specs = fig01_scatter.specs(env.state.make_runner())
+                env.seed_figure(fig01_scatter, skip=specs[:2])
+                r = await env.client.get("/api/figures/fig01?strict=1")
+                assert r.status == 424
+                assert len(r.json()["missing"]) == 2
+
+        run(main())
+
+    def test_unknown_figure_and_format(self, tmp_path):
+        async def main():
+            async with Env(tmp_path) as env:
+                assert (await env.client.get("/api/figures/fig99")).status == 404
+                assert (
+                    await env.client.get("/api/figures/fig01?format=xml")
+                ).status == 400
+
+        run(main())
+
+    def test_hw_figure_needs_no_cache(self, tmp_path):
+        async def main():
+            async with Env(
+                tmp_path, cache_dir=None, trace_store=None
+            ) as env:
+                r = await env.client.get("/api/figures/hw?cores=8")
+                assert r.status == 200
+                assert (
+                    await env.client.get("/api/figures/hw?cores=8", etag=r.etag)
+                ).status == 304
+                assert (
+                    await env.client.get("/api/figures/hw?cores=zero")
+                ).status == 400
+                # no cache configured -> cell figures are 503
+                assert (await env.client.get("/api/figures/fig01")).status == 503
+
+        run(main())
+
+    def test_mid_sweep_commit_flips_etag(self, tmp_path):
+        async def main():
+            async with Env(tmp_path) as env:
+                specs = fig01_scatter.specs(env.state.make_runner())
+                held_out = specs[-1]
+                env.seed_figure(fig01_scatter, skip=[held_out])
+                r1 = await env.client.get("/api/figures/fig01")
+                assert r1.status == 200
+                # commit the missing cell mid-serve, as a sweep worker would
+                synthetic.seed_cells(env.state.make_runner(), [held_out])
+                await asyncio.sleep(POLL * 4)
+                r2 = await env.client.get("/api/figures/fig01", etag=r1.etag)
+                assert r2.status == 200  # old ETag no longer matches
+                assert r2.etag != r1.etag
+                assert (
+                    await env.client.get("/api/figures/fig01", etag=r2.etag)
+                ).status == 304
+
+        run(main())
+
+
+class TestTelemetry:
+    def _write_files(self, env):
+        (env.telemetry_dir / "sweep-events.jsonl").write_text(
+            '{"event": "sweep_start"}\n{"event": "cell_done", "cell": "a"}\n'
+        )
+        (env.telemetry_dir / "cells.csv").write_text("cell,cycles\na,120\nb,90\n")
+
+    def test_index_and_raw(self, tmp_path):
+        async def main():
+            async with Env(tmp_path) as env:
+                self._write_files(env)
+                listing = (await env.client.get("/api/telemetry")).json()
+                assert [f["path"] for f in listing["files"]] == [
+                    "cells.csv", "sweep-events.jsonl",
+                ]
+                r = await env.client.get("/api/telemetry/sweep-events.jsonl")
+                assert r.status == 200
+                assert r.headers["content-type"].startswith("application/x-ndjson")
+                assert (
+                    await env.client.get(
+                        "/api/telemetry/sweep-events.jsonl", etag=r.etag
+                    )
+                ).status == 304
+
+        run(main())
+
+    def test_json_conversion(self, tmp_path):
+        async def main():
+            async with Env(tmp_path) as env:
+                self._write_files(env)
+                rows = (
+                    await env.client.get(
+                        "/api/telemetry/sweep-events.jsonl?format=json"
+                    )
+                ).json()
+                assert rows[0]["event"] == "sweep_start"
+                rows = (
+                    await env.client.get("/api/telemetry/cells.csv?format=json")
+                ).json()
+                assert rows == [
+                    {"cell": "a", "cycles": 120},
+                    {"cell": "b", "cycles": 90},
+                ]
+
+        run(main())
+
+    def test_traversal_blocked(self, tmp_path):
+        async def main():
+            async with Env(tmp_path) as env:
+                (tmp_path / "outside.csv").write_text("x\n")
+                r = await env.client.get("/api/telemetry/../outside.csv")
+                assert r.status == 403
+
+        run(main())
+
+    def test_missing_file_404(self, tmp_path):
+        async def main():
+            async with Env(tmp_path) as env:
+                assert (
+                    await env.client.get("/api/telemetry/absent.csv")
+                ).status == 404
+
+        run(main())
+
+
+class TestTraces:
+    @staticmethod
+    def _store_trace(env, key, refs=5000):
+        store = TraceStore(env.store_dir)
+        trace = Trace()
+        for i in range(refs):
+            trace.append_ref(KIND_LOAD, i * 64, 0x400000 + (i % 32) * 4, 1)
+        return store.put(key, trace)
+
+    def test_stream_roundtrip(self, tmp_path):
+        async def main():
+            async with Env(tmp_path) as env:
+                key = "b" * 64
+                path = self._store_trace(env, key)
+                expected = path.read_bytes()
+                listing = (await env.client.get("/api/traces")).json()
+                assert listing["traces"][0]["key"] == key
+                r = await env.client.get(f"/api/traces/{key}")
+                assert r.status == 200
+                assert r.body == expected
+                assert "immutable" in r.headers["cache-control"]
+                assert (
+                    await env.client.get(f"/api/traces/{key}", etag=r.etag)
+                ).status == 304
+                head = await env.client.request(f"/api/traces/{key}", method="HEAD")
+                assert head.status == 200
+                assert int(head.headers["content-length"]) == len(expected)
+
+        run(main())
+
+    def test_unknown_and_malformed(self, tmp_path):
+        async def main():
+            async with Env(tmp_path) as env:
+                assert (await env.client.get("/api/traces/" + "0" * 64)).status == 404
+                assert (await env.client.get("/api/traces/xyz!")).status == 400
+
+        run(main())
+
+
+class TestSyncClient:
+    def test_sync_client_roundtrip(self, tmp_path):
+        async def main():
+            async with Env(tmp_path) as env:
+                env.seed_figure(fig01_scatter)
+                host, port = env.server.host, env.server.port
+
+                def blocking():
+                    client = SyncClient(host, port)
+                    try:
+                        r = client.get("/api/figures/fig01")
+                        assert r.status == 200
+                        assert client.get("/api/figures/fig01", etag=r.etag).status == 304
+                        return True
+                    finally:
+                        client.close()
+
+                assert await asyncio.get_event_loop().run_in_executor(None, blocking)
+
+        run(main())
+
+
+class TestConcurrentReaders:
+    """The acceptance scenario: 256 keep-alive readers hammering figure,
+    listing, and health endpoints with conditional GETs while a sweep
+    commits cells into the same cache directory.  Requirements: zero
+    5xx, every figure response either 200 or 304, and the ETag observed
+    after the final commit differs from the initial one and revalidates
+    with 304."""
+
+    READERS = 256
+    ROUNDS = 6
+
+    def test_256_readers_during_streaming_sweep(self, tmp_path):
+        async def main():
+            async with Env(tmp_path) as env:
+                runner = env.state.make_runner()
+                specs = fig06_speedup.specs(runner)
+                held_out = specs[-8:]
+                env.seed_figure(fig06_speedup, skip=held_out)
+                first = await env.client.get("/api/figures/fig06")
+                assert first.status == 200
+                initial_etag = first.etag
+
+                statuses = []
+                etags = set()
+                errors = []
+
+                async def reader(index):
+                    client = AsyncClient(env.server.host, env.server.port)
+                    last_etag = None
+                    try:
+                        for round_no in range(self.ROUNDS):
+                            r = await client.get(
+                                "/api/figures/fig06", etag=last_etag
+                            )
+                            statuses.append(r.status)
+                            if r.status == 200:
+                                last_etag = r.etag
+                                etags.add(r.etag)
+                            if index % 8 == round_no:
+                                statuses.append(
+                                    (await client.get("/api/cells")).status
+                                )
+                                statuses.append(
+                                    (await client.get("/healthz")).status
+                                )
+                    except Exception as exc:  # pragma: no cover
+                        errors.append(repr(exc))
+                    finally:
+                        await client.aclose()
+
+                committed = asyncio.Event()
+
+                async def committer():
+                    # Commit the held-out cells one at a time from a
+                    # thread, exactly like a fabric worker racing the
+                    # server on the same directory.
+                    loop = asyncio.get_event_loop()
+                    for spec in held_out:
+                        await loop.run_in_executor(
+                            None,
+                            synthetic.seed_cells,
+                            env.state.make_runner(),
+                            [spec],
+                        )
+                        await asyncio.sleep(POLL)
+                    committed.set()
+
+                await asyncio.gather(
+                    committer(),
+                    *(reader(i) for i in range(self.READERS)),
+                )
+                assert committed.is_set()
+                assert not errors, errors[:5]
+                assert statuses, "no requests recorded"
+                assert all(s in (200, 304) for s in statuses), sorted(set(statuses))
+
+                # Let the watcher observe the final commit, then verify
+                # the flip end-to-end.
+                await asyncio.sleep(POLL * 4)
+                final = await env.client.get("/api/figures/fig06")
+                assert final.status == 200
+                assert final.etag != initial_etag
+                assert (
+                    await env.client.get("/api/figures/fig06", etag=final.etag)
+                ).status == 304
+
+                # The server never emitted a 5xx anywhere.
+                stats = (await env.client.get("/api/stats")).json()
+                fives = {
+                    code: n
+                    for code, n in stats["responses"].items()
+                    if code.startswith("5")
+                }
+                assert not fives, fives
+                assert env.server.connections >= self.READERS
+
+        run(main())

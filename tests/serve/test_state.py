@@ -1,0 +1,218 @@
+"""Tests for the serve-side read state: cache-only runner, watcher,
+figure memo, fingerprints, and telemetry path handling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import CellFailedError, CellSpec
+from repro.serve import synthetic
+from repro.serve.state import DirWatcher, FigureMemo, MemoEntry, ServeState
+
+
+SPECS = [
+    CellSpec("pagerank", "amazon", "baseline"),
+    CellSpec("pagerank", "amazon", "rnr_ideal"),
+]
+
+
+class FakeFigure:
+    """Minimal figure module: two cells, report is their IPC ratio."""
+
+    @staticmethod
+    def specs(runner):
+        return list(SPECS)
+
+    @staticmethod
+    def report(runner):
+        rows = []
+        for spec in SPECS:
+            result = runner.run(spec.app, spec.input_name, spec.prefetcher)
+            rows.append("-" if result is None else f"{result.stats.ipc:.3f}")
+        return " ".join(rows)
+
+
+@pytest.fixture
+def state(tmp_path):
+    return ServeState(cache_dir=tmp_path / "cells", poll_interval=0.0)
+
+
+class TestCacheOnlyRunner:
+    def test_cold_cell_lenient_returns_none(self, state):
+        runner = state.make_runner(lenient=True)
+        assert runner.run("pagerank", "amazon", "baseline") is None
+        (key, reason), = runner.failed_cells.items()
+        assert reason.startswith("cold:")
+        assert runner.consumed == [(runner.cache_key_for(SPECS[0]), False)]
+
+    def test_cold_cell_strict_raises(self, state):
+        runner = state.make_runner(lenient=False)
+        with pytest.raises(CellFailedError, match="not in the cache"):
+            runner.run("pagerank", "amazon", "baseline")
+
+    def test_warm_cell_served_from_cache(self, state):
+        seeded = synthetic.seed_cells(state.make_runner(), SPECS)
+        runner = state.make_runner(lenient=False)
+        result = runner.run("pagerank", "amazon", "baseline")
+        assert result.prefetcher == "baseline"
+        assert result.stats.instructions > 0
+        assert runner.consumed == [(seeded[0][1], True)]
+
+    def test_memo_hit_skips_disk(self, state):
+        synthetic.seed_cells(state.make_runner(), SPECS)
+        runner = state.make_runner()
+        runner.run("pagerank", "amazon", "baseline")
+        runner.run("pagerank", "amazon", "baseline")
+        assert len(runner.consumed) == 1  # second call hit the memo
+
+    def test_never_simulates(self, state):
+        # A cold cell must not fall back to ExperimentRunner.run's
+        # simulation path: lenient gives None, full stop.
+        runner = state.make_runner(lenient=True)
+        assert runner.run("pagerank", "amazon", "stride") is None
+
+    def test_shared_cache_counters_accumulate(self, state):
+        synthetic.seed_cells(state.make_runner(), SPECS[:1])
+        for _ in range(3):
+            runner = state.make_runner()
+            runner.run("pagerank", "amazon", "baseline")
+        assert state.cache.hits >= 3
+
+
+class TestDirWatcher:
+    def test_generation_bumps_on_change(self, tmp_path):
+        clock = FakeClock()
+        watcher = DirWatcher(tmp_path, poll_interval=1.0, clock=clock)
+        first = watcher.generation()
+        (tmp_path / "cell").write_bytes(b"x")
+        clock.now += 2.0
+        assert watcher.generation() == first + 1
+
+    def test_polls_are_throttled(self, tmp_path):
+        clock = FakeClock()
+        watcher = DirWatcher(tmp_path, poll_interval=10.0, clock=clock)
+        generation = watcher.generation()
+        (tmp_path / "cell").write_bytes(b"x")
+        clock.now += 1.0
+        assert watcher.generation() == generation  # within the interval
+        assert watcher.scans == 1
+        clock.now += 10.0
+        assert watcher.generation() == generation + 1
+
+    def test_force_bypasses_throttle(self, tmp_path):
+        clock = FakeClock()
+        watcher = DirWatcher(tmp_path, poll_interval=10.0, clock=clock)
+        watcher.generation()
+        (tmp_path / "cell").write_bytes(b"x")
+        assert watcher.generation(force=True) == watcher.generation() \
+            and watcher.scans == 2
+
+    def test_sees_one_level_of_subdirs(self, tmp_path):
+        clock = FakeClock()
+        watcher = DirWatcher(tmp_path, poll_interval=0.0, clock=clock)
+        watcher.generation()
+        sub = tmp_path / "shard"
+        sub.mkdir()
+        (sub / "entry").write_bytes(b"x")
+        clock.now += 1.0
+        assert watcher.generation() > 0
+
+    def test_missing_root_is_not_an_error(self, tmp_path):
+        watcher = DirWatcher(tmp_path / "nonexistent", poll_interval=0.0)
+        first = watcher.generation()
+        assert watcher.generation() == first  # stable while it stays absent
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestFigureMemo:
+    @staticmethod
+    def _entry(etag="e"):
+        return MemoEntry(etag, b"body", "text/plain", [], 1)
+
+    def test_lru_eviction(self):
+        memo = FigureMemo(capacity=2)
+        memo.put(("a",), self._entry())
+        memo.put(("b",), self._entry())
+        memo.get(("a",))  # refresh a
+        memo.put(("c",), self._entry())  # evicts b
+        assert memo.get(("b",)) is None
+        assert memo.get(("a",)) is not None
+        assert memo.get(("c",)) is not None
+
+    def test_drop_counts_invalidations(self):
+        memo = FigureMemo(capacity=4)
+        memo.put(("a",), self._entry())
+        memo.drop(("a",))
+        memo.drop(("a",))  # second drop is a no-op
+        assert memo.stats()["invalidations"] == 1
+        assert len(memo) == 0
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            FigureMemo(capacity=0)
+
+
+class TestServeState:
+    def test_requires_something_to_serve(self):
+        with pytest.raises(ValueError, match="nothing to serve"):
+            ServeState()
+
+    def test_fingerprint_flips_on_commit(self, state):
+        before = state.figure_fingerprint("fake", FakeFigure, "txt")
+        assert before.present == 0
+        assert len(before.missing) == 2
+        synthetic.seed_cells(state.make_runner(), SPECS[:1])
+        after = state.figure_fingerprint("fake", FakeFigure, "txt")
+        assert after.etag != before.etag
+        assert after.present == 1
+        assert list(after.missing) == ["pagerank/amazon/rnr_ideal"]
+
+    def test_fingerprint_depends_on_format(self, state):
+        txt = state.figure_fingerprint("fake", FakeFigure, "txt")
+        js = state.figure_fingerprint("fake", FakeFigure, "json")
+        assert txt.etag != js.etag
+
+    def test_file_etag_tracks_content(self, state, tmp_path):
+        path = tmp_path / "cells" / "file.json"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"one")
+        first = state.file_etag(path)
+        assert first is not None
+        assert state.file_etag(path) == first  # stat-validated memo
+        path.write_bytes(b"two!")
+        assert state.file_etag(path) != first
+        assert state.file_etag(tmp_path / "cells" / "missing.json") is None
+
+    def test_resolve_telemetry_blocks_traversal(self, tmp_path):
+        root = tmp_path / "telemetry"
+        root.mkdir()
+        (root / "ok.csv").write_text("a,b\n1,2\n")
+        (tmp_path / "secret.csv").write_text("x\n")
+        state = ServeState(telemetry_dir=root)
+        assert state.resolve_telemetry("ok.csv") is not None
+        assert state.resolve_telemetry("../secret.csv") is None
+        assert state.resolve_telemetry("/etc/passwd") is None
+
+    def test_resolve_telemetry_rejects_unknown_suffix(self, tmp_path):
+        root = tmp_path / "telemetry"
+        root.mkdir()
+        (root / "notes.txt").write_text("hello")
+        state = ServeState(telemetry_dir=root)
+        assert state.resolve_telemetry("notes.txt") is None
+
+    def test_telemetry_files_listing(self, tmp_path):
+        root = tmp_path / "telemetry"
+        (root / "sub").mkdir(parents=True)
+        (root / "sweep-events.jsonl").write_text("{}\n")
+        (root / "sub" / "cells.csv").write_text("a\n1\n")
+        (root / "ignored.bin").write_bytes(b"\x00")
+        state = ServeState(telemetry_dir=root)
+        names = [rel for rel, _, _ in state.telemetry_files()]
+        assert names == ["sub/cells.csv", "sweep-events.jsonl"]
