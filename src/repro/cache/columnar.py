@@ -19,6 +19,15 @@ happen through a fill or invalidation — the vector engine resyncs the
 single affected set after each scalar-handled miss
 (:meth:`L1Mirror.resync_set`) and rebuilds wholesale after bulk
 invalidation such as ``os.switch`` (:meth:`L1Mirror.rebuild`).
+
+Two invariants the vector engine's callers lean on:
+
+* prefetches never touch the L1 — ``prefetch_fill_level`` is validated
+  to ``l2``/``llc`` — so prefetcher hooks fired during a batch (the
+  hook-spill path) cannot invalidate the mirror or a probe's hit prefix;
+* the mirror shadows exactly one cache, so the multicore merge gives
+  each core its own ``L1Mirror`` over its private L1; other cores only
+  share the LLC/controller and can never perturb it mid-turn.
 """
 
 from __future__ import annotations

@@ -347,10 +347,18 @@ class SweepManifest:
 
     def save(self) -> None:
         """Write the manifest atomically (temp file + ``os.replace``)."""
+        from repro.sim.backend import resolve_engine_backend
+
         payload = {
             "format": MANIFEST_FORMAT,
             "schema_version": MANIFEST_SCHEMA_VERSION,
             "fingerprint": self.fingerprint,
+            # Which engine backend produced these cells (the CLI exports
+            # its --engine choice to RNR_ENGINE before the sweep, so the
+            # env-resolved value is authoritative here).  Informational:
+            # backends are bit-identical by the parity suite, so a
+            # resumed sweep may legally mix them.
+            "engine": resolve_engine_backend(),
             "updated": time.strftime("%Y-%m-%dT%H:%M:%S"),
             "cells": self.cells,
         }

@@ -17,34 +17,19 @@ from repro.cache.hierarchy import L2Event
 from repro.prefetchers.base import Prefetcher
 
 
-class GHBPrefetcher:
+class GHBPrefetcher(Prefetcher):
+    # Trains purely on L2 misses: the base no-op ``on_access`` (and
+    # ``on_directive``/``finalize``) are inherited, which also keeps it
+    # eligible for the columnar backend without any hook spill.
     name = "ghb"
 
     def __init__(self, buffer_entries: int = 4096, degree: int = 4):
+        super().__init__()
         self.buffer_entries = buffer_entries
         self.degree = degree
         self._buffer: list[int] = []  # miss line addresses, logically circular
         self._head = 0  # total misses ever seen
         self._index: dict[int, int] = {}  # line addr -> last global position
-        self.hierarchy = None
-        self.stats = None
-
-    def attach(self, hierarchy, stats):
-        """Bind to a core's hierarchy before simulation."""
-        self.hierarchy = hierarchy
-        self.stats = stats
-
-    def on_access(self, address, pc, cycle, is_store):
-        """Demand-reference hook; returns the RnR packet flag."""
-        return False
-
-    def on_directive(self, op, args, cycle):
-        """Software-directive hook (Table I calls)."""
-        pass
-
-    def finalize(self, cycle):
-        """End-of-trace hook."""
-        pass
 
     def _position_valid(self, position: int) -> bool:
         return position >= self._head - len(self._buffer)

@@ -7,9 +7,10 @@ golden-parity suite pins their ``SimStats`` equality):
 * ``straight`` — the pre-fast-path reference loops, bit-identical by
   contract and kept as the golden oracle;
 * ``vector`` — the numpy-columnar batched-epoch backend
-  (:mod:`repro.sim.vector`); requires numpy (the ``fast`` packaging
-  extra) and degrades to ``fast`` with a one-line warning when numpy is
-  missing.
+  (:mod:`repro.sim.vector`); covers every registry prefetcher (hooked
+  ones through hook-spill epochs) and the multicore k-way merge;
+  requires numpy (the ``fast`` packaging extra) and degrades to ``fast``
+  with a once-per-process warning when numpy is missing.
 
 Resolution mirrors :func:`repro.experiments.pool.resolve_jobs`: explicit
 argument > ``RNR_ENGINE`` environment variable > the legacy

@@ -35,9 +35,11 @@ Hot-loop structure (see docs/PERFORMANCE.md for the invariants):
 * the **vector** backend (:mod:`repro.sim.vector`, ``--engine vector``)
   consumes hit runs in batched numpy epochs and spills everything else
   to the scalar machinery.  It needs numpy (the ``fast`` packaging
-  extra) — without it a vector run warns once and degrades to the fast
-  scalar loops — and serves only telemetry-free runs whose prefetcher
-  keeps the base ``on_access`` hook; anything else silently falls back
+  extra) — without it a vector run warns once per process and degrades
+  to the fast scalar loops — and serves telemetry-free runs whose
+  prefetcher either keeps the base ``on_access`` hook or narrows it
+  with an ``access_hook_filter`` (hook-spill epochs: rnr, imp, and
+  their composites vectorize too); anything else silently falls back
   to the scalar loops with identical statistics.
 
 Backend selection is shared with the CLI and the multicore engine
@@ -46,7 +48,6 @@ through :func:`repro.sim.backend.resolve_engine_backend`.
 
 from __future__ import annotations
 
-import warnings
 from pathlib import Path
 from typing import Optional
 
@@ -230,17 +231,14 @@ class SimulationEngine:
         vector = False
         if backend == "vector":
             if not vector_backend.HAVE_NUMPY:
-                warnings.warn(
-                    "numpy is not installed (pip install repro[fast]); "
-                    "engine backend 'vector' falling back to the fast "
-                    "scalar loops",
-                    RuntimeWarning,
-                    stacklevel=2,
-                )
+                # Once per process, not per run: a sweep shares one
+                # interpreter across hundreds of cells.
+                vector_backend.warn_numpy_fallback()
             else:
-                # Telemetry, an overridden on_access hook, or a config
-                # outside the stall-safety inequality falls back to the
-                # scalar loops (same statistics, no vector speedup).
+                # Telemetry, an on_access hook with no access_hook_filter
+                # to narrow it, or a config outside the stall-safety
+                # inequality falls back to the scalar loops (same
+                # statistics, no vector speedup).
                 vector = (
                     fast
                     and not collector.enabled

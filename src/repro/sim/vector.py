@@ -13,7 +13,7 @@ Execution model
 The trace's packed columns are wrapped in zero-copy numpy views
 (:meth:`repro.trace.trace.Trace.numpy_columns`) and consumed in
 **epochs**: directive boundaries split the trace, and an epoch cap
-(``RNR_VECTOR_EPOCH``, default 8192) bounds each probe batch.  Within an
+(``RNR_VECTOR_EPOCH``, default 1024) bounds each probe batch.  Within an
 epoch the backend alternates between:
 
 * **vector segments** — probe a window of entries against the L1 tag
@@ -36,8 +36,49 @@ epoch the backend alternates between:
   through the real ``Core.issue_after``.
 * **scalar spill** — the boundary entry (miss, in-flight hit, or stall
   trigger) runs the exact fast-loop body: ``Core.issue_after``,
-  dict probe/promotion, ``CacheHierarchy._demand_miss``, prefetcher
-  ``on_l2_event``.  Misses resync the one affected L1 mirror row.
+  prefetcher ``on_access``, dict probe/promotion,
+  ``CacheHierarchy._demand_miss``, prefetcher ``on_l2_event``.  Misses
+  resync the one affected L1 mirror row.
+
+Hook-spill epochs
+-----------------
+
+Prefetchers that override ``on_access`` (rnr, imp, composites of them)
+are served by **hook spill** instead of falling back per-run: the
+prefetcher declares, via :meth:`repro.prefetchers.base.Prefetcher.
+access_hook_filter`, a per-batch mask of the entries whose hooks can
+have any effect (e.g. boundary-range loads while RnR records/replays).
+Entries outside the mask skip their no-op hooks entirely; masked hit
+entries fire the real ``on_access`` — in trace order, with the exact
+closed-form issue cycles — after their segment's state writeback, and
+spilled boundary entries run it inline and pass the returned flag to
+``on_l2_event``.  Deferring a hit's hook to the end of its segment is
+exact because hooks only touch prefetcher/L2/controller state through
+explicit cycle arguments (prefetch fills never install into the L1, so
+the probe's hit prefix and the mirror stay valid), and nothing else
+reaches the L2 side before the next scalar spill.  The filter contract
+guarantees the mask itself is stable across a batch: its inputs change
+only through ``on_directive``/``on_l2_event``, both of which end the
+batch.  A hooked prefetcher without a filter still falls back to the
+scalar loops.
+
+Multicore merge
+---------------
+
+:class:`repro.sim.multicore.MulticoreEngine` drives the same machinery
+incrementally: each eligible core owns a :class:`_VectorRun` and the
+k-way merge calls :meth:`_VectorRun.run_until` with the runner-up's
+``(clock, idx)`` heap key.  Turns are bounded by a *shared-event
+fence*, not by the raw clock: L1 hits are core-private (their cycles
+are identical under any turn interleaving), so the probe path keeps
+retiring them after the limit has passed, and only shared events —
+misses, observable hook firings, directives, the exhaustion drain —
+are held to the scalar merge's exact condition (processed iff the
+pre-entry clock has not passed the limit).  Shared-LLC/MSHR/controller
+interactions therefore arrive in the exact global order the scalar
+merge produces, while lockstep cores still vectorize whole probe
+batches per turn.  Scalar bursts yield at the scalar merge's exact
+per-entry boundary — miss-heavy phases have nothing to overshoot.
 
 After each vector segment the dict-LRU promotions are applied to the
 authoritative set dicts (each distinct line once, in last-touch order —
@@ -58,16 +99,18 @@ than the scalar loop, so the backend processes doubling scalar bursts
 worst case it degrades to fast-scalar speed plus a periodic probe.
 
 Eligibility: no telemetry collector, no D-TLB, dict-LRU L1, a
-prefetcher whose ``on_access`` is the base no-op (all L2-trained
-prefetchers qualify; ``on_l2_event`` fires only from the scalar miss
-spill), and the ``(l1_latency + 2) * width < min(rob, lsq)`` stall-
-safety inequality.  Ineligible runs fall back to the fast scalar loops
-— same statistics, no vector speedup.
+prefetcher whose ``on_access`` is either the base no-op (all L2-trained
+prefetchers; ``on_l2_event`` fires only from the scalar miss spill) or
+narrowed by an ``access_hook_filter``, and the
+``(l1_latency + 2) * width < min(rob, lsq)`` stall-safety inequality.
+Ineligible runs fall back to the fast scalar loops — same statistics,
+no vector speedup.
 """
 
 from __future__ import annotations
 
 import os
+import warnings
 
 try:
     import numpy as np
@@ -86,8 +129,13 @@ HAVE_NUMPY = np is not None
 VECTOR_EPOCH_ENV = "RNR_VECTOR_EPOCH"
 
 #: Default epoch cap: large enough to amortize probe setup, small enough
-#: that the working arrays stay cache-resident.
-DEFAULT_EPOCH = 8192
+#: that one batch's working arrays (tag probe matrix, cumsums, cut
+#: scratch) stay resident in the per-core caches.  The sweep in
+#: ``benchmarks/bench_engine_throughput.py`` (``vector_epoch_sensitivity``
+#: in BENCH_engine.json) measured 1024 ~9% faster than the previous 8192
+#: default and ~48% faster than 65536 on the locality workload;
+#: ``RNR_VECTOR_EPOCH`` still overrides for unusual traces.
+DEFAULT_EPOCH = 1024
 
 #: Floor for the epoch cap; below this the batch bookkeeping dominates.
 MIN_EPOCH = 64
@@ -124,13 +172,49 @@ def resolve_vector_epoch(epoch=None) -> int:
     return value
 
 
+#: Process-wide latch for the numpy-missing fallback warning: sweeps run
+#: hundreds of cells and one diagnostic is signal, five hundred is noise.
+_numpy_fallback_warned = False
+
+
+def warn_numpy_fallback(stacklevel: int = 3) -> None:
+    """Warn (once per process) that ``vector`` degraded to the fast loops.
+
+    Both the single-core engine and the multicore merge funnel through
+    here, so repeated ``run()`` calls — a sweep's worth of cells —
+    produce exactly one RuntimeWarning.  Tests reset
+    ``_numpy_fallback_warned`` to re-arm it.
+    """
+    global _numpy_fallback_warned
+    if _numpy_fallback_warned:
+        return
+    _numpy_fallback_warned = True
+    warnings.warn(
+        "numpy is not installed (pip install repro[fast]); engine "
+        "backend 'vector' falling back to the fast scalar loops",
+        RuntimeWarning,
+        stacklevel=stacklevel,
+    )
+
+
+def resolve_hook_filter(prefetcher):
+    """The prefetcher's access-hook filter, or None when it has none.
+
+    ``getattr`` keeps duck-typed prefetchers (no ``Prefetcher`` base)
+    working: they simply stay ineligible for hook spill.
+    """
+    getter = getattr(prefetcher, "access_hook_filter", None)
+    return getter() if getter is not None else None
+
+
 def vector_supported(engine, slim: bool) -> bool:
     """Can this run take the vector path (beyond the ``fast`` checks)?
 
     ``slim`` is the engine's "``on_access`` and ``on_l2_event`` are the
     base no-ops" flag; vector additionally tolerates an overridden
-    ``on_l2_event`` (it only fires from the scalar miss spill), but not
-    an overridden ``on_access`` (it would need to fire per entry).
+    ``on_l2_event`` (it only fires from the scalar miss spill), and an
+    overridden ``on_access`` *if* the prefetcher narrows it with an
+    ``access_hook_filter`` (hook-spill epochs).
     """
     if not HAVE_NUMPY:
         return False
@@ -138,7 +222,8 @@ def vector_supported(engine, slim: bool) -> bool:
 
     ptype = type(engine.prefetcher)
     if not (slim or ptype.on_access is Prefetcher.on_access):
-        return False
+        if resolve_hook_filter(engine.prefetcher) is None:
+            return False
     core_cfg = engine.config.core
     l1_latency = engine.hierarchy.l1.config.latency
     # Stall-safety inequality: loads appended *within* a hit run retire
@@ -165,6 +250,20 @@ def run_vector(engine, trace) -> None:
     _VectorRun(engine, trace).run()
 
 
+def core_runner(engine, trace, slim: bool):
+    """An incremental per-core runner for the multicore merge, or None.
+
+    Returns a :class:`_VectorRun` whose :meth:`_VectorRun.run_until`
+    consumes the core's trace up to a ``(clock, idx)`` merge limit, when
+    the core's engine/prefetcher is vector-eligible; the merge keeps the
+    scalar turn body for ineligible cores (mixed fleets are fine — the
+    interleaving contract is the same either way).
+    """
+    if not vector_supported(engine, slim):
+        return None
+    return _VectorRun(engine, trace)
+
+
 class _VectorRun:
     """One trace execution's columnar state and hybrid loop."""
 
@@ -184,8 +283,10 @@ class _VectorRun:
 
         # Zero-copy u64/u8 views plus int64 working columns (one pass of
         # array casts up front; no per-entry Python objects after this).
-        kinds_np, addrs_np, _pcs_np, gaps_np = trace.numpy_columns()
+        kinds_np, addrs_np, pcs_np, gaps_np = trace.numpy_columns()
         self.kinds_np = kinds_np
+        self.addr_col = addrs_np
+        self.pc_col = pcs_np
         self.line_col = (addrs_np // LINE_SIZE).astype(np.int64)
         self.set_col = self.line_col % self.num_sets
         self.tag_col = self.line_col // self.num_sets
@@ -202,6 +303,18 @@ class _VectorRun:
             self.on_l2_event = None
         else:
             self.on_l2_event = prefetcher.on_l2_event
+        # Hook-spill state: hooked prefetchers fire the real on_access for
+        # masked entries (per-batch filter) and for every scalar spill.
+        if type(prefetcher).on_access is Prefetcher.on_access:
+            self.on_access = None
+            self.hook_filter = None
+        else:
+            self.on_access = prefetcher.on_access
+            self.hook_filter = resolve_hook_filter(prefetcher)
+            assert self.hook_filter is not None, (
+                "vector_supported must reject hooked prefetchers "
+                "without an access_hook_filter"
+            )
 
         # Deferred L1 counters (flushed at directives and run end).
         self.l1_hits = 0
@@ -216,19 +329,71 @@ class _VectorRun:
         self.cur_run = 0
         self.burst = _BURST_START
 
+        # Cursor + merge-limit state: the single-core run consumes the
+        # whole trace in one unbounded run_until; the multicore merge
+        # calls run_until per turn with the runner-up's heap key.
+        self.n = len(self.kinds_np)
+        self._dir_pos = np.flatnonzero(self.kinds_np == KIND_DIRECTIVE).tolist()
+        self._dir_i = 0
+        self.pos = 0
+        self.limit_clock = None
+        self.limit_tie = False
+
     # ------------------------------------------------------------------
     def run(self) -> None:
-        n = len(self.kinds_np)
-        directive_positions = np.flatnonzero(
-            self.kinds_np == KIND_DIRECTIVE
-        ).tolist()
-        start = 0
-        for pos in directive_positions:
-            self._run_span(start, pos)
-            self._directive(pos)
-            start = pos + 1
-        self._run_span(start, n)
+        self.run_until(None, False)
+
+    def run_until(self, limit_clock, limit_tie: bool) -> bool:
+        """Consume entries for one merge turn bounded by ``limit_clock``.
+
+        "Passed" is ``>`` for ``limit_tie=False`` and ``>=`` for
+        ``limit_tie=True`` (the caller sets ``limit_tie = idx >
+        limit_idx``, the heap key tie-break); ``limit_clock=None`` is
+        unbounded.
+
+        The turn is equivalent to the scalar merge's, but not entry-
+        identical: only *shared* events — misses and hook firings (they
+        reach the LLC/controller/prefetcher side), directives (metadata
+        traffic, ``os.switch``), and the exhaustion drain — must keep
+        the scalar merge's global order, and each is processed iff the
+        pre-entry clock has not passed the limit, exactly the scalar
+        merge's condition (it checks *after* each entry, so an entry
+        runs iff its predecessor had not passed).  L1 hits are private
+        to the core — their cycles are identical under any turn
+        interleaving — so the probe path keeps retiring them after the
+        limit has passed instead of yielding, then parks just before
+        the next shared event.  That turns lockstep phases (cores a few
+        cycles apart) into full probe batches per turn rather than one-
+        or two-entry turns.  Scalar bursts (turbulent, miss-heavy
+        phases) stop at the scalar merge's exact boundary instead —
+        every miss is a shared event, so there is nothing to overshoot.
+
+        Returns True when the trace is exhausted; deferred L1 counters
+        are flushed then (the caller finishes/drains the core), so a
+        return of False always means entries remain.
+        """
+        self.limit_clock = limit_clock
+        self.limit_tie = limit_tie
+        n = self.n
+        core = self.core
+        dirs = self._dir_pos
+        while self.pos < n:
+            pos = self.pos
+            di = self._dir_i
+            if di < len(dirs) and dirs[di] == pos:
+                self._directive(pos)
+                self._dir_i = di + 1
+                self.pos = pos + 1
+            else:
+                self._span_step(dirs[di] if di < len(dirs) else n)
+            if self.pos >= n:
+                break
+            if limit_clock is not None:
+                c = core.cycle
+                if c > limit_clock or (c == limit_clock and limit_tie):
+                    return False
         self._flush_l1()
+        return True
 
     def _flush_l1(self) -> None:
         if self.l1_hits or self.l1_misses:
@@ -252,18 +417,29 @@ class _VectorRun:
         self.stale = True
 
     # ------------------------------------------------------------------
-    def _run_span(self, start: int, end: int) -> None:
-        """Consume the directive-free range [start, end)."""
-        pos = start
-        while pos < end:
-            if self.run_ema < _TURBULENT_RUN:
-                self.cur_run = 0
-                burst_end = min(end, pos + self.burst)
-                self._run_scalar_burst(pos, burst_end)
-                pos = burst_end
+    def _span_step(self, end: int) -> None:
+        """One burst or probe batch within the directive-free span ending
+        at ``end``; advances ``self.pos`` (never past ``end``).
+
+        Merge-limit handling differs by path: scalar bursts stop after
+        the first entry whose post-clock passes the limit (shared misses
+        force the scalar merge's exact turn boundary), while the probe
+        path retires private L1 hits past the limit freely and only
+        fences shared events (see ``run_until``)."""
+        pos = self.pos
+        if self.run_ema < _TURBULENT_RUN:
+            burst_end = min(end, pos + self.burst)
+            stop = self._run_scalar_burst(pos, burst_end)
+            self.pos = stop
+            if stop == burst_end:
                 self.burst = min(self.burst * 2, _BURST_MAX)
-                continue
-            pos = self._vector_step(pos, end)
+            return
+        self.pos = self._vector_step(pos, end)
+
+    def _passed_limit(self) -> bool:
+        c = self.core.cycle
+        limit = self.limit_clock
+        return c > limit or (c == limit and self.limit_tie)
 
     def _vector_step(self, pos: int, end: int) -> int:
         """One probe batch starting at ``pos``; returns the new position."""
@@ -297,11 +473,23 @@ class _VectorRun:
             self._scalar_entry(pos)
             return pos + 1
         ways = eq[:prefix].argmax(axis=1)
+        # Hook-spill mask over the hit prefix (filter-contract: stable
+        # until the next directive or on_l2_event, i.e. for this whole
+        # prefix — its internal cut boundaries are hits).
+        if self.on_access is not None:
+            hook_mask = self.hook_filter(
+                self.load_col[pos : pos + prefix],
+                self.addr_col[pos : pos + prefix],
+                self.pc_col[pos : pos + prefix],
+            )
+        else:
+            hook_mask = None
         # Hit execution never changes L1 membership, so one probe's hit
         # prefix stays valid across segment cuts: consume all of it,
         # alternating closed-form segments with exact scalar replays of
         # the cut boundaries (in-flight-line hits and pending-load stall
         # triggers), without re-probing the remainder.
+        bounded = self.limit_clock is not None
         done = 0
         while done < prefix:
             done += self._vector_segment(
@@ -309,12 +497,25 @@ class _VectorRun:
                 prefix - done,
                 set_slice[done:prefix],
                 ways[done:],
+                None if hook_mask is None else hook_mask[done:],
             )
-            if done < prefix:
-                self._scalar_entry(pos + done)
-                done += 1
-        self.cur_run += prefix
-        return pos + prefix
+            if done >= prefix:
+                break
+            # The boundary entry at pos+done is an L1 hit — private, so
+            # the merge limit does not fence it — unless its hook
+            # observably fires (hook_mask) or it is the final trace
+            # entry (whose processing triggers the shared exhaustion
+            # drain): those park once the limit has passed, so shared
+            # events keep the scalar merge's exact global order.
+            if bounded and self._passed_limit():
+                if hook_mask is not None and hook_mask[done]:
+                    break
+                if pos + done == self.n - 1:
+                    break
+            self._scalar_entry(pos + done)
+            done += 1
+        self.cur_run += done
+        return pos + done
 
     def _note_run(self, run: int) -> None:
         self.run_ema = 0.8 * self.run_ema + 0.2 * run
@@ -322,7 +523,7 @@ class _VectorRun:
             self.burst = _BURST_START
 
     # ------------------------------------------------------------------
-    def _vector_segment(self, pos, prefix, set_slice, ways) -> int:
+    def _vector_segment(self, pos, prefix, set_slice, ways, hook_mask=None) -> int:
         """Retire hit entries [pos, pos+e) in closed form; returns e."""
         core = self.core
         width = self.width
@@ -350,6 +551,38 @@ class _VectorRun:
         )
         if cut < e:
             e = cut
+
+        # Cut 3 (multicore merge only): the shared-event fence.  L1 hits
+        # are core-private — their cycles are identical under any turn
+        # interleaving — so the merge limit does not bound them.  What
+        # must keep the scalar merge's exact global order are the shared
+        # events: an entry whose hook observably fires (it reaches the
+        # prefetcher/L2 side) runs only while the pre-entry clock has
+        # not passed the runner-up's key — the scalar merge processes an
+        # entry iff the *previous* entry had not passed — and the final
+        # trace entry parks once the limit has passed, so the exhaustion
+        # drain (shared prefetch flush) keeps its merge-order slot.
+        limit = self.limit_clock
+        if limit is not None and e > 0:
+            tie = self.limit_tie
+            post_cycle = cycle0 + (consumed_instr + rem0) // width
+            if hook_mask is not None:
+                spill = np.flatnonzero(hook_mask[:e])
+                if spill.size:
+                    pre_clock = post_cycle[np.maximum(spill - 1, 0)]
+                    if spill[0] == 0:
+                        pre_clock[0] = cycle0
+                    fenced = (pre_clock > limit) | (
+                        (pre_clock == limit) & tie
+                    )
+                    stop = np.flatnonzero(fenced)
+                    if stop.size:
+                        e = int(spill[stop[0]])
+            if e > 0 and pos + e == self.n:
+                j = e - 1
+                pre_j = int(post_cycle[j - 1]) if j > 0 else cycle0
+                if pre_j > limit or (pre_j == limit and tie):
+                    e = j
         if e == 0:
             return 0
 
@@ -405,6 +638,26 @@ class _VectorRun:
             tag = line_addr // num_sets
             line = lines.pop(tag)
             lines[tag] = line
+
+        # Hook spill: fire the masked entries' real on_access hooks in
+        # trace order with their exact closed-form issue cycles.  Hooks
+        # only reach prefetcher/L2/controller state (prefetch fills never
+        # install into the L1), so deferring them past the pure-L1 state
+        # writeback above is invisible: the next event on the L2 side —
+        # the following scalar spill — still sees them all, in order.
+        # The returned flag is deliberately dropped: these entries are L1
+        # hits, and the flag only feeds on_l2_event (misses).
+        if hook_mask is not None:
+            hooked = np.flatnonzero(hook_mask[:e])
+            if hooked.size:
+                on_access = self.on_access
+                addrs = self.addrs
+                pcs = self.pcs
+                issue_list = issue_cycle[hooked].tolist()
+                for j, issue in zip(hooked.tolist(), issue_list):
+                    on_access(
+                        addrs[pos + j], pcs[pos + j], issue, not load_slice[j]
+                    )
         return e
 
     def _cut_for_pending(
@@ -470,6 +723,11 @@ class _VectorRun:
         kind = self.kinds[index]
         addr = self.addrs[index]
         issue = core.issue_after(self.gaps[index])
+        is_store = kind != KIND_LOAD
+        if self.on_access is not None:
+            flagged = self.on_access(addr, self.pcs[index], issue, is_store)
+        else:
+            flagged = False
         line_addr = addr // LINE_SIZE
         set_idx = line_addr % self.num_sets
         lines = self.sets[set_idx]
@@ -482,14 +740,13 @@ class _VectorRun:
             at_l1 = issue + self.l1_latency
             arrive = line.arrive
             completion = arrive if arrive > at_l1 else at_l1
-            if kind == KIND_LOAD:
-                core.retire_load(completion)
-            else:
+            if is_store:
                 line.dirty = True
                 core.retire_store(completion)
+            else:
+                core.retire_load(completion)
             return
         self.l1_misses += 1
-        is_store = kind != KIND_LOAD
         result = self.hierarchy._demand_miss(
             line_addr, issue, issue + self.l1_latency, is_store
         )
@@ -499,25 +756,26 @@ class _VectorRun:
         else:
             core.retire_load(completion)
         if self.on_l2_event is not None and result.l2_event is not L2Event.NONE:
-            # flagged=False: vector eligibility requires the base
-            # (always-False) on_access hook.
             self.on_l2_event(
                 result.line_addr,
                 self.pcs[index],
                 issue,
                 result.l2_event,
-                False,
+                flagged,
                 completion,
             )
         if not self.stale:
             self.mirror.resync_set(set_idx)
 
-    def _run_scalar_burst(self, start: int, end: int) -> None:
+    def _run_scalar_burst(self, start: int, end: int) -> int:
         """Miss-heavy stretch: run the fast-loop body entry by entry.
 
         The mirror is marked stale for the whole burst (one rebuild on
         re-entry beats per-miss resyncs), and consecutive-hit runs feed
         the EMA so the loop knows when the stream turns laminar again.
+        Returns the stop position: ``end``, unless the merge limit
+        passed first (the passing entry is processed, then the burst
+        stops — the scalar merge's turn semantics).
         """
         self.stale = True
         core = self.core
@@ -525,6 +783,7 @@ class _VectorRun:
         retire_load = core.retire_load
         retire_store = core.retire_store
         demand_miss = self.hierarchy._demand_miss
+        on_access = self.on_access
         on_l2_event = self.on_l2_event
         none_event = L2Event.NONE
         sets = self.sets
@@ -532,13 +791,26 @@ class _VectorRun:
         l1_latency = self.l1_latency
         kind_load = KIND_LOAD
         line_size = LINE_SIZE
+        limit = self.limit_clock
+        limit_tie = self.limit_tie
         l1_hits = 0
         l1_misses = 0
-        run = 0
+        # The in-progress hit run carries across burst calls (limit-
+        # stopped merge turns chop one run into many bursts; folding
+        # each fragment into the EMA would read a long laminar run as
+        # permanent turbulence and pin the core on the scalar path).
+        run = self.cur_run
+        self.cur_run = 0
+        stop = end
         for index in range(start, end):
             kind = self.kinds[index]
             addr = self.addrs[index]
             issue = issue_after(self.gaps[index])
+            is_store = kind != kind_load
+            if on_access is not None:
+                flagged = on_access(addr, self.pcs[index], issue, is_store)
+            else:
+                flagged = False
             line_addr = addr // line_size
             lines = sets[line_addr % num_sets]
             tag = line_addr // num_sets
@@ -551,32 +823,45 @@ class _VectorRun:
                 at_l1 = issue + l1_latency
                 arrive = line.arrive
                 completion = arrive if arrive > at_l1 else at_l1
-                if kind == kind_load:
-                    retire_load(completion)
-                else:
+                if is_store:
                     line.dirty = True
                     retire_store(completion)
-                continue
-            l1_misses += 1
-            self._note_run(run)
-            run = 0
-            is_store = kind != kind_load
-            result = demand_miss(line_addr, issue, issue + l1_latency, is_store)
-            completion = result.completion
-            if is_store:
-                retire_store(completion)
+                else:
+                    retire_load(completion)
             else:
-                retire_load(completion)
-            if on_l2_event is not None and result.l2_event is not none_event:
-                on_l2_event(
-                    result.line_addr,
-                    self.pcs[index],
-                    issue,
-                    result.l2_event,
-                    False,
-                    completion,
+                l1_misses += 1
+                self._note_run(run)
+                run = 0
+                result = demand_miss(
+                    line_addr, issue, issue + l1_latency, is_store
                 )
-        if run:
-            self._note_run(run)
+                completion = result.completion
+                if is_store:
+                    retire_store(completion)
+                else:
+                    retire_load(completion)
+                if on_l2_event is not None and result.l2_event is not none_event:
+                    on_l2_event(
+                        result.line_addr,
+                        self.pcs[index],
+                        issue,
+                        result.l2_event,
+                        flagged,
+                        completion,
+                    )
+            if limit is not None:
+                c = core.cycle
+                if c > limit or (c == limit and limit_tie):
+                    stop = index + 1
+                    break
+        if stop == end:
+            # Ran to the burst boundary: fold the tail run so a long
+            # all-hit burst lifts the EMA back toward laminar mode.
+            if run:
+                self._note_run(run)
+        else:
+            # Limit-stopped mid-run: the run is not over, carry it.
+            self.cur_run = run
         self.l1_hits += l1_hits
         self.l1_misses += l1_misses
+        return stop

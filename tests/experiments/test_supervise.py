@@ -188,6 +188,20 @@ class TestManifest:
         with pytest.raises(supervise.ManifestVersionError):
             SweepManifest.load(path, "abc")
 
+    def test_save_records_engine_backend(self, tmp_path, monkeypatch):
+        # The manifest names the backend that produced its cells — the
+        # CI vector smoke asserts "vector" after an --engine vector
+        # sweep, so the field must follow RNR_ENGINE.
+        from repro.sim.backend import ENGINE_ENV
+
+        path = tmp_path / "m.json"
+        monkeypatch.delenv(ENGINE_ENV, raising=False)
+        SweepManifest(path, "abc").save()
+        assert json.loads(path.read_text())["engine"] == "fast"
+        monkeypatch.setenv(ENGINE_ENV, "vector")
+        SweepManifest(path, "abc").save()
+        assert json.loads(path.read_text())["engine"] == "vector"
+
     def test_fingerprint_tracks_runner_identity(self):
         a = runner_fingerprint(ExperimentRunner(scale="test"))
         b = runner_fingerprint(ExperimentRunner(scale="test"))

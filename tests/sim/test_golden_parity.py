@@ -10,15 +10,18 @@ implementations interchangeable:
 
 * every registry prefetcher, fast vs straight AND vector vs straight, on
   one fixed seeded RnR-instrumented trace: ``SimStats.as_dict()``
-  equality;
-* vector epoch boundary edges: a directive landing mid-epoch, a
-  telemetry sample point landing mid-epoch, and a trace shorter than one
-  epoch;
+  equality — hooked prefetchers (``rnr``, ``imp``, composites) ride the
+  hook-spill epoch path, not a scalar fallback;
+* vector epoch boundary edges: a directive landing mid-epoch, an RnR
+  replay-window boundary landing mid-epoch, a telemetry sample point
+  landing mid-epoch, and a trace shorter than one epoch;
 * a 1-core :class:`MulticoreEngine` vs a plain :class:`SimulationEngine`
   on the same trace: exact equality (the merge scheduler degenerates to
   the single-core loop);
-* an N-core run, fast vs straight: exact equality (scheduling order and
-  shared-controller contention are part of the simulated result).
+* an N-core run, fast vs straight AND vector vs straight: exact
+  equality (scheduling order and shared-controller contention are part
+  of the simulated result, so the vectorized merge turns must honor the
+  same ``(clock, idx)`` handoff keys).
 """
 
 import pytest
@@ -161,9 +164,13 @@ class TestFastVsStraight:
 class TestVectorVsStraight:
     """The columnar backend is a pure speedup: vector == straight, always.
 
-    Prefetchers whose ``on_access`` hook is overridden are ineligible for
-    vectorization and silently fall back to the fast loops (already pinned
-    against straight above), so these cases double as fallback parity.
+    Prefetchers that override ``on_access`` but publish an
+    ``access_hook_filter`` (``rnr``, ``imp``, composites of them) run on
+    the columnar path with hook-spill epochs: the filter narrows each
+    probe batch to the entries whose hooks must fire, those spill through
+    the scalar path in trace order, and the rest retire closed-form.
+    Only an overriding prefetcher *without* a filter falls back to the
+    fast loops (pinned in ``test_vector_backend``).
     """
 
     @pytest.mark.parametrize("name", sorted(PREFETCHERS))
@@ -184,11 +191,7 @@ class TestVectorVsStraight:
         straight = run_single(locality_trace, name, "straight", monkeypatch)
         assert vector == straight
 
-    def test_locality_trace_actually_vectorizes(self, locality_trace,
-                                                monkeypatch):
-        # Guard against a silent fall-back-to-scalar regression: on the
-        # hit-run trace the segment path must consume the bulk of the
-        # entries, not just pass parity by never engaging.
+    def _count_vectorized(self, monkeypatch):
         counts = {"vectorized": 0}
         orig = vector_backend._VectorRun._vector_segment
 
@@ -200,21 +203,49 @@ class TestVectorVsStraight:
         monkeypatch.setattr(
             vector_backend._VectorRun, "_vector_segment", counting_segment
         )
-        # ``stream`` keeps the base ``on_access`` hook, so it is
-        # vector-eligible (``rnr`` records through on_access and is not).
-        run_single(locality_trace, "stream", "vector", monkeypatch)
+        return counts
+
+    @pytest.mark.parametrize("name", ["stream", "rnr"])
+    def test_locality_trace_actually_vectorizes(self, name, locality_trace,
+                                                monkeypatch):
+        # Guard against a silent fall-back-to-scalar regression: on the
+        # hit-run trace the segment path must consume the bulk of the
+        # entries, not just pass parity by never engaging.  ``stream``
+        # keeps the base ``on_access`` hook; ``rnr`` overrides it but
+        # narrows via its boundary-range ``access_hook_filter``, so both
+        # must retire most entries through columnar segments.
+        counts = self._count_vectorized(monkeypatch)
+        run_single(locality_trace, name, "vector", monkeypatch)
         assert counts["vectorized"] > len(locality_trace) // 2
 
+    @pytest.mark.parametrize("name", ["rnr", "ghb", "imp"])
     @pytest.mark.parametrize("epoch", ["64", "256", "1000000"])
-    def test_directive_mid_epoch(self, epoch, rnr_trace, monkeypatch):
+    def test_directive_mid_epoch(self, epoch, name, rnr_trace, monkeypatch):
         # The RnR trace embeds directives every ``window`` accesses; tiny
         # epochs put many epoch flushes between directives, the huge one
-        # puts every directive mid-epoch.  Either way: exact parity.
+        # puts every directive mid-epoch.  Either way: exact parity, for
+        # the hook-spilling prefetchers (rnr, imp) and the hook-free GHB.
         monkeypatch.setenv(vector_backend.VECTOR_EPOCH_ENV, epoch)
-        vector = run_single(rnr_trace, "rnr", "vector", monkeypatch)
+        vector = run_single(rnr_trace, name, "vector", monkeypatch)
         monkeypatch.delenv(vector_backend.VECTOR_EPOCH_ENV)
-        straight = run_single(rnr_trace, "rnr", "straight", monkeypatch)
+        straight = run_single(rnr_trace, name, "straight", monkeypatch)
         assert vector == straight
+
+    @pytest.mark.parametrize("epoch", ["64", "1000000"])
+    def test_rnr_window_boundary_mid_epoch(self, epoch, monkeypatch):
+        # Replay windows advance on ``iter`` directives between long hit
+        # runs; with a tiny window and a huge epoch the recorder/replayer
+        # window flips land mid-segment, so the spilled record hooks and
+        # the deferred hit retirement must interleave in exact trace
+        # order for the replayed prefetches to match the oracle.
+        trace = build_locality_trace(seed=19, window=2, cold_every=150)
+        monkeypatch.setenv(vector_backend.VECTOR_EPOCH_ENV, epoch)
+        vector = run_single(trace, "rnr", "vector", monkeypatch)
+        monkeypatch.delenv(vector_backend.VECTOR_EPOCH_ENV)
+        straight = run_single(trace, "rnr", "straight", monkeypatch)
+        assert vector == straight
+        # The run must have exercised replay, not just recording.
+        assert straight["rnr"]["struct_reads"] > 0
 
     def test_trace_shorter_than_one_epoch(self, monkeypatch):
         trace = build_parity_trace(seed=11, accesses=120)
@@ -274,3 +305,53 @@ class TestMulticoreParity:
         straight = self.run_multicore(traces, straight=True,
                                       monkeypatch=monkeypatch)
         assert fast == straight
+
+
+@requires_numpy
+class TestMulticoreVectorParity:
+    """The vectorized k-way merge is a pure speedup: per-core stats match
+    the straight merge exactly.  Each merge turn runs a core's vector
+    epochs up to (and through the first entry past) the runner-up's
+    ``(clock, idx)`` key — the same boundary the scalar merge uses — so
+    scheduling order and shared-LLC contention are preserved bit-for-bit.
+    """
+
+    def run_multicore(self, traces, backend, prefetcher_names, monkeypatch):
+        monkeypatch.delenv(STRAIGHT_ENGINE_ENV, raising=False)
+        monkeypatch.delenv(ENGINE_ENV, raising=False)
+        config = SystemConfig.experiment(cores=len(traces))
+        prefetchers = [
+            make_prefetcher(name) if name else None
+            for name in prefetcher_names
+        ]
+        engine = MulticoreEngine(config, prefetchers=prefetchers,
+                                 engine=backend)
+        return [stats.as_dict() for stats in engine.run(traces)]
+
+    @pytest.mark.parametrize("cores", [1, 2, 4])
+    def test_n_core_vector_vs_straight(self, cores, monkeypatch):
+        # Hit-run-heavy traces so the vector path actually engages, with
+        # staggered cold misses desynchronizing the cores' merge turns.
+        traces = [
+            build_locality_trace(seed=11 + idx, accesses=3_000,
+                                 cold_every=211 + 13 * idx)
+            for idx in range(cores)
+        ]
+        names = ["rnr"] * cores
+        vector = self.run_multicore(traces, "vector", names, monkeypatch)
+        straight = self.run_multicore(traces, "straight", names, monkeypatch)
+        assert vector == straight
+
+    def test_mixed_fleet_vector_vs_straight(self, monkeypatch):
+        # Hooked (rnr, imp), hook-free (stream), and bare cores mixed in
+        # one merge: runner cores hand off to scalar cores and back.
+        traces = [
+            build_locality_trace(seed=23, accesses=3_000),
+            build_parity_trace(seed=29, accesses=2_000),
+            build_locality_trace(seed=31, accesses=3_000, cold_every=97),
+            build_parity_trace(seed=37, accesses=2_000),
+        ]
+        names = ["rnr", "stream", "imp", None]
+        vector = self.run_multicore(traces, "vector", names, monkeypatch)
+        straight = self.run_multicore(traces, "straight", names, monkeypatch)
+        assert vector == straight

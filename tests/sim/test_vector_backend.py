@@ -116,9 +116,54 @@ class TestNumpyOptional:
         trace = build_parity_trace(accesses=600)
         reference = run_stats(trace, "fast")
         monkeypatch.setattr(vector_backend, "HAVE_NUMPY", False)
+        monkeypatch.setattr(vector_backend, "_numpy_fallback_warned", False)
         with pytest.warns(RuntimeWarning, match="repro\\[fast\\]"):
             stats = run_stats(trace, "vector")
         assert stats == reference
+
+    def test_fallback_warns_exactly_once_per_process(self, monkeypatch):
+        # A sweep calls run() hundreds of times in one interpreter; the
+        # degradation diagnostic must not repeat per run.  simplefilter
+        # "always" defeats the warning registry's own per-location dedup,
+        # so a second emission would be caught.
+        import warnings as warnings_mod
+
+        monkeypatch.setattr(vector_backend, "HAVE_NUMPY", False)
+        monkeypatch.setattr(vector_backend, "_numpy_fallback_warned", False)
+        trace = build_parity_trace(accesses=200)
+        with warnings_mod.catch_warnings(record=True) as caught:
+            warnings_mod.simplefilter("always")
+            for _ in range(3):
+                run_stats(trace, "vector")
+        emitted = [
+            w
+            for w in caught
+            if w.category is RuntimeWarning and "repro[fast]" in str(w.message)
+        ]
+        assert len(emitted) == 1
+
+    def test_multicore_fallback_shares_the_once_latch(self, monkeypatch):
+        # The multicore merge funnels through the same warn-once helper:
+        # after a single-core run warned, a vector multicore run stays
+        # silent (and vice versa would too).
+        import warnings as warnings_mod
+
+        from repro.sim.multicore import MulticoreEngine
+
+        monkeypatch.setattr(vector_backend, "HAVE_NUMPY", False)
+        monkeypatch.setattr(vector_backend, "_numpy_fallback_warned", False)
+        trace = build_parity_trace(accesses=200)
+        with warnings_mod.catch_warnings(record=True) as caught:
+            warnings_mod.simplefilter("always")
+            run_stats(trace, "vector")
+            multicore = MulticoreEngine(SystemConfig.experiment(), engine="vector")
+            multicore.run([trace])
+        emitted = [
+            w
+            for w in caught
+            if w.category is RuntimeWarning and "repro[fast]" in str(w.message)
+        ]
+        assert len(emitted) == 1
 
     @requires_numpy
     def test_present_numpy_does_not_warn(self, recwarn, monkeypatch):
@@ -129,9 +174,7 @@ class TestNumpyOptional:
 
 @requires_numpy
 class TestEligibilityFallback:
-    def test_on_access_prefetcher_skips_vector_path(self, monkeypatch):
-        # ``rnr`` records through ``on_access``; the columnar probe would
-        # skip those hook calls, so the run must use the fast loops.
+    def _count_vector_entries(self, monkeypatch):
         entered = {"n": 0}
         orig = vector_backend.run_vector
 
@@ -140,11 +183,37 @@ class TestEligibilityFallback:
             return orig(engine, trace)
 
         monkeypatch.setattr(vector_backend, "run_vector", counting_run)
+        return entered
+
+    def test_hooked_prefetchers_take_the_vector_path(self, monkeypatch):
+        # ``rnr`` records/replays through ``on_access``, but it narrows
+        # the hook with an ``access_hook_filter``, so hook-spill epochs
+        # serve it on the columnar path (parity in test_golden_parity).
+        entered = self._count_vector_entries(monkeypatch)
         trace = build_locality_trace(accesses=600)
         run_stats(trace, "vector", make_prefetcher("rnr"))
-        assert entered["n"] == 0
-        run_stats(trace, "vector", make_prefetcher("stream"))
         assert entered["n"] == 1
+        run_stats(trace, "vector", make_prefetcher("stream"))
+        assert entered["n"] == 2
+
+    def test_unfilterable_on_access_prefetcher_skips_vector_path(
+        self, monkeypatch
+    ):
+        # An overridden on_access *without* an access_hook_filter cannot
+        # be narrowed per-batch: the run must use the fast loops.
+        from repro.prefetchers.base import Prefetcher
+
+        class OpaqueHook(Prefetcher):
+            name = "opaque"
+
+            def on_access(self, address, pc, cycle, is_store):
+                return False
+
+        entered = self._count_vector_entries(monkeypatch)
+        trace = build_locality_trace(accesses=600)
+        stats = run_stats(trace, "vector", OpaqueHook())
+        assert entered["n"] == 0
+        assert stats == run_stats(trace, "straight", OpaqueHook())
 
     def test_empty_and_tiny_traces(self):
         from repro.trace import Trace
